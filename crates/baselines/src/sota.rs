@@ -1,0 +1,274 @@
+//! Published state-of-the-art bounds and the paper's reported SOAP bounds
+//! (Table 2), encoded symbolically.
+
+use soap_symbolic::{Expr, Rational};
+
+/// The Table-2 record of one kernel: the paper's reported SOAP bound, the
+/// reported improvement factor over the previous state of the art, and the
+/// source of that previous bound.
+#[derive(Clone, Debug)]
+pub struct SotaBound {
+    /// Kernel name (matches `soap_kernels::registry`).
+    pub kernel: &'static str,
+    /// The leading-order bound reported by the paper (in this repository's
+    /// parameter names, `S` = fast-memory size).
+    pub paper_soap_bound: Expr,
+    /// The reported improvement factor over the previous state of the art
+    /// (`1` when the paper matches prior work, or when no prior bound exists).
+    pub improvement: Expr,
+    /// Where the previous bound comes from.
+    pub source: &'static str,
+}
+
+impl SotaBound {
+    /// The previously published bound `paper_soap_bound / improvement`.
+    pub fn prior_bound(&self) -> Expr {
+        self.paper_soap_bound.clone().div(self.improvement.clone())
+    }
+}
+
+fn sym(s: &str) -> Expr {
+    Expr::sym(s)
+}
+
+fn prod(names: &[&str]) -> Expr {
+    Expr::product(names.iter().map(|n| sym(n)))
+}
+
+fn int(n: i64) -> Expr {
+    Expr::int(n)
+}
+
+fn sqrt_s() -> Expr {
+    sym("S").sqrt()
+}
+
+fn cbrt_s() -> Expr {
+    sym("S").pow(Rational::new(1, 3))
+}
+
+fn over_sqrt_s(coeff: i64, names: &[&str]) -> Expr {
+    int(coeff).mul(prod(names)).div(sqrt_s())
+}
+
+/// The Table-2 entry of a kernel, if the paper lists one.
+pub fn sota_bound(kernel: &str) -> Option<SotaBound> {
+    let iolb = "IOLB (Olivry et al., PLDI'20)";
+    let new = "no previously published bound";
+    let entry = |kernel: &'static str, bound: Expr, improvement: Expr, source: &'static str| {
+        Some(SotaBound { kernel, paper_soap_bound: bound, improvement, source })
+    };
+    match kernel {
+        // ---- Polybench ----
+        "adi" => entry(
+            "adi",
+            int(12).mul(prod(&["N", "N", "T"])).div(sqrt_s()),
+            int(12).div(sqrt_s()),
+            iolb,
+        ),
+        "atax" => entry("atax", prod(&["M", "N"]), int(1), iolb),
+        "bicg" => entry("bicg", prod(&["M", "N"]), int(1), iolb),
+        "cholesky" => entry(
+            "cholesky",
+            prod(&["N", "N", "N"]).div(int(3).mul(sqrt_s())),
+            int(2),
+            iolb,
+        ),
+        "correlation" => entry("correlation", over_sqrt_s(1, &["M", "M", "N"]), int(2), iolb),
+        "covariance" => entry("covariance", over_sqrt_s(1, &["M", "M", "N"]), int(2), iolb),
+        "deriche" => entry("deriche", int(3).mul(prod(&["H", "W"])), int(3), iolb),
+        "doitgen" => entry("doitgen", over_sqrt_s(2, &["NP", "NP", "NQ", "NR"]), int(1), iolb),
+        "durbin" => entry(
+            "durbin",
+            int(3).mul(prod(&["N", "N"])).div(int(2)),
+            int(3),
+            iolb,
+        ),
+        "fdtd-2d" => entry(
+            "fdtd-2d",
+            int(2).mul(int(3).sqrt()).mul(prod(&["NX", "NY", "T"])).div(sqrt_s()),
+            int(6).mul(int(6).sqrt()),
+            iolb,
+        ),
+        "floyd-warshall" => entry("floyd-warshall", over_sqrt_s(2, &["N", "N", "N"]), int(2), iolb),
+        "gemm" => entry("gemm", over_sqrt_s(2, &["NI", "NJ", "NK"]), int(1), iolb),
+        "gemver" => entry("gemver", prod(&["N", "N"]), int(1), iolb),
+        "gesummv" => entry("gesummv", int(2).mul(prod(&["N", "N"])), int(1), iolb),
+        "gramschmidt" => entry("gramschmidt", over_sqrt_s(1, &["M", "N", "N"]), int(1), iolb),
+        "heat-3d" => entry(
+            "heat-3d",
+            int(6).mul(prod(&["N", "N", "N", "T"])).div(cbrt_s()),
+            int(32).div(int(3).mul(int(3).pow(Rational::new(1, 3)))),
+            iolb,
+        ),
+        "jacobi-1d" => entry(
+            "jacobi-1d",
+            int(2).mul(prod(&["N", "T"])).div(sym("S")),
+            int(8),
+            iolb,
+        ),
+        "jacobi-2d" => entry(
+            "jacobi-2d",
+            over_sqrt_s(4, &["N", "N", "T"]),
+            int(6).mul(int(3).sqrt()),
+            iolb,
+        ),
+        "2mm" => entry(
+            "2mm",
+            over_sqrt_s(2, &["NI", "NJ", "NK"]).add(over_sqrt_s(2, &["NI", "NL", "NJ"])),
+            int(1),
+            iolb,
+        ),
+        "3mm" => entry(
+            "3mm",
+            over_sqrt_s(2, &["NI", "NJ", "NK"])
+                .add(over_sqrt_s(2, &["NJ", "NL", "NM"]))
+                .add(over_sqrt_s(2, &["NI", "NL", "NJ"])),
+            int(1),
+            iolb,
+        ),
+        "lu" => entry(
+            "lu",
+            int(2).mul(prod(&["N", "N", "N"])).div(int(3).mul(sqrt_s())),
+            int(1),
+            iolb,
+        ),
+        "ludcmp" => entry(
+            "ludcmp",
+            int(2).mul(prod(&["N", "N", "N"])).div(int(3).mul(sqrt_s())),
+            int(1),
+            iolb,
+        ),
+        "mvt" => entry("mvt", prod(&["N", "N"]), int(1), iolb),
+        "nussinov" => entry(
+            "nussinov",
+            prod(&["N", "N", "N"]).div(int(3).mul(sqrt_s())),
+            int(2),
+            iolb,
+        ),
+        "seidel-2d" => entry(
+            "seidel-2d",
+            over_sqrt_s(4, &["N", "N", "T"]),
+            int(6).mul(int(3).sqrt()),
+            iolb,
+        ),
+        "symm" => entry("symm", over_sqrt_s(2, &["M", "M", "N"]), int(1), iolb),
+        "syr2k" => entry("syr2k", over_sqrt_s(2, &["M", "N", "N"]), int(2), iolb),
+        "syrk" => entry("syrk", over_sqrt_s(1, &["M", "N", "N"]), int(2), iolb),
+        "trisolv" => entry("trisolv", prod(&["N", "N"]).div(int(2)), int(1), iolb),
+        "trmm" => entry("trmm", over_sqrt_s(1, &["M", "M", "N"]), int(1), iolb),
+
+        // ---- Neural networks ----
+        "direct-conv" => entry(
+            "direct-conv",
+            over_sqrt_s(2, &["CIN", "COUT", "HOUT", "BATCH", "WOUT", "WKER", "HKER"]),
+            int(8),
+            "Zhang et al. 2020",
+        ),
+        "softmax" => entry(
+            "softmax",
+            int(4).mul(prod(&["B", "H", "M", "N"])),
+            int(1),
+            new,
+        ),
+        "mlp" => entry(
+            "mlp",
+            over_sqrt_s(2, &["N", "FC1", "FC2"])
+                .add(over_sqrt_s(2, &["N", "FC1", "INP"]))
+                .add(over_sqrt_s(2, &["N", "FC2", "OUT"])),
+            int(1),
+            new,
+        ),
+        "lenet-5" => entry(
+            "lenet-5",
+            int(300)
+                .mul(int(2).sqrt())
+                .mul(prod(&["CH", "H", "BATCH", "W"]))
+                .div(sqrt_s()),
+            int(1),
+            new,
+        ),
+        "bert-encoder" => entry(
+            "bert-encoder",
+            int(4)
+                .mul(prod(&["B", "H", "P", "L"]))
+                .mul(sym("L").add(int(2).mul(prod(&["H", "P"]))))
+                .div(sqrt_s()),
+            int(1),
+            new,
+        ),
+
+        // ---- Various ----
+        "lulesh" => entry("lulesh", int(22).mul(sym("numElem")), int(1), new),
+        "horizontal-diffusion" => entry(
+            "horizontal-diffusion",
+            int(2).mul(prod(&["I", "J", "K"])),
+            int(1),
+            new,
+        ),
+        "vertical-advection" => entry(
+            "vertical-advection",
+            int(5).mul(prod(&["I", "J", "K"])),
+            int(1),
+            new,
+        ),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn eval(e: &Expr, pairs: &[(&str, f64)]) -> f64 {
+        let b: BTreeMap<String, f64> =
+            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        e.eval(&b).unwrap()
+    }
+
+    #[test]
+    fn every_registered_kernel_has_a_table2_entry() {
+        for entry in soap_kernels::registry() {
+            assert!(
+                sota_bound(entry.name).is_some(),
+                "missing Table-2 record for {}",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_paper_bound_evaluates() {
+        let b = sota_bound("gemm").unwrap();
+        let v = eval(
+            &b.paper_soap_bound,
+            &[("NI", 100.0), ("NJ", 100.0), ("NK", 100.0), ("S", 100.0)],
+        );
+        assert_eq!(v, 2.0 * 1.0e6 / 10.0);
+        // improvement 1 => prior bound equals the paper bound.
+        assert_eq!(
+            eval(&b.prior_bound(), &[("NI", 100.0), ("NJ", 100.0), ("NK", 100.0), ("S", 100.0)]),
+            v
+        );
+    }
+
+    #[test]
+    fn improvement_factors_match_the_paper() {
+        let jac = sota_bound("jacobi-1d").unwrap();
+        assert_eq!(eval(&jac.improvement, &[]), 8.0);
+        let fdtd = sota_bound("fdtd-2d").unwrap();
+        assert!((eval(&fdtd.improvement, &[]) - 6.0 * 6.0_f64.sqrt()).abs() < 1e-9);
+        let heat = sota_bound("heat-3d").unwrap();
+        assert!((eval(&heat.improvement, &[]) - 32.0 / (3.0 * 3.0_f64.powf(1.0 / 3.0))).abs() < 1e-9);
+        let conv = sota_bound("direct-conv").unwrap();
+        assert_eq!(eval(&conv.improvement, &[]), 8.0);
+    }
+
+    #[test]
+    fn prior_bound_is_smaller_when_improved() {
+        let chol = sota_bound("cholesky").unwrap();
+        let args = &[("N", 100.0), ("S", 64.0)][..];
+        assert!(eval(&chol.prior_bound(), args) < eval(&chol.paper_soap_bound, args));
+    }
+}

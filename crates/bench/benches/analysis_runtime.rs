@@ -1,0 +1,26 @@
+//! End-to-end analysis runtime over representative applications — the
+//! "fully automatic tool" claim of the paper (input program → symbolic bound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soap_bench::analyze_kernel;
+
+fn bench_runtime(c: &mut Criterion) {
+    let registry = soap_kernels::registry();
+    let mut group = c.benchmark_group("analysis_runtime");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // One representative per group keeps the bench short; the full sweep is
+    // exercised by the `table2` binary and the integration tests.
+    for name in ["gemm", "fdtd-2d", "bert-encoder", "lulesh"] {
+        let entry = registry
+            .iter()
+            .find(|e| e.name == name)
+            .expect("kernel exists");
+        group.bench_function(name, |b| b.iter(|| analyze_kernel(entry)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Lemma-3 exactness check: the analytic access-set count of a rectangular
+//! MMM tile equals the exact minimum external dominator computed by max-flow,
+//! and the max-flow itself is the benchmarked operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soap_pebbling::{min_dominator_size, Cdag, VertexKind};
+use std::collections::BTreeMap;
+
+fn mmm_cdag(n: i64) -> Cdag {
+    let entry = soap_kernels::by_name("gemm").unwrap();
+    let params: BTreeMap<String, i64> =
+        entry.program.parameters().into_iter().map(|p| (p, n)).collect();
+    Cdag::from_program(&entry.program, &params)
+}
+
+fn tile(cdag: &Cdag, extent: i64) -> Vec<usize> {
+    cdag.compute_vertices()
+        .into_iter()
+        .filter(|&v| match &cdag.kinds[v] {
+            VertexKind::Compute { iteration, .. } => iteration.iter().all(|&x| x < extent),
+            _ => false,
+        })
+        .collect()
+}
+
+fn bench_dominator(c: &mut Criterion) {
+    // Exactness check once, outside the timed region.
+    let g = mmm_cdag(6);
+    for t in [2i64, 3] {
+        let h = tile(&g, t);
+        let dom = min_dominator_size(&g, &h);
+        let lemma3 = (3 * t * t) as usize;
+        assert_eq!(dom, lemma3, "tile extent {t}");
+        println!("MMM tile {t}³: exact Dom_min = {dom}, Lemma 3 = {lemma3}");
+    }
+
+    let mut group = c.benchmark_group("dominator_minflow");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [4i64, 6, 8] {
+        let g = mmm_cdag(n);
+        let h = tile(&g, n / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(g, h), |b, (g, h)| {
+            b.iter(|| min_dominator_size(g, h))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dominator);
+criterion_main!(benches);

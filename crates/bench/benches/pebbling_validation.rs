@@ -1,0 +1,38 @@
+//! Validation experiment: the analytic lower bound never exceeds the I/O of
+//! any simulated schedule, and tiled schedules approach it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soap_bench::validation::{validate_kernel, ValidationCase};
+
+fn bench_validation(c: &mut Criterion) {
+    let cases = [
+        ValidationCase { kernel: "gemm", size: 12, s: 48 },
+        ValidationCase { kernel: "jacobi-1d", size: 32, s: 16 },
+        ValidationCase { kernel: "jacobi-2d", size: 10, s: 32 },
+    ];
+    for case in &cases {
+        let report = validate_kernel(case).expect("validation case runs");
+        println!("{report}");
+        assert!(
+            report.naive_io as f64 >= report.lower_bound * 0.99,
+            "{}: simulated I/O {} fell below the lower bound {}",
+            case.kernel,
+            report.naive_io,
+            report.lower_bound
+        );
+    }
+
+    let mut group = c.benchmark_group("pebbling_validation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for case in cases {
+        group.bench_function(case.kernel, move |b| {
+            b.iter(|| validate_kernel(&case).expect("validation case runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

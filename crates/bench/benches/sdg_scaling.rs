@@ -1,0 +1,41 @@
+//! Scalability of the SDG analysis with the number of statements (the paper
+//! observes practical scaling up to ~35 statements).  Synthetic chains of `k`
+//! matrix-multiplication statements are analyzed for growing `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soap_ir::{Program, ProgramBuilder};
+use soap_sdg::{analyze_program_with, SdgOptions};
+
+fn chain_of_matmuls(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("chain{k}"));
+    for s in 0..k {
+        let src = if s == 0 { "A0".to_string() } else { format!("T{s}") };
+        let dst = format!("T{}", s + 1);
+        let w = format!("W{}", s + 1);
+        b = b.statement(move |st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                .update(&dst, "i,j")
+                .read(&src, "i,k")
+                .read(&w, "k,j")
+        });
+    }
+    b.build().expect("chain builds")
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdg_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let opts = SdgOptions { max_subgraph_size: 3, max_subgraphs: 512, ..SdgOptions::default() };
+    for k in [1usize, 4, 8, 16, 35] {
+        let program = chain_of_matmuls(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &program, |b, p| {
+            b.iter(|| analyze_program_with(p, &opts).expect("analysis succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

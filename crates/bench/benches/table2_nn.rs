@@ -1,0 +1,23 @@
+//! Regenerates the neural-network block of Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soap_bench::{build_row, table2};
+use soap_kernels::KernelGroup;
+
+fn bench_nn(c: &mut Criterion) {
+    let rows = table2(Some(KernelGroup::NeuralNetworks));
+    println!("{}", soap_bench::render_table(&rows));
+
+    let mut group = c.benchmark_group("table2/nn");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["direct-conv", "softmax", "mlp"] {
+        let entry = soap_kernels::by_name(name).unwrap();
+        group.bench_function(name, |b| b.iter(|| build_row(&entry)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates the Polybench block of Table 2 (the bound derivation itself is
+//! the benchmarked operation; the derived-vs-paper comparison is printed once
+//! and recorded in EXPERIMENTS.md via the `table2` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soap_bench::{build_row, table2};
+use soap_kernels::KernelGroup;
+
+fn bench_polybench(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output doubles as the
+    // experiment record.
+    let rows = table2(Some(KernelGroup::Polybench));
+    println!("{}", soap_bench::render_table(&rows));
+
+    let mut group = c.benchmark_group("table2/polybench");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["gemm", "cholesky", "jacobi-2d", "heat-3d", "atax"] {
+        let entry = soap_kernels::by_name(name).unwrap();
+        group.bench_function(name, |b| b.iter(|| build_row(&entry)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polybench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerate the paper's Table 2: per-kernel I/O lower bounds, the
+//! comparison against the paper's reported bounds, and the improvement factor
+//! over the previous state of the art.
+//!
+//! ```text
+//! cargo run --release -p soap-bench --bin table2 [-- --group polybench|nn|various] [--json out.json]
+//! ```
+
+use soap_bench::{render_table, table2, Table2Row};
+use soap_kernels::KernelGroup;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut group = None;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--group" => {
+                i += 1;
+                group = match args.get(i).map(|s| s.as_str()) {
+                    Some("polybench") => Some(KernelGroup::Polybench),
+                    Some("nn") => Some(KernelGroup::NeuralNetworks),
+                    Some("various") => Some(KernelGroup::Various),
+                    other => {
+                        eprintln!("unknown group {other:?} (expected polybench|nn|various)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let rows: Vec<Table2Row> = table2(group);
+    println!("{}", render_table(&rows));
+    println!(
+        "reference sizes: every size parameter = {}, S = {} words",
+        soap_bench::REFERENCE_SIZE,
+        soap_bench::REFERENCE_S
+    );
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&rows).expect("rows serialize to JSON");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

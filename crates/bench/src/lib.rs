@@ -1,0 +1,208 @@
+//! # soap-bench
+//!
+//! The evaluation harness: everything needed to regenerate the paper's
+//! Table 2 (per-kernel leading-order I/O lower bounds and improvement factors
+//! over the previous state of the art) and the validation experiments
+//! (pebbling simulations vs. analytic bounds, SDG scalability, analysis
+//! runtime).
+//!
+//! The library part contains the shared row-building code; the binaries
+//! (`table2`, `validate_pebbling`) print human-readable tables and emit
+//! machine-readable JSON records, and the Criterion benches under `benches/`
+//! time the individual pipeline stages.
+#![forbid(unsafe_code)]
+
+pub mod validation;
+
+use serde::Serialize;
+use soap_baselines::{loomis_whitney_bound, sota_bound};
+use soap_kernels::{registry, KernelEntry, KernelGroup};
+use soap_sdg::{analyze_program_with, ProgramAnalysis, SdgOptions};
+use std::collections::BTreeMap;
+
+/// Reference problem size used for the numeric columns of the table.
+pub const REFERENCE_SIZE: f64 = 256.0;
+/// Reference fast-memory size (words) used for the numeric columns.
+pub const REFERENCE_S: f64 = 1024.0;
+
+/// One row of the reproduced Table 2.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// Table-2 group ("polybench", "nn", "various").
+    pub group: String,
+    /// The leading-order bound derived by this repository.
+    pub derived_bound: String,
+    /// The bound reported in the paper.
+    pub paper_bound: String,
+    /// Derived bound evaluated at the reference sizes.
+    pub derived_numeric: f64,
+    /// Paper bound evaluated at the reference sizes.
+    pub paper_numeric: f64,
+    /// `derived / paper` at the reference sizes (1.0 = exact reproduction of
+    /// the constant; < 1 means our bound is more conservative).
+    pub ratio_to_paper: f64,
+    /// The improvement factor over the previous state of the art, recomputed
+    /// from our derived bound (`derived / prior`).
+    pub derived_improvement: f64,
+    /// The improvement factor reported in the paper.
+    pub paper_improvement: f64,
+    /// The executable Loomis–Whitney projection baseline at the reference
+    /// sizes (the style of bound prior automated tools produce).
+    pub projection_baseline_numeric: f64,
+    /// Source of the prior bound.
+    pub prior_source: String,
+    /// Analysis wall-clock time in milliseconds.
+    pub analysis_ms: f64,
+}
+
+fn group_name(group: KernelGroup) -> &'static str {
+    match group {
+        KernelGroup::Polybench => "polybench",
+        KernelGroup::NeuralNetworks => "nn",
+        KernelGroup::Various => "various",
+    }
+}
+
+/// Reference bindings: every symbolic size parameter of the program is bound
+/// to [`REFERENCE_SIZE`] and `S` to [`REFERENCE_S`].
+///
+/// Networks whose published formula assumes dimensionally-linked parameters
+/// (BERT's model width `E = H·P`, feed-forward width `F = 4·H·P`; LeNet-5's
+/// fixed layer sizes) get realistic shapes instead, so the paper formula and
+/// the program describe the same computation.
+pub fn reference_bindings(entry: &KernelEntry) -> BTreeMap<String, f64> {
+    let mut b: BTreeMap<String, f64> = entry
+        .program
+        .parameters()
+        .into_iter()
+        .map(|p| (p, REFERENCE_SIZE))
+        .collect();
+    b.insert("S".to_string(), REFERENCE_S);
+    let mut set = |pairs: &[(&str, f64)]| {
+        for (k, v) in pairs {
+            b.insert((*k).to_string(), *v);
+        }
+    };
+    match entry.name {
+        "bert-encoder" => set(&[
+            ("B", 8.0),
+            ("L", 512.0),
+            ("H", 8.0),
+            ("P", 64.0),
+            ("E", 512.0),
+            ("F", 2048.0),
+        ]),
+        "lenet-5" => set(&[
+            ("BATCH", 256.0),
+            ("CH", 1.0),
+            ("C1N", 6.0),
+            ("C2N", 16.0),
+            ("H", 28.0),
+            ("W", 28.0),
+            ("FLAT", 400.0),
+            ("FC1", 120.0),
+            ("FC2", 84.0),
+            ("CLASSES", 10.0),
+        ]),
+        "direct-conv" => set(&[("WKER", 5.0), ("HKER", 5.0), ("CIN", 64.0), ("COUT", 64.0)]),
+        _ => {}
+    }
+    b
+}
+
+/// Analyze one kernel with the Table-2 options (the §5.3 injective case for
+/// the direct convolution, the conservative case otherwise).
+pub fn analyze_kernel(entry: &KernelEntry) -> ProgramAnalysis {
+    let opts = SdgOptions {
+        assume_injective: entry.assume_injective,
+        ..SdgOptions::default()
+    };
+    analyze_program_with(&entry.program, &opts)
+        .unwrap_or_else(|e| panic!("analysis of {} failed: {e}", entry.name))
+}
+
+/// Build one Table-2 row.
+pub fn build_row(entry: &KernelEntry) -> Table2Row {
+    let start = std::time::Instant::now();
+    let analysis = analyze_kernel(entry);
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    let bindings = reference_bindings(entry);
+    let derived_numeric = analysis.bound.eval(&bindings).unwrap_or(f64::NAN);
+    let table = sota_bound(entry.name).expect("every kernel has a Table-2 record");
+    let paper_numeric = table.paper_soap_bound.eval(&bindings).unwrap_or(f64::NAN);
+    let prior_numeric = table.prior_bound().eval(&bindings).unwrap_or(f64::NAN);
+    let paper_improvement = table.improvement.eval(&bindings).unwrap_or(f64::NAN);
+    let projection = loomis_whitney_bound(&entry.program)
+        .eval(&bindings)
+        .unwrap_or(f64::NAN);
+    Table2Row {
+        kernel: entry.name.to_string(),
+        group: group_name(entry.group).to_string(),
+        derived_bound: format!("{}", analysis.bound),
+        paper_bound: format!("{}", table.paper_soap_bound),
+        derived_numeric,
+        paper_numeric,
+        ratio_to_paper: derived_numeric / paper_numeric,
+        derived_improvement: derived_numeric / prior_numeric,
+        paper_improvement,
+        projection_baseline_numeric: projection,
+        prior_source: table.source.to_string(),
+        analysis_ms: elapsed,
+    }
+}
+
+/// Build all rows of a group (or all groups when `group` is `None`).
+pub fn table2(group: Option<KernelGroup>) -> Vec<Table2Row> {
+    registry()
+        .iter()
+        .filter(|e| group.map(|g| e.group == g).unwrap_or(true))
+        .map(build_row)
+        .collect()
+}
+
+/// Render rows as a fixed-width text table.
+pub fn render_table(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>12} {:>8} {:>10} {:>10} {:>9}\n",
+        "kernel", "derived", "paper", "ratio", "impr(ours)", "impr(paper)", "time[ms]"
+    ));
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>12.3e} {:>12.3e} {:>8.3} {:>10.2} {:>10.2} {:>9.1}\n",
+            r.kernel,
+            r.derived_numeric,
+            r.paper_numeric,
+            r.ratio_to_paper,
+            r.derived_improvement,
+            r.paper_improvement,
+            r.analysis_ms,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_row_reproduces_the_paper_constant() {
+        let entry = soap_kernels::by_name("gemm").unwrap();
+        let row = build_row(&entry);
+        assert!((row.ratio_to_paper - 1.0).abs() < 0.05, "ratio {}", row.ratio_to_paper);
+        assert!(row.projection_baseline_numeric <= row.derived_numeric * 1.01);
+    }
+
+    #[test]
+    fn rendering_contains_all_rows() {
+        let entry = soap_kernels::by_name("mvt").unwrap();
+        let rows = vec![build_row(&entry)];
+        let text = render_table(&rows);
+        assert!(text.contains("mvt"));
+    }
+}

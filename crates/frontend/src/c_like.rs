@@ -1,0 +1,187 @@
+//! The C-like dialect: brace-scoped `for (i = lo; i < hi; i++) { ... }`.
+
+use crate::rhs::{group_reads, parse_assignment};
+use crate::FrontendError;
+use soap_ir::parse::parse_affine;
+use soap_ir::{ArrayAccess, IterationDomain, LoopVar, Program, Statement};
+
+/// Parse a C-like program into SOAP IR.
+///
+/// Supported constructs: `for (v = lo; v < hi; v++) {` (also `<=` upper
+/// bounds and `++v`), array assignments terminated by `;`, `//` comments and
+/// braces.  Declarations, scalar statements and other C constructs that do not
+/// touch arrays are ignored, mirroring how the paper's tool extracts only the
+/// access structure from C code.
+pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
+    let mut stack: Vec<LoopVar> = Vec::new();
+    // Number of loops opened at each brace depth, so `}` pops correctly.
+    let mut brace_is_loop: Vec<bool> = Vec::new();
+    let mut statements = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let without_comment = raw.split("//").next().unwrap_or("");
+        let mut rest = without_comment.trim();
+        while !rest.is_empty() {
+            if let Some(r) = rest.strip_prefix('}') {
+                if let Some(was_loop) = brace_is_loop.pop() {
+                    if was_loop {
+                        stack.pop();
+                    }
+                }
+                rest = r.trim_start();
+                continue;
+            }
+            if rest.starts_with("for") {
+                let open = rest.find('(').ok_or(FrontendError::Syntax {
+                    line: line_no,
+                    message: "malformed for loop".into(),
+                })?;
+                let close = rest.rfind(')').ok_or(FrontendError::Syntax {
+                    line: line_no,
+                    message: "malformed for loop".into(),
+                })?;
+                let header = &rest[open + 1..close];
+                let parts: Vec<&str> = header.split(';').collect();
+                if parts.len() != 3 {
+                    return Err(FrontendError::Syntax {
+                        line: line_no,
+                        message: "for loop header must have three clauses".into(),
+                    });
+                }
+                let init = parts[0];
+                let cond = parts[1];
+                let (var, lo) = init.split_once('=').ok_or(FrontendError::Syntax {
+                    line: line_no,
+                    message: "for loop initialization must be 'var = expr'".into(),
+                })?;
+                let var = var.trim().trim_start_matches("int").trim();
+                let lower = parse_affine(lo.trim())?;
+                let (upper, inclusive) = if let Some((_, ub)) = cond.split_once("<=") {
+                    (parse_affine(ub.trim())?, true)
+                } else if let Some((_, ub)) = cond.split_once('<') {
+                    (parse_affine(ub.trim())?, false)
+                } else {
+                    return Err(FrontendError::Syntax {
+                        line: line_no,
+                        message: "for loop condition must be 'var < bound' or 'var <= bound'".into(),
+                    });
+                };
+                let upper = if inclusive { upper.offset(1) } else { upper };
+                stack.push(LoopVar::new(var, lower, upper));
+                // Whatever follows the loop header on this line.
+                rest = rest[close + 1..].trim_start();
+                if let Some(r) = rest.strip_prefix('{') {
+                    brace_is_loop.push(true);
+                    rest = r.trim_start();
+                } else {
+                    // Single-statement loop bodies without braces are treated
+                    // as braced: the next `;`-terminated statement closes it.
+                    brace_is_loop.push(true);
+                }
+                continue;
+            }
+            if let Some(r) = rest.strip_prefix('{') {
+                brace_is_loop.push(false);
+                rest = r.trim_start();
+                continue;
+            }
+            // A statement up to the next ';'.
+            let Some(semi) = rest.find(';') else {
+                break;
+            };
+            let stmt_text = rest[..semi].trim();
+            rest = rest[semi + 1..].trim_start();
+            if stmt_text.is_empty() || !stmt_text.contains('=') || !stmt_text.contains('[') {
+                continue;
+            }
+            if stack.is_empty() {
+                return Err(FrontendError::StatementOutsideLoop { line: line_no });
+            }
+            let assignment = parse_assignment(stmt_text, line_no)?;
+            let st = Statement {
+                name: format!("St{}", statements.len() + 1),
+                domain: IterationDomain::new(stack.clone()),
+                output: ArrayAccess::single(assignment.output.0.clone(), assignment.output.1.clone()),
+                inputs: group_reads(assignment.reads),
+                is_update: assignment.is_update,
+            };
+            st.validate()?;
+            statements.push(st);
+        }
+    }
+    let program = Program::new(name, statements);
+    program.validate()?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_c_style_gemm() {
+        let src = r#"
+for (i = 0; i < NI; i++) {
+  for (j = 0; j < NJ; j++) {
+    for (k = 0; k < NK; k++) {
+      C[i][j] += A[i][k] * B[k][j];
+    }
+  }
+}
+"#;
+        let p = parse_c("gemm", src).unwrap();
+        assert_eq!(p.statements.len(), 1);
+        let st = &p.statements[0];
+        assert!(st.is_update);
+        assert_eq!(st.domain.depth(), 3);
+        assert_eq!(st.inputs.len(), 2);
+        assert_eq!(st.parameters(), vec!["NI", "NJ", "NK"]);
+    }
+
+    #[test]
+    fn parses_lu_with_dependent_bounds_and_inclusive_conditions() {
+        let src = r#"
+for (k = 0; k < N; k++) {
+  for (i = k + 1; i < N; i++) {
+    for (j = k + 1; j <= N - 1; j++) {
+      A[i][j] = A[i][j] - A[i][k] * A[k][j];
+    }
+  }
+}
+"#;
+        let p = parse_c("lu", src).unwrap();
+        let st = &p.statements[0];
+        assert_eq!(st.domain.loops[1].lower, parse_affine("k + 1").unwrap());
+        assert_eq!(st.domain.loops[2].upper, parse_affine("N").unwrap());
+        // `A[i][j] = A[i][j] - ...` reads its own output: the analysis treats
+        // it via the §5.2 projection; here we only check the structure.
+        assert_eq!(st.inputs.len(), 1);
+        assert_eq!(st.inputs[0].num_components(), 3);
+    }
+
+    #[test]
+    fn multiple_loop_nests_produce_multiple_statements() {
+        let src = r#"
+for (i = 0; i < N; i++) {
+  for (j = 0; j < M; j++) {
+    tmp[i] += A[i][j] * x[j];
+  }
+}
+for (i = 0; i < N; i++) {
+  for (j = 0; j < M; j++) {
+    y[j] += A[i][j] * tmp[i];
+  }
+}
+"#;
+        let p = parse_c("atax", src).unwrap();
+        assert_eq!(p.statements.len(), 2);
+        assert_eq!(p.computed_arrays(), vec!["tmp", "y"]);
+    }
+
+    #[test]
+    fn rejects_malformed_loops() {
+        assert!(parse_c("bad", "for (i) { A[i] = B[i]; }").is_err());
+        assert!(parse_c("bad", "A[i] = B[i];").is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! # soap-frontend
+//!
+//! Parsers that turn source code into SOAP IR, playing the role DaCe plays in
+//! the paper's toolchain ("derive lower bounds directly from provided C
+//! code").  Two dialects are supported, covering the input class the analysis
+//! needs — perfectly or imperfectly nested affine loops around array
+//! assignments:
+//!
+//! * a **Python-like** dialect (`for i in range(lo, hi):` with indentation),
+//!   matching the listings in the paper;
+//! * a **C-like** dialect (`for (i = lo; i < hi; i++) { ... }` with
+//!   `A[i][j]`-style subscripts).
+//!
+//! Assignments of the form `X[...] = expr` become SOAP statements; `+=`, `-=`
+//! and `*=` assignments become update statements; every array reference on the
+//! right-hand side becomes an input access component.  Scalar temporaries and
+//! arithmetic on the right-hand side are irrelevant for the I/O analysis and
+//! are ignored beyond the array references they contain.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod c_like;
+mod python_like;
+mod rhs;
+
+pub use c_like::parse_c;
+pub use python_like::parse_python;
+
+use soap_ir::IrError;
+
+/// Errors produced by the front-end parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrontendError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A statement appeared outside of any loop.
+    StatementOutsideLoop {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Lowering to the IR failed.
+    Ir(IrError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            FrontendError::StatementOutsideLoop { line } => {
+                write!(f, "line {line}: statement outside of any loop")
+            }
+            FrontendError::Ir(e) => write!(f, "IR error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<IrError> for FrontendError {
+    fn from(e: IrError) -> Self {
+        FrontendError::Ir(e)
+    }
+}

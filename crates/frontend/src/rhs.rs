@@ -1,0 +1,202 @@
+//! Shared right-hand-side / assignment parsing helpers.
+
+use crate::FrontendError;
+use soap_ir::parse::parse_affine;
+use soap_ir::{AccessComponent, ArrayAccess, LinIndex};
+
+/// An assignment extracted from one source line.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// The written array and its subscripts.
+    pub output: (String, Vec<LinIndex>),
+    /// The array references on the right-hand side.
+    pub reads: Vec<(String, Vec<LinIndex>)>,
+    /// True for compound assignments (`+=`, `-=`, `*=`).
+    pub is_update: bool,
+}
+
+/// Parse `name [subscripts] (=|+=|-=|*=) rhs`.
+pub fn parse_assignment(line: &str, line_no: usize) -> Result<Assignment, FrontendError> {
+    let syntax = |message: String| FrontendError::Syntax { line: line_no, message };
+    // Find the assignment operator outside of brackets.
+    let ops = ["+=", "-=", "*=", "="];
+    let mut depth = 0i32;
+    let bytes = line.as_bytes();
+    let mut split: Option<(usize, &str)> = None;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' | b'(' => depth += 1,
+            b']' | b')' => depth -= 1,
+            _ if depth == 0 => {
+                // Check compound operators first (they contain '=').
+                if let Some(op) = ops
+                    .iter()
+                    .find(|op| line[i..].starts_with(**op))
+                    .copied()
+                {
+                    // Skip relational operators such as '<=' '==' '>='.
+                    let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+                    let next = bytes.get(i + op.len()).copied().unwrap_or(b' ');
+                    if op == "=" && (prev == b'<' || prev == b'>' || prev == b'!' || next == b'=') {
+                        i += 1;
+                        continue;
+                    }
+                    split = Some((i, op));
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let (pos, op) = split.ok_or_else(|| syntax("expected an assignment".to_string()))?;
+    let lhs = line[..pos].trim();
+    let rhs = &line[pos + op.len()..];
+    let output = parse_array_ref(lhs, line_no)?
+        .ok_or_else(|| syntax(format!("left-hand side '{lhs}' is not an array reference")))?;
+    let reads = extract_array_refs(rhs, line_no)?;
+    Ok(Assignment { output, reads, is_update: op != "=" })
+}
+
+/// Parse a single array reference `A[i, j]` / `A[i][j]`; returns `None` when
+/// the text is not an array reference (e.g. a scalar).
+fn parse_array_ref(text: &str, line_no: usize) -> Result<Option<(String, Vec<LinIndex>)>, FrontendError> {
+    let text = text.trim();
+    let Some(bracket) = text.find('[') else { return Ok(None) };
+    let name = text[..bracket].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Ok(None);
+    }
+    // Concatenate every [...] group, turning `A[i][j]` into `i, j`.
+    let mut indices_text = String::new();
+    let mut rest = &text[bracket..];
+    while let Some(open) = rest.find('[') {
+        let close = rest.find(']').ok_or(FrontendError::Syntax {
+            line: line_no,
+            message: format!("unbalanced brackets in '{text}'"),
+        })?;
+        if !indices_text.is_empty() {
+            indices_text.push(',');
+        }
+        indices_text.push_str(&rest[open + 1..close]);
+        rest = &rest[close + 1..];
+    }
+    let indices = indices_text
+        .split(',')
+        .map(|part| parse_affine(part).map(|e| LinIndex::from_affine(&e)))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(FrontendError::from)?;
+    Ok(Some((name.to_string(), indices)))
+}
+
+/// Extract every array reference appearing in an expression.
+pub fn extract_array_refs(
+    expr: &str,
+    line_no: usize,
+) -> Result<Vec<(String, Vec<LinIndex>)>, FrontendError> {
+    let mut out = Vec::new();
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            // Skip whitespace between the identifier and a possible bracket.
+            let mut j = i;
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'[' {
+                // Consume the chained [...] groups.
+                let mut end = j;
+                let mut depth = 0;
+                while end < bytes.len() {
+                    match bytes[end] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                // Possible chained group `][`.
+                                let mut k = end + 1;
+                                while k < bytes.len() && bytes[k] == b' ' {
+                                    k += 1;
+                                }
+                                if !(k < bytes.len() && bytes[k] == b'[') {
+                                    end += 1;
+                                    break;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                let text = &expr[start..end];
+                if let Some(r) = parse_array_ref(text, line_no)? {
+                    out.push(r);
+                }
+                i = end;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Build an [`ArrayAccess`] list from raw reads, merging multiple references
+/// to the same array into a multi-component access.
+pub fn group_reads(reads: Vec<(String, Vec<LinIndex>)>) -> Vec<ArrayAccess> {
+    let mut out: Vec<ArrayAccess> = Vec::new();
+    for (array, indices) in reads {
+        let comp = AccessComponent::new(indices);
+        if let Some(acc) = out.iter_mut().find(|a| a.array == array) {
+            if !acc.components.contains(&comp) {
+                acc.components.push(comp);
+            }
+        } else {
+            out.push(ArrayAccess::new(array, vec![comp]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_assignment() {
+        let a = parse_assignment("C[i, j] = A[i] * B[j]", 1).unwrap();
+        assert_eq!(a.output.0, "C");
+        assert!(!a.is_update);
+        assert_eq!(a.reads.len(), 2);
+    }
+
+    #[test]
+    fn parses_compound_assignment_and_c_style_subscripts() {
+        let a = parse_assignment("E[i][j] += C[i][k] * D[k][j]", 3).unwrap();
+        assert!(a.is_update);
+        assert_eq!(a.output.1.len(), 2);
+        assert_eq!(a.reads[0].0, "C");
+        assert_eq!(a.reads[0].1.len(), 2);
+    }
+
+    #[test]
+    fn extracts_offset_references() {
+        let a = parse_assignment("A[i, t+1] = (A[i-1, t] + A[i, t] + A[i+1, t]) / 3 + B[i]", 1)
+            .unwrap();
+        assert_eq!(a.reads.len(), 4);
+        let grouped = group_reads(a.reads);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].num_components(), 3);
+    }
+
+    #[test]
+    fn rejects_scalar_left_hand_side() {
+        assert!(parse_assignment("alpha = A[i]", 1).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Array accesses: affine subscripts, access-function-vector components and
+//! full access function vectors (`φ_j` in the paper's notation).
+
+use crate::domain::AffineExpr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One affine array-subscript expression, e.g. `i`, `i - 1`, `r + 2*w`.
+///
+/// Coefficients refer to iteration variables of the enclosing statement; the
+/// constant part is the translation offset that defines the *simple overlap*
+/// structure (Definition 3 of the paper).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinIndex {
+    /// Coefficients of the iteration variables (no zero entries).
+    pub coeffs: BTreeMap<String, i64>,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl LinIndex {
+    /// The subscript `var`.
+    pub fn var(name: &str) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.to_string(), 1);
+        LinIndex { coeffs, offset: 0 }
+    }
+
+    /// The subscript `var + offset`.
+    pub fn var_offset(name: &str, offset: i64) -> Self {
+        let mut l = LinIndex::var(name);
+        l.offset = offset;
+        l
+    }
+
+    /// A constant subscript.
+    pub fn constant(c: i64) -> Self {
+        LinIndex { coeffs: BTreeMap::new(), offset: c }
+    }
+
+    /// Build from an [`AffineExpr`] (same representation, different intent).
+    pub fn from_affine(e: &AffineExpr) -> Self {
+        LinIndex { coeffs: e.terms.clone(), offset: e.constant }
+    }
+
+    /// The set of iteration variables used by this subscript.
+    pub fn variables(&self) -> impl Iterator<Item = &String> {
+        self.coeffs.keys()
+    }
+
+    /// True if the subscript is a single variable with coefficient 1
+    /// (plus an arbitrary constant offset) — the canonical SOAP shape.
+    pub fn is_simple(&self) -> bool {
+        self.coeffs.len() == 1 && self.coeffs.values().all(|&c| c == 1)
+    }
+
+    /// If [`Self::is_simple`], the variable name.
+    pub fn simple_var(&self) -> Option<&str> {
+        if self.is_simple() {
+            self.coeffs.keys().next().map(|s| s.as_str())
+        } else {
+            None
+        }
+    }
+
+    /// The "linear part" (coefficients without the constant offset); two
+    /// subscripts with equal linear parts differ by a constant translation.
+    pub fn linear_part(&self) -> &BTreeMap<String, i64> {
+        &self.coeffs
+    }
+
+    /// Evaluate under concrete iteration-variable bindings.
+    pub fn eval(&self, bindings: &BTreeMap<String, i64>) -> Option<i64> {
+        let mut acc = self.offset;
+        for (name, coeff) in &self.coeffs {
+            acc += coeff * bindings.get(name)?;
+        }
+        Some(acc)
+    }
+}
+
+impl fmt::Display for LinIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let e = AffineExpr { terms: self.coeffs.clone(), constant: self.offset };
+        write!(f, "{}", e)
+    }
+}
+
+/// One component `φ_{j,k}` of an access function vector: a full subscript
+/// tuple addressing a single element of a `dim(A)`-dimensional array.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessComponent {
+    /// One [`LinIndex`] per array dimension.
+    pub indices: Vec<LinIndex>,
+}
+
+impl AccessComponent {
+    /// Build a component from subscripts.
+    pub fn new(indices: Vec<LinIndex>) -> Self {
+        AccessComponent { indices }
+    }
+
+    /// Array dimensionality addressed by this component.
+    pub fn arity(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// All iteration variables used by this component.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .indices
+            .iter()
+            .flat_map(|ix| ix.variables().cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The translation vector relative to another component, if the two differ
+    /// only by constant offsets (i.e. they form a *simple overlap*).
+    pub fn translation_from(&self, base: &AccessComponent) -> Option<Vec<i64>> {
+        if self.arity() != base.arity() {
+            return None;
+        }
+        let mut t = Vec::with_capacity(self.arity());
+        for (a, b) in self.indices.iter().zip(&base.indices) {
+            if a.linear_part() != b.linear_part() {
+                return None;
+            }
+            t.push(a.offset - b.offset);
+        }
+        Some(t)
+    }
+
+    /// Evaluate to a concrete index tuple.
+    pub fn eval(&self, bindings: &BTreeMap<String, i64>) -> Option<Vec<i64>> {
+        self.indices.iter().map(|ix| ix.eval(bindings)).collect()
+    }
+}
+
+impl fmt::Display for AccessComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.indices.iter().map(|i| format!("{}", i)).collect();
+        write!(f, "[{}]", parts.join(","))
+    }
+}
+
+/// A full access function vector `φ_j = [φ_{j,1}, …, φ_{j,n_j}]` of one array
+/// within one statement.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayAccess {
+    /// The accessed array's name.
+    pub array: String,
+    /// The `n_j ≥ 1` access components.
+    pub components: Vec<AccessComponent>,
+}
+
+impl ArrayAccess {
+    /// Build an access with a single component.
+    pub fn single(array: impl Into<String>, indices: Vec<LinIndex>) -> Self {
+        ArrayAccess { array: array.into(), components: vec![AccessComponent::new(indices)] }
+    }
+
+    /// Build an access with multiple components.
+    pub fn new(array: impl Into<String>, components: Vec<AccessComponent>) -> Self {
+        ArrayAccess { array: array.into(), components }
+    }
+
+    /// The array dimensionality (`dim(A_j)`); all components must agree.
+    pub fn dim(&self) -> usize {
+        self.components.first().map(|c| c.arity()).unwrap_or(0)
+    }
+
+    /// The number of components `n_j`.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// All iteration variables used by any component.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .components
+            .iter()
+            .flat_map(|c| c.variables())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// True if every subscript of every component is a plain
+    /// `variable + constant` (the injective canonical SOAP form).
+    pub fn is_plain(&self) -> bool {
+        self.components
+            .iter()
+            .all(|c| c.indices.iter().all(|ix| ix.is_simple() || ix.coeffs.is_empty()))
+    }
+
+    /// Check the *simple overlap* property: all components share the same
+    /// linear part and differ only by constant translation vectors.  Returns
+    /// the translation vectors relative to the first component.
+    pub fn simple_overlap_translations(&self) -> Option<Vec<Vec<i64>>> {
+        let base = self.components.first()?;
+        self.components
+            .iter()
+            .map(|c| c.translation_from(base))
+            .collect()
+    }
+
+    /// The *access offset sets* `t̂_i` (Definition 3): per array dimension, the
+    /// set of distinct non-zero offsets among the translation vectors.
+    /// Returns `None` if the access is not a simple overlap.
+    pub fn offset_sets(&self) -> Option<Vec<Vec<i64>>> {
+        let translations = self.simple_overlap_translations()?;
+        let dim = self.dim();
+        let mut out = vec![Vec::new(); dim];
+        for t in &translations {
+            for (i, &ti) in t.iter().enumerate() {
+                if ti != 0 && !out[i].contains(&ti) {
+                    out[i].push(ti);
+                }
+            }
+        }
+        for v in &mut out {
+            v.sort_unstable();
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for ArrayAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> =
+            self.components.iter().map(|c| format!("{}{}", self.array, c)).collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_indices;
+
+    fn acc(array: &str, comps: &[&str]) -> ArrayAccess {
+        ArrayAccess::new(
+            array,
+            comps
+                .iter()
+                .map(|c| AccessComponent::new(parse_indices(c).unwrap()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn simple_overlap_detection() {
+        // A[i,t+1], A[i-1,t], A[i,t], A[i+1,t] — the Example 1 stencil.
+        let a = acc("A", &["i,t+1", "i-1,t", "i,t", "i+1,t"]);
+        let t = a.simple_overlap_translations().unwrap();
+        assert_eq!(t[0], vec![0, 0]);
+        assert_eq!(t[1], vec![-1, -1]);
+        assert_eq!(t[2], vec![0, -1]);
+        assert_eq!(t[3], vec![1, -1]);
+        let offsets = a.offset_sets().unwrap();
+        assert_eq!(offsets[0], vec![-1, 1]);
+        assert_eq!(offsets[1], vec![-1]);
+    }
+
+    #[test]
+    fn non_overlapping_linear_parts_are_rejected() {
+        // A[i,k] vs A[k,j] do NOT form a simple overlap.
+        let a = acc("A", &["i,k", "k,j"]);
+        assert!(a.simple_overlap_translations().is_none());
+        assert!(a.offset_sets().is_none());
+    }
+
+    #[test]
+    fn variables_and_dim() {
+        let a = acc("Image", &["r+2*w,s+2*h,c,b"]);
+        assert_eq!(a.dim(), 4);
+        assert_eq!(a.variables(), vec!["b", "c", "h", "r", "s", "w"]);
+        assert!(!a.is_plain());
+        let simple = acc("A", &["i,j"]);
+        assert!(simple.is_plain());
+    }
+
+    #[test]
+    fn component_evaluation() {
+        let a = acc("A", &["i+1,2*j-1"]);
+        let mut b = BTreeMap::new();
+        b.insert("i".to_string(), 3i64);
+        b.insert("j".to_string(), 4i64);
+        assert_eq!(a.components[0].eval(&b), Some(vec![4, 7]));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let a = acc("A", &["i-1,t"]);
+        assert_eq!(format!("{}", a), "A[i - 1,t]");
+    }
+}

@@ -1,0 +1,232 @@
+//! Ergonomic builders for statements and programs.
+//!
+//! The kernel library defines 38 applications; the builder keeps those
+//! definitions close to the pseudocode in the paper:
+//!
+//! ```
+//! use soap_ir::ProgramBuilder;
+//!
+//! let gemm = ProgramBuilder::new("gemm")
+//!     .statement(|st| {
+//!         st.loops(&[("i", "0", "NI"), ("j", "0", "NJ"), ("k", "0", "NK")])
+//!             .update("C", "i,j")
+//!             .read("A", "i,k")
+//!             .read("B", "k,j")
+//!     })
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(gemm.statements.len(), 1);
+//! ```
+
+use crate::access::{AccessComponent, ArrayAccess};
+use crate::domain::{IterationDomain, LoopVar};
+use crate::parse::{parse_affine, parse_indices};
+use crate::program::Program;
+use crate::statement::Statement;
+use crate::IrError;
+
+/// Builder for a single [`Statement`].
+#[derive(Clone, Debug)]
+pub struct StatementBuilder {
+    name: String,
+    loops: Vec<LoopVar>,
+    output: Option<ArrayAccess>,
+    inputs: Vec<ArrayAccess>,
+    is_update: bool,
+    error: Option<IrError>,
+}
+
+impl StatementBuilder {
+    /// Start building a statement with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        StatementBuilder {
+            name: name.into(),
+            loops: Vec::new(),
+            output: None,
+            inputs: Vec::new(),
+            is_update: false,
+            error: None,
+        }
+    }
+
+    fn record_err(&mut self, e: IrError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Add one loop `for name in [lower, upper)`; bounds are affine strings.
+    pub fn loop_var(mut self, name: &str, lower: &str, upper: &str) -> Self {
+        match (parse_affine(lower), parse_affine(upper)) {
+            (Ok(lo), Ok(hi)) => self.loops.push(LoopVar::new(name, lo, hi)),
+            (Err(e), _) | (_, Err(e)) => self.record_err(e),
+        }
+        self
+    }
+
+    /// Add several loops at once: `&[(name, lower, upper)]`, outermost first.
+    pub fn loops(mut self, specs: &[(&str, &str, &str)]) -> Self {
+        for (name, lo, hi) in specs {
+            self = self.loop_var(name, lo, hi);
+        }
+        self
+    }
+
+    /// Set the output access (`=` statement, output not read).
+    pub fn write(mut self, array: &str, indices: &str) -> Self {
+        match parse_indices(indices) {
+            Ok(ix) => self.output = Some(ArrayAccess::single(array, ix)),
+            Err(e) => self.record_err(e),
+        }
+        self
+    }
+
+    /// Set the output access of an update (`+=`) statement: the output element
+    /// is also read, and the loop variables absent from the subscripts form
+    /// the reduction dimensions.
+    pub fn update(mut self, array: &str, indices: &str) -> Self {
+        self = self.write(array, indices);
+        self.is_update = true;
+        self
+    }
+
+    /// Add an input access with a single component.
+    pub fn read(mut self, array: &str, indices: &str) -> Self {
+        match parse_indices(indices) {
+            Ok(ix) => self.inputs.push(ArrayAccess::single(array, ix)),
+            Err(e) => self.record_err(e),
+        }
+        self
+    }
+
+    /// Add an input access with several components (a simple-overlap access
+    /// such as the stencil `A[i-1], A[i], A[i+1]`).
+    pub fn read_multi(mut self, array: &str, components: &[&str]) -> Self {
+        let mut comps = Vec::new();
+        for c in components {
+            match parse_indices(c) {
+                Ok(ix) => comps.push(AccessComponent::new(ix)),
+                Err(e) => {
+                    self.record_err(e);
+                    return self;
+                }
+            }
+        }
+        self.inputs.push(ArrayAccess::new(array, comps));
+        self
+    }
+
+    /// Finish and validate the statement.
+    pub fn build(self) -> Result<Statement, IrError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let output = self.output.ok_or_else(|| {
+            IrError::Parse(format!("statement {} has no output access", self.name))
+        })?;
+        let st = Statement {
+            name: self.name,
+            domain: IterationDomain::new(self.loops),
+            output,
+            inputs: self.inputs,
+            is_update: self.is_update,
+        };
+        st.validate()?;
+        Ok(st)
+    }
+}
+
+/// Builder for a [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    statements: Vec<Result<Statement, IrError>>,
+}
+
+impl ProgramBuilder {
+    /// Start building a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { name: name.into(), statements: Vec::new() }
+    }
+
+    /// Add a statement through a builder closure; the statement is named
+    /// `St<k>` unless the closure overrides it via a fresh builder.
+    pub fn statement(
+        mut self,
+        f: impl FnOnce(StatementBuilder) -> StatementBuilder,
+    ) -> Self {
+        let default_name = format!("St{}", self.statements.len() + 1);
+        let builder = StatementBuilder::new(default_name);
+        self.statements.push(f(builder).build());
+        self
+    }
+
+    /// Add an already-built statement.
+    pub fn push(mut self, statement: Statement) -> Self {
+        self.statements.push(Ok(statement));
+        self
+    }
+
+    /// Finish and validate the program.
+    pub fn build(self) -> Result<Program, IrError> {
+        let statements: Result<Vec<Statement>, IrError> = self.statements.into_iter().collect();
+        let p = Program::new(self.name, statements?);
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_mmm() {
+        let p = ProgramBuilder::new("gemm")
+            .statement(|st| {
+                st.loops(&[("i", "0", "NI"), ("j", "0", "NJ"), ("k", "0", "NK")])
+                    .update("C", "i,j")
+                    .read("A", "i,k")
+                    .read("B", "k,j")
+            })
+            .build()
+            .unwrap();
+        assert_eq!(p.statements.len(), 1);
+        let st = &p.statements[0];
+        assert!(st.is_update);
+        assert_eq!(st.name, "St1");
+        assert_eq!(st.domain.depth(), 3);
+    }
+
+    #[test]
+    fn builder_propagates_parse_errors() {
+        let p = ProgramBuilder::new("broken")
+            .statement(|st| st.loops(&[("i", "0", "N +")]).write("C", "i"))
+            .build();
+        assert!(p.is_err());
+    }
+
+    #[test]
+    fn builder_requires_output() {
+        let st = StatementBuilder::new("no_output")
+            .loops(&[("i", "0", "N")])
+            .read("A", "i")
+            .build();
+        assert!(st.is_err());
+    }
+
+    #[test]
+    fn multi_component_reads() {
+        let st = StatementBuilder::new("stencil")
+            .loops(&[("t", "1", "T"), ("i", "t", "N - t")])
+            .write("A", "i,t+1")
+            .read_multi("A", &["i-1,t", "i,t", "i+1,t"])
+            .read("B", "i")
+            .build()
+            .unwrap();
+        assert_eq!(st.inputs[0].num_components(), 3);
+        // Offsets are taken relative to the first component (i-1,t), so the
+        // distinct non-zero offsets in dimension 0 are {1, 2}.
+        assert_eq!(st.inputs[0].offset_sets().unwrap()[0], vec![1, 2]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Loop variables, affine bounds and iteration domains.
+
+use serde::{Deserialize, Serialize};
+use soap_symbolic::{Polynomial, Rational};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An affine expression over named symbols (loop variables of outer loops and
+/// symbolic size parameters) plus an integer constant, e.g. `N - 1` or `k + 1`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AffineExpr {
+    /// Coefficients of the named symbols (sorted, no zero coefficients).
+    pub terms: BTreeMap<String, i64>,
+    /// The constant offset.
+    pub constant: i64,
+}
+
+impl AffineExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        AffineExpr::default()
+    }
+
+    /// An integer constant.
+    pub fn constant(c: i64) -> Self {
+        AffineExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// A single symbol.
+    pub fn var(name: &str) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(name.to_string(), 1);
+        AffineExpr { terms, constant: 0 }
+    }
+
+    /// Add two affine expressions.
+    pub fn add(&self, other: &AffineExpr) -> AffineExpr {
+        let mut terms = self.terms.clone();
+        for (k, v) in &other.terms {
+            let e = terms.entry(k.clone()).or_insert(0);
+            *e += v;
+            if *e == 0 {
+                terms.remove(k);
+            }
+        }
+        AffineExpr { terms, constant: self.constant + other.constant }
+    }
+
+    /// Add an integer constant.
+    pub fn offset(&self, c: i64) -> AffineExpr {
+        AffineExpr { terms: self.terms.clone(), constant: self.constant + c }
+    }
+
+    /// Multiply by an integer constant.
+    pub fn scale(&self, c: i64) -> AffineExpr {
+        if c == 0 {
+            return AffineExpr::zero();
+        }
+        AffineExpr {
+            terms: self.terms.iter().map(|(k, v)| (k.clone(), v * c)).collect(),
+            constant: self.constant * c,
+        }
+    }
+
+    /// Subtract.
+    pub fn sub(&self, other: &AffineExpr) -> AffineExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// The symbols referenced by the expression.
+    pub fn symbols(&self) -> impl Iterator<Item = &String> {
+        self.terms.keys()
+    }
+
+    /// True if the expression is a plain integer constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Convert to a [`Polynomial`] over the same symbol names.
+    pub fn to_polynomial(&self) -> Polynomial {
+        let mut p = Polynomial::constant(Rational::int(self.constant as i128));
+        for (name, coeff) in &self.terms {
+            p = p.add(&Polynomial::var(name).scale(Rational::int(*coeff as i128)));
+        }
+        p
+    }
+
+    /// Evaluate under concrete integer bindings; unbound symbols yield `None`.
+    pub fn eval(&self, bindings: &BTreeMap<String, i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (name, coeff) in &self.terms {
+            acc += coeff * bindings.get(name)?;
+        }
+        Some(acc)
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, coeff) in &self.terms {
+            if first {
+                match coeff {
+                    1 => write!(f, "{name}")?,
+                    -1 => write!(f, "-{name}")?,
+                    c => write!(f, "{c}*{name}")?,
+                }
+                first = false;
+            } else {
+                match coeff {
+                    1 => write!(f, " + {name}")?,
+                    -1 => write!(f, " - {name}")?,
+                    c if *c > 0 => write!(f, " + {c}*{name}")?,
+                    c => write!(f, " - {}*{name}", -c)?,
+                }
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A loop variable with affine bounds: `for name in [lower, upper)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopVar {
+    /// The iteration-variable name.
+    pub name: String,
+    /// Inclusive lower bound (affine in parameters and outer loop variables).
+    pub lower: AffineExpr,
+    /// Exclusive upper bound (affine in parameters and outer loop variables).
+    pub upper: AffineExpr,
+}
+
+impl LoopVar {
+    /// Construct a loop variable.
+    pub fn new(name: impl Into<String>, lower: AffineExpr, upper: AffineExpr) -> Self {
+        LoopVar { name: name.into(), lower, upper }
+    }
+
+    /// The trip count `upper - lower` as an affine expression.
+    pub fn trip_count(&self) -> AffineExpr {
+        self.upper.sub(&self.lower)
+    }
+}
+
+/// An ordered loop nest (outermost first), i.e. the iteration domain `D` of a
+/// statement.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationDomain {
+    /// Loop variables from outermost to innermost.
+    pub loops: Vec<LoopVar>,
+}
+
+impl IterationDomain {
+    /// Create a domain from a list of loops (outermost first).
+    pub fn new(loops: Vec<LoopVar>) -> Self {
+        IterationDomain { loops }
+    }
+
+    /// The loop-nest depth ℓ.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Names of the iteration variables, outermost first.
+    pub fn variable_names(&self) -> Vec<String> {
+        self.loops.iter().map(|l| l.name.clone()).collect()
+    }
+
+    /// Look up a loop variable by name.
+    pub fn loop_var(&self, name: &str) -> Option<&LoopVar> {
+        self.loops.iter().find(|l| l.name == name)
+    }
+
+    /// The exact cardinality `|D|` of the iteration domain as a polynomial in
+    /// the symbolic size parameters, computed by summing `1` over the loops
+    /// from the innermost outwards (Faulhaber summation handles triangular
+    /// bounds exactly).
+    pub fn cardinality(&self) -> Polynomial {
+        let mut count = Polynomial::one();
+        for lv in self.loops.iter().rev() {
+            let lower = lv.lower.to_polynomial();
+            // Upper bound is exclusive: sum over [lower, upper-1].
+            let upper_incl = lv.upper.to_polynomial().sub(&Polynomial::one());
+            count = count.sum_over(&lv.name, &lower, &upper_incl);
+        }
+        count
+    }
+
+    /// Enumerate all concrete iteration vectors for the given parameter
+    /// bindings (used by the CDAG builder for small instances).  Loops whose
+    /// range is empty produce no iterations.
+    pub fn enumerate(&self, params: &BTreeMap<String, i64>) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        let mut current = Vec::with_capacity(self.loops.len());
+        self.enumerate_rec(params, &mut current, &mut out);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        params: &BTreeMap<String, i64>,
+        current: &mut Vec<i64>,
+        out: &mut Vec<Vec<i64>>,
+    ) {
+        let depth = current.len();
+        if depth == self.loops.len() {
+            out.push(current.clone());
+            return;
+        }
+        let lv = &self.loops[depth];
+        // Bindings visible at this depth: parameters plus outer loop variables.
+        let mut bindings = params.clone();
+        for (i, v) in current.iter().enumerate() {
+            bindings.insert(self.loops[i].name.clone(), *v);
+        }
+        let lo = lv
+            .lower
+            .eval(&bindings)
+            .unwrap_or_else(|| panic!("unbound symbol in lower bound of {}", lv.name));
+        let hi = lv
+            .upper
+            .eval(&bindings)
+            .unwrap_or_else(|| panic!("unbound symbol in upper bound of {}", lv.name));
+        for v in lo..hi {
+            current.push(v);
+            self.enumerate_rec(params, current, out);
+            current.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_affine;
+
+    #[test]
+    fn affine_arithmetic_and_display() {
+        let e = parse_affine("N - 1").unwrap();
+        assert_eq!(e.constant, -1);
+        assert_eq!(format!("{}", e), "N - 1");
+        let e2 = e.add(&AffineExpr::var("k")).offset(2);
+        assert_eq!(format!("{}", e2), "N + k + 1");
+        let zero = e.sub(&e);
+        assert!(zero.is_constant());
+        assert_eq!(zero.constant, 0);
+    }
+
+    #[test]
+    fn affine_eval() {
+        let e = parse_affine("2*N + k - 3").unwrap();
+        let mut b = BTreeMap::new();
+        b.insert("N".to_string(), 10i64);
+        b.insert("k".to_string(), 5i64);
+        assert_eq!(e.eval(&b), Some(22));
+        b.remove("k");
+        assert_eq!(e.eval(&b), None);
+    }
+
+    #[test]
+    fn rectangular_domain_cardinality() {
+        // for i in 0..N, for j in 0..M  ->  N*M
+        let dom = IterationDomain::new(vec![
+            LoopVar::new("i", AffineExpr::zero(), AffineExpr::var("N")),
+            LoopVar::new("j", AffineExpr::zero(), AffineExpr::var("M")),
+        ]);
+        let card = dom.cardinality();
+        let mut b = BTreeMap::new();
+        b.insert("N".to_string(), 7.0);
+        b.insert("M".to_string(), 5.0);
+        assert_eq!(card.eval(&b).unwrap(), 35.0);
+    }
+
+    #[test]
+    fn triangular_domain_cardinality_matches_enumeration() {
+        // for k in 0..N, for i in k+1..N, for j in k+1..N
+        let dom = IterationDomain::new(vec![
+            LoopVar::new("k", AffineExpr::zero(), AffineExpr::var("N")),
+            LoopVar::new("i", AffineExpr::var("k").offset(1), AffineExpr::var("N")),
+            LoopVar::new("j", AffineExpr::var("k").offset(1), AffineExpr::var("N")),
+        ]);
+        let card = dom.cardinality();
+        let mut pb = BTreeMap::new();
+        pb.insert("N".to_string(), 9i64);
+        let points = dom.enumerate(&pb);
+        let mut fb = BTreeMap::new();
+        fb.insert("N".to_string(), 9.0);
+        assert_eq!(card.eval(&fb).unwrap(), points.len() as f64);
+    }
+
+    #[test]
+    fn enumeration_respects_dependent_bounds() {
+        let dom = IterationDomain::new(vec![
+            LoopVar::new("i", AffineExpr::zero(), AffineExpr::constant(3)),
+            LoopVar::new("j", AffineExpr::zero(), AffineExpr::var("i").offset(1)),
+        ]);
+        let points = dom.enumerate(&BTreeMap::new());
+        // i=0: j=0; i=1: j=0,1; i=2: j=0,1,2  => 6 points
+        assert_eq!(points.len(), 6);
+        assert!(points.contains(&vec![2, 1]));
+        assert!(!points.contains(&vec![1, 2]));
+    }
+}

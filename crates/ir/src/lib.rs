@@ -1,0 +1,89 @@
+//! # soap-ir
+//!
+//! The intermediate representation of **Simple Overlap Access Programs**
+//! (SOAP, Section 3 of the paper): loop nests of statements whose array
+//! accesses are affine functions of the iteration variables.
+//!
+//! The IR is deliberately front-end agnostic — it is produced either by the
+//! `soap-frontend` parsers (from Python-like or C-like source) or
+//! programmatically by the kernel library, and consumed by the
+//! single-statement analysis (`soap-core`), the multi-statement SDG analysis
+//! (`soap-sdg`) and the CDAG/pebbling substrate (`soap-pebbling`).
+//!
+//! The main types are:
+//!
+//! * [`LinIndex`] — one affine array-subscript expression (`i`, `i-1`, `r + 2*w`).
+//! * [`AccessComponent`] / [`ArrayAccess`] — an access-function-vector
+//!   component `φ_{j,k}` and the full access function vector `φ_j`.
+//! * [`AffineExpr`], [`LoopVar`], [`IterationDomain`] — loop bounds and nests.
+//! * [`Statement`] — one SOAP statement `A₀[φ₀(ψ)] ← f(A₁[φ₁(ψ)], …)`.
+//! * [`Program`] — a sequence of statements plus its symbolic size parameters.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod builder;
+pub mod domain;
+pub mod parse;
+pub mod program;
+pub mod statement;
+
+pub use access::{AccessComponent, ArrayAccess, LinIndex};
+pub use builder::{ProgramBuilder, StatementBuilder};
+pub use domain::{AffineExpr, IterationDomain, LoopVar};
+pub use program::{Array, Program};
+pub use statement::Statement;
+
+/// Errors produced while constructing or validating IR objects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrError {
+    /// An index expression references a variable that is not a loop variable
+    /// of the enclosing statement.
+    UnknownVariable {
+        /// The statement name.
+        statement: String,
+        /// The offending variable.
+        variable: String,
+    },
+    /// Two components of the same access function vector have different arity.
+    InconsistentArity {
+        /// The array whose access components disagree.
+        array: String,
+    },
+    /// A loop variable name is duplicated within one statement.
+    DuplicateLoopVariable {
+        /// The statement name.
+        statement: String,
+        /// The duplicated variable.
+        variable: String,
+    },
+    /// A statement has no loops (scalar statements carry no asymptotic I/O).
+    EmptyLoopNest {
+        /// The statement name.
+        statement: String,
+    },
+    /// Failed to parse an affine expression.
+    Parse(String),
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::UnknownVariable { statement, variable } => {
+                write!(f, "statement {statement}: unknown variable {variable}")
+            }
+            IrError::InconsistentArity { array } => {
+                write!(f, "array {array}: access components have inconsistent arity")
+            }
+            IrError::DuplicateLoopVariable { statement, variable } => {
+                write!(f, "statement {statement}: duplicate loop variable {variable}")
+            }
+            IrError::EmptyLoopNest { statement } => {
+                write!(f, "statement {statement}: empty loop nest")
+            }
+            IrError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

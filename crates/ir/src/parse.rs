@@ -1,0 +1,132 @@
+//! A tiny parser for affine expressions and subscript lists.
+//!
+//! This is *not* the program front-end (see `soap-frontend`); it only parses
+//! the compact index/bound strings used by the programmatic builder API, e.g.
+//! `"i-1"`, `"2*N + 1"`, `"r+2*w, s, c, b"`.
+
+use crate::access::LinIndex;
+use crate::domain::AffineExpr;
+use crate::IrError;
+
+/// Parse an affine expression such as `"2*N + k - 3"`.
+pub fn parse_affine(input: &str) -> Result<AffineExpr, IrError> {
+    let mut expr = AffineExpr::zero();
+    let mut rest = input.trim();
+    let mut sign = 1i64;
+    let mut first = true;
+    while !rest.is_empty() {
+        // Leading sign.
+        if let Some(r) = rest.strip_prefix('+') {
+            sign = 1;
+            rest = r.trim_start();
+        } else if let Some(r) = rest.strip_prefix('-') {
+            sign = -1;
+            rest = r.trim_start();
+        } else if !first {
+            return Err(IrError::Parse(format!("expected '+' or '-' in '{input}'")));
+        }
+        first = false;
+        // One term: [int][*]ident | int | ident
+        let term_end = rest
+            .find(|c: char| c == '+' || c == '-')
+            .unwrap_or(rest.len());
+        let term = rest[..term_end].trim();
+        rest = rest[term_end..].trim_start();
+        if term.is_empty() {
+            return Err(IrError::Parse(format!("empty term in '{input}'")));
+        }
+        let (coeff, name) = split_term(term, input)?;
+        match name {
+            None => expr = expr.offset(sign * coeff),
+            Some(n) => {
+                expr = expr.add(&AffineExpr::var(&n).scale(sign * coeff));
+            }
+        }
+        sign = 1;
+    }
+    Ok(expr)
+}
+
+/// Split a single term like `"2*N"`, `"N"`, `"3"` into (coefficient, symbol).
+fn split_term(term: &str, context: &str) -> Result<(i64, Option<String>), IrError> {
+    if let Some((a, b)) = term.split_once('*') {
+        let coeff: i64 = a
+            .trim()
+            .parse()
+            .map_err(|_| IrError::Parse(format!("bad coefficient '{a}' in '{context}'")))?;
+        let name = b.trim();
+        if !is_ident(name) {
+            return Err(IrError::Parse(format!("bad symbol '{name}' in '{context}'")));
+        }
+        Ok((coeff, Some(name.to_string())))
+    } else if let Ok(c) = term.parse::<i64>() {
+        Ok((c, None))
+    } else if is_ident(term) {
+        Ok((1, Some(term.to_string())))
+    } else {
+        Err(IrError::Parse(format!("cannot parse term '{term}' in '{context}'")))
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Parse a comma-separated list of subscripts, e.g. `"i-1, t"` or
+/// `"r + 2*w, s, c, b"`.
+pub fn parse_indices(input: &str) -> Result<Vec<LinIndex>, IrError> {
+    input
+        .split(',')
+        .map(|part| parse_affine(part).map(|e| LinIndex::from_affine(&e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_constants_variables_and_sums() {
+        assert_eq!(parse_affine("3").unwrap().constant, 3);
+        let e = parse_affine("N").unwrap();
+        assert_eq!(e.terms.get("N"), Some(&1));
+        let e = parse_affine("2*N + k - 3").unwrap();
+        assert_eq!(e.terms.get("N"), Some(&2));
+        assert_eq!(e.terms.get("k"), Some(&1));
+        assert_eq!(e.constant, -3);
+        let e = parse_affine("-i + 1").unwrap();
+        assert_eq!(e.terms.get("i"), Some(&-1));
+        assert_eq!(e.constant, 1);
+    }
+
+    #[test]
+    fn parses_index_lists() {
+        let ix = parse_indices("i-1, t").unwrap();
+        assert_eq!(ix.len(), 2);
+        assert_eq!(ix[0].offset, -1);
+        assert_eq!(ix[1].simple_var(), Some("t"));
+        let ix = parse_indices("r + 2*w, s, c, b").unwrap();
+        assert_eq!(ix.len(), 4);
+        assert_eq!(ix[0].coeffs.get("w"), Some(&2));
+        assert!(!ix[0].is_simple());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_affine("2 ** N").is_err());
+        assert!(parse_affine("N +").is_err());
+        assert!(parse_affine("3N").is_err());
+        assert!(parse_affine("").is_ok()); // empty string is the zero expression
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        for s in ["N - 1", "2*N + k", "i + 1", "0"] {
+            let e = parse_affine(s).unwrap();
+            let reparsed = parse_affine(&format!("{}", e)).unwrap();
+            assert_eq!(e, reparsed, "round trip of '{s}'");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Multi-statement SOAP programs.
+
+use crate::statement::Statement;
+use crate::IrError;
+use serde::{Deserialize, Serialize};
+use soap_symbolic::Polynomial;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Metadata about one array referenced by a program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Array {
+    /// Array name.
+    pub name: String,
+    /// Dimensionality.
+    pub dim: usize,
+    /// True if the array is only ever read (a program input, `I ⊂ V_S`).
+    pub read_only: bool,
+    /// True if the array is written by some statement.
+    pub written: bool,
+}
+
+/// A SOAP program: an ordered sequence of statements plus its symbolic size
+/// parameters (e.g. `N`, `M`, `T`, `C_in`, …).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (kernel name in reports).
+    pub name: String,
+    /// The statements in program order.
+    pub statements: Vec<Statement>,
+}
+
+impl Program {
+    /// Build a program from statements.
+    pub fn new(name: impl Into<String>, statements: Vec<Statement>) -> Self {
+        Program { name: name.into(), statements }
+    }
+
+    /// Validate every statement.
+    pub fn validate(&self) -> Result<(), IrError> {
+        for st in &self.statements {
+            st.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The symbolic size parameters of the whole program.
+    pub fn parameters(&self) -> Vec<String> {
+        let mut out = BTreeSet::new();
+        for st in &self.statements {
+            out.extend(st.parameters());
+        }
+        out.into_iter().collect()
+    }
+
+    /// All arrays referenced by the program, with read/write classification.
+    pub fn arrays(&self) -> Vec<Array> {
+        let mut names: Vec<String> = Vec::new();
+        let mut written: BTreeSet<String> = BTreeSet::new();
+        let mut read: BTreeSet<String> = BTreeSet::new();
+        let mut dims: std::collections::BTreeMap<String, usize> = Default::default();
+        for st in &self.statements {
+            let w = st.output_array().to_string();
+            if !names.contains(&w) {
+                names.push(w.clone());
+            }
+            dims.entry(w.clone()).or_insert(st.output.dim());
+            written.insert(w);
+            for acc in &st.inputs {
+                if !names.contains(&acc.array) {
+                    names.push(acc.array.clone());
+                }
+                dims.entry(acc.array.clone()).or_insert(acc.dim());
+                read.insert(acc.array.clone());
+            }
+        }
+        names
+            .into_iter()
+            .map(|name| Array {
+                dim: dims.get(&name).copied().unwrap_or(0),
+                read_only: read.contains(&name) && !written.contains(&name),
+                written: written.contains(&name),
+                name,
+            })
+            .collect()
+    }
+
+    /// Names of the read-only (input) arrays — the set `I` of the SDG.
+    pub fn input_arrays(&self) -> Vec<String> {
+        self.arrays()
+            .into_iter()
+            .filter(|a| a.read_only)
+            .map(|a| a.name)
+            .collect()
+    }
+
+    /// Names of arrays written by at least one statement.
+    pub fn computed_arrays(&self) -> Vec<String> {
+        self.arrays()
+            .into_iter()
+            .filter(|a| a.written)
+            .map(|a| a.name)
+            .collect()
+    }
+
+    /// The statements writing into a given array.
+    pub fn writers_of(&self, array: &str) -> Vec<&Statement> {
+        self.statements
+            .iter()
+            .filter(|s| s.output_array() == array)
+            .collect()
+    }
+
+    /// The total number of CDAG compute vertices belonging to `array`
+    /// (`|A|` in Theorem 1): the sum of the execution counts of all statements
+    /// writing into it (each execution produces a fresh version vertex).
+    pub fn vertex_count_of(&self, array: &str) -> Polynomial {
+        let mut total = Polynomial::zero();
+        for st in self.writers_of(array) {
+            total = total.add(&st.execution_count());
+        }
+        total
+    }
+
+    /// The total number of compute vertices `|V|` of the program CDAG.
+    pub fn total_vertex_count(&self) -> Polynomial {
+        let mut total = Polynomial::zero();
+        for st in &self.statements {
+            total = total.add(&st.execution_count());
+        }
+        total
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} (params: {})", self.name, self.parameters().join(", "))?;
+        for st in &self.statements {
+            writeln!(f, "  {}", st)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn example_program() -> Program {
+        // Figure 2 of the paper: C[i,j] = (A[i]+A[i+1])*(B[j]+B[j+1]);
+        //                        E[i,j] += C[i,k]*D[k,j]
+        ProgramBuilder::new("figure2")
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "M")])
+                    .write("C", "i,j")
+                    .read_multi("A", &["i", "i+1"])
+                    .read_multi("B", &["j", "j+1"])
+            })
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "K"), ("k", "0", "M")])
+                    .update("E", "i,j")
+                    .read("C", "i,k")
+                    .read("D", "k,j")
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn array_classification() {
+        let p = example_program();
+        let arrays = p.arrays();
+        let names: Vec<&str> = arrays.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["C", "A", "B", "E", "D"]);
+        assert_eq!(p.input_arrays(), vec!["A", "B", "D"]);
+        assert_eq!(p.computed_arrays(), vec!["C", "E"]);
+    }
+
+    #[test]
+    fn vertex_counts() {
+        let p = example_program();
+        let mut b = std::collections::BTreeMap::new();
+        b.insert("N".to_string(), 4.0);
+        b.insert("M".to_string(), 3.0);
+        b.insert("K".to_string(), 2.0);
+        assert_eq!(p.vertex_count_of("C").eval(&b).unwrap(), 12.0);
+        assert_eq!(p.vertex_count_of("E").eval(&b).unwrap(), 24.0);
+        assert_eq!(p.total_vertex_count().eval(&b).unwrap(), 36.0);
+        assert_eq!(p.parameters(), vec!["K", "M", "N"]);
+    }
+
+    #[test]
+    fn validation_cascades_to_statements() {
+        let p = example_program();
+        assert!(p.validate().is_ok());
+    }
+}

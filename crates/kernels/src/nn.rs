@@ -1,0 +1,308 @@
+//! Deep-learning operators and networks (Table 2, middle block).
+//!
+//! Shapes follow the paper's notation where available: the direct convolution
+//! uses the seven-loop form of Example 6; the full networks (MLP, LeNet-5,
+//! BERT encoder) are compositions of convolution / matrix-multiplication /
+//! element-wise statements whose inter-layer reuse is captured by the SDG.
+
+use soap_ir::{Program, ProgramBuilder, StatementBuilder};
+
+/// Direct convolution (Example 6): seven nested loops
+/// `Out[k,h,w,b] += Image[r + σ_w·w, s + σ_h·h, c, b] · Filter[k,r,s]`.
+///
+/// The `Image` subscript is a linear combination of two iteration variables,
+/// so the analysis reports a *conditional* intensity (§5.3): Table 2 lists the
+/// large-stride (injective) case.
+pub fn direct_convolution() -> Program {
+    ProgramBuilder::new("direct-conv")
+        .statement(|st| {
+            st.loops(&[
+                ("b", "0", "BATCH"),
+                ("c", "0", "CIN"),
+                ("k", "0", "COUT"),
+                ("w", "0", "WOUT"),
+                ("h", "0", "HOUT"),
+                ("r", "0", "WKER"),
+                ("s", "0", "HKER"),
+            ])
+            .update("Out", "k,h,w,b")
+            .read("Image", "r+2*w,s+2*h,c,b")
+            .read("Filter", "k,r,s")
+        })
+        .build()
+        .expect("direct convolution is a valid SOAP program")
+}
+
+/// Softmax over attention scores `X[b,h,m,n]`: row max, exponentiation, row
+/// sum, and normalization — four bandwidth-bound statements.
+pub fn softmax() -> Program {
+    ProgramBuilder::new("softmax")
+        .statement(|st| {
+            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("m", "0", "M"), ("n", "0", "N")])
+                .update("rowmax", "b,h,m")
+                .read("X", "b,h,m,n")
+        })
+        .statement(|st| {
+            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("m", "0", "M"), ("n", "0", "N")])
+                .write("E", "b,h,m,n")
+                .read("X", "b,h,m,n")
+                .read("rowmax", "b,h,m")
+        })
+        .statement(|st| {
+            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("m", "0", "M"), ("n", "0", "N")])
+                .update("rowsum", "b,h,m")
+                .read("E", "b,h,m,n")
+        })
+        .statement(|st| {
+            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("m", "0", "M"), ("n", "0", "N")])
+                .write("Out", "b,h,m,n")
+                .read("E", "b,h,m,n")
+                .read("rowsum", "b,h,m")
+        })
+        .build()
+        .expect("softmax is a valid SOAP program")
+}
+
+/// A three-layer multi-layer perceptron over a batch of `N` samples:
+/// `O1 = X·W1`, `O2 = O1·W2`, `Out = O2·W3` (biases and activations are
+/// element-wise and do not change the leading-order bound).
+pub fn mlp() -> Program {
+    ProgramBuilder::new("mlp")
+        .statement(|st| {
+            st.loops(&[("n", "0", "N"), ("f1", "0", "FC1"), ("i", "0", "INP")])
+                .update("O1", "n,f1")
+                .read("X", "n,i")
+                .read("W1", "i,f1")
+        })
+        .statement(|st| {
+            st.loops(&[("n", "0", "N"), ("f2", "0", "FC2"), ("f1", "0", "FC1")])
+                .update("O2", "n,f2")
+                .read("O1", "n,f1")
+                .read("W2", "f1,f2")
+        })
+        .statement(|st| {
+            st.loops(&[("n", "0", "N"), ("o", "0", "OUT"), ("f2", "0", "FC2")])
+                .update("O3", "n,o")
+                .read("O2", "n,f2")
+                .read("W3", "f2,o")
+        })
+        .build()
+        .expect("mlp is a valid SOAP program")
+}
+
+/// A convolution layer statement used by [`lenet5`] (stride 1, `5×5` kernel).
+fn conv_layer(
+    name: &str,
+    out: &str,
+    inp: &str,
+    filt: &str,
+    cin: &str,
+    cout: &str,
+    hout: &str,
+    wout: &str,
+) -> StatementBuilder {
+    StatementBuilder::new(name)
+        .loops(&[
+            ("b", "0", "BATCH"),
+            ("c", "0", cin),
+            ("k", "0", cout),
+            ("w", "0", wout),
+            ("h", "0", hout),
+            ("r", "0", "5"),
+            ("s", "0", "5"),
+        ])
+        .update(out, "k,h,w,b")
+        .read(inp, "r+w,s+h,c,b")
+        .read(filt, "k,c,r,s")
+}
+
+/// LeNet-5: two convolution layers, two average-pooling layers and three
+/// fully-connected layers over a batch of `BATCH` images of `CH × H × W`.
+pub fn lenet5() -> Program {
+    ProgramBuilder::new("lenet-5")
+        .push(
+            conv_layer("conv1", "C1", "Image", "F1", "CH", "C1N", "H", "W")
+                .build()
+                .expect("conv1"),
+        )
+        .statement(|st| {
+            st.loops(&[
+                ("b", "0", "BATCH"),
+                ("k", "0", "C1N"),
+                ("h", "0", "H"),
+                ("w", "0", "W"),
+            ])
+            .write("P1", "k,h,w,b")
+            .read_multi("C1", &["k,2*h,2*w,b", "k,2*h+1,2*w,b", "k,2*h,2*w+1,b", "k,2*h+1,2*w+1,b"])
+        })
+        .push(
+            conv_layer("conv2", "C2", "P1", "F2", "C1N", "C2N", "H", "W")
+                .build()
+                .expect("conv2"),
+        )
+        .statement(|st| {
+            st.loops(&[
+                ("b", "0", "BATCH"),
+                ("k", "0", "C2N"),
+                ("h", "0", "H"),
+                ("w", "0", "W"),
+            ])
+            .write("P2", "k,h,w,b")
+            .read_multi("C2", &["k,2*h,2*w,b", "k,2*h+1,2*w,b", "k,2*h,2*w+1,b", "k,2*h+1,2*w+1,b"])
+        })
+        .statement(|st| {
+            st.loops(&[("b", "0", "BATCH"), ("f", "0", "FC1"), ("i", "0", "FLAT")])
+                .update("FC1out", "b,f")
+                .read("P2flat", "b,i")
+                .read("WFC1", "i,f")
+        })
+        .statement(|st| {
+            st.loops(&[("b", "0", "BATCH"), ("g", "0", "FC2"), ("f", "0", "FC1")])
+                .update("FC2out", "b,g")
+                .read("FC1out", "b,f")
+                .read("WFC2", "f,g")
+        })
+        .statement(|st| {
+            st.loops(&[("b", "0", "BATCH"), ("o", "0", "CLASSES"), ("g", "0", "FC2")])
+                .update("Logits", "b,o")
+                .read("FC2out", "b,g")
+                .read("WFC3", "g,o")
+        })
+        .build()
+        .expect("lenet-5 is a valid SOAP program")
+}
+
+/// One BERT transformer encoder layer: the QKV projections, the attention
+/// score matrix `QKᵀ`, softmax, the attention-weighted values, the output
+/// projection, and the two feed-forward matrix multiplications.
+///
+/// Parameters: `B` batch, `L` sequence length, `H` heads, `P` head size
+/// (so the model width is `H·P`), `F = 4·H·P` the feed-forward width.
+pub fn bert_encoder() -> Program {
+    fn qkv_projection(out: &str) -> soap_ir::Statement {
+        StatementBuilder::new(format!("proj_{out}"))
+            .loops(&[
+                ("b", "0", "B"),
+                ("l", "0", "L"),
+                ("h", "0", "H"),
+                ("p", "0", "P"),
+                ("e", "0", "E"),
+            ])
+            .update(out, "b,l,h,p")
+            .read("Xin", "b,l,e")
+            .read(&format!("W{out}"), "e,h,p")
+            .build()
+            .expect("QKV projection is a valid SOAP statement")
+    }
+    ProgramBuilder::new("bert-encoder")
+        .push(qkv_projection("Q"))
+        .push(qkv_projection("K"))
+        .push(qkv_projection("V"))
+        // Scores[b,h,l,m] += Q[b,l,h,p]·K[b,m,h,p]
+        .statement(|st| {
+            st.loops(&[
+                ("b", "0", "B"),
+                ("h", "0", "H"),
+                ("l", "0", "L"),
+                ("m", "0", "L"),
+                ("p", "0", "P"),
+            ])
+            .update("Scores", "b,h,l,m")
+            .read("Q", "b,l,h,p")
+            .read("K", "b,m,h,p")
+        })
+        // Softmax (folded into two bandwidth statements).
+        .statement(|st| {
+            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("l", "0", "L"), ("m", "0", "L")])
+                .update("rowsum", "b,h,l")
+                .read("Scores", "b,h,l,m")
+        })
+        .statement(|st| {
+            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("l", "0", "L"), ("m", "0", "L")])
+                .write("Probs", "b,h,l,m")
+                .read("Scores", "b,h,l,m")
+                .read("rowsum", "b,h,l")
+        })
+        // Context[b,l,h,p] += Probs[b,h,l,m]·V[b,m,h,p]
+        .statement(|st| {
+            st.loops(&[
+                ("b", "0", "B"),
+                ("h", "0", "H"),
+                ("l", "0", "L"),
+                ("p", "0", "P"),
+                ("m", "0", "L"),
+            ])
+            .update("Context", "b,l,h,p")
+            .read("Probs", "b,h,l,m")
+            .read("V", "b,m,h,p")
+        })
+        // Output projection: Attn[b,l,e] += Context[b,l,h,p]·WO[h,p,e]
+        .statement(|st| {
+            st.loops(&[
+                ("b", "0", "B"),
+                ("l", "0", "L"),
+                ("e", "0", "E"),
+                ("h", "0", "H"),
+                ("p", "0", "P"),
+            ])
+            .update("Attn", "b,l,e")
+            .read("Context", "b,l,h,p")
+            .read("WO", "h,p,e")
+        })
+        // Feed-forward: FF1[b,l,f] += Attn[b,l,e]·W1[e,f]; FF2[b,l,e] += FF1[b,l,f]·W2[f,e]
+        .statement(|st| {
+            st.loops(&[("b", "0", "B"), ("l", "0", "L"), ("f", "0", "F"), ("e", "0", "E")])
+                .update("FF1", "b,l,f")
+                .read("Attn", "b,l,e")
+                .read("W1", "e,f")
+        })
+        .statement(|st| {
+            st.loops(&[("b", "0", "B"), ("l", "0", "L"), ("e", "0", "E"), ("f", "0", "F")])
+                .update("FF2", "b,l,e")
+                .read("FF1", "b,l,f")
+                .read("W2", "f,e")
+        })
+        .build()
+        .expect("bert encoder is a valid SOAP program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nn_programs_validate() {
+        for p in [direct_convolution(), softmax(), mlp(), lenet5(), bert_encoder()] {
+            assert!(p.validate().is_ok(), "{} failed validation", p.name);
+        }
+    }
+
+    #[test]
+    fn convolution_has_non_injective_subscripts() {
+        let p = direct_convolution();
+        let img = &p.statements[0].inputs[0];
+        assert_eq!(img.array, "Image");
+        assert!(!img.is_plain());
+    }
+
+    #[test]
+    fn bert_encoder_statement_count_and_params() {
+        let p = bert_encoder();
+        assert_eq!(p.statements.len(), 10);
+        let params = p.parameters();
+        for expected in ["B", "L", "H", "P", "E", "F"] {
+            assert!(params.contains(&expected.to_string()), "missing param {expected}");
+        }
+    }
+
+    #[test]
+    fn mlp_work_is_sum_of_three_products() {
+        let p = mlp();
+        let mut b = std::collections::BTreeMap::new();
+        for (k, v) in [("N", 8.0), ("FC1", 4.0), ("FC2", 5.0), ("INP", 3.0), ("OUT", 2.0)] {
+            b.insert(k.to_string(), v);
+        }
+        let total = p.total_vertex_count().eval(&b).unwrap();
+        assert_eq!(total, 8.0 * 4.0 * 3.0 + 8.0 * 5.0 * 4.0 + 8.0 * 2.0 * 5.0);
+    }
+}

@@ -1,0 +1,672 @@
+//! The 30 Polybench/C 4.2 kernels as SOAP programs.
+//!
+//! Each function returns the kernel's dominant computational loop nests with
+//! the loop and subscript structure of the reference C implementation.
+//! Where the reference code is not directly a SOAP (in-place updates,
+//! time-stepping stencils with array swapping), the Section-5 projections of
+//! the paper are applied and documented:
+//!
+//! * stencil time loops are expressed with an explicit time subscript
+//!   (`A[i, t+1] = f(A[i±1, t])` — the §5.2 version dimension);
+//! * `+=` reductions use the builder's `update` form (the version dimension
+//!   along the reduction loop);
+//! * symmetric-matrix accesses (`symm`) are modelled with the full rectangular
+//!   iteration space of the dense operation, as in the paper's Table 2.
+//!
+//! Parameter names follow Polybench (`N`, `M`, `TSTEPS`, `NI`, `NJ`, …), with
+//! `TSTEPS` shortened to `T`.
+
+use soap_ir::{Program, ProgramBuilder};
+
+/// `gemm`: `C[i,j] += A[i,k]·B[k,j]` over `NI × NJ × NK`.
+pub fn gemm() -> Program {
+    ProgramBuilder::new("gemm")
+        .statement(|st| {
+            st.loops(&[("i", "0", "NI"), ("j", "0", "NJ"), ("k", "0", "NK")])
+                .update("C", "i,j")
+                .read("A", "i,k")
+                .read("B", "k,j")
+        })
+        .build()
+        .expect("gemm is a valid SOAP program")
+}
+
+/// `2mm`: `tmp = A·B`, `D += tmp·C`.
+pub fn two_mm() -> Program {
+    ProgramBuilder::new("2mm")
+        .statement(|st| {
+            st.loops(&[("i", "0", "NI"), ("j", "0", "NJ"), ("k", "0", "NK")])
+                .update("tmp", "i,j")
+                .read("A", "i,k")
+                .read("B", "k,j")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "NI"), ("l", "0", "NL"), ("j", "0", "NJ")])
+                .update("D", "i,l")
+                .read("tmp", "i,j")
+                .read("C", "j,l")
+        })
+        .build()
+        .expect("2mm is a valid SOAP program")
+}
+
+/// `3mm`: `E = A·B`, `F = C·D`, `G = E·F`.
+pub fn three_mm() -> Program {
+    ProgramBuilder::new("3mm")
+        .statement(|st| {
+            st.loops(&[("i", "0", "NI"), ("j", "0", "NJ"), ("k", "0", "NK")])
+                .update("E", "i,j")
+                .read("A", "i,k")
+                .read("B", "k,j")
+        })
+        .statement(|st| {
+            st.loops(&[("j", "0", "NJ"), ("l", "0", "NL"), ("m", "0", "NM")])
+                .update("F", "j,l")
+                .read("C", "j,m")
+                .read("D", "m,l")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "NI"), ("l", "0", "NL"), ("j", "0", "NJ")])
+                .update("G", "i,l")
+                .read("E", "i,j")
+                .read("F", "j,l")
+        })
+        .build()
+        .expect("3mm is a valid SOAP program")
+}
+
+/// `atax`: `tmp = A·x`, `y = Aᵀ·tmp`.
+pub fn atax() -> Program {
+    ProgramBuilder::new("atax")
+        .statement(|st| {
+            st.loops(&[("i", "0", "M"), ("j", "0", "N")])
+                .update("tmp", "i")
+                .read("A", "i,j")
+                .read("x", "j")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "M"), ("j", "0", "N")])
+                .update("y", "j")
+                .read("A", "i,j")
+                .read("tmp", "i")
+        })
+        .build()
+        .expect("atax is a valid SOAP program")
+}
+
+/// `bicg`: `s = Aᵀ·r`, `q = A·p`.
+pub fn bicg() -> Program {
+    ProgramBuilder::new("bicg")
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "M")])
+                .update("s", "j")
+                .read("A", "i,j")
+                .read("r", "i")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "M")])
+                .update("q", "i")
+                .read("A", "i,j")
+                .read("p", "j")
+        })
+        .build()
+        .expect("bicg is a valid SOAP program")
+}
+
+/// `mvt`: `x1 += A·y1`, `x2 += Aᵀ·y2`.
+pub fn mvt() -> Program {
+    ProgramBuilder::new("mvt")
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                .update("x1", "i")
+                .read("A", "i,j")
+                .read("y1", "j")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                .update("x2", "i")
+                .read("A", "j,i")
+                .read("y2", "j")
+        })
+        .build()
+        .expect("mvt is a valid SOAP program")
+}
+
+/// `gemver`: rank-2 update of `A`, then two matrix-vector products.
+pub fn gemver() -> Program {
+    ProgramBuilder::new("gemver")
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                .write("B", "i,j")
+                .read("A", "i,j")
+                .read("u1", "i")
+                .read("v1", "j")
+                .read("u2", "i")
+                .read("v2", "j")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                .update("x", "i")
+                .read("B", "j,i")
+                .read("y", "j")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                .update("w", "i")
+                .read("B", "i,j")
+                .read("x", "j")
+        })
+        .build()
+        .expect("gemver is a valid SOAP program")
+}
+
+/// `gesummv`: `tmp = A·x`, `y = B·x` (then scaled and summed element-wise).
+pub fn gesummv() -> Program {
+    ProgramBuilder::new("gesummv")
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                .update("tmp", "i")
+                .read("A", "i,j")
+                .read("x", "j")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                .update("y", "i")
+                .read("B", "i,j")
+                .read("x", "j")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "N")])
+                .write("z", "i")
+                .read("tmp", "i")
+                .read("y", "i")
+        })
+        .build()
+        .expect("gesummv is a valid SOAP program")
+}
+
+/// `symm`: symmetric matrix-matrix multiply; the dominant dense triple loop is
+/// modelled over its full rectangular iteration space (the symmetric access to
+/// `A` is projected onto a plain dense access, as in the paper).
+pub fn symm() -> Program {
+    ProgramBuilder::new("symm")
+        .statement(|st| {
+            st.loops(&[("i", "0", "M"), ("j", "0", "N"), ("k", "0", "M")])
+                .update("C", "i,j")
+                .read("A", "i,k")
+                .read("B", "k,j")
+        })
+        .build()
+        .expect("symm is a valid SOAP program")
+}
+
+/// `syrk`: `C[i,j] += A[i,k]·A[j,k]` over the lower triangle.
+pub fn syrk() -> Program {
+    ProgramBuilder::new("syrk")
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "i+1"), ("k", "0", "M")])
+                .update("C", "i,j")
+                .read("A", "i,k")
+                .read("A", "j,k")
+        })
+        .build()
+        .expect("syrk is a valid SOAP program")
+}
+
+/// `syr2k`: `C[i,j] += A[i,k]·B[j,k] + A[j,k]·B[i,k]` over the lower triangle.
+pub fn syr2k() -> Program {
+    ProgramBuilder::new("syr2k")
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "i+1"), ("k", "0", "M")])
+                .update("C", "i,j")
+                .read("A", "i,k")
+                .read("A", "j,k")
+                .read("B", "i,k")
+                .read("B", "j,k")
+        })
+        .build()
+        .expect("syr2k is a valid SOAP program")
+}
+
+/// `trmm`: triangular matrix multiply `B[i,j] += A[k,i]·B[k,j]`, `k > i`.
+pub fn trmm() -> Program {
+    ProgramBuilder::new("trmm")
+        .statement(|st| {
+            st.loops(&[("i", "0", "M"), ("j", "0", "N"), ("k", "i+1", "M")])
+                .update("B", "i,j")
+                .read("A", "k,i")
+                .read("B", "k,j")
+        })
+        .build()
+        .expect("trmm is a valid SOAP program")
+}
+
+/// `doitgen`: `sum[r,q,p] += A[r,q,s]·C4[s,p]`, then copied back into `A`.
+pub fn doitgen() -> Program {
+    ProgramBuilder::new("doitgen")
+        .statement(|st| {
+            st.loops(&[("r", "0", "NR"), ("q", "0", "NQ"), ("p", "0", "NP"), ("s", "0", "NP")])
+                .update("sum", "r,q,p")
+                .read("A", "r,q,s")
+                .read("C4", "s,p")
+        })
+        .statement(|st| {
+            st.loops(&[("r", "0", "NR"), ("q", "0", "NQ"), ("p", "0", "NP")])
+                .write("Aout", "r,q,p")
+                .read("sum", "r,q,p")
+        })
+        .build()
+        .expect("doitgen is a valid SOAP program")
+}
+
+/// `cholesky`: the dominant trailing update `A[i,j] -= A[i,k]·A[j,k]`
+/// (`k < j ≤ i`); the §5.1 split applies because the loop bounds keep the
+/// three accesses disjoint.
+pub fn cholesky() -> Program {
+    ProgramBuilder::new("cholesky")
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "i"), ("k", "0", "j")])
+                .update("A", "i,j")
+                .read("A", "i,k")
+                .read("A", "j,k")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("k", "0", "i")])
+                .update("Adiag", "i")
+                .read("A", "i,k")
+        })
+        .build()
+        .expect("cholesky is a valid SOAP program")
+}
+
+/// `lu`: the dominant trailing update `A[i,j] -= A[i,k]·A[k,j]` (`i,j > k`).
+pub fn lu() -> Program {
+    ProgramBuilder::new("lu")
+        .statement(|st| {
+            st.loops(&[("k", "0", "N"), ("i", "k+1", "N"), ("j", "k+1", "N")])
+                .update("A", "i,j")
+                .read("A", "i,k")
+                .read("A", "k,j")
+        })
+        .build()
+        .expect("lu is a valid SOAP program")
+}
+
+/// `ludcmp`: LU factorization plus the two triangular solves.
+pub fn ludcmp() -> Program {
+    ProgramBuilder::new("ludcmp")
+        .statement(|st| {
+            st.loops(&[("k", "0", "N"), ("i", "k+1", "N"), ("j", "k+1", "N")])
+                .update("A", "i,j")
+                .read("A", "i,k")
+                .read("A", "k,j")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "i")])
+                .update("y", "i")
+                .read("A", "i,j")
+                .read("y", "j")
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "i+1", "N")])
+                .update("x", "i")
+                .read("A", "i,j")
+                .read("x", "j")
+        })
+        .build()
+        .expect("ludcmp is a valid SOAP program")
+}
+
+/// `correlation`: the dominant `corr[i,j] += data[k,i]·data[k,j]` (`j > i`).
+pub fn correlation() -> Program {
+    ProgramBuilder::new("correlation")
+        .statement(|st| {
+            st.loops(&[("i", "0", "M"), ("j", "i+1", "M"), ("k", "0", "N")])
+                .update("corr", "i,j")
+                .read("data", "k,i")
+                .read("data", "k,j")
+        })
+        .statement(|st| {
+            st.loops(&[("j", "0", "M"), ("i", "0", "N")])
+                .update("mean", "j")
+                .read("data", "i,j")
+        })
+        .build()
+        .expect("correlation is a valid SOAP program")
+}
+
+/// `covariance`: structurally identical to `correlation`.
+pub fn covariance() -> Program {
+    ProgramBuilder::new("covariance")
+        .statement(|st| {
+            st.loops(&[("i", "0", "M"), ("j", "i+1", "M"), ("k", "0", "N")])
+                .update("cov", "i,j")
+                .read("data", "k,i")
+                .read("data", "k,j")
+        })
+        .statement(|st| {
+            st.loops(&[("j", "0", "M"), ("i", "0", "N")])
+                .update("mean", "j")
+                .read("data", "i,j")
+        })
+        .build()
+        .expect("covariance is a valid SOAP program")
+}
+
+/// `gramschmidt`: the two dominant statements `R[k,j] += Q[i,k]·A[i,j]` and
+/// `A[i,j] -= Q[i,k]·R[k,j]`.
+pub fn gramschmidt() -> Program {
+    ProgramBuilder::new("gramschmidt")
+        .statement(|st| {
+            st.loops(&[("k", "0", "N"), ("j", "k+1", "N"), ("i", "0", "M")])
+                .update("R", "k,j")
+                .read("Q", "i,k")
+                .read("A", "i,j")
+        })
+        .statement(|st| {
+            st.loops(&[("k", "0", "N"), ("j", "k+1", "N"), ("i", "0", "M")])
+                .update("A2", "i,j")
+                .read("Q", "i,k")
+                .read("R", "k,j")
+        })
+        .build()
+        .expect("gramschmidt is a valid SOAP program")
+}
+
+/// `durbin`: Toeplitz solver; the dominant quadratic recurrences, with the
+/// reversed access `y[k-i-1]` kept as a (non-injective) linear subscript.
+pub fn durbin() -> Program {
+    ProgramBuilder::new("durbin")
+        .statement(|st| {
+            st.loops(&[("k", "1", "N"), ("i", "0", "k")])
+                .update("sum", "k")
+                .read("r", "k-i-1")
+                .read("y", "i,k-1")
+        })
+        .statement(|st| {
+            st.loops(&[("k", "1", "N"), ("i", "0", "k")])
+                .write("y", "i,k")
+                .read("y", "i,k-1")
+                .read("yrev", "k-i-1")
+                .read("alpha", "k")
+        })
+        .build()
+        .expect("durbin is a valid SOAP program")
+}
+
+/// `trisolv`: forward substitution `x[i] -= L[i,j]·x[j]` (`j < i`).
+pub fn trisolv() -> Program {
+    ProgramBuilder::new("trisolv")
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "i")])
+                .update("x", "i")
+                .read("L", "i,j")
+                .read("x", "j")
+        })
+        .build()
+        .expect("trisolv is a valid SOAP program")
+}
+
+/// `deriche`: recursive 2-D edge-detection filter; the four directional
+/// recurrences plus the combination pass (all bandwidth-bound).
+pub fn deriche() -> Program {
+    ProgramBuilder::new("deriche")
+        .statement(|st| {
+            st.loops(&[("i", "0", "W"), ("j", "0", "H")])
+                .write("y1", "i,j")
+                .read("imgIn", "i,j")
+                .read_multi("y1", &["i,j-1", "i,j-2"])
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "W"), ("j", "0", "H")])
+                .write("y2", "i,j")
+                .read_multi("imgIn", &["i,j+1", "i,j+2"])
+                .read_multi("y2", &["i,j+1", "i,j+2"])
+        })
+        .statement(|st| {
+            st.loops(&[("i", "0", "W"), ("j", "0", "H")])
+                .write("imgOut", "i,j")
+                .read("y1", "i,j")
+                .read("y2", "i,j")
+        })
+        .build()
+        .expect("deriche is a valid SOAP program")
+}
+
+/// `floyd-warshall`: `path[i,j] = min(path[i,j], path[i,k] + path[k,j])`.
+pub fn floyd_warshall() -> Program {
+    ProgramBuilder::new("floyd-warshall")
+        .statement(|st| {
+            st.loops(&[("k", "0", "N"), ("i", "0", "N"), ("j", "0", "N")])
+                .update("path", "i,j")
+                .read("path", "i,k")
+                .read("path", "k,j")
+        })
+        .build()
+        .expect("floyd-warshall is a valid SOAP program")
+}
+
+/// `nussinov`: RNA secondary-structure dynamic program; the dominant
+/// `table[i,j] = max(table[i,j], table[i,k] + table[k+1,j])` band.
+pub fn nussinov() -> Program {
+    ProgramBuilder::new("nussinov")
+        .statement(|st| {
+            st.loops(&[("i", "0", "N"), ("j", "i+1", "N"), ("k", "i", "j")])
+                .update("table", "i,j")
+                .read("table", "i,k")
+                .read("table", "k+1,j")
+        })
+        .build()
+        .expect("nussinov is a valid SOAP program")
+}
+
+/// `adi`: alternating-direction implicit solver; the two directional sweeps
+/// per time step with their first-order recurrences, time-versioned (§5.2).
+pub fn adi() -> Program {
+    ProgramBuilder::new("adi")
+        .statement(|st| {
+            st.loops(&[("t", "1", "T"), ("i", "1", "N - 1"), ("j", "1", "N - 1")])
+                .write("v", "j,i,t")
+                .read("v", "j-1,i,t")
+                .read_multi("u", &["i,j-1,t-1", "i,j,t-1", "i,j+1,t-1"])
+        })
+        .statement(|st| {
+            st.loops(&[("t", "1", "T"), ("i", "1", "N - 1"), ("j", "1", "N - 1")])
+                .write("u", "i,j,t")
+                .read("u", "i,j-1,t")
+                .read_multi("v", &["j,i-1,t", "j,i,t", "j,i+1,t"])
+        })
+        .build()
+        .expect("adi is a valid SOAP program")
+}
+
+/// `fdtd-2d`: the three coupled 2-D FDTD field updates, time-versioned (§5.2).
+pub fn fdtd2d() -> Program {
+    ProgramBuilder::new("fdtd-2d")
+        .statement(|st| {
+            st.loops(&[("t", "1", "T"), ("i", "1", "NX"), ("j", "0", "NY")])
+                .write("ey", "i,j,t")
+                .read("ey", "i,j,t-1")
+                .read_multi("hz", &["i,j,t-1", "i-1,j,t-1"])
+        })
+        .statement(|st| {
+            st.loops(&[("t", "1", "T"), ("i", "0", "NX"), ("j", "1", "NY")])
+                .write("ex", "i,j,t")
+                .read("ex", "i,j,t-1")
+                .read_multi("hz", &["i,j,t-1", "i,j-1,t-1"])
+        })
+        .statement(|st| {
+            st.loops(&[("t", "1", "T"), ("i", "0", "NX - 1"), ("j", "0", "NY - 1")])
+                .write("hz", "i,j,t")
+                .read("hz", "i,j,t-1")
+                .read_multi("ex", &["i,j+1,t", "i,j,t"])
+                .read_multi("ey", &["i+1,j,t", "i,j,t"])
+        })
+        .build()
+        .expect("fdtd-2d is a valid SOAP program")
+}
+
+/// `heat-3d`: 7-point 3-D heat stencil, time-versioned (§5.2).
+pub fn heat3d() -> Program {
+    ProgramBuilder::new("heat-3d")
+        .statement(|st| {
+            st.loops(&[
+                ("t", "1", "T"),
+                ("i", "1", "N - 1"),
+                ("j", "1", "N - 1"),
+                ("k", "1", "N - 1"),
+            ])
+            .write("A", "i,j,k,t")
+            .read_multi(
+                "A",
+                &[
+                    "i,j,k,t-1",
+                    "i-1,j,k,t-1",
+                    "i+1,j,k,t-1",
+                    "i,j-1,k,t-1",
+                    "i,j+1,k,t-1",
+                    "i,j,k-1,t-1",
+                    "i,j,k+1,t-1",
+                ],
+            )
+        })
+        .build()
+        .expect("heat-3d is a valid SOAP program")
+}
+
+/// `jacobi-1d`: 3-point 1-D stencil, time-versioned (§5.2).
+pub fn jacobi1d() -> Program {
+    ProgramBuilder::new("jacobi-1d")
+        .statement(|st| {
+            st.loops(&[("t", "1", "T"), ("i", "1", "N - 1")])
+                .write("A", "i,t")
+                .read_multi("A", &["i-1,t-1", "i,t-1", "i+1,t-1"])
+        })
+        .build()
+        .expect("jacobi-1d is a valid SOAP program")
+}
+
+/// `jacobi-2d`: 5-point 2-D stencil, time-versioned (§5.2).
+pub fn jacobi2d() -> Program {
+    ProgramBuilder::new("jacobi-2d")
+        .statement(|st| {
+            st.loops(&[("t", "1", "T"), ("i", "1", "N - 1"), ("j", "1", "N - 1")])
+                .write("A", "i,j,t")
+                .read_multi(
+                    "A",
+                    &["i,j,t-1", "i-1,j,t-1", "i+1,j,t-1", "i,j-1,t-1", "i,j+1,t-1"],
+                )
+        })
+        .build()
+        .expect("jacobi-2d is a valid SOAP program")
+}
+
+/// `seidel-2d`: in-place 9-point Gauss–Seidel sweep, time-versioned (§5.2);
+/// the in-place update mixes the current and previous sweep's values.
+pub fn seidel2d() -> Program {
+    ProgramBuilder::new("seidel-2d")
+        .statement(|st| {
+            st.loops(&[("t", "1", "T"), ("i", "1", "N - 1"), ("j", "1", "N - 1")])
+                .write("A", "i,j,t")
+                .read_multi(
+                    "A",
+                    &[
+                        "i-1,j-1,t",
+                        "i-1,j,t",
+                        "i-1,j+1,t",
+                        "i,j-1,t",
+                        "i,j,t-1",
+                        "i,j+1,t-1",
+                        "i+1,j-1,t-1",
+                        "i+1,j,t-1",
+                        "i+1,j+1,t-1",
+                    ],
+                )
+        })
+        .build()
+        .expect("seidel-2d is a valid SOAP program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_builds_and_validates() {
+        let kernels: Vec<Program> = vec![
+            gemm(),
+            two_mm(),
+            three_mm(),
+            atax(),
+            bicg(),
+            mvt(),
+            gemver(),
+            gesummv(),
+            symm(),
+            syrk(),
+            syr2k(),
+            trmm(),
+            doitgen(),
+            cholesky(),
+            lu(),
+            ludcmp(),
+            correlation(),
+            covariance(),
+            gramschmidt(),
+            durbin(),
+            trisolv(),
+            deriche(),
+            floyd_warshall(),
+            nussinov(),
+            adi(),
+            fdtd2d(),
+            heat3d(),
+            jacobi1d(),
+            jacobi2d(),
+            seidel2d(),
+        ];
+        assert_eq!(kernels.len(), 30);
+        for k in &kernels {
+            assert!(k.validate().is_ok(), "kernel {} failed validation", k.name);
+        }
+    }
+
+    #[test]
+    fn triangular_domains_have_the_expected_cardinality() {
+        let mut b = std::collections::BTreeMap::new();
+        b.insert("N".to_string(), 12.0);
+        // lu: Σ_k (N-1-k)² = 506 for N = 12.
+        let lu_count = lu().statements[0].execution_count();
+        let mut brute = 0.0;
+        for k in 0..12 {
+            brute += ((12 - k - 1) * (12 - k - 1)) as f64;
+        }
+        assert_eq!(lu_count.eval(&b).unwrap(), brute);
+        // cholesky trailing update: Σ_i Σ_{j<i} j  (k < j).
+        let chol_count = cholesky().statements[0].execution_count();
+        let mut brute = 0.0;
+        for i in 0..12 {
+            for j in 0..i {
+                brute += j as f64;
+            }
+        }
+        assert_eq!(chol_count.eval(&b).unwrap(), brute);
+    }
+
+    #[test]
+    fn stencils_use_time_versioned_accesses() {
+        for p in [jacobi1d(), jacobi2d(), heat3d(), seidel2d(), fdtd2d(), adi()] {
+            for st in &p.statements {
+                // The output array must also be read (the §5.2 projection), so
+                // the analysis can apply Corollary 1.
+                assert!(
+                    st.input_arrays().contains(&st.output_array().to_string())
+                        || p.statements.len() > 1,
+                    "{}: {} does not read its own output array",
+                    p.name,
+                    st.name
+                );
+            }
+        }
+    }
+}

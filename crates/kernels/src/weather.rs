@@ -1,0 +1,121 @@
+//! COSMO numerical-weather-prediction stencils (Table 2, "Various").
+//!
+//! Two representatives of the model's dynamical core, following the published
+//! GridTools/COSMO benchmark formulations:
+//!
+//! * **horizontal diffusion** — a composition of a Laplacian and two flux
+//!   stencils in the horizontal plane, applied independently per vertical
+//!   level: 4 statements over an `I × J × K` domain.
+//! * **vertical advection** — the Thomas-algorithm forward/backward sweeps
+//!   along the vertical dimension with first-order recurrences in `k`:
+//!   5 statements over `I × J × K`.
+
+use soap_ir::{Program, ProgramBuilder};
+
+/// Horizontal diffusion: `lap`, `flx`, `fly`, `out` over an `I × J × K` grid.
+pub fn horizontal_diffusion() -> Program {
+    ProgramBuilder::new("horizontal-diffusion")
+        .statement(|st| {
+            st.loops(&[("k", "0", "K"), ("j", "1", "J - 1"), ("i", "1", "I - 1")])
+                .write("lap", "i,j,k")
+                .read_multi(
+                    "data",
+                    &["i,j,k", "i-1,j,k", "i+1,j,k", "i,j-1,k", "i,j+1,k"],
+                )
+        })
+        .statement(|st| {
+            st.loops(&[("k", "0", "K"), ("j", "1", "J - 1"), ("i", "1", "I - 1")])
+                .write("flx", "i,j,k")
+                .read_multi("lap", &["i+1,j,k", "i,j,k"])
+                .read_multi("data", &["i+1,j,k", "i,j,k"])
+        })
+        .statement(|st| {
+            st.loops(&[("k", "0", "K"), ("j", "1", "J - 1"), ("i", "1", "I - 1")])
+                .write("fly", "i,j,k")
+                .read_multi("lap", &["i,j+1,k", "i,j,k"])
+                .read_multi("data", &["i,j+1,k", "i,j,k"])
+        })
+        .statement(|st| {
+            st.loops(&[("k", "0", "K"), ("j", "1", "J - 1"), ("i", "1", "I - 1")])
+                .write("out", "i,j,k")
+                .read("data", "i,j,k")
+                .read_multi("flx", &["i,j,k", "i-1,j,k"])
+                .read_multi("fly", &["i,j,k", "i,j-1,k"])
+                .read("coeff", "i,j,k")
+        })
+        .build()
+        .expect("horizontal diffusion is a valid SOAP program")
+}
+
+/// Vertical advection: the tridiagonal (Thomas) solve along `k` used by the
+/// COSMO `vadv` benchmark — a forward sweep producing the modified
+/// coefficients `ccol`/`dcol` and a backward substitution into `upos`,
+/// plus the upstream flux computation.
+pub fn vertical_advection() -> Program {
+    ProgramBuilder::new("vertical-advection")
+        .statement(|st| {
+            st.loops(&[("j", "0", "J"), ("i", "0", "I"), ("k", "1", "K")])
+                .write("acol", "i,j,k")
+                .read_multi("wcon", &["i,j,k", "i+1,j,k"])
+        })
+        .statement(|st| {
+            st.loops(&[("j", "0", "J"), ("i", "0", "I"), ("k", "1", "K")])
+                .write("ccol", "i,j,k")
+                .read("acol", "i,j,k")
+                .read("ccol", "i,j,k-1")
+        })
+        .statement(|st| {
+            st.loops(&[("j", "0", "J"), ("i", "0", "I"), ("k", "1", "K")])
+                .write("dcol", "i,j,k")
+                .read_multi("ustage", &["i,j,k", "i,j,k-1", "i,j,k+1"])
+                .read("upos", "i,j,k")
+                .read("dcol", "i,j,k-1")
+                .read("ccol", "i,j,k-1")
+        })
+        .statement(|st| {
+            st.loops(&[("j", "0", "J"), ("i", "0", "I"), ("k", "1", "K")])
+                .write("datacol", "i,j,k")
+                .read("dcol", "i,j,k")
+                .read("ccol", "i,j,k")
+                .read("datacol", "i,j,k+1")
+        })
+        .statement(|st| {
+            st.loops(&[("j", "0", "J"), ("i", "0", "I"), ("k", "1", "K")])
+                .write("utens", "i,j,k")
+                .read("datacol", "i,j,k")
+                .read("upos", "i,j,k")
+        })
+        .build()
+        .expect("vertical advection is a valid SOAP program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weather_programs_validate() {
+        for p in [horizontal_diffusion(), vertical_advection()] {
+            assert!(p.validate().is_ok(), "{} failed validation", p.name);
+        }
+    }
+
+    #[test]
+    fn horizontal_diffusion_has_four_stages() {
+        let p = horizontal_diffusion();
+        assert_eq!(p.statements.len(), 4);
+        assert_eq!(p.computed_arrays(), vec!["lap", "flx", "fly", "out"]);
+        assert!(p.input_arrays().contains(&"data".to_string()));
+    }
+
+    #[test]
+    fn vertical_advection_work_is_5ijk() {
+        let p = vertical_advection();
+        let mut b = std::collections::BTreeMap::new();
+        b.insert("I".to_string(), 10.0);
+        b.insert("J".to_string(), 10.0);
+        b.insert("K".to_string(), 11.0);
+        // 5 statements × I·J·(K-1) iterations each.
+        assert_eq!(p.total_vertex_count().eval(&b).unwrap(), 5.0 * 10.0 * 10.0 * 10.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Explicit CDAG construction from a SOAP program and concrete parameters.
+
+use soap_ir::{Program, Statement};
+use std::collections::BTreeMap;
+
+/// Vertex identifier (dense, 0-based).
+pub type VertexId = usize;
+
+/// What a CDAG vertex represents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VertexKind {
+    /// A program input: an array element that is read before ever being
+    /// written (it starts with a blue pebble).
+    Input {
+        /// Array name.
+        array: String,
+        /// Element index.
+        index: Vec<i64>,
+    },
+    /// One statement execution producing a new version of an array element.
+    Compute {
+        /// Index of the statement in the program.
+        statement: usize,
+        /// The iteration vector.
+        iteration: Vec<i64>,
+        /// Array written.
+        array: String,
+        /// Element index written.
+        index: Vec<i64>,
+    },
+}
+
+/// A Computational DAG: vertices are array-element versions, edges point from
+/// operands to results.
+#[derive(Clone, Debug, Default)]
+pub struct Cdag {
+    /// Vertex metadata.
+    pub kinds: Vec<VertexKind>,
+    /// Parent lists (operands of each vertex; empty for inputs).
+    pub parents: Vec<Vec<VertexId>>,
+    /// Child lists (derived from `parents`).
+    pub children: Vec<Vec<VertexId>>,
+    /// Vertices that hold the final version of an array element written by the
+    /// program (the program outputs; they must end with a blue pebble).
+    pub outputs: Vec<VertexId>,
+}
+
+impl Cdag {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Indices of the input vertices.
+    pub fn inputs(&self) -> Vec<VertexId> {
+        (0..self.len())
+            .filter(|&v| matches!(self.kinds[v], VertexKind::Input { .. }))
+            .collect()
+    }
+
+    /// Indices of the compute vertices.
+    pub fn compute_vertices(&self) -> Vec<VertexId> {
+        (0..self.len())
+            .filter(|&v| matches!(self.kinds[v], VertexKind::Compute { .. }))
+            .collect()
+    }
+
+    /// Build the CDAG of `program` for concrete parameter values.
+    ///
+    /// Statements are enumerated in program order and loop order; every
+    /// execution creates a fresh vertex for the written element (so updates
+    /// and stencil sweeps produce version chains), and reads refer to the
+    /// latest version of the element, creating an input vertex on first use.
+    pub fn from_program(program: &Program, params: &BTreeMap<String, i64>) -> Cdag {
+        let mut g = Cdag::default();
+        // (array, element index) -> current vertex holding its latest version.
+        let mut latest: BTreeMap<(String, Vec<i64>), VertexId> = BTreeMap::new();
+
+        for (sidx, st) in program.statements.iter().enumerate() {
+            build_statement(&mut g, &mut latest, sidx, st, params);
+        }
+        // Final *computed* versions are the program outputs (read-only arrays
+        // also sit in `latest` but never need storing back).
+        g.outputs = latest
+            .values()
+            .copied()
+            .filter(|&v| matches!(g.kinds[v], VertexKind::Compute { .. }))
+            .collect();
+        g.outputs.sort_unstable();
+        g.outputs.dedup();
+        // Derive children.
+        g.children = vec![Vec::new(); g.len()];
+        for (v, ps) in g.parents.iter().enumerate() {
+            for &p in ps {
+                g.children[p].push(v);
+            }
+        }
+        g
+    }
+
+    fn add_vertex(&mut self, kind: VertexKind, parents: Vec<VertexId>) -> VertexId {
+        let id = self.kinds.len();
+        self.kinds.push(kind);
+        self.parents.push(parents);
+        id
+    }
+}
+
+fn build_statement(
+    g: &mut Cdag,
+    latest: &mut BTreeMap<(String, Vec<i64>), VertexId>,
+    sidx: usize,
+    st: &Statement,
+    params: &BTreeMap<String, i64>,
+) {
+    let var_names = st.loop_variables();
+    for iteration in st.domain.enumerate(params) {
+        let bindings: BTreeMap<String, i64> = var_names
+            .iter()
+            .cloned()
+            .zip(iteration.iter().copied())
+            .chain(params.iter().map(|(k, v)| (k.clone(), *v)))
+            .collect();
+        let mut parents = Vec::new();
+        let mut read = |g: &mut Cdag,
+                        latest: &mut BTreeMap<(String, Vec<i64>), VertexId>,
+                        array: &str,
+                        index: Vec<i64>| {
+            let key = (array.to_string(), index.clone());
+            let v = *latest.entry(key).or_insert_with(|| {
+                g.add_vertex(VertexKind::Input { array: array.to_string(), index }, Vec::new())
+            });
+            v
+        };
+        for acc in &st.inputs {
+            for comp in &acc.components {
+                if let Some(index) = comp.eval(&bindings) {
+                    parents.push(read(g, latest, &acc.array, index));
+                }
+            }
+        }
+        let out_index = st.output.components[0]
+            .eval(&bindings)
+            .expect("output subscripts evaluate under loop bindings");
+        if st.is_update {
+            // The previous version of the output element is also an operand.
+            parents.push(read(g, latest, &st.output.array, out_index.clone()));
+        }
+        parents.sort_unstable();
+        parents.dedup();
+        let v = g.add_vertex(
+            VertexKind::Compute {
+                statement: sidx,
+                iteration,
+                array: st.output.array.clone(),
+                index: out_index.clone(),
+            },
+            parents,
+        );
+        latest.insert((st.output.array.clone(), out_index), v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap_ir::ProgramBuilder;
+
+    fn params(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn mmm(n: i64) -> (Program, BTreeMap<String, i64>) {
+        let p = ProgramBuilder::new("gemm")
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                    .update("C", "i,j")
+                    .read("A", "i,k")
+                    .read("B", "k,j")
+            })
+            .build()
+            .unwrap();
+        (p, params(&[("N", n)]))
+    }
+
+    #[test]
+    fn mmm_cdag_has_expected_counts() {
+        let (p, pr) = mmm(4);
+        let g = Cdag::from_program(&p, &pr);
+        // Inputs: A (16) + B (16) + initial C (16) = 48; compute: 64.
+        assert_eq!(g.inputs().len(), 48);
+        assert_eq!(g.compute_vertices().len(), 64);
+        assert_eq!(g.len(), 112);
+        // Outputs: the final version of each C element.
+        assert_eq!(g.outputs.len(), 16);
+        // Every compute vertex of MMM has exactly 3 parents (A, B, previous C).
+        for v in g.compute_vertices() {
+            assert_eq!(g.parents[v].len(), 3);
+        }
+    }
+
+    #[test]
+    fn update_chains_are_linked() {
+        let (p, pr) = mmm(3);
+        let g = Cdag::from_program(&p, &pr);
+        // For a fixed (i,j), the k-loop creates a chain of 3 versions; the
+        // last one must be reachable from the first through parent links.
+        let computes = g.compute_vertices();
+        let first = computes[0];
+        let second = computes[1];
+        assert!(g.parents[second].contains(&first));
+    }
+
+    #[test]
+    fn stencil_cdag_links_time_steps() {
+        let p = ProgramBuilder::new("jacobi1d")
+            .statement(|st| {
+                st.loops(&[("t", "1", "T"), ("i", "1", "N - 1")])
+                    .write("A", "i,t")
+                    .read_multi("A", &["i-1,t-1", "i,t-1", "i+1,t-1"])
+            })
+            .build()
+            .unwrap();
+        let g = Cdag::from_program(&p, &params(&[("N", 6), ("T", 3)]));
+        // Compute vertices: (T-1)·(N-2) = 2·4 = 8.
+        assert_eq!(g.compute_vertices().len(), 8);
+        // Second-sweep vertices read first-sweep results, not only inputs.
+        let second_sweep: Vec<_> = g
+            .compute_vertices()
+            .into_iter()
+            .filter(|&v| matches!(&g.kinds[v], VertexKind::Compute { iteration, .. } if iteration[0] == 2))
+            .collect();
+        assert!(!second_sweep.is_empty());
+        assert!(second_sweep.iter().any(|&v| {
+            g.parents[v]
+                .iter()
+                .any(|&pv| matches!(g.kinds[pv], VertexKind::Compute { .. }))
+        }));
+    }
+
+    #[test]
+    fn children_are_consistent_with_parents() {
+        let (p, pr) = mmm(3);
+        let g = Cdag::from_program(&p, &pr);
+        for v in 0..g.len() {
+            for &c in &g.children[v] {
+                assert!(g.parents[c].contains(&v));
+            }
+            for &par in &g.parents[v] {
+                assert!(g.children[par].contains(&v));
+            }
+        }
+    }
+}

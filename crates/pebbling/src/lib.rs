@@ -1,0 +1,29 @@
+//! # soap-pebbling
+//!
+//! The explicit-CDAG substrate: red-blue pebble games played on concrete
+//! (small) instances of SOAP programs.  The paper's bounds are analytic; this
+//! crate provides the machinery to *validate* them empirically:
+//!
+//! * [`cdag`] — build the Computational DAG of a program for concrete
+//!   parameter values (every statement execution becomes a vertex, every
+//!   array-element version is tracked).
+//! * [`game`] — the red-blue pebble game of Hong & Kung: move validation
+//!   under a red-pebble budget `S` and I/O accounting.
+//! * [`schedule`] — schedule generators (program order and tiled) with
+//!   Belady-style eviction and write-back, producing valid pebbling move
+//!   sequences whose I/O can be compared against the analytic lower bounds.
+//! * [`dominator`] — exact minimum dominator-set computation via a Dinic
+//!   max-flow vertex cut, used to validate Lemma 3 on concrete
+//!   subcomputations.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdag;
+pub mod dominator;
+pub mod game;
+pub mod schedule;
+
+pub use cdag::{Cdag, VertexId, VertexKind};
+pub use dominator::min_dominator_size;
+pub use game::{Move, PebbleGame, PebblingError};
+pub use schedule::{simulate_program_order, simulate_tiled, ScheduleStats};

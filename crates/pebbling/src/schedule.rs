@@ -1,0 +1,248 @@
+//! Schedule generators: turn a CDAG into a valid pebbling and count its I/O.
+//!
+//! Two schedules are provided:
+//!
+//! * [`simulate_program_order`] — compute vertices in program order;
+//! * [`simulate_tiled`] — compute vertices reordered by a loop tiling (the
+//!   tile sizes typically come from the analysis' optimal `|D_t|(X₀)`), which
+//!   is the schedule the paper's constructive bound suggests.
+//!
+//! Both use the same executor: operands are loaded on demand, red pebbles are
+//! evicted with Belady's rule (furthest next use), and computed values still
+//! needed later (or program outputs) are written back before eviction.  The
+//! executor produces a *valid* pebbling (verified through [`crate::game`]), so
+//! its I/O is an upper bound that can be compared against the analytic lower
+//! bound.
+
+use crate::cdag::{Cdag, VertexId, VertexKind};
+use crate::game::{Move, PebbleGame, PebblingError};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Statistics of one simulated schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Number of load moves.
+    pub loads: usize,
+    /// Number of store moves.
+    pub stores: usize,
+    /// Number of compute moves.
+    pub computes: usize,
+}
+
+impl ScheduleStats {
+    /// Total I/O (loads + stores).
+    pub fn io(&self) -> usize {
+        self.loads + self.stores
+    }
+}
+
+/// Simulate the schedule that computes vertices in the given order.
+///
+/// Returns the statistics and the validated move sequence's I/O (the two are
+/// consistent by construction; the game replay is a safety net).
+pub fn simulate_order(
+    cdag: &Cdag,
+    order: &[VertexId],
+    s: usize,
+) -> Result<ScheduleStats, PebblingError> {
+    assert!(s >= 3, "a red-pebble budget below 3 cannot evaluate binary operators");
+    // Position of each vertex in the compute order, for Belady eviction and
+    // "needed later" decisions.
+    let mut uses: BTreeMap<VertexId, Vec<usize>> = BTreeMap::new();
+    for (t, &v) in order.iter().enumerate() {
+        for &p in &cdag.parents[v] {
+            uses.entry(p).or_default().push(t);
+        }
+    }
+    let outputs: BTreeSet<VertexId> = cdag.outputs.iter().copied().collect();
+
+    let mut game = PebbleGame::new(cdag, s);
+    let mut moves: Vec<Move> = Vec::new();
+    let mut red: BTreeSet<VertexId> = BTreeSet::new();
+    let mut stored: BTreeSet<VertexId> = BTreeSet::new();
+    let mut computes = 0usize;
+
+    for (t, &v) in order.iter().enumerate() {
+        // Ensure all parents are red.
+        for &p in cdag.parents[v].clone().iter() {
+            if red.contains(&p) {
+                continue;
+            }
+            make_room(
+                cdag, &mut game, &mut moves, &mut red, &mut stored, &outputs, &uses, t, s,
+            )?;
+            // A parent is either an input / previously stored value (load) or a
+            // computed value that was evicted without a store — in the latter
+            // case it must have been stored (the executor always writes back
+            // values with remaining uses), so a load is always legal here.
+            game.apply(Move::Load(p))?;
+            moves.push(Move::Load(p));
+            red.insert(p);
+        }
+        make_room(
+            cdag, &mut game, &mut moves, &mut red, &mut stored, &outputs, &uses, t, s,
+        )?;
+        game.apply(Move::Compute(v))?;
+        moves.push(Move::Compute(v));
+        computes += 1;
+        red.insert(v);
+    }
+    // Store any outputs still only in fast memory.
+    for &v in &cdag.outputs {
+        if !stored.contains(&v) && red.contains(&v) {
+            game.apply(Move::Store(v))?;
+            moves.push(Move::Store(v));
+            stored.insert(v);
+        }
+    }
+    let io = {
+        // Re-validate the whole sequence from scratch as a safety net.
+        let mut replay = PebbleGame::new(cdag, s);
+        replay.run(&moves)?
+    };
+    debug_assert_eq!(io, game.loads() + game.stores());
+    Ok(ScheduleStats { loads: game.loads(), stores: game.stores(), computes })
+}
+
+/// Evict red pebbles (storing values that are outputs or still needed) until a
+/// free slot is available.
+#[allow(clippy::too_many_arguments)]
+fn make_room(
+    cdag: &Cdag,
+    game: &mut PebbleGame<'_>,
+    moves: &mut Vec<Move>,
+    red: &mut BTreeSet<VertexId>,
+    stored: &mut BTreeSet<VertexId>,
+    outputs: &BTreeSet<VertexId>,
+    uses: &BTreeMap<VertexId, Vec<usize>>,
+    now: usize,
+    s: usize,
+) -> Result<(), PebblingError> {
+    // Next compute step (≥ now) at which a vertex is used as an operand;
+    // usize::MAX means "never again".
+    let next_use = |v: VertexId| -> usize {
+        uses.get(&v)
+            .and_then(|u| u.iter().find(|&&t| t >= now).copied())
+            .unwrap_or(usize::MAX)
+    };
+    while red.len() >= s {
+        // Belady: evict the red vertex with the furthest next use.
+        let mut heap: BinaryHeap<(usize, VertexId)> = BinaryHeap::new();
+        for &v in red.iter() {
+            heap.push((next_use(v), v));
+        }
+        let (next, victim) = heap.pop().expect("red set is non-empty");
+        let needed_later = next != usize::MAX;
+        let is_output = outputs.contains(&victim);
+        let is_computed = matches!(cdag.kinds[victim], VertexKind::Compute { .. });
+        if (needed_later || is_output) && is_computed && !stored.contains(&victim) && !game.is_blue(victim)
+        {
+            game.apply(Move::Store(victim))?;
+            moves.push(Move::Store(victim));
+            stored.insert(victim);
+        }
+        game.apply(Move::DiscardRed(victim))?;
+        moves.push(Move::DiscardRed(victim));
+        red.remove(&victim);
+    }
+    Ok(())
+}
+
+/// Program-order schedule: compute vertices in CDAG creation order.
+pub fn simulate_program_order(cdag: &Cdag, s: usize) -> Result<ScheduleStats, PebblingError> {
+    let order = cdag.compute_vertices();
+    simulate_order(cdag, &order, s)
+}
+
+/// Tiled schedule: compute vertices grouped by the tile block of their
+/// iteration vector (per-statement tile sizes given by `tiles`, one entry per
+/// loop variable in loop order; missing entries default to the full extent).
+pub fn simulate_tiled(
+    cdag: &Cdag,
+    tiles: &BTreeMap<usize, Vec<i64>>,
+    s: usize,
+) -> Result<ScheduleStats, PebblingError> {
+    let mut order = cdag.compute_vertices();
+    order.sort_by_key(|&v| match &cdag.kinds[v] {
+        VertexKind::Compute { statement, iteration, .. } => {
+            let tile = tiles.get(statement);
+            let block: Vec<i64> = iteration
+                .iter()
+                .enumerate()
+                .map(|(d, &x)| match tile.and_then(|t| t.get(d)) {
+                    Some(&ts) if ts > 0 => x / ts,
+                    _ => 0,
+                })
+                .collect();
+            (*statement, block, iteration.clone())
+        }
+        VertexKind::Input { .. } => unreachable!("compute_vertices returns compute vertices"),
+    });
+    simulate_order(cdag, &order, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap_ir::ProgramBuilder;
+    use std::collections::BTreeMap;
+
+    fn mmm_cdag(n: i64) -> Cdag {
+        let p = ProgramBuilder::new("gemm")
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                    .update("C", "i,j")
+                    .read("A", "i,k")
+                    .read("B", "k,j")
+            })
+            .build()
+            .unwrap();
+        let mut params = BTreeMap::new();
+        params.insert("N".to_string(), n);
+        Cdag::from_program(&p, &params)
+    }
+
+    #[test]
+    fn program_order_schedule_is_valid_and_counts_io() {
+        let g = mmm_cdag(6);
+        let stats = simulate_program_order(&g, 16).unwrap();
+        assert_eq!(stats.computes, 216);
+        // Compulsory traffic: at least all of A and B loaded once and all of C
+        // stored once.
+        assert!(stats.loads >= 72, "loads {}", stats.loads);
+        assert!(stats.stores >= 36, "stores {}", stats.stores);
+    }
+
+    #[test]
+    fn tiled_schedule_beats_program_order_with_small_cache() {
+        let g = mmm_cdag(8);
+        let s = 24;
+        let naive = simulate_program_order(&g, s).unwrap();
+        // Tile i,j,k by 2x2x8 — roughly the sqrt(S/3)-shaped tile.
+        let mut tiles = BTreeMap::new();
+        tiles.insert(0usize, vec![2, 2, 8]);
+        let tiled = simulate_tiled(&g, &tiles, s).unwrap();
+        assert!(
+            tiled.io() <= naive.io(),
+            "tiled {} should not exceed naive {}",
+            tiled.io(),
+            naive.io()
+        );
+    }
+
+    #[test]
+    fn larger_cache_never_hurts() {
+        let g = mmm_cdag(6);
+        let small = simulate_program_order(&g, 8).unwrap();
+        let large = simulate_program_order(&g, 64).unwrap();
+        assert!(large.io() <= small.io());
+    }
+
+    #[test]
+    fn io_is_at_least_compulsory_traffic() {
+        let g = mmm_cdag(5);
+        let stats = simulate_program_order(&g, 12).unwrap();
+        // 25 A + 25 B + 25 C_init loads minimum, 25 C stores minimum.
+        assert!(stats.io() >= 50 + 25);
+    }
+}

@@ -1,0 +1,271 @@
+//! Program-level analysis: Theorem 1.
+
+use crate::graph::Sdg;
+use crate::merge::merged_model;
+use crate::subgraphs::enumerate_connected_subgraphs;
+use rayon::prelude::*;
+use soap_core::{solve_model, AnalysisError, AnalysisOptions, IntensityResult};
+use soap_ir::Program;
+use soap_symbolic::{Expr, Polynomial, Rational};
+use std::collections::BTreeMap;
+
+/// Options for the SDG analysis.
+#[derive(Clone, Debug)]
+pub struct SdgOptions {
+    /// Section 5.3: treat linear-combination subscripts as injective.
+    pub assume_injective: bool,
+    /// Maximum number of arrays per enumerated subgraph.
+    pub max_subgraph_size: usize,
+    /// Hard cap on the number of enumerated subgraphs.
+    pub max_subgraphs: usize,
+    /// Reference fast-memory size used to order intensities numerically.
+    pub reference_s: f64,
+}
+
+impl Default for SdgOptions {
+    fn default() -> Self {
+        SdgOptions {
+            assume_injective: false,
+            max_subgraph_size: 4,
+            max_subgraphs: 4096,
+            reference_s: 1.0e6,
+        }
+    }
+}
+
+/// The intensity of one evaluated SDG subgraph.
+#[derive(Clone, Debug)]
+pub struct SubgraphIntensity {
+    /// The arrays of the subgraph `H`.
+    pub arrays: Vec<String>,
+    /// The solved intensity of the subgraph statement `St_H`.
+    pub intensity: IntensityResult,
+}
+
+/// The per-array term of Theorem 1.
+#[derive(Clone, Debug)]
+pub struct ArrayBound {
+    /// The computed array.
+    pub array: String,
+    /// `|A|`: the exact number of CDAG vertices written into the array.
+    pub vertex_count: Polynomial,
+    /// The maximal intensity over subgraphs containing the array.
+    pub rho: Expr,
+    /// The exponent σ of that intensity's power law.
+    pub sigma: Rational,
+    /// The subgraph attaining the maximum.
+    pub best_subgraph: Vec<String>,
+    /// The array's contribution `|A| / ρ` (leading order).
+    pub bound: Expr,
+}
+
+/// The result of analyzing a whole program.
+#[derive(Clone, Debug)]
+pub struct ProgramAnalysis {
+    /// Program name.
+    pub name: String,
+    /// Per-array Theorem-1 terms.
+    pub per_array: Vec<ArrayBound>,
+    /// All evaluated subgraphs and their intensities.
+    pub subgraphs: Vec<SubgraphIntensity>,
+    /// The total leading-order I/O lower bound `Q`.
+    pub bound: Expr,
+    /// Diagnostic notes (skipped arrays, enumeration truncation, …).
+    pub notes: Vec<String>,
+}
+
+impl ProgramAnalysis {
+    /// Evaluate the bound numerically.
+    pub fn bound_at(&self, bindings: &BTreeMap<String, f64>) -> Option<f64> {
+        self.bound.eval(bindings)
+    }
+
+    /// The dominant (highest-degree) term of the bound, as a display string.
+    pub fn bound_string(&self) -> String {
+        format!("{}", self.bound)
+    }
+}
+
+/// Analyze a program with default options.
+pub fn analyze_program(program: &Program) -> Result<ProgramAnalysis, AnalysisError> {
+    analyze_program_with(program, &SdgOptions::default())
+}
+
+/// Analyze a program: enumerate SDG subgraphs, solve each subgraph statement's
+/// intensity in parallel, and combine them with Theorem 1.
+pub fn analyze_program_with(
+    program: &Program,
+    opts: &SdgOptions,
+) -> Result<ProgramAnalysis, AnalysisError> {
+    program
+        .validate()
+        .map_err(|e| AnalysisError::InvalidStatement(e.to_string()))?;
+    let mut notes = Vec::new();
+    let sdg = Sdg::from_program(program);
+    let subgraph_sets =
+        enumerate_connected_subgraphs(&sdg, opts.max_subgraph_size, opts.max_subgraphs);
+    if subgraph_sets.len() >= opts.max_subgraphs {
+        notes.push(format!(
+            "subgraph enumeration truncated at {} subgraphs (max size {}); the bound may be looser than the full Theorem-1 maximum",
+            opts.max_subgraphs, opts.max_subgraph_size
+        ));
+    }
+    let core_opts = AnalysisOptions { assume_injective: opts.assume_injective };
+
+    // Solve all subgraph statements in parallel.
+    let subgraphs: Vec<SubgraphIntensity> = subgraph_sets
+        .par_iter()
+        .filter_map(|arrays| {
+            let model = merged_model(program, arrays, &core_opts).ok()?;
+            let intensity = solve_model(&model).ok()?;
+            Some(SubgraphIntensity { arrays: arrays.clone(), intensity })
+        })
+        .collect();
+
+    // Theorem 1: per computed array, the maximal intensity over subgraphs
+    // containing it.
+    let params = program.parameters();
+    let mut per_array = Vec::new();
+    let mut total = Expr::zero();
+    for array in program.computed_arrays() {
+        let candidates: Vec<&SubgraphIntensity> = subgraphs
+            .iter()
+            .filter(|s| s.arrays.contains(&array))
+            .collect();
+        if candidates.is_empty() {
+            notes.push(format!(
+                "array {array}: no analyzable subgraph (e.g. an initialization statement without inputs); its compulsory traffic is not included in the bound"
+            ));
+            continue;
+        }
+        let best = candidates
+            .iter()
+            .max_by(|a, b| {
+                let ra = a.intensity.rho_at(opts.reference_s);
+                let rb = b.intensity.rho_at(opts.reference_s);
+                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty candidates");
+        let vertex_count = program.vertex_count_of(&array);
+        let leading = vertex_count.leading_terms(&params).to_expr();
+        let bound = leading.div(best.intensity.rho.clone());
+        total = total.add(bound.clone());
+        per_array.push(ArrayBound {
+            array,
+            vertex_count,
+            rho: best.intensity.rho.clone(),
+            sigma: best.intensity.sigma,
+            best_subgraph: best.arrays.clone(),
+            bound,
+        });
+    }
+
+    Ok(ProgramAnalysis {
+        name: program.name.clone(),
+        per_array,
+        subgraphs,
+        bound: total,
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap_ir::ProgramBuilder;
+
+    fn eval(e: &Expr, pairs: &[(&str, f64)]) -> f64 {
+        let b: BTreeMap<String, f64> =
+            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        e.eval(&b).unwrap()
+    }
+
+    fn gemm() -> Program {
+        ProgramBuilder::new("gemm")
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                    .update("C", "i,j")
+                    .read("A", "i,k")
+                    .read("B", "k,j")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn two_mm() -> Program {
+        ProgramBuilder::new("2mm")
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                    .update("tmp", "i,j")
+                    .read("A", "i,k")
+                    .read("B", "k,j")
+            })
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("l", "0", "N"), ("j", "0", "N")])
+                    .update("D", "i,l")
+                    .read("tmp", "i,j")
+                    .read("C", "j,l")
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn gemm_program_bound_matches_single_statement() {
+        let res = analyze_program(&gemm()).unwrap();
+        assert_eq!(res.per_array.len(), 1);
+        let q = eval(&res.bound, &[("N", 1000.0), ("S", 10_000.0)]);
+        assert!((q - 2.0e7).abs() / 2.0e7 < 0.05, "bound {q}");
+    }
+
+    #[test]
+    fn two_mm_bound_is_four_n_cubed_over_sqrt_s() {
+        let res = analyze_program(&two_mm()).unwrap();
+        assert_eq!(res.per_array.len(), 2);
+        let q = eval(&res.bound, &[("N", 1000.0), ("S", 10_000.0)]);
+        let expected = 4.0e9 / 100.0;
+        assert!((q - expected).abs() / expected < 0.1, "bound {q} vs {expected}");
+        // Both arrays should be bounded by the isolated matmul intensity.
+        for ab in &res.per_array {
+            assert_eq!(ab.sigma, Rational::new(3, 2), "array {}", ab.array);
+        }
+    }
+
+    #[test]
+    fn mvt_counts_the_matrix_once() {
+        let p = ProgramBuilder::new("mvt")
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                    .update("x1", "i")
+                    .read("A", "i,j")
+                    .read("y1", "j")
+            })
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                    .update("x2", "i")
+                    .read("A", "j,i")
+                    .read("y2", "j")
+            })
+            .build()
+            .unwrap();
+        let res = analyze_program(&p).unwrap();
+        // Q ≈ N² (the matrix is read once; the two MVs share it).
+        let q = eval(&res.bound, &[("N", 1000.0), ("S", 10_000.0)]);
+        assert!((q - 1.0e6).abs() / 1.0e6 < 0.1, "bound {q}");
+    }
+
+    #[test]
+    fn notes_report_uncovered_arrays() {
+        // An initialization statement writing zeros has no inputs at all; its
+        // array cannot be bounded and must be reported in the notes.
+        let p = ProgramBuilder::new("init_only")
+            .statement(|st| st.loops(&[("i", "0", "N")]).write("Z", "0"))
+            .build();
+        // "Z[0]" uses a constant subscript; the loop variable i never appears,
+        // which is fine for the IR but yields no analyzable dominator.
+        let p = p.unwrap();
+        let res = analyze_program(&p).unwrap();
+        assert!(res.per_array.is_empty());
+        assert!(!res.notes.is_empty());
+    }
+}

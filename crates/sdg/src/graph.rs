@@ -1,0 +1,152 @@
+//! The Symbolic Directed Graph (SDG, Definition 5).
+
+use soap_ir::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One edge of the SDG: data flows from `from` into `to` through `statement`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SdgEdge {
+    /// Source array (an input of the statement).
+    pub from: String,
+    /// Destination array (the output of the statement).
+    pub to: String,
+    /// The statement generating the edge.
+    pub statement: String,
+}
+
+/// The Symbolic Directed Graph of a program: vertices are arrays, edges are
+/// per-statement data dependencies.  Self-edges (update statements) are kept.
+#[derive(Clone, Debug, Default)]
+pub struct Sdg {
+    /// All array names in first-appearance order.
+    pub vertices: Vec<String>,
+    /// Read-only arrays (the input set `I ⊂ V_S`).
+    pub inputs: BTreeSet<String>,
+    /// Arrays written by at least one statement.
+    pub computed: Vec<String>,
+    /// Edges (deduplicated).
+    pub edges: Vec<SdgEdge>,
+    adjacency: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Sdg {
+    /// Build the SDG of a program.
+    pub fn from_program(program: &Program) -> Sdg {
+        let arrays = program.arrays();
+        let vertices: Vec<String> = arrays.iter().map(|a| a.name.clone()).collect();
+        let inputs: BTreeSet<String> = arrays
+            .iter()
+            .filter(|a| a.read_only)
+            .map(|a| a.name.clone())
+            .collect();
+        let computed: Vec<String> = arrays
+            .iter()
+            .filter(|a| a.written)
+            .map(|a| a.name.clone())
+            .collect();
+        let mut edges = Vec::new();
+        let mut adjacency: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for st in &program.statements {
+            let to = st.output_array().to_string();
+            for from in st.input_arrays() {
+                let e = SdgEdge { from: from.clone(), to: to.clone(), statement: st.name.clone() };
+                if !edges.contains(&e) {
+                    edges.push(e);
+                }
+                adjacency.entry(from.clone()).or_default().insert(to.clone());
+                adjacency.entry(to.clone()).or_default().insert(from.clone());
+            }
+        }
+        Sdg { vertices, inputs, computed, edges, adjacency }
+    }
+
+    /// Undirected neighbours of an array (used for connected-subgraph
+    /// enumeration; two computed arrays sharing only an *input* array — e.g.
+    /// the two halves of `mvt` sharing the matrix `A` — are still considered
+    /// adjacent through that input).
+    pub fn neighbours(&self, array: &str) -> BTreeSet<String> {
+        let mut out: BTreeSet<String> = self
+            .adjacency
+            .get(array)
+            .cloned()
+            .unwrap_or_default();
+        // Add two-hop neighbours through read-only arrays.
+        for mid in self.adjacency.get(array).cloned().unwrap_or_default() {
+            if self.inputs.contains(&mid) {
+                if let Some(next) = self.adjacency.get(&mid) {
+                    out.extend(next.iter().cloned());
+                }
+            }
+        }
+        out.remove(array);
+        out
+    }
+
+    /// Number of SDG vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of SDG edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap_ir::ProgramBuilder;
+
+    fn figure2() -> Program {
+        ProgramBuilder::new("figure2")
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "M")])
+                    .write("C", "i,j")
+                    .read_multi("A", &["i", "i+1"])
+                    .read_multi("B", &["j", "j+1"])
+            })
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "K"), ("k", "0", "M")])
+                    .update("E", "i,j")
+                    .read("C", "i,k")
+                    .read("D", "k,j")
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure2_sdg_structure() {
+        let sdg = Sdg::from_program(&figure2());
+        assert_eq!(sdg.num_vertices(), 5);
+        assert_eq!(sdg.inputs.iter().cloned().collect::<Vec<_>>(), vec!["A", "B", "D"]);
+        assert_eq!(sdg.computed, vec!["C", "E"]);
+        // Edges: A→C, B→C, C→E, D→E, E→E (self edge from the update).
+        assert_eq!(sdg.num_edges(), 5);
+        assert!(sdg.edges.iter().any(|e| e.from == "E" && e.to == "E"));
+    }
+
+    #[test]
+    fn neighbours_cross_read_only_arrays() {
+        // mvt-like: x1 += A·y1, x2 += Aᵀ·y2 — x1 and x2 are adjacent through A.
+        let p = ProgramBuilder::new("mvt")
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                    .update("x1", "i")
+                    .read("A", "i,j")
+                    .read("y1", "j")
+            })
+            .statement(|st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N")])
+                    .update("x2", "i")
+                    .read("A", "j,i")
+                    .read("y2", "j")
+            })
+            .build()
+            .unwrap();
+        let sdg = Sdg::from_program(&p);
+        assert!(sdg.neighbours("x1").contains("x2"));
+        assert!(sdg.neighbours("x2").contains("x1"));
+    }
+}

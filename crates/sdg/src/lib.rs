@@ -1,0 +1,31 @@
+//! # soap-sdg
+//!
+//! Multi-statement SOAP analysis through the **Symbolic Directed Graph**
+//! (Section 6 of the paper).
+//!
+//! I/O lower bounds do not compose: fusing statements can reuse intermediate
+//! arrays and recompute values, lowering the total I/O below the sum of the
+//! per-statement bounds.  The SDG models this: every array is a vertex, every
+//! producer→consumer relation an edge.  For every (connected) subgraph `H` of
+//! computed arrays we build the *subgraph SOAP statement* `St_H` — the fusion
+//! of the statements writing arrays in `H`, whose inputs are only the arrays
+//! outside `H` plus the per-statement accumulation-chain terms — and solve its
+//! intensity `ρ_H` with `soap-core`.  Theorem 1 then yields
+//!
+//! ```text
+//!     Q  ≥  Σ_{A ∈ computed arrays}  |A| / max_{H ∋ A} ρ_H .
+//! ```
+//!
+//! Subgraph evaluation is embarrassingly parallel and runs under rayon.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod graph;
+pub mod merge;
+pub mod subgraphs;
+
+pub use analysis::{analyze_program, analyze_program_with, ArrayBound, ProgramAnalysis, SdgOptions};
+pub use graph::{Sdg, SdgEdge};
+pub use merge::merged_model;
+pub use subgraphs::enumerate_connected_subgraphs;

@@ -1,0 +1,146 @@
+//! Enumeration of the SDG subgraphs to evaluate.
+//!
+//! The worst case is exponential (the paper notes scaling to ~35 statements in
+//! practice); we restrict enumeration to *connected* subsets of computed
+//! arrays (connectivity through shared read-only arrays counts, so the two
+//! halves of `mvt` form a valid pair) up to a configurable size, plus every
+//! singleton.  A hard cap on the total number of subgraphs keeps degenerate
+//! cases (fully-connected SDGs of large networks) bounded; when the cap is hit
+//! the analysis notes that the reported bound may be looser than optimal.
+
+use crate::graph::Sdg;
+use std::collections::BTreeSet;
+
+/// Enumerate connected subsets of the computed arrays of `sdg`, each of size
+/// at most `max_size`, capped at roughly `max_count` subsets (singletons are
+/// always included and never dropped).
+///
+/// The enumeration is breadth-first over set size: level `k+1` is produced by
+/// extending every level-`k` set with one neighbouring computed array.  Sets
+/// are kept in sorted order and deduplicated, so the result contains every
+/// connected subset up to the size/count limits exactly once.
+pub fn enumerate_connected_subgraphs(
+    sdg: &Sdg,
+    max_size: usize,
+    max_count: usize,
+) -> Vec<Vec<String>> {
+    let computed: BTreeSet<String> = sdg.computed.iter().cloned().collect();
+    let singletons: Vec<Vec<String>> = sdg.computed.iter().map(|a| vec![a.clone()]).collect();
+    let mut seen: BTreeSet<Vec<String>> = singletons.iter().cloned().collect();
+    let mut out: Vec<Vec<String>> = singletons.clone();
+    let mut frontier = singletons;
+    let mut truncated = false;
+
+    for _size in 2..=max_size {
+        if frontier.is_empty() || truncated {
+            break;
+        }
+        let mut next: Vec<Vec<String>> = Vec::new();
+        'outer: for set in &frontier {
+            // All computed neighbours of the current set.
+            let mut candidates: BTreeSet<String> = BTreeSet::new();
+            for v in set {
+                for n in sdg.neighbours(v) {
+                    if computed.contains(&n) && !set.contains(&n) {
+                        candidates.insert(n);
+                    }
+                }
+            }
+            for cand in candidates {
+                let mut extended = set.clone();
+                extended.push(cand);
+                extended.sort();
+                if seen.insert(extended.clone()) {
+                    out.push(extended.clone());
+                    next.push(extended);
+                    if out.len() >= max_count {
+                        truncated = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// True if the subgraph cap was reached for the given inputs (re-runs the
+/// counting logic cheaply; used by the analysis to attach a warning note).
+pub fn enumeration_truncated(sdg: &Sdg, max_size: usize, max_count: usize) -> bool {
+    enumerate_connected_subgraphs(sdg, max_size, max_count).len() >= max_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap_ir::ProgramBuilder;
+
+    fn chain(n: usize) -> Sdg {
+        // A chain of n statements: B1 = f(A0), B2 = f(B1), ...
+        let mut b = ProgramBuilder::new("chain");
+        for s in 0..n {
+            let src = if s == 0 { "A0".to_string() } else { format!("B{}", s) };
+            let dst = format!("B{}", s + 1);
+            b = b.statement(move |st| {
+                st.loops(&[("i", "0", "N")])
+                    .write(&dst, "i")
+                    .read(&src, "i")
+            });
+        }
+        Sdg::from_program(&b.build().unwrap())
+    }
+
+    #[test]
+    fn singletons_are_always_present() {
+        let sdg = chain(4);
+        let subs = enumerate_connected_subgraphs(&sdg, 1, 1000);
+        assert_eq!(subs.len(), 4);
+    }
+
+    #[test]
+    fn chain_has_contiguous_windows() {
+        // Connected subsets of a path graph are exactly its contiguous windows:
+        // n singletons + (n-1) pairs + (n-2) triples ... up to max_size.
+        let sdg = chain(5);
+        let subs = enumerate_connected_subgraphs(&sdg, 3, 10_000);
+        let singles = subs.iter().filter(|s| s.len() == 1).count();
+        let pairs = subs.iter().filter(|s| s.len() == 2).count();
+        let triples = subs.iter().filter(|s| s.len() == 3).count();
+        assert_eq!(singles, 5);
+        assert_eq!(pairs, 4);
+        assert_eq!(triples, 3);
+    }
+
+    #[test]
+    fn no_duplicate_subsets() {
+        let sdg = chain(6);
+        let subs = enumerate_connected_subgraphs(&sdg, 4, 10_000);
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &subs {
+            assert!(seen.insert(s.clone()), "duplicate subset {s:?}");
+        }
+    }
+
+    #[test]
+    fn cap_limits_output() {
+        let sdg = chain(30);
+        let subs = enumerate_connected_subgraphs(&sdg, 8, 50);
+        assert!(subs.len() <= 50);
+        assert!(enumeration_truncated(&sdg, 8, 50));
+        assert!(!enumeration_truncated(&sdg, 2, 10_000));
+    }
+
+    #[test]
+    fn star_topology_through_shared_input() {
+        // Two independent consumers of the same read-only array are adjacent.
+        let p = ProgramBuilder::new("star")
+            .statement(|st| st.loops(&[("i", "0", "N")]).write("B", "i").read("A", "i"))
+            .statement(|st| st.loops(&[("i", "0", "N")]).write("C", "i").read("A", "i"))
+            .build()
+            .unwrap();
+        let sdg = Sdg::from_program(&p);
+        let subs = enumerate_connected_subgraphs(&sdg, 2, 100);
+        assert!(subs.contains(&vec!["B".to_string(), "C".to_string()]));
+    }
+}

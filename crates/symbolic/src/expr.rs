@@ -1,0 +1,805 @@
+//! Symbolic expressions.
+//!
+//! [`Expr`] is a small computer-algebra core tailored to the needs of the
+//! SOAP analysis: dominator-set size formulas, computational intensities and
+//! final I/O bounds are sums/products of symbols with *rational* exponents
+//! (√S, ∛S, …), occasionally wrapped in `max`/`min` for conditional bounds
+//! (Section 5.3 of the paper).
+
+use crate::rational::Rational;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic expression in canonical (simplified) form.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Expr {
+    /// A rational constant.
+    Num(Rational),
+    /// A named symbol (loop extent, memory size `S`, tile size, …).
+    Sym(String),
+    /// A sum of at least two terms.
+    Add(Vec<Expr>),
+    /// A product of at least two factors.
+    Mul(Vec<Expr>),
+    /// A base raised to a rational power.
+    Pow(Box<Expr>, Rational),
+    /// The pointwise maximum of its arguments.
+    Max(Vec<Expr>),
+    /// The pointwise minimum of its arguments.
+    Min(Vec<Expr>),
+}
+
+impl Expr {
+    /// The constant 0.
+    pub fn zero() -> Expr {
+        Expr::Num(Rational::ZERO)
+    }
+
+    /// The constant 1.
+    pub fn one() -> Expr {
+        Expr::Num(Rational::ONE)
+    }
+
+    /// An integer constant.
+    pub fn int(n: i64) -> Expr {
+        Expr::Num(Rational::int(n as i128))
+    }
+
+    /// A rational constant.
+    pub fn num(r: Rational) -> Expr {
+        Expr::Num(r)
+    }
+
+    /// A symbol.
+    pub fn sym(name: impl Into<String>) -> Expr {
+        Expr::Sym(name.into())
+    }
+
+    /// Sum of an iterator of expressions (simplified).
+    pub fn sum<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        let mut acc = Expr::zero();
+        for it in items {
+            acc = acc.add(it);
+        }
+        acc
+    }
+
+    /// Product of an iterator of expressions (simplified).
+    pub fn product<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        let mut acc = Expr::one();
+        for it in items {
+            acc = acc.mul(it);
+        }
+        acc
+    }
+
+    /// True if this expression is the constant zero.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Expr::Num(r) if r.is_zero())
+    }
+
+    /// True if this expression is the constant one.
+    pub fn is_one(&self) -> bool {
+        matches!(self, Expr::Num(r) if r.is_one())
+    }
+
+    /// Return the constant value if the expression is a number.
+    pub fn as_num(&self) -> Option<Rational> {
+        match self {
+            Expr::Num(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Addition with simplification.
+    pub fn add(self, rhs: Expr) -> Expr {
+        simplify_add(vec![self, rhs])
+    }
+
+    /// Subtraction with simplification.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.add(rhs.neg())
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Expr {
+        Expr::int(-1).mul(self)
+    }
+
+    /// Multiplication with simplification.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        simplify_mul(vec![self, rhs])
+    }
+
+    /// Division with simplification.
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.mul(rhs.pow(Rational::int(-1)))
+    }
+
+    /// Raise to a rational power, with simplification.
+    pub fn pow(self, e: Rational) -> Expr {
+        if e.is_zero() {
+            return Expr::one();
+        }
+        if e.is_one() {
+            return self;
+        }
+        match self {
+            Expr::Num(r) => {
+                if e.is_integer() {
+                    Expr::Num(r.pow_i(e.numer() as i64))
+                } else if r.is_one() {
+                    Expr::one()
+                } else if r.is_zero() && e.is_positive() {
+                    Expr::zero()
+                } else {
+                    Expr::Pow(Box::new(Expr::Num(r)), e)
+                }
+            }
+            Expr::Pow(base, e0) => base.pow(e0 * e),
+            Expr::Mul(factors) => {
+                Expr::product(factors.into_iter().map(|f| f.pow(e)))
+            }
+            other => Expr::Pow(Box::new(other), e),
+        }
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Expr {
+        self.pow(Rational::new(1, 2))
+    }
+
+    /// Pointwise maximum of two expressions.
+    pub fn max(self, rhs: Expr) -> Expr {
+        if self == rhs {
+            return self;
+        }
+        if let (Some(a), Some(b)) = (self.as_num(), rhs.as_num()) {
+            return Expr::Num(a.max(b));
+        }
+        let mut items = Vec::new();
+        for e in [self, rhs] {
+            match e {
+                Expr::Max(v) => items.extend(v),
+                other => items.push(other),
+            }
+        }
+        items.sort();
+        items.dedup();
+        if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Expr::Max(items)
+        }
+    }
+
+    /// Pointwise minimum of two expressions.
+    pub fn min(self, rhs: Expr) -> Expr {
+        if self == rhs {
+            return self;
+        }
+        if let (Some(a), Some(b)) = (self.as_num(), rhs.as_num()) {
+            return Expr::Num(a.min(b));
+        }
+        let mut items = Vec::new();
+        for e in [self, rhs] {
+            match e {
+                Expr::Min(v) => items.extend(v),
+                other => items.push(other),
+            }
+        }
+        items.sort();
+        items.dedup();
+        if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Expr::Min(items)
+        }
+    }
+
+    /// Evaluate numerically under the given symbol bindings.
+    ///
+    /// Returns `None` if a symbol is unbound or a negative base is raised to a
+    /// fractional power.
+    pub fn eval(&self, bindings: &BTreeMap<String, f64>) -> Option<f64> {
+        match self {
+            Expr::Num(r) => Some(r.to_f64()),
+            Expr::Sym(s) => bindings.get(s).copied(),
+            Expr::Add(items) => {
+                let mut acc = 0.0;
+                for it in items {
+                    acc += it.eval(bindings)?;
+                }
+                Some(acc)
+            }
+            Expr::Mul(items) => {
+                let mut acc = 1.0;
+                for it in items {
+                    acc *= it.eval(bindings)?;
+                }
+                Some(acc)
+            }
+            Expr::Pow(base, e) => {
+                let b = base.eval(bindings)?;
+                let ef = e.to_f64();
+                if b < 0.0 && !e.is_integer() {
+                    return None;
+                }
+                Some(b.powf(ef))
+            }
+            Expr::Max(items) => {
+                let mut acc = f64::NEG_INFINITY;
+                for it in items {
+                    acc = acc.max(it.eval(bindings)?);
+                }
+                Some(acc)
+            }
+            Expr::Min(items) => {
+                let mut acc = f64::INFINITY;
+                for it in items {
+                    acc = acc.min(it.eval(bindings)?);
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    /// Substitute `sym := value` and re-simplify.
+    pub fn subs(&self, sym: &str, value: &Expr) -> Expr {
+        match self {
+            Expr::Num(_) => self.clone(),
+            Expr::Sym(s) => {
+                if s == sym {
+                    value.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Add(items) => Expr::sum(items.iter().map(|i| i.subs(sym, value))),
+            Expr::Mul(items) => Expr::product(items.iter().map(|i| i.subs(sym, value))),
+            Expr::Pow(base, e) => base.subs(sym, value).pow(*e),
+            Expr::Max(items) => {
+                let mut it = items.iter().map(|i| i.subs(sym, value));
+                let first = it.next().expect("Max has at least two items");
+                it.fold(first, |a, b| a.max(b))
+            }
+            Expr::Min(items) => {
+                let mut it = items.iter().map(|i| i.subs(sym, value));
+                let first = it.next().expect("Min has at least two items");
+                it.fold(first, |a, b| a.min(b))
+            }
+        }
+    }
+
+    /// Partial derivative with respect to `sym`.
+    ///
+    /// `Max`/`Min` are not differentiable; callers must eliminate them first
+    /// (the analysis branches over conditional cases before optimizing).
+    pub fn diff(&self, sym: &str) -> Expr {
+        match self {
+            Expr::Num(_) => Expr::zero(),
+            Expr::Sym(s) => {
+                if s == sym {
+                    Expr::one()
+                } else {
+                    Expr::zero()
+                }
+            }
+            Expr::Add(items) => Expr::sum(items.iter().map(|i| i.diff(sym))),
+            Expr::Mul(items) => {
+                // Product rule over n factors.
+                let mut out = Expr::zero();
+                for (i, fi) in items.iter().enumerate() {
+                    let mut term = fi.diff(sym);
+                    for (j, fj) in items.iter().enumerate() {
+                        if i != j {
+                            term = term.mul(fj.clone());
+                        }
+                    }
+                    out = out.add(term);
+                }
+                out
+            }
+            Expr::Pow(base, e) => {
+                // d/dx b^e = e * b^(e-1) * b'
+                let b_prime = base.diff(sym);
+                Expr::num(*e)
+                    .mul(base.clone().pow(*e - Rational::ONE))
+                    .mul(b_prime)
+            }
+            Expr::Max(_) | Expr::Min(_) => {
+                panic!("cannot differentiate Max/Min expressions; resolve conditional cases first")
+            }
+        }
+    }
+
+    /// Distribute products over sums and re-simplify, producing a flat sum of
+    /// monomial-like terms.
+    ///
+    /// Expansion collects like terms exactly (rational arithmetic), which
+    /// eliminates the catastrophic cancellation that the factored Lemma-3
+    /// expressions `2·∏E − ∏(E − t̂)` would otherwise suffer when evaluated in
+    /// floating point at large tile extents.  `Max`/`Min` nodes are treated as
+    /// atomic factors.
+    pub fn expand(&self) -> Expr {
+        match self {
+            Expr::Num(_) | Expr::Sym(_) => self.clone(),
+            Expr::Add(items) => Expr::sum(items.iter().map(|i| i.expand())),
+            Expr::Pow(base, e) => {
+                // Expand integer powers of sums by repeated distribution.
+                let b = base.expand();
+                if e.is_integer() && e.is_positive() && matches!(b, Expr::Add(_)) {
+                    let n = e.numer() as usize;
+                    distribute(std::iter::repeat(b).take(n))
+                } else {
+                    b.pow(*e)
+                }
+            }
+            Expr::Mul(items) => distribute(items.iter().map(|i| i.expand())),
+            Expr::Max(items) => {
+                let mut it = items.iter().map(|i| i.expand());
+                let first = it.next().expect("Max has at least two items");
+                it.fold(first, |a, b| a.max(b))
+            }
+            Expr::Min(items) => {
+                let mut it = items.iter().map(|i| i.expand());
+                let first = it.next().expect("Min has at least two items");
+                it.fold(first, |a, b| a.min(b))
+            }
+        }
+    }
+
+    /// Collect the set of free symbols.
+    pub fn symbols(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Sym(s) => out.push(s.clone()),
+            Expr::Add(items) | Expr::Mul(items) | Expr::Max(items) | Expr::Min(items) => {
+                for i in items {
+                    i.collect_symbols(out);
+                }
+            }
+            Expr::Pow(base, _) => base.collect_symbols(out),
+        }
+    }
+
+    /// Split into `(coefficient, non-constant factors)` — useful for collecting
+    /// like terms and for leading-term extraction.
+    fn split_coeff(&self) -> (Rational, Vec<Expr>) {
+        match self {
+            Expr::Num(r) => (*r, vec![]),
+            Expr::Mul(items) => {
+                let mut coeff = Rational::ONE;
+                let mut rest = Vec::new();
+                for it in items {
+                    match it {
+                        Expr::Num(r) => coeff *= *r,
+                        other => rest.push(other.clone()),
+                    }
+                }
+                (coeff, rest)
+            }
+            other => (Rational::ONE, vec![other.clone()]),
+        }
+    }
+
+    /// Total degree of the expression treating every symbol in `size_syms` as
+    /// degree 1 and everything else as degree 0.  For sums, the maximum over
+    /// terms; used for leading-order extraction.
+    pub fn degree_in(&self, size_syms: &[String]) -> Rational {
+        match self {
+            Expr::Num(_) => Rational::ZERO,
+            Expr::Sym(s) => {
+                if size_syms.iter().any(|x| x == s) {
+                    Rational::ONE
+                } else {
+                    Rational::ZERO
+                }
+            }
+            Expr::Add(items) | Expr::Max(items) | Expr::Min(items) => items
+                .iter()
+                .map(|i| i.degree_in(size_syms))
+                .max()
+                .unwrap_or(Rational::ZERO),
+            Expr::Mul(items) => items
+                .iter()
+                .map(|i| i.degree_in(size_syms))
+                .fold(Rational::ZERO, |a, b| a + b),
+            Expr::Pow(base, e) => base.degree_in(size_syms) * *e,
+        }
+    }
+
+    /// Keep only the terms of maximal total degree in `size_syms` (the leading
+    /// order as all listed symbols go to infinity at the same rate).
+    pub fn leading_term(&self, size_syms: &[String]) -> Expr {
+        match self {
+            Expr::Add(items) => {
+                let degrees: Vec<Rational> =
+                    items.iter().map(|i| i.degree_in(size_syms)).collect();
+                let max_deg = degrees.iter().cloned().max().unwrap_or(Rational::ZERO);
+                Expr::sum(
+                    items
+                        .iter()
+                        .zip(degrees)
+                        .filter(|(_, d)| *d == max_deg)
+                        .map(|(i, _)| i.clone()),
+                )
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// Distribute a product of (already expanded) factors over their sums,
+/// producing a flat sum of term-by-term products.  Individual addends are not
+/// sums themselves, so the term-level multiplications cannot re-create a
+/// power of a sum and recursion terminates.
+fn distribute<I: IntoIterator<Item = Expr>>(factors: I) -> Expr {
+    let mut acc: Vec<Expr> = vec![Expr::one()];
+    for factor in factors {
+        let addends: Vec<Expr> = match factor {
+            Expr::Add(terms) => terms,
+            other => vec![other],
+        };
+        let mut next = Vec::with_capacity(acc.len() * addends.len());
+        for a in &acc {
+            for b in &addends {
+                next.push(a.clone().mul(b.clone()));
+            }
+        }
+        acc = next;
+    }
+    Expr::sum(acc)
+}
+
+/// Flatten and simplify a sum: fold constants and collect like terms.
+fn simplify_add(items: Vec<Expr>) -> Expr {
+    let mut flat = Vec::new();
+    for it in items {
+        match it {
+            Expr::Add(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    // Collect like terms keyed on the non-constant part of each term.
+    let mut constant = Rational::ZERO;
+    let mut terms: BTreeMap<Vec<Expr>, Rational> = BTreeMap::new();
+    for it in flat {
+        let (coeff, rest) = it.split_coeff();
+        if rest.is_empty() {
+            constant += coeff;
+        } else {
+            *terms.entry(rest).or_insert(Rational::ZERO) += coeff;
+        }
+    }
+    let mut out: Vec<Expr> = Vec::new();
+    for (rest, coeff) in terms {
+        if coeff.is_zero() {
+            continue;
+        }
+        let body = if rest.len() == 1 {
+            rest.into_iter().next().unwrap()
+        } else {
+            Expr::Mul(rest)
+        };
+        if coeff.is_one() {
+            out.push(body);
+        } else {
+            out.push(simplify_mul(vec![Expr::Num(coeff), body]));
+        }
+    }
+    if !constant.is_zero() {
+        out.push(Expr::Num(constant));
+    }
+    match out.len() {
+        0 => Expr::zero(),
+        1 => out.pop().unwrap(),
+        _ => {
+            out.sort();
+            Expr::Add(out)
+        }
+    }
+}
+
+/// Flatten and simplify a product: fold constants and combine equal bases.
+fn simplify_mul(items: Vec<Expr>) -> Expr {
+    let mut flat = Vec::new();
+    for it in items {
+        match it {
+            Expr::Mul(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    let mut coeff = Rational::ONE;
+    // base -> exponent
+    let mut powers: BTreeMap<Expr, Rational> = BTreeMap::new();
+    let mut others: Vec<Expr> = Vec::new();
+    for it in flat {
+        match it {
+            Expr::Num(r) => {
+                if r.is_zero() {
+                    return Expr::zero();
+                }
+                coeff *= r;
+            }
+            Expr::Pow(base, e) => {
+                *powers.entry(*base).or_insert(Rational::ZERO) += e;
+            }
+            Expr::Sym(_) | Expr::Add(_) | Expr::Max(_) | Expr::Min(_) => {
+                *powers.entry(it).or_insert(Rational::ZERO) += Rational::ONE;
+            }
+            Expr::Mul(_) => unreachable!("flattened above"),
+        }
+    }
+    for (base, e) in powers {
+        if e.is_zero() {
+            continue;
+        }
+        let p = base.pow(e);
+        match p {
+            Expr::Num(r) => coeff *= r,
+            other => others.push(other),
+        }
+    }
+    if coeff.is_zero() {
+        return Expr::zero();
+    }
+    let mut out = Vec::new();
+    if !coeff.is_one() {
+        out.push(Expr::Num(coeff));
+    }
+    others.sort();
+    out.extend(others);
+    match out.len() {
+        0 => Expr::one(),
+        1 => out.pop().unwrap(),
+        _ => Expr::Mul(out),
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn needs_parens_in_product(e: &Expr) -> bool {
+            matches!(e, Expr::Add(_))
+        }
+        match self {
+            Expr::Num(r) => write!(f, "{}", r),
+            Expr::Sym(s) => write!(f, "{}", s),
+            Expr::Add(items) => {
+                // Print non-constant terms first and the constant last
+                // ("N - 1" rather than "-1 + N"); the canonical internal order
+                // sorts numbers first, which reads poorly.
+                let (consts, mut ordered): (Vec<&Expr>, Vec<&Expr>) =
+                    items.iter().partition(|e| matches!(e, Expr::Num(_)));
+                ordered.extend(consts);
+                let mut first = true;
+                for it in ordered {
+                    let (coeff, _) = it.split_coeff();
+                    if first {
+                        write!(f, "{}", it)?;
+                        first = false;
+                    } else if coeff.is_negative() {
+                        // Render "+ -x" as "- x" by negating the term.
+                        write!(f, " - {}", it.clone().neg())?;
+                    } else {
+                        write!(f, " + {}", it)?;
+                    }
+                }
+                Ok(())
+            }
+            Expr::Mul(items) => {
+                // Separate negative-exponent factors into a denominator.
+                let mut num_parts: Vec<String> = Vec::new();
+                let mut den_parts: Vec<String> = Vec::new();
+                for it in items {
+                    match it {
+                        Expr::Pow(base, e) if e.is_negative() => {
+                            let inv = base.clone().pow(-*e);
+                            if needs_parens_in_product(&inv) {
+                                den_parts.push(format!("({})", inv));
+                            } else {
+                                den_parts.push(format!("{}", inv));
+                            }
+                        }
+                        other => {
+                            if needs_parens_in_product(other) {
+                                num_parts.push(format!("({})", other));
+                            } else {
+                                num_parts.push(format!("{}", other));
+                            }
+                        }
+                    }
+                }
+                let num = if num_parts.is_empty() {
+                    "1".to_string()
+                } else {
+                    num_parts.join("*")
+                };
+                if den_parts.is_empty() {
+                    write!(f, "{}", num)
+                } else if den_parts.len() == 1 {
+                    write!(f, "{}/{}", num, den_parts[0])
+                } else {
+                    write!(f, "{}/({})", num, den_parts.join("*"))
+                }
+            }
+            Expr::Pow(base, e) => {
+                let b = if matches!(
+                    **base,
+                    Expr::Add(_) | Expr::Mul(_) | Expr::Pow(_, _)
+                ) {
+                    format!("({})", base)
+                } else {
+                    format!("{}", base)
+                };
+                if *e == Rational::new(1, 2) {
+                    write!(f, "sqrt({})", base)
+                } else if *e == Rational::new(-1, 2) {
+                    write!(f, "1/sqrt({})", base)
+                } else if e.is_integer() {
+                    write!(f, "{}^{}", b, e.numer())
+                } else {
+                    write!(f, "{}^({})", b, e)
+                }
+            }
+            Expr::Max(items) => {
+                let parts: Vec<String> = items.iter().map(|i| format!("{}", i)).collect();
+                write!(f, "max({})", parts.join(", "))
+            }
+            Expr::Min(items) => {
+                let parts: Vec<String> = items.iter().map(|i| format!("{}", i)).collect();
+                write!(f, "min({})", parts.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n() -> Expr {
+        Expr::sym("N")
+    }
+    fn s() -> Expr {
+        Expr::sym("S")
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Expr::int(2).add(Expr::int(3)), Expr::int(5));
+        assert_eq!(Expr::int(2).mul(Expr::int(3)), Expr::int(6));
+        assert_eq!(Expr::int(2).pow(Rational::int(10)), Expr::int(1024));
+        assert!(Expr::int(5).sub(Expr::int(5)).is_zero());
+    }
+
+    #[test]
+    fn like_terms_collect() {
+        let e = n().add(n()).add(n());
+        assert_eq!(e, Expr::int(3).mul(n()));
+        let e2 = n().mul(Expr::int(2)).sub(n().mul(Expr::int(2)));
+        assert!(e2.is_zero());
+    }
+
+    #[test]
+    fn powers_combine() {
+        let e = n().mul(n());
+        assert_eq!(e, n().pow(Rational::int(2)));
+        let e2 = n().pow(Rational::new(1, 2)).mul(n().pow(Rational::new(1, 2)));
+        assert_eq!(e2, n());
+        let e3 = n().div(n());
+        assert!(e3.is_one());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        // 2*N^3 / sqrt(S)
+        let bound = Expr::int(2)
+            .mul(n().pow(Rational::int(3)))
+            .div(s().sqrt());
+        assert_eq!(format!("{}", bound), "2*N^3/sqrt(S)");
+        let diff = n().sub(Expr::one());
+        assert_eq!(format!("{}", diff), "N - 1");
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let mut b = BTreeMap::new();
+        b.insert("N".to_string(), 10.0);
+        b.insert("S".to_string(), 4.0);
+        let bound = Expr::int(2)
+            .mul(n().pow(Rational::int(3)))
+            .div(s().sqrt());
+        assert!((bound.eval(&b).unwrap() - 1000.0).abs() < 1e-9);
+        assert_eq!(Expr::sym("unbound").eval(&b), None);
+    }
+
+    #[test]
+    fn differentiation_of_products_and_powers() {
+        // d/dN (N^2 * S) = 2 N S
+        let e = n().pow(Rational::int(2)).mul(s());
+        let d = e.diff("N");
+        assert_eq!(d, Expr::int(2).mul(n()).mul(s()));
+        // d/dN sqrt(N) = 1/2 * N^(-1/2)
+        let d2 = n().sqrt().diff("N");
+        let expected = Expr::num(Rational::new(1, 2)).mul(n().pow(Rational::new(-1, 2)));
+        assert_eq!(d2, expected);
+    }
+
+    #[test]
+    fn substitution() {
+        let e = n().pow(Rational::int(2)).add(s());
+        let sub = e.subs("N", &Expr::int(3));
+        assert_eq!(sub, Expr::int(9).add(s()));
+    }
+
+    #[test]
+    fn leading_term_extraction() {
+        // N^2 + 3N + S  with size symbol N -> N^2
+        let e = n()
+            .pow(Rational::int(2))
+            .add(Expr::int(3).mul(n()))
+            .add(s());
+        let lead = e.leading_term(&["N".to_string()]);
+        assert_eq!(lead, n().pow(Rational::int(2)));
+    }
+
+    #[test]
+    fn expansion_cancels_exactly() {
+        // N*M - (N-2)*(M-1)  =  N + 2*M - 2
+        let g = n()
+            .mul(Expr::sym("M"))
+            .sub(n().sub(Expr::int(2)).mul(Expr::sym("M").sub(Expr::one())));
+        let expanded = g.expand();
+        let expected = n()
+            .add(Expr::int(2).mul(Expr::sym("M")))
+            .sub(Expr::int(2));
+        assert_eq!(expanded, expected);
+        // (N+1)^3 expands to N^3 + 3N^2 + 3N + 1.
+        let cube = n().add(Expr::one()).pow(Rational::int(3)).expand();
+        let mut b = BTreeMap::new();
+        b.insert("N".to_string(), 5.0);
+        assert_eq!(cube.eval(&b).unwrap(), 216.0);
+        assert!(matches!(cube, Expr::Add(ref v) if v.len() == 4));
+    }
+
+    #[test]
+    fn expansion_keeps_max_atomic() {
+        let e = n().max(s()).mul(n().add(Expr::one())).expand();
+        // max(N,S)*N + max(N,S): two terms, Max preserved as a factor.
+        let mut b = BTreeMap::new();
+        b.insert("N".to_string(), 3.0);
+        b.insert("S".to_string(), 10.0);
+        assert_eq!(e.eval(&b).unwrap(), 40.0);
+    }
+
+    #[test]
+    fn max_min_fold_constants_and_dedup() {
+        assert_eq!(Expr::int(3).max(Expr::int(5)), Expr::int(5));
+        assert_eq!(n().max(n()), n());
+        let m = n().max(s());
+        assert!(matches!(m, Expr::Max(ref v) if v.len() == 2));
+        assert_eq!(Expr::int(3).min(Expr::int(5)), Expr::int(3));
+    }
+
+    #[test]
+    fn symbols_are_collected() {
+        let e = n().mul(s()).add(Expr::sym("M"));
+        assert_eq!(e.symbols(), vec!["M".to_string(), "N".to_string(), "S".to_string()]);
+    }
+}

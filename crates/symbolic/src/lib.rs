@@ -1,0 +1,36 @@
+//! # soap-symbolic
+//!
+//! Exact rational and symbolic math substrate for the SOAP I/O lower-bound
+//! analysis.  The paper ("Pebbles, Graphs, and a Pinch of Combinatorics",
+//! SPAA 2021) performs its derivations with the MATLAB symbolic toolbox; this
+//! crate provides the equivalent machinery from scratch:
+//!
+//! * [`Rational`] — exact arithmetic over `i128`.
+//! * [`Expr`] — symbolic expressions (sums, products, rational powers, min/max)
+//!   with simplification, differentiation, substitution, and evaluation.
+//! * [`Polynomial`] — sparse multivariate polynomials, used for exact
+//!   iteration-domain counting (including Faulhaber summation over affine
+//!   bounds, which handles triangular loop nests such as Cholesky or LU).
+//! * [`lp`] — a small exact-rational simplex solver for the access-exponent LP
+//!   that determines the exponent σ of `χ(X) = c·X^σ`.
+//! * [`opt`] — the numeric KKT solver for the constrained product maximization
+//!   (optimization problem (8) of the paper) and the power-law fitting that
+//!   recovers the constant `c`.
+//! * [`closed_form`] — recognition of fitted constants as low-degree algebraic
+//!   numbers so that bounds print like the paper's (`2N³/√S`, `12N²T/√S`, …).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closed_form;
+pub mod expr;
+pub mod lp;
+pub mod opt;
+pub mod poly;
+pub mod rational;
+
+pub use closed_form::ClosedForm;
+pub use expr::Expr;
+pub use lp::LinearProgram;
+pub use opt::{ConstrainedProduct, PowerLaw};
+pub use poly::{Monomial, Polynomial};
+pub use rational::Rational;

@@ -1,0 +1,345 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The analysis only ever manipulates small constants (offsets, coefficients,
+//! LP tableau entries), so an `i128`-backed rational with checked
+//! normalization is ample; overflow panics loudly instead of silently
+//! corrupting a bound.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational 0.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational 1.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Create a rational from a numerator and denominator.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Create an integer rational.
+    pub fn int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True if this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.num == 1 && self.den == 1
+    }
+
+    /// True if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// True if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Convert to a floating-point approximation.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "division by zero rational");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Integer power (supports negative exponents for non-zero values).
+    pub fn pow_i(&self, e: i64) -> Self {
+        if e == 0 {
+            return Rational::ONE;
+        }
+        let base = if e < 0 { self.recip() } else { *self };
+        let mut out = Rational::ONE;
+        for _ in 0..e.unsigned_abs() {
+            out *= base;
+        }
+        out
+    }
+
+    /// Floor of the rational as an integer.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Approximate a float by a rational with denominator at most `max_den`,
+    /// returning `None` if no rational within `tol` exists.
+    ///
+    /// Uses the Stern–Brocot / continued-fraction expansion, which yields the
+    /// best rational approximations first.
+    pub fn approximate(value: f64, max_den: i128, tol: f64) -> Option<Rational> {
+        if !value.is_finite() {
+            return None;
+        }
+        let sign = if value < 0.0 { -1 } else { 1 };
+        let mut x = value.abs();
+        // Continued fraction expansion with convergent tracking.
+        let (mut p0, mut q0, mut p1, mut q1) = (0i128, 1i128, 1i128, 0i128);
+        for _ in 0..64 {
+            let a = x.floor();
+            if a > i64::MAX as f64 {
+                return None;
+            }
+            let a = a as i128;
+            let p2 = a.checked_mul(p1)?.checked_add(p0)?;
+            let q2 = a.checked_mul(q1)?.checked_add(q0)?;
+            if q2 > max_den {
+                break;
+            }
+            p0 = p1;
+            q0 = q1;
+            p1 = p2;
+            q1 = q2;
+            let approx = p1 as f64 / q1 as f64;
+            if (approx - value.abs()).abs() <= tol {
+                return Some(Rational::new(sign * p1, q1));
+            }
+            let frac = x - a as f64;
+            if frac.abs() < 1e-15 {
+                break;
+            }
+            x = 1.0 / frac;
+        }
+        let approx = p1 as f64 / q1.max(1) as f64;
+        if q1 > 0 && (approx - value.abs()).abs() <= tol {
+            Some(Rational::new(sign * p1, q1))
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::int(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::int(n as i128)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b  (b, d > 0)
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Self) -> Self {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Self) -> Self {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Self) -> Self {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Self) -> Self {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Self {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_sign_and_gcd() {
+        let r = Rational::new(4, -6);
+        assert_eq!(r.numer(), -2);
+        assert_eq!(r.denom(), 3);
+    }
+
+    #[test]
+    fn arithmetic_matches_expectation() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering_is_consistent() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 3) > Rational::int(2));
+    }
+
+    #[test]
+    fn integer_power() {
+        assert_eq!(Rational::new(2, 3).pow_i(2), Rational::new(4, 9));
+        assert_eq!(Rational::new(2, 3).pow_i(-1), Rational::new(3, 2));
+        assert_eq!(Rational::new(5, 7).pow_i(0), Rational::ONE);
+    }
+
+    #[test]
+    fn float_approximation_finds_simple_fractions() {
+        assert_eq!(
+            Rational::approximate(0.5, 100, 1e-9),
+            Some(Rational::new(1, 2))
+        );
+        assert_eq!(
+            Rational::approximate(2.0 / 3.0, 100, 1e-9),
+            Some(Rational::new(2, 3))
+        );
+        assert_eq!(
+            Rational::approximate(-1.25, 100, 1e-9),
+            Some(Rational::new(-5, 4))
+        );
+        // An irrational constant should not be matched with a tight tolerance
+        // and small denominator.
+        assert_eq!(Rational::approximate(std::f64::consts::PI, 6, 1e-9), None);
+    }
+
+    #[test]
+    fn floor_handles_negatives() {
+        assert_eq!(Rational::new(-3, 2).floor(), -2);
+        assert_eq!(Rational::new(3, 2).floor(), 1);
+    }
+}
