@@ -61,8 +61,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn eval(e: &Expr, pairs: &[(&str, f64)]) -> f64 {
-        let b: BTreeMap<String, f64> =
-            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let b: BTreeMap<String, f64> = pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         e.eval(&b).unwrap()
     }
 
@@ -72,7 +71,10 @@ mod tests {
         let sigma = projection_exponent(&p.statements[0]);
         assert_eq!(sigma, Rational::new(3, 2));
         let bound = loomis_whitney_bound(&p);
-        let v = eval(&bound, &[("NI", 100.0), ("NJ", 100.0), ("NK", 100.0), ("S", 100.0)]);
+        let v = eval(
+            &bound,
+            &[("NI", 100.0), ("NJ", 100.0), ("NK", 100.0), ("S", 100.0)],
+        );
         // N³/√S without the factor-2 constant of the SOAP bound.
         assert_eq!(v, 1.0e6 / 10.0);
     }
@@ -93,7 +95,13 @@ mod tests {
         let bound = loomis_whitney_bound(&p);
         let v = eval(
             &bound,
-            &[("NI", 10.0), ("NJ", 10.0), ("NK", 10.0), ("NL", 10.0), ("S", 25.0)],
+            &[
+                ("NI", 10.0),
+                ("NJ", 10.0),
+                ("NK", 10.0),
+                ("NL", 10.0),
+                ("S", 25.0),
+            ],
         );
         assert_eq!(v, 2.0 * 1000.0 / 5.0);
     }

@@ -56,7 +56,12 @@ pub fn sota_bound(kernel: &str) -> Option<SotaBound> {
     let iolb = "IOLB (Olivry et al., PLDI'20)";
     let new = "no previously published bound";
     let entry = |kernel: &'static str, bound: Expr, improvement: Expr, source: &'static str| {
-        Some(SotaBound { kernel, paper_soap_bound: bound, improvement, source })
+        Some(SotaBound {
+            kernel,
+            paper_soap_bound: bound,
+            improvement,
+            source,
+        })
     };
     match kernel {
         // ---- Polybench ----
@@ -74,10 +79,20 @@ pub fn sota_bound(kernel: &str) -> Option<SotaBound> {
             int(2),
             iolb,
         ),
-        "correlation" => entry("correlation", over_sqrt_s(1, &["M", "M", "N"]), int(2), iolb),
+        "correlation" => entry(
+            "correlation",
+            over_sqrt_s(1, &["M", "M", "N"]),
+            int(2),
+            iolb,
+        ),
         "covariance" => entry("covariance", over_sqrt_s(1, &["M", "M", "N"]), int(2), iolb),
         "deriche" => entry("deriche", int(3).mul(prod(&["H", "W"])), int(3), iolb),
-        "doitgen" => entry("doitgen", over_sqrt_s(2, &["NP", "NP", "NQ", "NR"]), int(1), iolb),
+        "doitgen" => entry(
+            "doitgen",
+            over_sqrt_s(2, &["NP", "NP", "NQ", "NR"]),
+            int(1),
+            iolb,
+        ),
         "durbin" => entry(
             "durbin",
             int(3).mul(prod(&["N", "N"])).div(int(2)),
@@ -86,15 +101,28 @@ pub fn sota_bound(kernel: &str) -> Option<SotaBound> {
         ),
         "fdtd-2d" => entry(
             "fdtd-2d",
-            int(2).mul(int(3).sqrt()).mul(prod(&["NX", "NY", "T"])).div(sqrt_s()),
+            int(2)
+                .mul(int(3).sqrt())
+                .mul(prod(&["NX", "NY", "T"]))
+                .div(sqrt_s()),
             int(6).mul(int(6).sqrt()),
             iolb,
         ),
-        "floyd-warshall" => entry("floyd-warshall", over_sqrt_s(2, &["N", "N", "N"]), int(2), iolb),
+        "floyd-warshall" => entry(
+            "floyd-warshall",
+            over_sqrt_s(2, &["N", "N", "N"]),
+            int(2),
+            iolb,
+        ),
         "gemm" => entry("gemm", over_sqrt_s(2, &["NI", "NJ", "NK"]), int(1), iolb),
         "gemver" => entry("gemver", prod(&["N", "N"]), int(1), iolb),
         "gesummv" => entry("gesummv", int(2).mul(prod(&["N", "N"])), int(1), iolb),
-        "gramschmidt" => entry("gramschmidt", over_sqrt_s(1, &["M", "N", "N"]), int(1), iolb),
+        "gramschmidt" => entry(
+            "gramschmidt",
+            over_sqrt_s(1, &["M", "N", "N"]),
+            int(1),
+            iolb,
+        ),
         "heat-3d" => entry(
             "heat-3d",
             int(6).mul(prod(&["N", "N", "N", "T"])).div(cbrt_s()),
@@ -222,8 +250,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn eval(e: &Expr, pairs: &[(&str, f64)]) -> f64 {
-        let b: BTreeMap<String, f64> =
-            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let b: BTreeMap<String, f64> = pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         e.eval(&b).unwrap()
     }
 
@@ -248,7 +275,10 @@ mod tests {
         assert_eq!(v, 2.0 * 1.0e6 / 10.0);
         // improvement 1 => prior bound equals the paper bound.
         assert_eq!(
-            eval(&b.prior_bound(), &[("NI", 100.0), ("NJ", 100.0), ("NK", 100.0), ("S", 100.0)]),
+            eval(
+                &b.prior_bound(),
+                &[("NI", 100.0), ("NJ", 100.0), ("NK", 100.0), ("S", 100.0)]
+            ),
             v
         );
     }
@@ -260,7 +290,9 @@ mod tests {
         let fdtd = sota_bound("fdtd-2d").unwrap();
         assert!((eval(&fdtd.improvement, &[]) - 6.0 * 6.0_f64.sqrt()).abs() < 1e-9);
         let heat = sota_bound("heat-3d").unwrap();
-        assert!((eval(&heat.improvement, &[]) - 32.0 / (3.0 * 3.0_f64.powf(1.0 / 3.0))).abs() < 1e-9);
+        assert!(
+            (eval(&heat.improvement, &[]) - 32.0 / (3.0 * 3.0_f64.powf(1.0 / 3.0))).abs() < 1e-9
+        );
         let conv = sota_bound("direct-conv").unwrap();
         assert_eq!(eval(&conv.improvement, &[]), 8.0);
     }

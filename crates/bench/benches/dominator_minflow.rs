@@ -8,8 +8,12 @@ use std::collections::BTreeMap;
 
 fn mmm_cdag(n: i64) -> Cdag {
     let entry = soap_kernels::by_name("gemm").unwrap();
-    let params: BTreeMap<String, i64> =
-        entry.program.parameters().into_iter().map(|p| (p, n)).collect();
+    let params: BTreeMap<String, i64> = entry
+        .program
+        .parameters()
+        .into_iter()
+        .map(|p| (p, n))
+        .collect();
     Cdag::from_program(&entry.program, &params)
 }
 

@@ -6,9 +6,21 @@ use soap_bench::validation::{validate_kernel, ValidationCase};
 
 fn bench_validation(c: &mut Criterion) {
     let cases = [
-        ValidationCase { kernel: "gemm", size: 12, s: 48 },
-        ValidationCase { kernel: "jacobi-1d", size: 32, s: 16 },
-        ValidationCase { kernel: "jacobi-2d", size: 10, s: 32 },
+        ValidationCase {
+            kernel: "gemm",
+            size: 12,
+            s: 48,
+        },
+        ValidationCase {
+            kernel: "jacobi-1d",
+            size: 32,
+            s: 16,
+        },
+        ValidationCase {
+            kernel: "jacobi-2d",
+            size: 10,
+            s: 32,
+        },
     ];
     for case in &cases {
         let report = validate_kernel(case).expect("validation case runs");

@@ -9,7 +9,11 @@ use soap_sdg::{analyze_program_with, SdgOptions};
 fn chain_of_matmuls(k: usize) -> Program {
     let mut b = ProgramBuilder::new(format!("chain{k}"));
     for s in 0..k {
-        let src = if s == 0 { "A0".to_string() } else { format!("T{s}") };
+        let src = if s == 0 {
+            "A0".to_string()
+        } else {
+            format!("T{s}")
+        };
         let dst = format!("T{}", s + 1);
         let w = format!("W{}", s + 1);
         b = b.statement(move |st| {
@@ -27,7 +31,11 @@ fn bench_scaling(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
-    let opts = SdgOptions { max_subgraph_size: 3, max_subgraphs: 512, ..SdgOptions::default() };
+    let opts = SdgOptions {
+        max_subgraph_size: 3,
+        max_subgraphs: 512,
+        ..SdgOptions::default()
+    };
     for k in [1usize, 4, 8, 16, 35] {
         let program = chain_of_matmuls(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &program, |b, p| {

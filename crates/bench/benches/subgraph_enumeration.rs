@@ -1,0 +1,64 @@
+//! The combinatorial core in isolation: connected-subgraph enumeration over
+//! the SDG, bitset fast path vs. the retained naive reference implementation
+//! (sorted `Vec<String>` sets deduplicated through a `BTreeSet`), on the
+//! topologies the analysis actually meets: chains, meshes and a dense
+//! all-to-all worst case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soap_ir::{Program, ProgramBuilder};
+use soap_sdg::subgraphs::{enumerate_connected_subgraphs, enumerate_connected_subgraphs_naive};
+use soap_sdg::Sdg;
+
+/// A chain of `k` matmul-like statements (the `sdg_scaling` topology).
+fn chain(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("chain{k}"));
+    for s in 0..k {
+        let src = if s == 0 {
+            "A0".to_string()
+        } else {
+            format!("T{s}")
+        };
+        let dst = format!("T{}", s + 1);
+        b = b.statement(move |st| {
+            st.loops(&[("i", "0", "N")])
+                .write(&dst, "i")
+                .read(&src, "i")
+        });
+    }
+    b.build().expect("chain builds")
+}
+
+/// `k` statements all reading one shared input array: every pair of computed
+/// arrays is adjacent (through the shared input), the enumeration worst case.
+fn dense(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("dense{k}"));
+    for s in 0..k {
+        let dst = format!("D{s}");
+        b = b.statement(move |st| st.loops(&[("i", "0", "N")]).write(&dst, "i").read("A", "i"));
+    }
+    b.build().expect("dense builds")
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgraph_enumeration");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, program, max_size) in [
+        ("chain35", chain(35), 4usize),
+        ("dense16", dense(16), 4),
+        ("dense20", dense(20), 3),
+    ] {
+        let sdg = Sdg::from_program(&program);
+        group.bench_with_input(BenchmarkId::new("bitset", label), &sdg, |b, sdg| {
+            b.iter(|| enumerate_connected_subgraphs(sdg, max_size, 1_000_000))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", label), &sdg, |b, sdg| {
+            b.iter(|| enumerate_connected_subgraphs_naive(sdg, max_size, 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

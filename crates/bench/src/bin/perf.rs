@@ -1,0 +1,207 @@
+//! Machine-readable performance snapshot: times the pipeline's hot paths and
+//! writes a `BENCH_*.json` record for regression tracking across PRs.
+//!
+//! ```text
+//! cargo run --release -p soap-bench --bin perf -- [--out BENCH_PR1.json] [--quick]
+//! ```
+//!
+//! Unlike the Criterion benches (human-oriented, one-off timings) this binary
+//! emits one JSON object per hot path with median/min milliseconds over a
+//! fixed number of repetitions, plus the naive-vs-bitset subgraph-enumeration
+//! comparison that captures the before/after of the interning + bitset
+//! rewrite (the naive reference implements the seed's string-set algorithm).
+
+use serde_json::{json, Value};
+use soap_bench::analyze_kernel;
+use soap_bench::validation::{validate_kernel, ValidationCase};
+use soap_ir::{Program, ProgramBuilder};
+use soap_pebbling::{min_dominator_size, Cdag, VertexKind};
+use soap_sdg::subgraphs::{enumerate_connected_subgraphs, enumerate_connected_subgraphs_naive};
+use soap_sdg::{analyze_program_with, Sdg, SdgOptions};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Median and minimum wall-clock milliseconds of `reps` runs of `f`.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut samples: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (samples[samples.len() / 2], samples[0])
+}
+
+fn record(name: &str, median_ms: f64, min_ms: f64) -> Value {
+    println!("{name:<40} median {median_ms:>10.3} ms   min {min_ms:>10.3} ms");
+    json!({ "name": name, "median_ms": median_ms, "min_ms": min_ms })
+}
+
+fn chain_of_matmuls(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("chain{k}"));
+    for s in 0..k {
+        let src = if s == 0 {
+            "A0".to_string()
+        } else {
+            format!("T{s}")
+        };
+        let dst = format!("T{}", s + 1);
+        let w = format!("W{}", s + 1);
+        b = b.statement(move |st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                .update(&dst, "i,j")
+                .read(&src, "i,k")
+                .read(&w, "k,j")
+        });
+    }
+    b.build().expect("chain builds")
+}
+
+fn dense_star(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("dense{k}"));
+    for s in 0..k {
+        let dst = format!("D{s}");
+        b = b.statement(move |st| st.loops(&[("i", "0", "N")]).write(&dst, "i").read("A", "i"));
+    }
+    b.build().expect("dense builds")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH.json".to_string();
+    let mut reps = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or(out_path);
+            }
+            "--quick" => reps = 3,
+            other => {
+                eprintln!("unknown argument {other} (expected --out FILE or --quick)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut benches: Vec<Value> = Vec::new();
+
+    // --- sdg_scaling: chains of k matmuls, the paper's scaling experiment ---
+    let opts = SdgOptions {
+        max_subgraph_size: 3,
+        max_subgraphs: 512,
+        ..SdgOptions::default()
+    };
+    for k in [1usize, 4, 8, 16, 35] {
+        let program = chain_of_matmuls(k);
+        let (median, min) = time_ms(reps, || {
+            analyze_program_with(&program, &opts).expect("analysis succeeds");
+        });
+        benches.push(record(&format!("sdg_scaling/{k}"), median, min));
+    }
+
+    // --- analysis_runtime: representative kernels end-to-end ---
+    let registry = soap_kernels::registry();
+    for name in ["gemm", "fdtd-2d", "bert-encoder", "lulesh"] {
+        let entry = registry
+            .iter()
+            .find(|e| e.name == name)
+            .expect("kernel exists");
+        let (median, min) = time_ms(reps, || {
+            analyze_kernel(entry);
+        });
+        benches.push(record(&format!("analysis_runtime/{name}"), median, min));
+    }
+
+    // --- subgraph_enumeration: bitset fast path vs the seed's algorithm ---
+    let mut enumeration: Vec<Value> = Vec::new();
+    for (label, program, max_size) in [
+        ("chain35", chain_of_matmuls(35), 4usize),
+        ("dense16", dense_star(16), 4),
+        ("dense20", dense_star(20), 3),
+    ] {
+        let sdg = Sdg::from_program(&program);
+        let (bitset_median, _) = time_ms(reps, || {
+            enumerate_connected_subgraphs(&sdg, max_size, 1_000_000);
+        });
+        let (naive_median, _) = time_ms(reps, || {
+            enumerate_connected_subgraphs_naive(&sdg, max_size, 1_000_000);
+        });
+        let speedup = naive_median / bitset_median.max(1e-9);
+        println!(
+            "subgraph_enumeration/{label:<26} bitset {bitset_median:>9.3} ms   naive(seed) {naive_median:>9.3} ms   speedup {speedup:>6.1}x"
+        );
+        enumeration.push(json!({
+            "case": label,
+            "max_size": max_size,
+            "bitset_median_ms": bitset_median,
+            "naive_median_ms": naive_median,
+            "speedup": speedup,
+        }));
+    }
+
+    // --- pebbling_validation: simulate + validate full games ---
+    for case in [
+        ValidationCase {
+            kernel: "gemm",
+            size: 12,
+            s: 48,
+        },
+        ValidationCase {
+            kernel: "jacobi-1d",
+            size: 32,
+            s: 16,
+        },
+    ] {
+        let (median, min) = time_ms(reps, || {
+            validate_kernel(&case).expect("validation case runs");
+        });
+        benches.push(record(
+            &format!("pebbling_validation/{}", case.kernel),
+            median,
+            min,
+        ));
+    }
+
+    // --- dominator_minflow: exact min vertex cut on MMM tiles ---
+    let entry = soap_kernels::by_name("gemm").expect("gemm exists");
+    for n in [4i64, 6, 8] {
+        let params: BTreeMap<String, i64> = entry
+            .program
+            .parameters()
+            .into_iter()
+            .map(|p| (p, n))
+            .collect();
+        let cdag = Cdag::from_program(&entry.program, &params);
+        let tile: Vec<usize> = cdag
+            .compute_vertices()
+            .into_iter()
+            .filter(|&v| match &cdag.kinds[v] {
+                VertexKind::Compute { iteration, .. } => iteration.iter().all(|&x| x < n / 2),
+                _ => false,
+            })
+            .collect();
+        let (median, min) = time_ms(reps, || {
+            min_dominator_size(&cdag, &tile);
+        });
+        benches.push(record(&format!("dominator_minflow/{n}"), median, min));
+    }
+
+    let report = json!({
+        "schema": "soap-bench-perf/1",
+        "reps": reps,
+        "profile": if cfg!(debug_assertions) { "debug" } else { "release" },
+        "benches": json!(benches),
+        "subgraph_enumeration": json!(enumeration),
+        "notes": json!([
+            "naive_median_ms times enumerate_connected_subgraphs_naive, a faithful retention of the seed's BTreeSet<Vec<String>> algorithm, so the speedup column is the before/after of the bitset rewrite on the same build",
+            "absolute numbers are machine-dependent; compare ratios across records taken on the same host"
+        ]),
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, text).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

@@ -10,14 +10,46 @@ use soap_bench::validation::{validate_kernel, ValidationCase};
 
 fn main() {
     let cases = [
-        ValidationCase { kernel: "gemm", size: 8, s: 24 },
-        ValidationCase { kernel: "gemm", size: 12, s: 48 },
-        ValidationCase { kernel: "gemm", size: 16, s: 96 },
-        ValidationCase { kernel: "jacobi-1d", size: 32, s: 16 },
-        ValidationCase { kernel: "jacobi-1d", size: 48, s: 24 },
-        ValidationCase { kernel: "jacobi-2d", size: 10, s: 32 },
-        ValidationCase { kernel: "lu", size: 12, s: 48 },
-        ValidationCase { kernel: "atax", size: 24, s: 32 },
+        ValidationCase {
+            kernel: "gemm",
+            size: 8,
+            s: 24,
+        },
+        ValidationCase {
+            kernel: "gemm",
+            size: 12,
+            s: 48,
+        },
+        ValidationCase {
+            kernel: "gemm",
+            size: 16,
+            s: 96,
+        },
+        ValidationCase {
+            kernel: "jacobi-1d",
+            size: 32,
+            s: 16,
+        },
+        ValidationCase {
+            kernel: "jacobi-1d",
+            size: 48,
+            s: 24,
+        },
+        ValidationCase {
+            kernel: "jacobi-2d",
+            size: 10,
+            s: 32,
+        },
+        ValidationCase {
+            kernel: "lu",
+            size: 12,
+            s: 48,
+        },
+        ValidationCase {
+            kernel: "atax",
+            size: 24,
+            s: 32,
+        },
     ];
     println!("kernel        size   S     bound      naive    tiled    tiled/bound");
     println!("{}", "-".repeat(78));
@@ -32,7 +64,10 @@ fn main() {
                 }
                 println!("{report}{}", if ok { "" } else { "   <-- VIOLATION" });
             }
-            None => println!("{}: skipped (analysis or simulation unavailable)", case.kernel),
+            None => println!(
+                "{}: skipped (analysis or simulation unavailable)",
+                case.kernel
+            ),
         }
     }
     if violations > 0 {

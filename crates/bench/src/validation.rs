@@ -20,7 +20,7 @@ pub struct ValidationCase {
 }
 
 /// The outcome of one validation case.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ValidationReport {
     /// Kernel name.
     pub kernel: String,
@@ -36,6 +36,20 @@ pub struct ValidationReport {
     pub tiled_io: usize,
     /// Number of CDAG compute vertices.
     pub vertices: usize,
+}
+
+impl Serialize for ValidationReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("kernel".to_string(), self.kernel.to_value()),
+            ("size".to_string(), self.size.to_value()),
+            ("s".to_string(), self.s.to_value()),
+            ("lower_bound".to_string(), self.lower_bound.to_value()),
+            ("naive_io".to_string(), self.naive_io.to_value()),
+            ("tiled_io".to_string(), self.tiled_io.to_value()),
+            ("vertices".to_string(), self.vertices.to_value()),
+        ])
+    }
 }
 
 impl fmt::Display for ValidationReport {
@@ -78,7 +92,9 @@ pub fn validate_kernel(case: &ValidationCase) -> Option<ValidationReport> {
     // Tile the first statement with the analysis' optimal shape, if available.
     let tiled_io = if entry.program.statements.len() == 1 {
         let st = &entry.program.statements[0];
-        let opts = AnalysisOptions { assume_injective: entry.assume_injective };
+        let opts = AnalysisOptions {
+            assume_injective: entry.assume_injective,
+        };
         match analyze_statement(st, &opts) {
             Ok(res) => match res.intensity.tiles_at(case.s as f64) {
                 Some(tiles) => {
@@ -124,7 +140,12 @@ mod tests {
 
     #[test]
     fn gemm_simulation_respects_the_bound() {
-        let report = validate_kernel(&ValidationCase { kernel: "gemm", size: 8, s: 24 }).unwrap();
+        let report = validate_kernel(&ValidationCase {
+            kernel: "gemm",
+            size: 8,
+            s: 24,
+        })
+        .unwrap();
         assert!(report.naive_io as f64 >= report.lower_bound);
         assert!(report.tiled_io as f64 >= report.lower_bound);
         assert!(report.tiled_io <= report.naive_io);
@@ -132,13 +153,22 @@ mod tests {
 
     #[test]
     fn stencil_simulation_respects_the_bound() {
-        let report =
-            validate_kernel(&ValidationCase { kernel: "jacobi-1d", size: 24, s: 12 }).unwrap();
+        let report = validate_kernel(&ValidationCase {
+            kernel: "jacobi-1d",
+            size: 24,
+            s: 12,
+        })
+        .unwrap();
         assert!(report.naive_io as f64 >= report.lower_bound, "{report}");
     }
 
     #[test]
     fn unknown_kernel_returns_none() {
-        assert!(validate_kernel(&ValidationCase { kernel: "nope", size: 4, s: 8 }).is_none());
+        assert!(validate_kernel(&ValidationCase {
+            kernel: "nope",
+            size: 4,
+            s: 8
+        })
+        .is_none());
     }
 }

@@ -1,0 +1,233 @@
+//! Fixed-capacity bitsets for the SDG-enumeration and pebbling hot paths.
+//!
+//! [`BitSet`] stores membership of `0..capacity` in packed `u64` words.  The
+//! SDG subgraph enumeration keys millions of set-dedup probes on these, so
+//! `Eq`/`Hash` work directly on the word array (one or two words for every
+//! realistic program), and the pebble game keeps its red/blue sets as word
+//! arrays so membership tests and inserts are single shifts instead of
+//! `BTreeSet` tree walks.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A fixed-capacity set of small integers stored as packed `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitSet {
+    words: Box<[u64]>,
+}
+
+impl BitSet {
+    /// An empty set able to hold values `0..capacity`.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet {
+            words: vec![0u64; capacity.div_ceil(64).max(1)].into_boxed_slice(),
+        }
+    }
+
+    /// A set containing exactly `value`, with the given capacity.
+    pub fn singleton(capacity: usize, value: usize) -> BitSet {
+        let mut s = BitSet::new(capacity);
+        s.insert(value);
+        s
+    }
+
+    /// Number of values this set can hold (rounded up to the word size).
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Insert a value; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        let (w, b) = (value / 64, value % 64);
+        let newly = self.words[w] & (1u64 << b) == 0;
+        self.words[w] |= 1u64 << b;
+        newly
+    }
+
+    /// Remove a value; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, value: usize) -> bool {
+        let (w, b) = (value / 64, value % 64);
+        let present = self.words[w] & (1u64 << b) != 0;
+        self.words[w] &= !(1u64 << b);
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        let (w, b) = (value / 64, value % 64);
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << b) != 0)
+    }
+
+    /// Number of values in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set has no values.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Remove all values.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// Set-algebra operations require equal capacities; zipping would
+    /// otherwise silently drop the longer set's high words.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len(), "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len(), "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// True if every value of `self` is also in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.words.len(), other.words.len(), "capacity mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// True if the two sets share at least one value.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.words.len(), other.words.len(), "capacity mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterate the values in ascending order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect values into a set sized to the largest value seen.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> BitSet {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().max().map(|m| m + 1).unwrap_or(0);
+        let mut s = BitSet::new(cap);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+/// Ascending iterator over the values of a [`BitSet`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let mut s = BitSet::new(200);
+        for v in [5usize, 63, 64, 128, 199] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(2);
+        b.insert(2);
+        b.insert(3);
+        assert!(a.intersects(&b));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(a.is_subset(&u));
+        let mut d = u.clone();
+        d.subtract(&a);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn hash_eq_work_for_dedup() {
+        use std::collections::HashSet;
+        let mut seen: HashSet<BitSet> = HashSet::new();
+        assert!(seen.insert(BitSet::singleton(70, 3)));
+        assert!(!seen.insert(BitSet::singleton(70, 3)));
+        assert!(seen.insert(BitSet::singleton(70, 65)));
+    }
+
+    #[test]
+    fn empty_capacity_is_safe() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert!(!s.contains(5));
+        assert_eq!(s.iter().count(), 0);
+    }
+}

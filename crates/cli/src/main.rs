@@ -36,7 +36,11 @@ fn main() -> ExitCode {
                 eprintln!("unknown kernel '{name}'; run `soap-cli list`");
                 return ExitCode::FAILURE;
             };
-            report(&entry.program, entry.assume_injective, args.contains(&"--json".to_string()))
+            report(
+                &entry.program,
+                entry.assume_injective,
+                args.contains(&"--json".to_string()),
+            )
         }
         Some("analyze") => {
             let mut lang = "python".to_string();
@@ -90,7 +94,10 @@ fn main() -> ExitCode {
 }
 
 fn report(program: &Program, assume_injective: bool, json: bool) -> ExitCode {
-    let opts = SdgOptions { assume_injective, ..SdgOptions::default() };
+    let opts = SdgOptions {
+        assume_injective,
+        ..SdgOptions::default()
+    };
     match analyze_program_with(program, &opts) {
         Ok(analysis) => {
             if json {
@@ -106,7 +113,10 @@ fn report(program: &Program, assume_injective: bool, json: bool) -> ExitCode {
                     })).collect::<Vec<_>>(),
                     "notes": analysis.notes,
                 });
-                println!("{}", serde_json::to_string_pretty(&record).expect("serializable"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&record).expect("serializable")
+                );
             } else {
                 println!("program {}", program.name);
                 println!("  I/O lower bound: Q ≥ {}", analysis.bound);
@@ -120,7 +130,10 @@ fn report(program: &Program, assume_injective: bool, json: bool) -> ExitCode {
                     );
                 }
                 if let Some(t) = sota_bound(&program.name) {
-                    println!("  paper / prior:   {}  (source: {})", t.paper_soap_bound, t.source);
+                    println!(
+                        "  paper / prior:   {}  (source: {})",
+                        t.paper_soap_bound, t.source
+                    );
                 }
                 for n in &analysis.notes {
                     println!("  note: {n}");

@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark harness
+//! with the API surface used by this workspace's benches.
+//!
+//! Each benchmark warms up, then takes `sample_size` samples sized to fill
+//! `measurement_time`, and prints min/median/mean per-iteration times in a
+//! criterion-like one-line format.  Statistical analysis, plots, and saved
+//! baselines are out of scope — the `soap-bench` `perf` binary produces the
+//! machine-readable numbers for regression tracking.
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &id.to_string(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+}
+
+/// A named benchmark group with its own sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total duration the samples should roughly fill.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure that receives a shared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier that is just the displayed parameter.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up, which also yields a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        sample_size,
+        warm_up_time,
+        measurement_time,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{label:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mut sorted = b.samples_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{label:<40} time: [min {} median {} mean {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Mirror of `criterion_group!`: bundle benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: make the bundled runners the binary's main.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+    }
+}

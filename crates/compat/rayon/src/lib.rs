@@ -1,0 +1,174 @@
+//! Offline stand-in for `rayon`: the `par_iter().map(..)/.filter_map(..)
+//! .collect()` shape used by this workspace, executed on `std::thread::scope`
+//! threads.
+//!
+//! Work is split into one contiguous chunk per available core; each thread
+//! maps its chunk independently and the per-chunk results are concatenated in
+//! order, so collection order matches the sequential iteration order exactly
+//! (the same guarantee real rayon gives for indexed parallel iterators).
+#![forbid(unsafe_code)]
+
+/// The usual `use rayon::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// Start a parallel iteration over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Parallel filter-map.
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&T) -> Option<R> + Sync,
+    {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParIter::map`], awaiting collection.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map on scoped threads and gather the results in order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        let f = &self.f;
+        C::from(run_chunked(self.items, |item, out| out.push(f(item))))
+    }
+}
+
+/// Result of [`ParIter::filter_map`], awaiting collection.
+pub struct ParFilterMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParFilterMap<'a, T, F> {
+    /// Run the filter-map on scoped threads and gather the results in order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&T) -> Option<R> + Sync,
+        C: From<Vec<R>>,
+    {
+        let f = &self.f;
+        C::from(run_chunked(self.items, |item, out| out.extend(f(item))))
+    }
+}
+
+/// Split `items` into per-thread chunks, apply `per_item` on scoped threads,
+/// and concatenate the per-chunk outputs in chunk order.
+fn run_chunked<T: Sync, R: Send>(items: &[T], per_item: impl Fn(&T, &mut Vec<R>) + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads <= 1 || items.len() <= 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for it in items {
+            per_item(it, &mut out);
+        }
+        return out;
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| {
+                scope.spawn(|| {
+                    let mut out = Vec::with_capacity(c.len());
+                    for it in *c {
+                        per_item(it, &mut out);
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order_and_drops() {
+        let input: Vec<u64> = (0..1000).collect();
+        let evens: Vec<u64> = input
+            .par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(*x))
+            .collect();
+        assert_eq!(evens, (0..1000).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

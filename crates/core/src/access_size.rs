@@ -47,8 +47,9 @@ pub fn dimension_extent(component: &AccessComponent, dim: usize, assume_injectiv
 pub fn lemma3_size(access: &ArrayAccess, assume_injective: bool) -> Expr {
     let base = &access.components[0];
     let dims = base.arity();
-    let extents: Vec<Expr> =
-        (0..dims).map(|d| dimension_extent(base, d, assume_injective)).collect();
+    let extents: Vec<Expr> = (0..dims)
+        .map(|d| dimension_extent(base, d, assume_injective))
+        .collect();
     let offsets = access.offset_sets();
     let offset_counts: Vec<i64> = match &offsets {
         Some(sets) => sets.iter().map(|s| s.len() as i64).collect(),
@@ -76,14 +77,12 @@ pub fn lemma3_size(access: &ArrayAccess, assume_injective: bool) -> Expr {
 /// `|A| ≥ ∏ E_i − ∏ (E_i − |t̂_i|)`.
 ///
 /// `offsets` must be the access-offset sets of the *union* `φ₀ ∪ φ_j`.
-pub fn corollary1_size(
-    combined: &ArrayAccess,
-    assume_injective: bool,
-) -> Expr {
+pub fn corollary1_size(combined: &ArrayAccess, assume_injective: bool) -> Expr {
     let base = &combined.components[0];
     let dims = base.arity();
-    let extents: Vec<Expr> =
-        (0..dims).map(|d| dimension_extent(base, d, assume_injective)).collect();
+    let extents: Vec<Expr> = (0..dims)
+        .map(|d| dimension_extent(base, d, assume_injective))
+        .collect();
     let offset_counts: Vec<i64> = match combined.offset_sets() {
         Some(sets) => sets.iter().map(|s| s.len() as i64).collect(),
         None => vec![0; dims],
@@ -127,16 +126,16 @@ pub fn statement_chi(vars: &[String]) -> Expr {
 /// useful to extract the per-access iteration-variable index sets for the
 /// exact exponent LP.
 pub fn leading_index_set(access: &ArrayAccess) -> Vec<String> {
-    access.components[0]
-        .variables()
-        .into_iter()
-        .collect()
+    access.components[0].variables().into_iter().collect()
 }
 
 /// Helper producing a `Rational` count of offsets per dimension for reporting.
 pub fn offset_counts(access: &ArrayAccess) -> Vec<Rational> {
     match access.offset_sets() {
-        Some(sets) => sets.iter().map(|s| Rational::int(s.len() as i128)).collect(),
+        Some(sets) => sets
+            .iter()
+            .map(|s| Rational::int(s.len() as i128))
+            .collect(),
         None => vec![],
     }
 }
@@ -159,8 +158,7 @@ mod tests {
     }
 
     fn eval(e: &Expr, pairs: &[(&str, f64)]) -> f64 {
-        let b: BTreeMap<String, f64> =
-            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let b: BTreeMap<String, f64> = pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         e.eval(&b).unwrap()
     }
 
@@ -208,7 +206,10 @@ mod tests {
         // contribution = ∏E − ∏(E − t̂) with t̂ = (0,0,1) = D_i·D_j.
         let combined = acc("C", &["i,j,k", "i,j,k-1"]);
         let size = corollary1_size(&combined, false);
-        assert_eq!(eval(&size, &[("D_i", 7.0), ("D_j", 5.0), ("D_k", 9.0)]), 35.0);
+        assert_eq!(
+            eval(&size, &[("D_i", 7.0), ("D_j", 5.0), ("D_k", 9.0)]),
+            35.0
+        );
     }
 
     #[test]

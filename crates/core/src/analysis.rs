@@ -11,18 +11,12 @@ use soap_symbolic::{Expr, Polynomial};
 use std::collections::BTreeMap;
 
 /// Options controlling the analysis.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct AnalysisOptions {
     /// Treat linear-combination subscripts (`Image[r + σ·w]`) as injective
     /// (Section 5.3 case 1).  The default `false` keeps the always-valid
     /// conservative bound (case 2).
     pub assume_injective: bool,
-}
-
-impl Default for AnalysisOptions {
-    fn default() -> Self {
-        AnalysisOptions { assume_injective: false }
-    }
 }
 
 /// The result of analyzing one SOAP statement.
@@ -59,8 +53,11 @@ pub(crate) fn build_dominator(
     vars: &[String],
 ) -> (Expr, Vec<Vec<usize>>, Vec<String>) {
     let mut notes = Vec::new();
-    let var_index: BTreeMap<&str, usize> =
-        vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+    let var_index: BTreeMap<&str, usize> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), i))
+        .collect();
     let out_array = st.output_array().to_string();
     let out_component = st.output.components[0].clone();
 
@@ -133,9 +130,7 @@ pub(crate) fn build_dominator(
                     notes.push(format!(
                         "array {array}: identical in/out subscripts — applied version-dimension projection (§5.2)"
                     ));
-                    Expr::product(
-                        st.output.variables().iter().map(|v| Expr::sym(tile_var(v))),
-                    )
+                    Expr::product(st.output.variables().iter().map(|v| Expr::sym(tile_var(v))))
                 } else {
                     notes.push(format!(
                         "array {array}: input/output simple overlap handled by Corollary 1"
@@ -156,11 +151,7 @@ pub(crate) fn build_dominator(
         let all_disjoint = groups.len() == 1
             || groups.iter().enumerate().all(|(i, a)| {
                 groups.iter().skip(i + 1).all(|b| {
-                    provably_disjoint(
-                        &a.access.components[0],
-                        &b.access.components[0],
-                        &st.domain,
-                    )
+                    provably_disjoint(&a.access.components[0], &b.access.components[0], &st.domain)
                 })
             });
 
@@ -242,7 +233,11 @@ pub(crate) fn build_dominator(
     }
 
     let dominator = Expr::sum(terms);
-    let index_sets = if pure_products { index_sets } else { Vec::new() };
+    let index_sets = if pure_products {
+        index_sets
+    } else {
+        Vec::new()
+    };
     (dominator, index_sets, notes)
 }
 
@@ -285,8 +280,18 @@ pub fn analyze_statement(
 pub fn analyze_conditional(
     st: &Statement,
 ) -> Result<(StatementAnalysis, StatementAnalysis), AnalysisError> {
-    let conservative = analyze_statement(st, &AnalysisOptions { assume_injective: false })?;
-    let injective = analyze_statement(st, &AnalysisOptions { assume_injective: true })?;
+    let conservative = analyze_statement(
+        st,
+        &AnalysisOptions {
+            assume_injective: false,
+        },
+    )?;
+    let injective = analyze_statement(
+        st,
+        &AnalysisOptions {
+            assume_injective: true,
+        },
+    )?;
     Ok((conservative, injective))
 }
 
@@ -298,8 +303,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn eval(e: &Expr, pairs: &[(&str, f64)]) -> f64 {
-        let b: BTreeMap<String, f64> =
-            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let b: BTreeMap<String, f64> = pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         e.eval(&b).unwrap()
     }
 
@@ -340,7 +344,10 @@ mod tests {
         assert!((rho - 500.0).abs() / 500.0 < 0.05, "rho {rho}");
         let q = eval(&res.bound, &[("N", 1.0e4), ("T", 1.0e3), ("S", 100.0)]);
         let expected = 2.0 * 1.0e4 * 1.0e3 / 100.0;
-        assert!((q - expected).abs() / expected < 0.1, "bound {q} vs {expected}");
+        assert!(
+            (q - expected).abs() / expected < 0.1,
+            "bound {q} vs {expected}"
+        );
     }
 
     #[test]
@@ -356,14 +363,18 @@ mod tests {
         let res = analyze_statement(&st, &AnalysisOptions::default()).unwrap();
         assert_eq!(res.intensity.sigma, Rational::new(3, 2));
         assert!((res.intensity.rho_at(10_000.0) - 50.0).abs() < 1.5);
-        assert!(res
-            .notes
-            .iter()
-            .any(|n| n.contains("disjoint")), "notes: {:?}", res.notes);
+        assert!(
+            res.notes.iter().any(|n| n.contains("disjoint")),
+            "notes: {:?}",
+            res.notes
+        );
         // |D| = N³/3 to leading order  =>  Q ≈ 2N³/(3·sqrt(S)).
         let q = eval(&res.bound, &[("N", 300.0), ("S", 10_000.0)]);
         let expected = 2.0 * 300.0_f64.powi(3) / (3.0 * 100.0);
-        assert!((q - expected).abs() / expected < 0.05, "bound {q} vs {expected}");
+        assert!(
+            (q - expected).abs() / expected < 0.05,
+            "bound {q} vs {expected}"
+        );
     }
 
     #[test]

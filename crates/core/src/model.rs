@@ -106,8 +106,7 @@ pub fn solve_model(model: &AccessModel) -> Result<IntensityResult, AnalysisError
     // Cross-check σ with the exact exponent LP when the dominator consists of
     // pure product terms (all index sets provided).  The LP is exact rational
     // arithmetic, so when the two disagree slightly we trust the LP.
-    if !model.access_index_sets.is_empty()
-        && model.access_index_sets.iter().all(|s| !s.is_empty())
+    if !model.access_index_sets.is_empty() && model.access_index_sets.iter().all(|s| !s.is_empty())
     {
         let lp_sol = lp::access_exponent_lp(model.tile_variables.len(), &model.access_index_sets);
         let diff = (lp_sol.value.to_f64() - law.exponent.to_f64()).abs();
@@ -183,7 +182,10 @@ mod tests {
             dominator: Expr::zero(),
             access_index_sets: vec![],
         };
-        assert!(matches!(solve_model(&model), Err(AnalysisError::NoInputs(_))));
+        assert!(matches!(
+            solve_model(&model),
+            Err(AnalysisError::NoInputs(_))
+        ));
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
                 } else {
                     return Err(FrontendError::Syntax {
                         line: line_no,
-                        message: "for loop condition must be 'var < bound' or 'var <= bound'".into(),
+                        message: "for loop condition must be 'var < bound' or 'var <= bound'"
+                            .into(),
                     });
                 };
                 let upper = if inclusive { upper.offset(1) } else { upper };
@@ -102,7 +103,10 @@ pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
             let st = Statement {
                 name: format!("St{}", statements.len() + 1),
                 domain: IterationDomain::new(stack.clone()),
-                output: ArrayAccess::single(assignment.output.0.clone(), assignment.output.1.clone()),
+                output: ArrayAccess::single(
+                    assignment.output.0.clone(),
+                    assignment.output.1.clone(),
+                ),
                 inputs: group_reads(assignment.reads),
                 is_update: assignment.is_update,
             };

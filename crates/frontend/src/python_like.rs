@@ -31,12 +31,10 @@ pub fn parse_python(name: &str, source: &str) -> Result<Program, FrontendError> 
             }
         }
         if let Some(rest) = line.strip_prefix("for ") {
-            let (var, range) = rest
-                .split_once(" in ")
-                .ok_or(FrontendError::Syntax {
-                    line: line_no,
-                    message: "expected 'for <var> in range(...):'".to_string(),
-                })?;
+            let (var, range) = rest.split_once(" in ").ok_or(FrontendError::Syntax {
+                line: line_no,
+                message: "expected 'for <var> in range(...):'".to_string(),
+            })?;
             let range = range.trim().trim_end_matches(':').trim();
             let inner = range
                 .strip_prefix("range(")
@@ -61,7 +59,10 @@ pub fn parse_python(name: &str, source: &str) -> Result<Program, FrontendError> 
             let st = Statement {
                 name: format!("St{}", statements.len() + 1),
                 domain: IterationDomain::new(loops),
-                output: ArrayAccess::single(assignment.output.0.clone(), assignment.output.1.clone()),
+                output: ArrayAccess::single(
+                    assignment.output.0.clone(),
+                    assignment.output.1.clone(),
+                ),
                 inputs: group_reads(assignment.reads),
                 is_update: assignment.is_update,
             };
@@ -117,7 +118,10 @@ for i in range(100):
     #[test]
     fn reports_statements_outside_loops() {
         let err = parse_python("bad", "A[i] = B[i]\n").unwrap_err();
-        assert!(matches!(err, FrontendError::StatementOutsideLoop { line: 1 }));
+        assert!(matches!(
+            err,
+            FrontendError::StatementOutsideLoop { line: 1 }
+        ));
     }
 
     #[test]

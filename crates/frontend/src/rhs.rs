@@ -17,7 +17,10 @@ pub struct Assignment {
 
 /// Parse `name [subscripts] (=|+=|-=|*=) rhs`.
 pub fn parse_assignment(line: &str, line_no: usize) -> Result<Assignment, FrontendError> {
-    let syntax = |message: String| FrontendError::Syntax { line: line_no, message };
+    let syntax = |message: String| FrontendError::Syntax {
+        line: line_no,
+        message,
+    };
     // Find the assignment operator outside of brackets.
     let ops = ["+=", "-=", "*=", "="];
     let mut depth = 0i32;
@@ -30,11 +33,7 @@ pub fn parse_assignment(line: &str, line_no: usize) -> Result<Assignment, Fronte
             b']' | b')' => depth -= 1,
             _ if depth == 0 => {
                 // Check compound operators first (they contain '=').
-                if let Some(op) = ops
-                    .iter()
-                    .find(|op| line[i..].starts_with(**op))
-                    .copied()
-                {
+                if let Some(op) = ops.iter().find(|op| line[i..].starts_with(**op)).copied() {
                     // Skip relational operators such as '<=' '==' '>='.
                     let prev = if i > 0 { bytes[i - 1] } else { b' ' };
                     let next = bytes.get(i + op.len()).copied().unwrap_or(b' ');
@@ -56,14 +55,23 @@ pub fn parse_assignment(line: &str, line_no: usize) -> Result<Assignment, Fronte
     let output = parse_array_ref(lhs, line_no)?
         .ok_or_else(|| syntax(format!("left-hand side '{lhs}' is not an array reference")))?;
     let reads = extract_array_refs(rhs, line_no)?;
-    Ok(Assignment { output, reads, is_update: op != "=" })
+    Ok(Assignment {
+        output,
+        reads,
+        is_update: op != "=",
+    })
 }
 
 /// Parse a single array reference `A[i, j]` / `A[i][j]`; returns `None` when
 /// the text is not an array reference (e.g. a scalar).
-fn parse_array_ref(text: &str, line_no: usize) -> Result<Option<(String, Vec<LinIndex>)>, FrontendError> {
+fn parse_array_ref(
+    text: &str,
+    line_no: usize,
+) -> Result<Option<(String, Vec<LinIndex>)>, FrontendError> {
     let text = text.trim();
-    let Some(bracket) = text.find('[') else { return Ok(None) };
+    let Some(bracket) = text.find('[') else {
+        return Ok(None);
+    };
     let name = text[..bracket].trim();
     if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
         return Ok(None);
@@ -187,8 +195,11 @@ mod tests {
 
     #[test]
     fn extracts_offset_references() {
-        let a = parse_assignment("A[i, t+1] = (A[i-1, t] + A[i, t] + A[i+1, t]) / 3 + B[i]", 1)
-            .unwrap();
+        let a = parse_assignment(
+            "A[i, t+1] = (A[i-1, t] + A[i, t] + A[i+1, t]) / 3 + B[i]",
+            1,
+        )
+        .unwrap();
         assert_eq!(a.reads.len(), 4);
         let grouped = group_reads(a.reads);
         assert_eq!(grouped.len(), 2);

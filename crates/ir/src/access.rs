@@ -2,7 +2,6 @@
 //! full access function vectors (`φ_j` in the paper's notation).
 
 use crate::domain::AffineExpr;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -11,7 +10,7 @@ use std::fmt;
 /// Coefficients refer to iteration variables of the enclosing statement; the
 /// constant part is the translation offset that defines the *simple overlap*
 /// structure (Definition 3 of the paper).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct LinIndex {
     /// Coefficients of the iteration variables (no zero entries).
     pub coeffs: BTreeMap<String, i64>,
@@ -36,12 +35,18 @@ impl LinIndex {
 
     /// A constant subscript.
     pub fn constant(c: i64) -> Self {
-        LinIndex { coeffs: BTreeMap::new(), offset: c }
+        LinIndex {
+            coeffs: BTreeMap::new(),
+            offset: c,
+        }
     }
 
     /// Build from an [`AffineExpr`] (same representation, different intent).
     pub fn from_affine(e: &AffineExpr) -> Self {
-        LinIndex { coeffs: e.terms.clone(), offset: e.constant }
+        LinIndex {
+            coeffs: e.terms.clone(),
+            offset: e.constant,
+        }
     }
 
     /// The set of iteration variables used by this subscript.
@@ -82,14 +87,17 @@ impl LinIndex {
 
 impl fmt::Display for LinIndex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let e = AffineExpr { terms: self.coeffs.clone(), constant: self.offset };
+        let e = AffineExpr {
+            terms: self.coeffs.clone(),
+            constant: self.offset,
+        };
         write!(f, "{}", e)
     }
 }
 
 /// One component `φ_{j,k}` of an access function vector: a full subscript
 /// tuple addressing a single element of a `dim(A)`-dimensional array.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct AccessComponent {
     /// One [`LinIndex`] per array dimension.
     pub indices: Vec<LinIndex>,
@@ -149,7 +157,7 @@ impl fmt::Display for AccessComponent {
 
 /// A full access function vector `φ_j = [φ_{j,1}, …, φ_{j,n_j}]` of one array
 /// within one statement.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ArrayAccess {
     /// The accessed array's name.
     pub array: String,
@@ -160,12 +168,18 @@ pub struct ArrayAccess {
 impl ArrayAccess {
     /// Build an access with a single component.
     pub fn single(array: impl Into<String>, indices: Vec<LinIndex>) -> Self {
-        ArrayAccess { array: array.into(), components: vec![AccessComponent::new(indices)] }
+        ArrayAccess {
+            array: array.into(),
+            components: vec![AccessComponent::new(indices)],
+        }
     }
 
     /// Build an access with multiple components.
     pub fn new(array: impl Into<String>, components: Vec<AccessComponent>) -> Self {
-        ArrayAccess { array: array.into(), components }
+        ArrayAccess {
+            array: array.into(),
+            components,
+        }
     }
 
     /// The array dimensionality (`dim(A_j)`); all components must agree.
@@ -180,11 +194,7 @@ impl ArrayAccess {
 
     /// All iteration variables used by any component.
     pub fn variables(&self) -> Vec<String> {
-        let mut out: Vec<String> = self
-            .components
-            .iter()
-            .flat_map(|c| c.variables())
-            .collect();
+        let mut out: Vec<String> = self.components.iter().flat_map(|c| c.variables()).collect();
         out.sort();
         out.dedup();
         out
@@ -193,9 +203,11 @@ impl ArrayAccess {
     /// True if every subscript of every component is a plain
     /// `variable + constant` (the injective canonical SOAP form).
     pub fn is_plain(&self) -> bool {
-        self.components
-            .iter()
-            .all(|c| c.indices.iter().all(|ix| ix.is_simple() || ix.coeffs.is_empty()))
+        self.components.iter().all(|c| {
+            c.indices
+                .iter()
+                .all(|ix| ix.is_simple() || ix.coeffs.is_empty())
+        })
     }
 
     /// Check the *simple overlap* property: all components share the same
@@ -232,8 +244,11 @@ impl ArrayAccess {
 
 impl fmt::Display for ArrayAccess {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.components.iter().map(|c| format!("{}{}", self.array, c)).collect();
+        let parts: Vec<String> = self
+            .components
+            .iter()
+            .map(|c| format!("{}{}", self.array, c))
+            .collect();
         write!(f, "{}", parts.join(", "))
     }
 }

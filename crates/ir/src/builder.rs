@@ -146,15 +146,15 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Start building a program with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { name: name.into(), statements: Vec::new() }
+        ProgramBuilder {
+            name: name.into(),
+            statements: Vec::new(),
+        }
     }
 
     /// Add a statement through a builder closure; the statement is named
     /// `St<k>` unless the closure overrides it via a fresh builder.
-    pub fn statement(
-        mut self,
-        f: impl FnOnce(StatementBuilder) -> StatementBuilder,
-    ) -> Self {
+    pub fn statement(mut self, f: impl FnOnce(StatementBuilder) -> StatementBuilder) -> Self {
         let default_name = format!("St{}", self.statements.len() + 1);
         let builder = StatementBuilder::new(default_name);
         self.statements.push(f(builder).build());

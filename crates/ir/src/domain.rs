@@ -1,13 +1,12 @@
 //! Loop variables, affine bounds and iteration domains.
 
-use serde::{Deserialize, Serialize};
 use soap_symbolic::{Polynomial, Rational};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// An affine expression over named symbols (loop variables of outer loops and
 /// symbolic size parameters) plus an integer constant, e.g. `N - 1` or `k + 1`.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct AffineExpr {
     /// Coefficients of the named symbols (sorted, no zero coefficients).
     pub terms: BTreeMap<String, i64>,
@@ -23,7 +22,10 @@ impl AffineExpr {
 
     /// An integer constant.
     pub fn constant(c: i64) -> Self {
-        AffineExpr { terms: BTreeMap::new(), constant: c }
+        AffineExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// A single symbol.
@@ -43,12 +45,18 @@ impl AffineExpr {
                 terms.remove(k);
             }
         }
-        AffineExpr { terms, constant: self.constant + other.constant }
+        AffineExpr {
+            terms,
+            constant: self.constant + other.constant,
+        }
     }
 
     /// Add an integer constant.
     pub fn offset(&self, c: i64) -> AffineExpr {
-        AffineExpr { terms: self.terms.clone(), constant: self.constant + c }
+        AffineExpr {
+            terms: self.terms.clone(),
+            constant: self.constant + c,
+        }
     }
 
     /// Multiply by an integer constant.
@@ -129,7 +137,7 @@ impl fmt::Display for AffineExpr {
 }
 
 /// A loop variable with affine bounds: `for name in [lower, upper)`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LoopVar {
     /// The iteration-variable name.
     pub name: String,
@@ -142,7 +150,11 @@ pub struct LoopVar {
 impl LoopVar {
     /// Construct a loop variable.
     pub fn new(name: impl Into<String>, lower: AffineExpr, upper: AffineExpr) -> Self {
-        LoopVar { name: name.into(), lower, upper }
+        LoopVar {
+            name: name.into(),
+            lower,
+            upper,
+        }
     }
 
     /// The trip count `upper - lower` as an affine expression.
@@ -153,7 +165,7 @@ impl LoopVar {
 
 /// An ordered loop nest (outermost first), i.e. the iteration domain `D` of a
 /// statement.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IterationDomain {
     /// Loop variables from outermost to innermost.
     pub loops: Vec<LoopVar>,

@@ -69,14 +69,26 @@ pub enum IrError {
 impl std::fmt::Display for IrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IrError::UnknownVariable { statement, variable } => {
+            IrError::UnknownVariable {
+                statement,
+                variable,
+            } => {
                 write!(f, "statement {statement}: unknown variable {variable}")
             }
             IrError::InconsistentArity { array } => {
-                write!(f, "array {array}: access components have inconsistent arity")
+                write!(
+                    f,
+                    "array {array}: access components have inconsistent arity"
+                )
             }
-            IrError::DuplicateLoopVariable { statement, variable } => {
-                write!(f, "statement {statement}: duplicate loop variable {variable}")
+            IrError::DuplicateLoopVariable {
+                statement,
+                variable,
+            } => {
+                write!(
+                    f,
+                    "statement {statement}: duplicate loop variable {variable}"
+                )
             }
             IrError::EmptyLoopNest { statement } => {
                 write!(f, "statement {statement}: empty loop nest")

@@ -27,9 +27,7 @@ pub fn parse_affine(input: &str) -> Result<AffineExpr, IrError> {
         }
         first = false;
         // One term: [int][*]ident | int | ident
-        let term_end = rest
-            .find(|c: char| c == '+' || c == '-')
-            .unwrap_or(rest.len());
+        let term_end = rest.find(['+', '-']).unwrap_or(rest.len());
         let term = rest[..term_end].trim();
         rest = rest[term_end..].trim_start();
         if term.is_empty() {
@@ -56,7 +54,9 @@ fn split_term(term: &str, context: &str) -> Result<(i64, Option<String>), IrErro
             .map_err(|_| IrError::Parse(format!("bad coefficient '{a}' in '{context}'")))?;
         let name = b.trim();
         if !is_ident(name) {
-            return Err(IrError::Parse(format!("bad symbol '{name}' in '{context}'")));
+            return Err(IrError::Parse(format!(
+                "bad symbol '{name}' in '{context}'"
+            )));
         }
         Ok((coeff, Some(name.to_string())))
     } else if let Ok(c) = term.parse::<i64>() {
@@ -64,13 +64,18 @@ fn split_term(term: &str, context: &str) -> Result<(i64, Option<String>), IrErro
     } else if is_ident(term) {
         Ok((1, Some(term.to_string())))
     } else {
-        Err(IrError::Parse(format!("cannot parse term '{term}' in '{context}'")))
+        Err(IrError::Parse(format!(
+            "cannot parse term '{term}' in '{context}'"
+        )))
     }
 }
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars()
+            .next()
+            .map(|c| c.is_alphabetic() || c == '_')
+            .unwrap_or(false)
         && s.chars().all(|c| c.is_alphanumeric() || c == '_')
 }
 

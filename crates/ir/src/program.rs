@@ -2,13 +2,12 @@
 
 use crate::statement::Statement;
 use crate::IrError;
-use serde::{Deserialize, Serialize};
 use soap_symbolic::Polynomial;
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Metadata about one array referenced by a program.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Array {
     /// Array name.
     pub name: String,
@@ -22,7 +21,7 @@ pub struct Array {
 
 /// A SOAP program: an ordered sequence of statements plus its symbolic size
 /// parameters (e.g. `N`, `M`, `T`, `C_in`, …).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Program {
     /// Program name (kernel name in reports).
     pub name: String,
@@ -33,7 +32,10 @@ pub struct Program {
 impl Program {
     /// Build a program from statements.
     pub fn new(name: impl Into<String>, statements: Vec<Statement>) -> Self {
-        Program { name: name.into(), statements }
+        Program {
+            name: name.into(),
+            statements,
+        }
     }
 
     /// Validate every statement.
@@ -134,7 +136,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program {} (params: {})", self.name, self.parameters().join(", "))?;
+        writeln!(
+            f,
+            "program {} (params: {})",
+            self.name,
+            self.parameters().join(", ")
+        )?;
         for st in &self.statements {
             writeln!(f, "  {}", st)?;
         }

@@ -3,13 +3,12 @@
 use crate::access::ArrayAccess;
 use crate::domain::IterationDomain;
 use crate::IrError;
-use serde::{Deserialize, Serialize};
 use soap_symbolic::Polynomial;
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// One SOAP statement: a loop nest around `A₀[φ₀(ψ)] ← f(A₁[φ₁(ψ)], …)`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Statement {
     /// Statement name (used in reports and the SDG).
     pub name: String,
@@ -31,7 +30,9 @@ impl Statement {
     /// only loop variables of this statement.
     pub fn validate(&self) -> Result<(), IrError> {
         if self.domain.loops.is_empty() {
-            return Err(IrError::EmptyLoopNest { statement: self.name.clone() });
+            return Err(IrError::EmptyLoopNest {
+                statement: self.name.clone(),
+            });
         }
         let mut seen = BTreeSet::new();
         for lv in &self.domain.loops {
@@ -45,7 +46,9 @@ impl Statement {
         for acc in std::iter::once(&self.output).chain(self.inputs.iter()) {
             let dim = acc.dim();
             if acc.components.iter().any(|c| c.arity() != dim) {
-                return Err(IrError::InconsistentArity { array: acc.array.clone() });
+                return Err(IrError::InconsistentArity {
+                    array: acc.array.clone(),
+                });
             }
             for var in acc.variables() {
                 if !seen.contains(&var) {
@@ -188,7 +191,10 @@ mod tests {
         let st = mmm();
         assert_eq!(st.reduction_variables(), vec!["k".to_string()]);
         assert_eq!(st.innermost_reduction_variable(), Some("k".to_string()));
-        assert_eq!(st.input_arrays(), vec!["A".to_string(), "B".to_string(), "C".to_string()]);
+        assert_eq!(
+            st.input_arrays(),
+            vec!["A".to_string(), "B".to_string(), "C".to_string()]
+        );
     }
 
     #[test]

@@ -53,11 +53,17 @@ pub struct KernelEntry {
 pub fn registry() -> Vec<KernelEntry> {
     use KernelGroup::*;
     fn entry(name: &'static str, group: KernelGroup, program: Program) -> KernelEntry {
-        KernelEntry { name, group, program, assume_injective: false }
+        KernelEntry {
+            name,
+            group,
+            program,
+            assume_injective: false,
+        }
     }
     let mut entries = Vec::new();
-    let mut add =
-        |name: &'static str, group: KernelGroup, program: Program| entries.push(entry(name, group, program));
+    let mut add = |name: &'static str, group: KernelGroup, program: Program| {
+        entries.push(entry(name, group, program))
+    };
 
     // --- Polybench (30) ---
     add("adi", Polybench, polybench::adi());
@@ -99,9 +105,12 @@ pub fn registry() -> Vec<KernelEntry> {
 
     // --- Various (3) ---
     add("lulesh", Various, lulesh::lulesh_kernel());
-    add("horizontal-diffusion", Various, weather::horizontal_diffusion());
+    add(
+        "horizontal-diffusion",
+        Various,
+        weather::horizontal_diffusion(),
+    );
     add("vertical-advection", Various, weather::vertical_advection());
-    drop(add);
 
     // Direct convolution: Table 2 lists the §5.3 injective (large-stride) case.
     entries.push(KernelEntry {
@@ -127,9 +136,22 @@ mod tests {
     fn registry_has_all_38_applications() {
         let r = registry();
         assert_eq!(r.len(), 38);
-        assert_eq!(r.iter().filter(|e| e.group == KernelGroup::Polybench).count(), 30);
-        assert_eq!(r.iter().filter(|e| e.group == KernelGroup::NeuralNetworks).count(), 5);
-        assert_eq!(r.iter().filter(|e| e.group == KernelGroup::Various).count(), 3);
+        assert_eq!(
+            r.iter()
+                .filter(|e| e.group == KernelGroup::Polybench)
+                .count(),
+            30
+        );
+        assert_eq!(
+            r.iter()
+                .filter(|e| e.group == KernelGroup::NeuralNetworks)
+                .count(),
+            5
+        );
+        assert_eq!(
+            r.iter().filter(|e| e.group == KernelGroup::Various).count(),
+            3
+        );
     }
 
     #[test]

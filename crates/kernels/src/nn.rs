@@ -38,26 +38,46 @@ pub fn direct_convolution() -> Program {
 pub fn softmax() -> Program {
     ProgramBuilder::new("softmax")
         .statement(|st| {
-            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("m", "0", "M"), ("n", "0", "N")])
-                .update("rowmax", "b,h,m")
-                .read("X", "b,h,m,n")
+            st.loops(&[
+                ("b", "0", "B"),
+                ("h", "0", "H"),
+                ("m", "0", "M"),
+                ("n", "0", "N"),
+            ])
+            .update("rowmax", "b,h,m")
+            .read("X", "b,h,m,n")
         })
         .statement(|st| {
-            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("m", "0", "M"), ("n", "0", "N")])
-                .write("E", "b,h,m,n")
-                .read("X", "b,h,m,n")
-                .read("rowmax", "b,h,m")
+            st.loops(&[
+                ("b", "0", "B"),
+                ("h", "0", "H"),
+                ("m", "0", "M"),
+                ("n", "0", "N"),
+            ])
+            .write("E", "b,h,m,n")
+            .read("X", "b,h,m,n")
+            .read("rowmax", "b,h,m")
         })
         .statement(|st| {
-            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("m", "0", "M"), ("n", "0", "N")])
-                .update("rowsum", "b,h,m")
-                .read("E", "b,h,m,n")
+            st.loops(&[
+                ("b", "0", "B"),
+                ("h", "0", "H"),
+                ("m", "0", "M"),
+                ("n", "0", "N"),
+            ])
+            .update("rowsum", "b,h,m")
+            .read("E", "b,h,m,n")
         })
         .statement(|st| {
-            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("m", "0", "M"), ("n", "0", "N")])
-                .write("Out", "b,h,m,n")
-                .read("E", "b,h,m,n")
-                .read("rowsum", "b,h,m")
+            st.loops(&[
+                ("b", "0", "B"),
+                ("h", "0", "H"),
+                ("m", "0", "M"),
+                ("n", "0", "N"),
+            ])
+            .write("Out", "b,h,m,n")
+            .read("E", "b,h,m,n")
+            .read("rowsum", "b,h,m")
         })
         .build()
         .expect("softmax is a valid SOAP program")
@@ -91,6 +111,7 @@ pub fn mlp() -> Program {
 }
 
 /// A convolution layer statement used by [`lenet5`] (stride 1, `5×5` kernel).
+#[allow(clippy::too_many_arguments)]
 fn conv_layer(
     name: &str,
     out: &str,
@@ -133,7 +154,15 @@ pub fn lenet5() -> Program {
                 ("w", "0", "W"),
             ])
             .write("P1", "k,h,w,b")
-            .read_multi("C1", &["k,2*h,2*w,b", "k,2*h+1,2*w,b", "k,2*h,2*w+1,b", "k,2*h+1,2*w+1,b"])
+            .read_multi(
+                "C1",
+                &[
+                    "k,2*h,2*w,b",
+                    "k,2*h+1,2*w,b",
+                    "k,2*h,2*w+1,b",
+                    "k,2*h+1,2*w+1,b",
+                ],
+            )
         })
         .push(
             conv_layer("conv2", "C2", "P1", "F2", "C1N", "C2N", "H", "W")
@@ -148,7 +177,15 @@ pub fn lenet5() -> Program {
                 ("w", "0", "W"),
             ])
             .write("P2", "k,h,w,b")
-            .read_multi("C2", &["k,2*h,2*w,b", "k,2*h+1,2*w,b", "k,2*h,2*w+1,b", "k,2*h+1,2*w+1,b"])
+            .read_multi(
+                "C2",
+                &[
+                    "k,2*h,2*w,b",
+                    "k,2*h+1,2*w,b",
+                    "k,2*h,2*w+1,b",
+                    "k,2*h+1,2*w+1,b",
+                ],
+            )
         })
         .statement(|st| {
             st.loops(&[("b", "0", "BATCH"), ("f", "0", "FC1"), ("i", "0", "FLAT")])
@@ -163,10 +200,14 @@ pub fn lenet5() -> Program {
                 .read("WFC2", "f,g")
         })
         .statement(|st| {
-            st.loops(&[("b", "0", "BATCH"), ("o", "0", "CLASSES"), ("g", "0", "FC2")])
-                .update("Logits", "b,o")
-                .read("FC2out", "b,g")
-                .read("WFC3", "g,o")
+            st.loops(&[
+                ("b", "0", "BATCH"),
+                ("o", "0", "CLASSES"),
+                ("g", "0", "FC2"),
+            ])
+            .update("Logits", "b,o")
+            .read("FC2out", "b,g")
+            .read("WFC3", "g,o")
         })
         .build()
         .expect("lenet-5 is a valid SOAP program")
@@ -213,15 +254,25 @@ pub fn bert_encoder() -> Program {
         })
         // Softmax (folded into two bandwidth statements).
         .statement(|st| {
-            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("l", "0", "L"), ("m", "0", "L")])
-                .update("rowsum", "b,h,l")
-                .read("Scores", "b,h,l,m")
+            st.loops(&[
+                ("b", "0", "B"),
+                ("h", "0", "H"),
+                ("l", "0", "L"),
+                ("m", "0", "L"),
+            ])
+            .update("rowsum", "b,h,l")
+            .read("Scores", "b,h,l,m")
         })
         .statement(|st| {
-            st.loops(&[("b", "0", "B"), ("h", "0", "H"), ("l", "0", "L"), ("m", "0", "L")])
-                .write("Probs", "b,h,l,m")
-                .read("Scores", "b,h,l,m")
-                .read("rowsum", "b,h,l")
+            st.loops(&[
+                ("b", "0", "B"),
+                ("h", "0", "H"),
+                ("l", "0", "L"),
+                ("m", "0", "L"),
+            ])
+            .write("Probs", "b,h,l,m")
+            .read("Scores", "b,h,l,m")
+            .read("rowsum", "b,h,l")
         })
         // Context[b,l,h,p] += Probs[b,h,l,m]·V[b,m,h,p]
         .statement(|st| {
@@ -251,16 +302,26 @@ pub fn bert_encoder() -> Program {
         })
         // Feed-forward: FF1[b,l,f] += Attn[b,l,e]·W1[e,f]; FF2[b,l,e] += FF1[b,l,f]·W2[f,e]
         .statement(|st| {
-            st.loops(&[("b", "0", "B"), ("l", "0", "L"), ("f", "0", "F"), ("e", "0", "E")])
-                .update("FF1", "b,l,f")
-                .read("Attn", "b,l,e")
-                .read("W1", "e,f")
+            st.loops(&[
+                ("b", "0", "B"),
+                ("l", "0", "L"),
+                ("f", "0", "F"),
+                ("e", "0", "E"),
+            ])
+            .update("FF1", "b,l,f")
+            .read("Attn", "b,l,e")
+            .read("W1", "e,f")
         })
         .statement(|st| {
-            st.loops(&[("b", "0", "B"), ("l", "0", "L"), ("e", "0", "E"), ("f", "0", "F")])
-                .update("FF2", "b,l,e")
-                .read("FF1", "b,l,f")
-                .read("W2", "f,e")
+            st.loops(&[
+                ("b", "0", "B"),
+                ("l", "0", "L"),
+                ("e", "0", "E"),
+                ("f", "0", "F"),
+            ])
+            .update("FF2", "b,l,e")
+            .read("FF1", "b,l,f")
+            .read("W2", "f,e")
         })
         .build()
         .expect("bert encoder is a valid SOAP program")
@@ -272,7 +333,13 @@ mod tests {
 
     #[test]
     fn all_nn_programs_validate() {
-        for p in [direct_convolution(), softmax(), mlp(), lenet5(), bert_encoder()] {
+        for p in [
+            direct_convolution(),
+            softmax(),
+            mlp(),
+            lenet5(),
+            bert_encoder(),
+        ] {
             assert!(p.validate().is_ok(), "{} failed validation", p.name);
         }
     }
@@ -291,7 +358,10 @@ mod tests {
         assert_eq!(p.statements.len(), 10);
         let params = p.parameters();
         for expected in ["B", "L", "H", "P", "E", "F"] {
-            assert!(params.contains(&expected.to_string()), "missing param {expected}");
+            assert!(
+                params.contains(&expected.to_string()),
+                "missing param {expected}"
+            );
         }
     }
 
@@ -299,7 +369,13 @@ mod tests {
     fn mlp_work_is_sum_of_three_products() {
         let p = mlp();
         let mut b = std::collections::BTreeMap::new();
-        for (k, v) in [("N", 8.0), ("FC1", 4.0), ("FC2", 5.0), ("INP", 3.0), ("OUT", 2.0)] {
+        for (k, v) in [
+            ("N", 8.0),
+            ("FC1", 4.0),
+            ("FC2", 5.0),
+            ("INP", 3.0),
+            ("OUT", 2.0),
+        ] {
             b.insert(k.to_string(), v);
         }
         let total = p.total_vertex_count().eval(&b).unwrap();

@@ -245,10 +245,15 @@ pub fn trmm() -> Program {
 pub fn doitgen() -> Program {
     ProgramBuilder::new("doitgen")
         .statement(|st| {
-            st.loops(&[("r", "0", "NR"), ("q", "0", "NQ"), ("p", "0", "NP"), ("s", "0", "NP")])
-                .update("sum", "r,q,p")
-                .read("A", "r,q,s")
-                .read("C4", "s,p")
+            st.loops(&[
+                ("r", "0", "NR"),
+                ("q", "0", "NQ"),
+                ("p", "0", "NP"),
+                ("s", "0", "NP"),
+            ])
+            .update("sum", "r,q,p")
+            .read("A", "r,q,s")
+            .read("C4", "s,p")
         })
         .statement(|st| {
             st.loops(&[("r", "0", "NR"), ("q", "0", "NQ"), ("p", "0", "NP")])
@@ -554,7 +559,13 @@ pub fn jacobi2d() -> Program {
                 .write("A", "i,j,t")
                 .read_multi(
                     "A",
-                    &["i,j,t-1", "i-1,j,t-1", "i+1,j,t-1", "i,j-1,t-1", "i,j+1,t-1"],
+                    &[
+                        "i,j,t-1",
+                        "i-1,j,t-1",
+                        "i+1,j,t-1",
+                        "i,j-1,t-1",
+                        "i,j+1,t-1",
+                    ],
                 )
         })
         .build()
@@ -655,7 +666,14 @@ mod tests {
 
     #[test]
     fn stencils_use_time_versioned_accesses() {
-        for p in [jacobi1d(), jacobi2d(), heat3d(), seidel2d(), fdtd2d(), adi()] {
+        for p in [
+            jacobi1d(),
+            jacobi2d(),
+            heat3d(),
+            seidel2d(),
+            fdtd2d(),
+            adi(),
+        ] {
             for st in &p.statements {
                 // The output array must also be read (the §5.2 projection), so
                 // the analysis can apply Corollary 1.

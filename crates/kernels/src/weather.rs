@@ -116,6 +116,9 @@ mod tests {
         b.insert("J".to_string(), 10.0);
         b.insert("K".to_string(), 11.0);
         // 5 statements × I·J·(K-1) iterations each.
-        assert_eq!(p.total_vertex_count().eval(&b).unwrap(), 5.0 * 10.0 * 10.0 * 10.0);
+        assert_eq!(
+            p.total_vertex_count().eval(&b).unwrap(),
+            5.0 * 10.0 * 10.0 * 10.0
+        );
     }
 }

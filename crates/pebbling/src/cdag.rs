@@ -32,23 +32,60 @@ pub enum VertexKind {
 
 /// A Computational DAG: vertices are array-element versions, edges point from
 /// operands to results.
-#[derive(Clone, Debug, Default)]
+///
+/// Adjacency is stored in CSR (compressed sparse row) form — one flat target
+/// array plus per-vertex offsets in each direction — so walking a vertex's
+/// operands or consumers is a contiguous slice read with no per-vertex `Vec`
+/// allocations.  Vertices are created with their parents already known, which
+/// makes the parent CSR buildable append-only during construction.
+#[derive(Clone, Debug)]
 pub struct Cdag {
     /// Vertex metadata.
     pub kinds: Vec<VertexKind>,
-    /// Parent lists (operands of each vertex; empty for inputs).
-    pub parents: Vec<Vec<VertexId>>,
-    /// Child lists (derived from `parents`).
-    pub children: Vec<Vec<VertexId>>,
+    /// CSR offsets into `parent_targets`; vertex `v`'s operands are
+    /// `parent_targets[parent_offsets[v]..parent_offsets[v + 1]]`.
+    parent_offsets: Vec<usize>,
+    parent_targets: Vec<VertexId>,
+    /// CSR offsets into `child_targets` (derived from the parent edges).
+    child_offsets: Vec<usize>,
+    child_targets: Vec<VertexId>,
     /// Vertices that hold the final version of an array element written by the
     /// program (the program outputs; they must end with a blue pebble).
     pub outputs: Vec<VertexId>,
+}
+
+// CSR invariant: offsets always hold one entry per vertex plus a trailing
+// total, so an empty graph still needs `[0]` — a derived Default would break
+// `parents(v)`/`children(v)` for any graph built outside `from_program`.
+impl Default for Cdag {
+    fn default() -> Cdag {
+        Cdag {
+            kinds: Vec::new(),
+            parent_offsets: vec![0],
+            parent_targets: Vec::new(),
+            child_offsets: vec![0],
+            child_targets: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
 }
 
 impl Cdag {
     /// Number of vertices.
     pub fn len(&self) -> usize {
         self.kinds.len()
+    }
+
+    /// The operands of vertex `v` (empty for inputs).
+    #[inline]
+    pub fn parents(&self, v: VertexId) -> &[VertexId] {
+        &self.parent_targets[self.parent_offsets[v]..self.parent_offsets[v + 1]]
+    }
+
+    /// The consumers of vertex `v`.
+    #[inline]
+    pub fn children(&self, v: VertexId) -> &[VertexId] {
+        &self.child_targets[self.child_offsets[v]..self.child_offsets[v + 1]]
     }
 
     /// True if the graph has no vertices.
@@ -93,11 +130,26 @@ impl Cdag {
             .collect();
         g.outputs.sort_unstable();
         g.outputs.dedup();
-        // Derive children.
-        g.children = vec![Vec::new(); g.len()];
-        for (v, ps) in g.parents.iter().enumerate() {
-            for &p in ps {
-                g.children[p].push(v);
+        // Derive the child CSR from the parent edges: count in-degrees, take
+        // prefix sums, then scatter.
+        let mut degree = vec![0usize; g.len()];
+        for &p in &g.parent_targets {
+            degree[p] += 1;
+        }
+        g.child_offsets = Vec::with_capacity(g.len() + 1);
+        let mut total = 0;
+        g.child_offsets.push(0);
+        for d in &degree {
+            total += d;
+            g.child_offsets.push(total);
+        }
+        g.child_targets = vec![0; total];
+        let mut cursor = g.child_offsets.clone();
+        for v in 0..g.len() {
+            for i in g.parent_offsets[v]..g.parent_offsets[v + 1] {
+                let p = g.parent_targets[i];
+                g.child_targets[cursor[p]] = v;
+                cursor[p] += 1;
             }
         }
         g
@@ -106,7 +158,8 @@ impl Cdag {
     fn add_vertex(&mut self, kind: VertexKind, parents: Vec<VertexId>) -> VertexId {
         let id = self.kinds.len();
         self.kinds.push(kind);
-        self.parents.push(parents);
+        self.parent_targets.extend_from_slice(&parents);
+        self.parent_offsets.push(self.parent_targets.len());
         id
     }
 }
@@ -127,13 +180,19 @@ fn build_statement(
             .chain(params.iter().map(|(k, v)| (k.clone(), *v)))
             .collect();
         let mut parents = Vec::new();
-        let mut read = |g: &mut Cdag,
-                        latest: &mut BTreeMap<(String, Vec<i64>), VertexId>,
-                        array: &str,
-                        index: Vec<i64>| {
+        let read = |g: &mut Cdag,
+                    latest: &mut BTreeMap<(String, Vec<i64>), VertexId>,
+                    array: &str,
+                    index: Vec<i64>| {
             let key = (array.to_string(), index.clone());
             let v = *latest.entry(key).or_insert_with(|| {
-                g.add_vertex(VertexKind::Input { array: array.to_string(), index }, Vec::new())
+                g.add_vertex(
+                    VertexKind::Input {
+                        array: array.to_string(),
+                        index,
+                    },
+                    Vec::new(),
+                )
             });
             v
         };
@@ -200,7 +259,7 @@ mod tests {
         assert_eq!(g.outputs.len(), 16);
         // Every compute vertex of MMM has exactly 3 parents (A, B, previous C).
         for v in g.compute_vertices() {
-            assert_eq!(g.parents[v].len(), 3);
+            assert_eq!(g.parents(v).len(), 3);
         }
     }
 
@@ -213,7 +272,7 @@ mod tests {
         let computes = g.compute_vertices();
         let first = computes[0];
         let second = computes[1];
-        assert!(g.parents[second].contains(&first));
+        assert!(g.parents(second).contains(&first));
     }
 
     #[test]
@@ -237,7 +296,7 @@ mod tests {
             .collect();
         assert!(!second_sweep.is_empty());
         assert!(second_sweep.iter().any(|&v| {
-            g.parents[v]
+            g.parents(v)
                 .iter()
                 .any(|&pv| matches!(g.kinds[pv], VertexKind::Compute { .. }))
         }));
@@ -248,11 +307,11 @@ mod tests {
         let (p, pr) = mmm(3);
         let g = Cdag::from_program(&p, &pr);
         for v in 0..g.len() {
-            for &c in &g.children[v] {
-                assert!(g.parents[c].contains(&v));
+            for &c in g.children(v) {
+                assert!(g.parents(c).contains(&v));
             }
-            for &par in &g.parents[v] {
-                assert!(g.children[par].contains(&v));
+            for &par in g.parents(v) {
+                assert!(g.children(par).contains(&v));
             }
         }
     }

@@ -29,7 +29,12 @@ struct Dinic {
 
 impl Dinic {
     fn new(n: usize) -> Self {
-        Dinic { edges: Vec::new(), adj: vec![Vec::new(); n], level: vec![0; n], iter: vec![0; n] }
+        Dinic {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
     }
 
     fn add_edge(&mut self, from: usize, to: usize, cap: i64) {
@@ -106,21 +111,24 @@ pub fn min_dominator_size(cdag: &Cdag, h: &[VertexId]) -> usize {
     let sink = 2 * n + 1;
     let mut flow = Dinic::new(2 * n + 2);
     const INF: i64 = i64::MAX / 4;
-    let in_h: std::collections::BTreeSet<VertexId> = h.iter().copied().collect();
+    let mut in_h = soap_bitset::BitSet::new(n);
+    for &v in h {
+        in_h.insert(v);
+    }
     for v in 0..n {
         // Vertices of H cannot serve as (external) dominators.
-        let cap = if in_h.contains(&v) { INF } else { 1 };
+        let cap = if in_h.contains(v) { INF } else { 1 };
         flow.add_edge(2 * v, 2 * v + 1, cap);
     }
     for v in 0..n {
-        for &c in &cdag.children[v] {
+        for &c in cdag.children(v) {
             flow.add_edge(2 * v + 1, 2 * c, INF);
         }
     }
     for v in cdag.inputs() {
         flow.add_edge(source, 2 * v, INF);
     }
-    for &v in &in_h {
+    for v in in_h.iter() {
         flow.add_edge(2 * v + 1, sink, INF);
     }
     flow.max_flow(source, sink) as usize

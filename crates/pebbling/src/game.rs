@@ -2,7 +2,7 @@
 
 use crate::cdag::Cdag;
 use crate::cdag::VertexId;
-use std::collections::BTreeSet;
+use soap_bitset::BitSet;
 
 /// One pebbling move.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,12 +41,17 @@ pub enum PebblingError {
 
 /// The state of a red-blue pebble game played on a [`Cdag`] with a red-pebble
 /// budget of `S`.
+///
+/// The red and blue pebble sets are bitsets indexed by vertex id, so every
+/// rule check in [`PebbleGame::apply`] is a constant-time bit probe and a
+/// whole-game validation costs O(moves · degree).
 #[derive(Clone, Debug)]
 pub struct PebbleGame<'a> {
     cdag: &'a Cdag,
     budget: usize,
-    red: BTreeSet<VertexId>,
-    blue: BTreeSet<VertexId>,
+    red: BitSet,
+    blue: BitSet,
+    reds_in_use: usize,
     loads: usize,
     stores: usize,
 }
@@ -54,8 +59,19 @@ pub struct PebbleGame<'a> {
 impl<'a> PebbleGame<'a> {
     /// Start a game: all program inputs carry blue pebbles.
     pub fn new(cdag: &'a Cdag, budget: usize) -> Self {
-        let blue: BTreeSet<VertexId> = cdag.inputs().into_iter().collect();
-        PebbleGame { cdag, budget, red: BTreeSet::new(), blue, loads: 0, stores: 0 }
+        let mut blue = BitSet::new(cdag.len());
+        for v in cdag.inputs() {
+            blue.insert(v);
+        }
+        PebbleGame {
+            cdag,
+            budget,
+            red: BitSet::new(cdag.len()),
+            blue,
+            reds_in_use: 0,
+            loads: 0,
+            stores: 0,
+        }
     }
 
     /// Number of load moves so far.
@@ -75,56 +91,62 @@ impl<'a> PebbleGame<'a> {
 
     /// Current number of red pebbles.
     pub fn reds_in_use(&self) -> usize {
-        self.red.len()
+        self.reds_in_use
     }
 
     /// True if the vertex currently carries a red pebble.
     pub fn is_red(&self, v: VertexId) -> bool {
-        self.red.contains(&v)
+        self.red.contains(v)
     }
 
     /// True if the vertex currently carries a blue pebble.
     pub fn is_blue(&self, v: VertexId) -> bool {
-        self.blue.contains(&v)
+        self.blue.contains(v)
     }
 
     /// Apply one move, validating the game rules.
     pub fn apply(&mut self, mv: Move) -> Result<(), PebblingError> {
         match mv {
             Move::Load(v) => {
-                if !self.blue.contains(&v) {
+                if !self.blue.contains(v) {
                     return Err(PebblingError::LoadWithoutBlue(v));
                 }
                 self.place_red(v)?;
                 self.loads += 1;
             }
             Move::Store(v) => {
-                if !self.red.contains(&v) {
+                if !self.red.contains(v) {
                     return Err(PebblingError::StoreWithoutRed(v));
                 }
                 self.blue.insert(v);
                 self.stores += 1;
             }
             Move::Compute(v) => {
-                if !self.cdag.parents[v].iter().all(|p| self.red.contains(p)) {
+                if !self.cdag.parents(v).iter().all(|&p| self.red.contains(p)) {
                     return Err(PebblingError::MissingOperands(v));
                 }
                 self.place_red(v)?;
             }
             Move::DiscardRed(v) => {
-                if !self.red.remove(&v) {
+                if !self.red.remove(v) {
                     return Err(PebblingError::DiscardWithoutRed(v));
                 }
+                self.reds_in_use -= 1;
             }
         }
         Ok(())
     }
 
     fn place_red(&mut self, v: VertexId) -> Result<(), PebblingError> {
-        if !self.red.contains(&v) && self.red.len() >= self.budget {
-            return Err(PebblingError::RedBudgetExceeded { vertex: v, budget: self.budget });
+        if !self.red.contains(v) && self.reds_in_use >= self.budget {
+            return Err(PebblingError::RedBudgetExceeded {
+                vertex: v,
+                budget: self.budget,
+            });
         }
-        self.red.insert(v);
+        if self.red.insert(v) {
+            self.reds_in_use += 1;
+        }
         Ok(())
     }
 
@@ -139,7 +161,7 @@ impl<'a> PebbleGame<'a> {
             .outputs
             .iter()
             .copied()
-            .filter(|v| !self.blue.contains(v))
+            .filter(|&v| !self.blue.contains(v))
             .collect();
         if missing.is_empty() {
             Ok(self.io())
@@ -240,6 +262,9 @@ mod tests {
     fn missing_outputs_are_reported() {
         let g = tiny_chain();
         let mut game = PebbleGame::new(&g, 4);
-        assert!(matches!(game.run(&[]), Err(PebblingError::OutputsNotStored(_))));
+        assert!(matches!(
+            game.run(&[]),
+            Err(PebblingError::OutputsNotStored(_))
+        ));
     }
 }

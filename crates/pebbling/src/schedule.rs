@@ -16,7 +16,8 @@
 
 use crate::cdag::{Cdag, VertexId, VertexKind};
 use crate::game::{Move, PebbleGame, PebblingError};
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use soap_bitset::BitSet;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Statistics of one simulated schedule.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,31 +46,45 @@ pub fn simulate_order(
     order: &[VertexId],
     s: usize,
 ) -> Result<ScheduleStats, PebblingError> {
-    assert!(s >= 3, "a red-pebble budget below 3 cannot evaluate binary operators");
+    assert!(
+        s >= 3,
+        "a red-pebble budget below 3 cannot evaluate binary operators"
+    );
     // Position of each vertex in the compute order, for Belady eviction and
     // "needed later" decisions.
-    let mut uses: BTreeMap<VertexId, Vec<usize>> = BTreeMap::new();
+    let mut uses: Vec<Vec<usize>> = vec![Vec::new(); cdag.len()];
     for (t, &v) in order.iter().enumerate() {
-        for &p in &cdag.parents[v] {
-            uses.entry(p).or_default().push(t);
+        for &p in cdag.parents(v) {
+            uses[p].push(t);
         }
     }
-    let outputs: BTreeSet<VertexId> = cdag.outputs.iter().copied().collect();
+    let mut outputs = BitSet::new(cdag.len());
+    for &v in &cdag.outputs {
+        outputs.insert(v);
+    }
 
     let mut game = PebbleGame::new(cdag, s);
     let mut moves: Vec<Move> = Vec::new();
-    let mut red: BTreeSet<VertexId> = BTreeSet::new();
-    let mut stored: BTreeSet<VertexId> = BTreeSet::new();
+    let mut red = BitSet::new(cdag.len());
+    let mut stored = BitSet::new(cdag.len());
     let mut computes = 0usize;
 
     for (t, &v) in order.iter().enumerate() {
         // Ensure all parents are red.
-        for &p in cdag.parents[v].clone().iter() {
-            if red.contains(&p) {
+        for &p in cdag.parents(v) {
+            if red.contains(p) {
                 continue;
             }
             make_room(
-                cdag, &mut game, &mut moves, &mut red, &mut stored, &outputs, &uses, t, s,
+                cdag,
+                &mut game,
+                &mut moves,
+                &mut red,
+                &mut stored,
+                &outputs,
+                &uses,
+                t,
+                s,
             )?;
             // A parent is either an input / previously stored value (load) or a
             // computed value that was evicted without a store — in the latter
@@ -80,7 +95,15 @@ pub fn simulate_order(
             red.insert(p);
         }
         make_room(
-            cdag, &mut game, &mut moves, &mut red, &mut stored, &outputs, &uses, t, s,
+            cdag,
+            &mut game,
+            &mut moves,
+            &mut red,
+            &mut stored,
+            &outputs,
+            &uses,
+            t,
+            s,
         )?;
         game.apply(Move::Compute(v))?;
         moves.push(Move::Compute(v));
@@ -89,7 +112,7 @@ pub fn simulate_order(
     }
     // Store any outputs still only in fast memory.
     for &v in &cdag.outputs {
-        if !stored.contains(&v) && red.contains(&v) {
+        if !stored.contains(v) && red.contains(v) {
             game.apply(Move::Store(v))?;
             moves.push(Move::Store(v));
             stored.insert(v);
@@ -101,7 +124,11 @@ pub fn simulate_order(
         replay.run(&moves)?
     };
     debug_assert_eq!(io, game.loads() + game.stores());
-    Ok(ScheduleStats { loads: game.loads(), stores: game.stores(), computes })
+    Ok(ScheduleStats {
+        loads: game.loads(),
+        stores: game.stores(),
+        computes,
+    })
 }
 
 /// Evict red pebbles (storing values that are outputs or still needed) until a
@@ -111,31 +138,36 @@ fn make_room(
     cdag: &Cdag,
     game: &mut PebbleGame<'_>,
     moves: &mut Vec<Move>,
-    red: &mut BTreeSet<VertexId>,
-    stored: &mut BTreeSet<VertexId>,
-    outputs: &BTreeSet<VertexId>,
-    uses: &BTreeMap<VertexId, Vec<usize>>,
+    red: &mut BitSet,
+    stored: &mut BitSet,
+    outputs: &BitSet,
+    uses: &[Vec<usize>],
     now: usize,
     s: usize,
 ) -> Result<(), PebblingError> {
     // Next compute step (≥ now) at which a vertex is used as an operand;
     // usize::MAX means "never again".
     let next_use = |v: VertexId| -> usize {
-        uses.get(&v)
-            .and_then(|u| u.iter().find(|&&t| t >= now).copied())
+        uses[v]
+            .iter()
+            .find(|&&t| t >= now)
+            .copied()
             .unwrap_or(usize::MAX)
     };
     while red.len() >= s {
         // Belady: evict the red vertex with the furthest next use.
         let mut heap: BinaryHeap<(usize, VertexId)> = BinaryHeap::new();
-        for &v in red.iter() {
+        for v in red.iter() {
             heap.push((next_use(v), v));
         }
         let (next, victim) = heap.pop().expect("red set is non-empty");
         let needed_later = next != usize::MAX;
-        let is_output = outputs.contains(&victim);
+        let is_output = outputs.contains(victim);
         let is_computed = matches!(cdag.kinds[victim], VertexKind::Compute { .. });
-        if (needed_later || is_output) && is_computed && !stored.contains(&victim) && !game.is_blue(victim)
+        if (needed_later || is_output)
+            && is_computed
+            && !stored.contains(victim)
+            && !game.is_blue(victim)
         {
             game.apply(Move::Store(victim))?;
             moves.push(Move::Store(victim));
@@ -143,7 +175,7 @@ fn make_room(
         }
         game.apply(Move::DiscardRed(victim))?;
         moves.push(Move::DiscardRed(victim));
-        red.remove(&victim);
+        red.remove(victim);
     }
     Ok(())
 }
@@ -164,7 +196,11 @@ pub fn simulate_tiled(
 ) -> Result<ScheduleStats, PebblingError> {
     let mut order = cdag.compute_vertices();
     order.sort_by_key(|&v| match &cdag.kinds[v] {
-        VertexKind::Compute { statement, iteration, .. } => {
+        VertexKind::Compute {
+            statement,
+            iteration,
+            ..
+        } => {
             let tile = tiles.get(statement);
             let block: Vec<i64> = iteration
                 .iter()

@@ -102,15 +102,18 @@ pub fn analyze_program_with(
         .map_err(|e| AnalysisError::InvalidStatement(e.to_string()))?;
     let mut notes = Vec::new();
     let sdg = Sdg::from_program(program);
-    let subgraph_sets =
+    let enumeration =
         enumerate_connected_subgraphs(&sdg, opts.max_subgraph_size, opts.max_subgraphs);
-    if subgraph_sets.len() >= opts.max_subgraphs {
+    if enumeration.truncated {
         notes.push(format!(
             "subgraph enumeration truncated at {} subgraphs (max size {}); the bound may be looser than the full Theorem-1 maximum",
             opts.max_subgraphs, opts.max_subgraph_size
         ));
     }
-    let core_opts = AnalysisOptions { assume_injective: opts.assume_injective };
+    let subgraph_sets = enumeration.subgraphs;
+    let core_opts = AnalysisOptions {
+        assume_injective: opts.assume_injective,
+    };
 
     // Solve all subgraph statements in parallel.
     let subgraphs: Vec<SubgraphIntensity> = subgraph_sets
@@ -118,7 +121,10 @@ pub fn analyze_program_with(
         .filter_map(|arrays| {
             let model = merged_model(program, arrays, &core_opts).ok()?;
             let intensity = solve_model(&model).ok()?;
-            Some(SubgraphIntensity { arrays: arrays.clone(), intensity })
+            Some(SubgraphIntensity {
+                arrays: arrays.clone(),
+                intensity,
+            })
         })
         .collect();
 
@@ -175,8 +181,7 @@ mod tests {
     use soap_ir::ProgramBuilder;
 
     fn eval(e: &Expr, pairs: &[(&str, f64)]) -> f64 {
-        let b: BTreeMap<String, f64> =
-            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let b: BTreeMap<String, f64> = pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         e.eval(&b).unwrap()
     }
 
@@ -224,7 +229,10 @@ mod tests {
         assert_eq!(res.per_array.len(), 2);
         let q = eval(&res.bound, &[("N", 1000.0), ("S", 10_000.0)]);
         let expected = 4.0e9 / 100.0;
-        assert!((q - expected).abs() / expected < 0.1, "bound {q} vs {expected}");
+        assert!(
+            (q - expected).abs() / expected < 0.1,
+            "bound {q} vs {expected}"
+        );
         // Both arrays should be bounded by the isolated matmul intensity.
         for ab in &res.per_array {
             assert_eq!(ab.sigma, Rational::new(3, 2), "array {}", ab.array);

@@ -1,5 +1,6 @@
 //! The Symbolic Directed Graph (SDG, Definition 5).
 
+use soap_bitset::BitSet;
 use soap_ir::Program;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -27,6 +28,11 @@ pub struct Sdg {
     /// Edges (deduplicated).
     pub edges: Vec<SdgEdge>,
     adjacency: BTreeMap<String, BTreeSet<String>>,
+    /// Per computed array (indexed as in `computed`): the bitmask of computed
+    /// arrays adjacent to it, where adjacency includes the two-hop connection
+    /// through shared read-only inputs.  This is the dense form the subgraph
+    /// enumeration iterates on.
+    computed_adj: Vec<BitSet>,
 }
 
 impl Sdg {
@@ -49,15 +55,78 @@ impl Sdg {
         for st in &program.statements {
             let to = st.output_array().to_string();
             for from in st.input_arrays() {
-                let e = SdgEdge { from: from.clone(), to: to.clone(), statement: st.name.clone() };
+                let e = SdgEdge {
+                    from: from.clone(),
+                    to: to.clone(),
+                    statement: st.name.clone(),
+                };
                 if !edges.contains(&e) {
                     edges.push(e);
                 }
-                adjacency.entry(from.clone()).or_default().insert(to.clone());
-                adjacency.entry(to.clone()).or_default().insert(from.clone());
+                adjacency
+                    .entry(from.clone())
+                    .or_default()
+                    .insert(to.clone());
+                adjacency
+                    .entry(to.clone())
+                    .or_default()
+                    .insert(from.clone());
             }
         }
-        Sdg { vertices, inputs, computed, edges, adjacency }
+
+        // Dense computed-array adjacency masks, mapping each computed array to
+        // its index in `computed` once so the enumeration never touches names.
+        let computed_index: BTreeMap<&str, usize> = computed
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.as_str(), i))
+            .collect();
+        let empty = BTreeSet::new();
+        let computed_adj: Vec<BitSet> = computed
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut mask = BitSet::new(computed.len());
+                let direct = adjacency.get(name).unwrap_or(&empty);
+                for other in direct {
+                    if let Some(&j) = computed_index.get(other.as_str()) {
+                        mask.insert(j);
+                    }
+                    // Two-hop adjacency through a shared read-only input.
+                    if inputs.contains(other) {
+                        for far in adjacency.get(other).unwrap_or(&empty) {
+                            if let Some(&j) = computed_index.get(far.as_str()) {
+                                mask.insert(j);
+                            }
+                        }
+                    }
+                }
+                mask.remove(i);
+                mask
+            })
+            .collect();
+
+        Sdg {
+            vertices,
+            inputs,
+            computed,
+            edges,
+            adjacency,
+            computed_adj,
+        }
+    }
+
+    /// Dense adjacency among computed arrays: entry `i` is the bitmask of
+    /// `computed` indices adjacent to `computed[i]` (including the two-hop
+    /// connection through shared read-only inputs, matching
+    /// [`Sdg::neighbours`]).
+    pub fn computed_adjacency(&self) -> &[BitSet] {
+        &self.computed_adj
+    }
+
+    /// The index of a computed array in `computed`, if it is one.
+    pub fn computed_index_of(&self, array: &str) -> Option<usize> {
+        self.computed.iter().position(|a| a == array)
     }
 
     /// Undirected neighbours of an array (used for connected-subgraph
@@ -65,11 +134,7 @@ impl Sdg {
     /// the two halves of `mvt` sharing the matrix `A` — are still considered
     /// adjacent through that input).
     pub fn neighbours(&self, array: &str) -> BTreeSet<String> {
-        let mut out: BTreeSet<String> = self
-            .adjacency
-            .get(array)
-            .cloned()
-            .unwrap_or_default();
+        let mut out: BTreeSet<String> = self.adjacency.get(array).cloned().unwrap_or_default();
         // Add two-hop neighbours through read-only arrays.
         for mid in self.adjacency.get(array).cloned().unwrap_or_default() {
             if self.inputs.contains(&mid) {
@@ -120,7 +185,10 @@ mod tests {
     fn figure2_sdg_structure() {
         let sdg = Sdg::from_program(&figure2());
         assert_eq!(sdg.num_vertices(), 5);
-        assert_eq!(sdg.inputs.iter().cloned().collect::<Vec<_>>(), vec!["A", "B", "D"]);
+        assert_eq!(
+            sdg.inputs.iter().cloned().collect::<Vec<_>>(),
+            vec!["A", "B", "D"]
+        );
         assert_eq!(sdg.computed, vec!["C", "E"]);
         // Edges: A→C, B→C, C→E, D→E, E→E (self edge from the update).
         assert_eq!(sdg.num_edges(), 5);

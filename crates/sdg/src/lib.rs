@@ -25,7 +25,9 @@ pub mod graph;
 pub mod merge;
 pub mod subgraphs;
 
-pub use analysis::{analyze_program, analyze_program_with, ArrayBound, ProgramAnalysis, SdgOptions};
+pub use analysis::{
+    analyze_program, analyze_program_with, ArrayBound, ProgramAnalysis, SdgOptions,
+};
 pub use graph::{Sdg, SdgEdge};
 pub use merge::merged_model;
-pub use subgraphs::enumerate_connected_subgraphs;
+pub use subgraphs::{enumerate_connected_subgraphs, SubgraphEnumeration};

@@ -9,48 +9,103 @@
 //! the subcomputation), and the remaining access sets form the dominator of
 //! the merged optimization problem.
 
-use soap_core::access_size::{
-    corollary1_size, lemma3_size, tile_var, update_output_size,
-};
+use soap_core::access_size::{corollary1_size, lemma3_size, tile_var, update_output_size};
 use soap_core::projections::provably_disjoint;
 use soap_core::{AccessModel, AnalysisError, AnalysisOptions};
 use soap_ir::{AccessComponent, ArrayAccess, LinIndex, Program, Statement};
 use soap_symbolic::Expr;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A tiny union-find over `(statement index, variable name)` pairs.
-#[derive(Default)]
+/// An index-based union-find with union by rank and path halving, over the
+/// dense numbering of every statement's loop variables (see [`VarIndex`]).
 struct VarUnion {
-    parent: BTreeMap<(usize, String), (usize, String)>,
+    parent: Vec<u32>,
+    rank: Vec<u8>,
 }
 
 impl VarUnion {
-    fn find(&mut self, key: (usize, String)) -> (usize, String) {
-        let mut current = key.clone();
-        loop {
-            let parent = self.parent.get(&current).cloned().unwrap_or(current.clone());
-            if parent == current {
-                break;
-            }
-            current = parent;
+    fn new(n: usize) -> VarUnion {
+        VarUnion {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
         }
-        // Path compression.
-        let root = current.clone();
-        let mut walk = key;
-        while walk != root {
-            let next = self.parent.get(&walk).cloned().unwrap_or(walk.clone());
-            self.parent.insert(walk, root.clone());
-            walk = next;
-        }
-        root
     }
 
-    fn union(&mut self, a: (usize, String), b: (usize, String)) {
-        let ra = self.find(a);
-        let rb = self.find(b);
-        if ra != rb {
-            self.parent.insert(rb, ra);
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving: point every visited node at its grandparent.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
         }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Dense numbering of `(statement index, loop variable)` pairs, so the
+/// union-find runs on integers instead of cloned string keys.
+struct VarIndex {
+    per_stmt: Vec<Vec<String>>,
+    offsets: Vec<u32>,
+}
+
+impl VarIndex {
+    fn new(stmts: &[&Statement]) -> VarIndex {
+        let per_stmt: Vec<Vec<String>> = stmts.iter().map(|s| s.loop_variables()).collect();
+        let mut offsets = Vec::with_capacity(per_stmt.len());
+        let mut total = 0u32;
+        for vars in &per_stmt {
+            offsets.push(total);
+            total += vars.len() as u32;
+        }
+        VarIndex { per_stmt, offsets }
+    }
+
+    fn len(&self) -> usize {
+        self.per_stmt.iter().map(Vec::len).sum()
+    }
+
+    /// The dense id of `(stmt, var)`; `None` for names that are not loop
+    /// variables of the statement (constant subscript symbols).
+    fn id(&self, stmt: usize, var: &str) -> Option<u32> {
+        self.per_stmt[stmt]
+            .iter()
+            .position(|v| v == var)
+            .map(|p| self.offsets[stmt] + p as u32)
+    }
+
+    /// Inverse mapping: dense id back to `(stmt, var name)`.
+    fn name(&self, id: u32) -> (usize, &str) {
+        let stmt = match self.offsets.binary_search(&id) {
+            Ok(i) => {
+                // An offset can repeat when a statement has no variables;
+                // take the last statement starting at this id.
+                let mut i = i;
+                while i + 1 < self.offsets.len() && self.offsets[i + 1] == id {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        (
+            stmt,
+            &self.per_stmt[stmt][(id - self.offsets[stmt]) as usize],
+        )
     }
 }
 
@@ -62,11 +117,19 @@ fn rename_index(idx: &LinIndex, rename: &BTreeMap<String, String>) -> LinIndex {
         *coeffs.entry(name).or_insert(0) += c;
     }
     coeffs.retain(|_, c| *c != 0);
-    LinIndex { coeffs, offset: idx.offset }
+    LinIndex {
+        coeffs,
+        offset: idx.offset,
+    }
 }
 
 fn rename_component(c: &AccessComponent, rename: &BTreeMap<String, String>) -> AccessComponent {
-    AccessComponent::new(c.indices.iter().map(|ix| rename_index(ix, rename)).collect())
+    AccessComponent::new(
+        c.indices
+            .iter()
+            .map(|ix| rename_index(ix, rename))
+            .collect(),
+    )
 }
 
 /// One external access collected during merging (kept with its origin so the
@@ -97,7 +160,8 @@ pub fn merged_model(
     }
 
     // --- 1. unify iteration variables through producer→consumer subscripts ---
-    let mut uf = VarUnion::default();
+    let idx = VarIndex::new(&stmts);
+    let mut uf = VarUnion::new(idx.len());
     for array in &h {
         let writers: Vec<usize> = stmts
             .iter()
@@ -114,12 +178,12 @@ pub fn merged_model(
                 // Unify through reads of `array` by other fused statements.
                 for acc in reader.accesses_of(array) {
                     for comp in &acc.components {
-                        unify_components(&mut uf, w, out_comp, r, comp);
+                        unify_components(&mut uf, &idx, w, out_comp, r, comp);
                     }
                 }
                 // Unify two writers of the same array.
                 if reader.output_array() == *array {
-                    unify_components(&mut uf, w, out_comp, r, &reader.output.components[0]);
+                    unify_components(&mut uf, &idx, w, out_comp, r, &reader.output.components[0]);
                 }
             }
         }
@@ -127,17 +191,18 @@ pub fn merged_model(
 
     // --- 2. assign unified names ---
     // Class representative -> chosen name; names are made unique across classes.
-    let mut class_names: BTreeMap<(usize, String), String> = BTreeMap::new();
+    let mut class_names: BTreeMap<u32, String> = BTreeMap::new();
     let mut used_names: BTreeSet<String> = BTreeSet::new();
     let mut renames: Vec<BTreeMap<String, String>> = vec![BTreeMap::new(); stmts.len()];
-    for (si, st) in stmts.iter().enumerate() {
-        for v in st.loop_variables() {
-            let root = uf.find((si, v.clone()));
+    for (si, rename) in renames.iter_mut().enumerate() {
+        for vi in 0..idx.per_stmt[si].len() {
+            let vid = idx.offsets[si] + vi as u32;
+            let root = uf.find(vid);
             let unified = class_names
-                .entry(root.clone())
+                .entry(root)
                 .or_insert_with(|| {
-                    let base = root.1.clone();
-                    let mut candidate = base.clone();
+                    let (_, base) = idx.name(root);
+                    let mut candidate = base.to_string();
                     let mut k = 1;
                     while used_names.contains(&candidate) {
                         candidate = format!("{base}_{k}");
@@ -147,7 +212,7 @@ pub fn merged_model(
                     candidate
                 })
                 .clone();
-            renames[si].insert(v, unified);
+            rename.insert(idx.per_stmt[si][vi].clone(), unified);
         }
     }
 
@@ -237,7 +302,11 @@ pub fn merged_model(
                 .collect();
             if !overlapping.is_empty() {
                 let mut comps = vec![rename_component(out_comp, &renames[si])];
-                comps.extend(overlapping.iter().map(|c| rename_component(c, &renames[si])));
+                comps.extend(
+                    overlapping
+                        .iter()
+                        .map(|c| rename_component(c, &renames[si])),
+                );
                 let combined = ArrayAccess::new(out_array.clone(), comps);
                 let size = corollary1_size(&combined, opts.assume_injective);
                 let size = if size.is_zero() {
@@ -277,7 +346,10 @@ pub fn merged_model(
                     continue 'entry;
                 }
             }
-            groups.push((vec![e], ArrayAccess::new(array.clone(), vec![e.renamed.clone()])));
+            groups.push((
+                vec![e],
+                ArrayAccess::new(array.clone(), vec![e.renamed.clone()]),
+            ));
         }
         let sizes: Vec<Expr> = groups
             .iter()
@@ -325,6 +397,7 @@ pub fn merged_model(
 /// Unify per-dimension single-variable subscripts of two components.
 fn unify_components(
     uf: &mut VarUnion,
+    idx: &VarIndex,
     stmt_a: usize,
     a: &AccessComponent,
     stmt_b: usize,
@@ -335,7 +408,9 @@ fn unify_components(
     }
     for (ia, ib) in a.indices.iter().zip(&b.indices) {
         if let (Some(va), Some(vb)) = (ia.simple_var(), ib.simple_var()) {
-            uf.union((stmt_a, va.to_string()), (stmt_b, vb.to_string()));
+            if let (Some(x), Some(y)) = (idx.id(stmt_a, va), idx.id(stmt_b, vb)) {
+                uf.union(x, y);
+            }
         }
     }
 }
@@ -374,10 +449,15 @@ mod tests {
         // This is exactly the "elements of C are recomputed, decreasing the
         // I/O cost" effect highlighted in Figure 2 of the paper.
         let p = figure2();
-        let model = merged_model(&p, &["C".into(), "E".into()], &AnalysisOptions::default())
-            .unwrap();
+        let model =
+            merged_model(&p, &["C".into(), "E".into()], &AnalysisOptions::default()).unwrap();
         // St1's j must have been unified with St2's k through array C.
-        assert_eq!(model.tile_variables.len(), 3, "vars: {:?}", model.tile_variables);
+        assert_eq!(
+            model.tile_variables.len(),
+            3,
+            "vars: {:?}",
+            model.tile_variables
+        );
         let res = solve_model(&model).unwrap();
         assert_eq!(res.sigma, Rational::int(2));
         let singleton = merged_model(&p, &["E".into()], &AnalysisOptions::default()).unwrap();
@@ -417,7 +497,11 @@ mod tests {
         let res = solve_model(&model).unwrap();
         // Fusing the two statements reuses the A tile: σ = 1, ρ → 2.
         assert_eq!(res.sigma, Rational::ONE);
-        assert!((res.rho_at(10_000.0) - 2.0).abs() < 0.1, "rho = {}", res.rho_at(10_000.0));
+        assert!(
+            (res.rho_at(10_000.0) - 2.0).abs() < 0.1,
+            "rho = {}",
+            res.rho_at(10_000.0)
+        );
     }
 
     #[test]

@@ -5,21 +5,114 @@
 //! arrays (connectivity through shared read-only arrays counts, so the two
 //! halves of `mvt` form a valid pair) up to a configurable size, plus every
 //! singleton.  A hard cap on the total number of subgraphs keeps degenerate
-//! cases (fully-connected SDGs of large networks) bounded; when the cap is hit
-//! the analysis notes that the reported bound may be looser than optimal.
+//! cases (fully-connected SDGs of large networks) bounded; when the cap drops
+//! a subgraph the analysis notes that the reported bound may be looser than
+//! optimal.
+//!
+//! The enumeration runs entirely on dense bitmask sets ([`BitSet`] over
+//! computed-array indices, see [`Sdg::computed_adjacency`]) with hash-based
+//! deduplication; array names only reappear in the final conversion of the
+//! results.  The seed's string-set algorithm is retained as
+//! [`enumerate_connected_subgraphs_naive`] — it is the differential-testing
+//! reference and the "before" side of the `subgraph_enumeration` benchmark.
 
 use crate::graph::Sdg;
-use std::collections::BTreeSet;
+use soap_bitset::BitSet;
+use std::collections::{BTreeSet, HashSet};
+
+/// The result of a subgraph enumeration.
+#[derive(Clone, Debug)]
+pub struct SubgraphEnumeration {
+    /// Every enumerated connected subset, as sorted array-name lists.
+    pub subgraphs: Vec<Vec<String>>,
+    /// True iff at least one connected subset within the size limit was
+    /// dropped because of the count cap.  Landing exactly on the cap without
+    /// dropping anything does *not* count as truncation.
+    pub truncated: bool,
+}
 
 /// Enumerate connected subsets of the computed arrays of `sdg`, each of size
-/// at most `max_size`, capped at roughly `max_count` subsets (singletons are
-/// always included and never dropped).
+/// at most `max_size`, capped at `max_count` subsets (singletons are always
+/// included and never dropped).
 ///
 /// The enumeration is breadth-first over set size: level `k+1` is produced by
-/// extending every level-`k` set with one neighbouring computed array.  Sets
-/// are kept in sorted order and deduplicated, so the result contains every
-/// connected subset up to the size/count limits exactly once.
+/// extending every level-`k` set with one neighbouring computed array.  The
+/// result contains every connected subset up to the size/count limits exactly
+/// once, and reports whether the cap actually dropped anything.
+///
+/// Discovery order matters only under truncation: extensions are tried in
+/// array-*name* order (the seed iterated a `BTreeSet<String>` of candidates),
+/// so the family that survives a cap is byte-identical to the seed's.
 pub fn enumerate_connected_subgraphs(
+    sdg: &Sdg,
+    max_size: usize,
+    max_count: usize,
+) -> SubgraphEnumeration {
+    let n = sdg.computed.len();
+    let adj = sdg.computed_adjacency();
+    let mut by_name: Vec<usize> = (0..n).collect();
+    by_name.sort_by(|&a, &b| sdg.computed[a].cmp(&sdg.computed[b]));
+    let singletons: Vec<BitSet> = (0..n).map(|i| BitSet::singleton(n, i)).collect();
+    let mut seen: HashSet<BitSet> = singletons.iter().cloned().collect();
+    let mut out: Vec<BitSet> = singletons.clone();
+    let mut frontier = singletons;
+    let mut truncated = false;
+
+    let mut candidates = BitSet::new(n);
+    for _size in 2..=max_size {
+        if frontier.is_empty() || truncated {
+            break;
+        }
+        let mut next: Vec<BitSet> = Vec::new();
+        'outer: for set in &frontier {
+            // All computed neighbours of the current set, minus the set.
+            candidates.clear();
+            for v in set.iter() {
+                candidates.union_with(&adj[v]);
+            }
+            candidates.subtract(set);
+            for cand in by_name.iter().copied().filter(|&c| candidates.contains(c)) {
+                let mut extended = set.clone();
+                extended.insert(cand);
+                if seen.contains(&extended) {
+                    continue;
+                }
+                if out.len() >= max_count {
+                    // A genuinely new subset exists beyond the cap.
+                    truncated = true;
+                    break 'outer;
+                }
+                seen.insert(extended.clone());
+                out.push(extended.clone());
+                next.push(extended);
+            }
+        }
+        frontier = next;
+    }
+
+    let subgraphs = out
+        .iter()
+        .map(|set| {
+            let mut names: Vec<String> = set.iter().map(|i| sdg.computed[i].clone()).collect();
+            names.sort();
+            names
+        })
+        .collect();
+    SubgraphEnumeration {
+        subgraphs,
+        truncated,
+    }
+}
+
+/// The seed's string-set enumeration, kept as a slow reference.
+///
+/// Produces every connected subset up to `max_size`, capped at `max_count`,
+/// as sorted name lists — semantically the set of subgraphs
+/// [`enumerate_connected_subgraphs`] must reproduce (the differential tests
+/// compare the two on chains, stars and dense random SDGs).  Unlike the fast
+/// path it spends its time cloning `Vec<String>` sets into a `BTreeSet`,
+/// which is exactly the behaviour the bitset rewrite removed.
+pub fn enumerate_connected_subgraphs_naive(
     sdg: &Sdg,
     max_size: usize,
     max_count: usize,
@@ -29,15 +122,13 @@ pub fn enumerate_connected_subgraphs(
     let mut seen: BTreeSet<Vec<String>> = singletons.iter().cloned().collect();
     let mut out: Vec<Vec<String>> = singletons.clone();
     let mut frontier = singletons;
-    let mut truncated = false;
 
     for _size in 2..=max_size {
-        if frontier.is_empty() || truncated {
+        if frontier.is_empty() {
             break;
         }
         let mut next: Vec<Vec<String>> = Vec::new();
         'outer: for set in &frontier {
-            // All computed neighbours of the current set.
             let mut candidates: BTreeSet<String> = BTreeSet::new();
             for v in set {
                 for n in sdg.neighbours(v) {
@@ -50,25 +141,20 @@ pub fn enumerate_connected_subgraphs(
                 let mut extended = set.clone();
                 extended.push(cand);
                 extended.sort();
-                if seen.insert(extended.clone()) {
-                    out.push(extended.clone());
-                    next.push(extended);
-                    if out.len() >= max_count {
-                        truncated = true;
-                        break 'outer;
-                    }
+                if seen.contains(&extended) {
+                    continue;
                 }
+                if out.len() >= max_count {
+                    break 'outer;
+                }
+                seen.insert(extended.clone());
+                out.push(extended.clone());
+                next.push(extended);
             }
         }
         frontier = next;
     }
     out
-}
-
-/// True if the subgraph cap was reached for the given inputs (re-runs the
-/// counting logic cheaply; used by the analysis to attach a warning note).
-pub fn enumeration_truncated(sdg: &Sdg, max_size: usize, max_count: usize) -> bool {
-    enumerate_connected_subgraphs(sdg, max_size, max_count).len() >= max_count
 }
 
 #[cfg(test)]
@@ -80,7 +166,11 @@ mod tests {
         // A chain of n statements: B1 = f(A0), B2 = f(B1), ...
         let mut b = ProgramBuilder::new("chain");
         for s in 0..n {
-            let src = if s == 0 { "A0".to_string() } else { format!("B{}", s) };
+            let src = if s == 0 {
+                "A0".to_string()
+            } else {
+                format!("B{}", s)
+            };
             let dst = format!("B{}", s + 1);
             b = b.statement(move |st| {
                 st.loops(&[("i", "0", "N")])
@@ -95,7 +185,8 @@ mod tests {
     fn singletons_are_always_present() {
         let sdg = chain(4);
         let subs = enumerate_connected_subgraphs(&sdg, 1, 1000);
-        assert_eq!(subs.len(), 4);
+        assert_eq!(subs.subgraphs.len(), 4);
+        assert!(!subs.truncated);
     }
 
     #[test]
@@ -103,7 +194,7 @@ mod tests {
         // Connected subsets of a path graph are exactly its contiguous windows:
         // n singletons + (n-1) pairs + (n-2) triples ... up to max_size.
         let sdg = chain(5);
-        let subs = enumerate_connected_subgraphs(&sdg, 3, 10_000);
+        let subs = enumerate_connected_subgraphs(&sdg, 3, 10_000).subgraphs;
         let singles = subs.iter().filter(|s| s.len() == 1).count();
         let pairs = subs.iter().filter(|s| s.len() == 2).count();
         let triples = subs.iter().filter(|s| s.len() == 3).count();
@@ -115,7 +206,7 @@ mod tests {
     #[test]
     fn no_duplicate_subsets() {
         let sdg = chain(6);
-        let subs = enumerate_connected_subgraphs(&sdg, 4, 10_000);
+        let subs = enumerate_connected_subgraphs(&sdg, 4, 10_000).subgraphs;
         let mut seen = std::collections::BTreeSet::new();
         for s in &subs {
             assert!(seen.insert(s.clone()), "duplicate subset {s:?}");
@@ -126,9 +217,24 @@ mod tests {
     fn cap_limits_output() {
         let sdg = chain(30);
         let subs = enumerate_connected_subgraphs(&sdg, 8, 50);
-        assert!(subs.len() <= 50);
-        assert!(enumeration_truncated(&sdg, 8, 50));
-        assert!(!enumeration_truncated(&sdg, 2, 10_000));
+        assert!(subs.subgraphs.len() <= 50);
+        assert!(subs.truncated);
+        assert!(!enumerate_connected_subgraphs(&sdg, 2, 10_000).truncated);
+    }
+
+    #[test]
+    fn exact_cap_landing_is_not_truncation() {
+        // chain(5) with max_size 2 has exactly 5 + 4 = 9 connected subsets.
+        let sdg = chain(5);
+        let exact = enumerate_connected_subgraphs(&sdg, 2, 9);
+        assert_eq!(exact.subgraphs.len(), 9);
+        assert!(
+            !exact.truncated,
+            "landing exactly on the cap without dropping anything must not report truncation"
+        );
+        let short = enumerate_connected_subgraphs(&sdg, 2, 8);
+        assert_eq!(short.subgraphs.len(), 8);
+        assert!(short.truncated, "one pair was genuinely dropped");
     }
 
     #[test]
@@ -140,7 +246,7 @@ mod tests {
             .build()
             .unwrap();
         let sdg = Sdg::from_program(&p);
-        let subs = enumerate_connected_subgraphs(&sdg, 2, 100);
+        let subs = enumerate_connected_subgraphs(&sdg, 2, 100).subgraphs;
         assert!(subs.contains(&vec!["B".to_string(), "C".to_string()]));
     }
 }

@@ -1,0 +1,58 @@
+//! Criterion-free performance smoke test: the full SDG analysis of a
+//! 35-statement matmul chain (the paper's practical scaling limit) must
+//! finish well inside a generous wall-clock budget even in debug builds.
+//!
+//! This is a CI tripwire against gross regressions on the enumeration /
+//! merge / simplification hot paths, not a benchmark — the Criterion benches
+//! and the `soap-bench` `perf` binary produce the real numbers.
+
+use soap_ir::{Program, ProgramBuilder};
+use soap_sdg::{analyze_program_with, SdgOptions};
+use std::time::{Duration, Instant};
+
+fn chain_of_matmuls(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("chain{k}"));
+    for s in 0..k {
+        let src = if s == 0 {
+            "A0".to_string()
+        } else {
+            format!("T{s}")
+        };
+        let dst = format!("T{}", s + 1);
+        let w = format!("W{}", s + 1);
+        b = b.statement(move |st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                .update(&dst, "i,j")
+                .read(&src, "i,k")
+                .read(&w, "k,j")
+        });
+    }
+    b.build().expect("chain builds")
+}
+
+#[test]
+fn thirty_five_statement_chain_analyzes_within_budget() {
+    // Generous: this takes well under 10 s in debug builds on a laptop-class
+    // core; the budget only exists to catch order-of-magnitude regressions.
+    const BUDGET: Duration = Duration::from_secs(120);
+    let program = chain_of_matmuls(35);
+    let opts = SdgOptions {
+        max_subgraph_size: 3,
+        max_subgraphs: 512,
+        ..SdgOptions::default()
+    };
+    let start = Instant::now();
+    let analysis = analyze_program_with(&program, &opts).expect("analysis succeeds");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < BUDGET,
+        "35-statement chain took {elapsed:?} (budget {BUDGET:?}) — a hot path badly regressed"
+    );
+    // Sanity: every chain link got a Theorem-1 term and the bound evaluates.
+    assert_eq!(analysis.per_array.len(), 35);
+    let mut b = std::collections::BTreeMap::new();
+    b.insert("N".to_string(), 512.0);
+    b.insert("S".to_string(), 16384.0);
+    let q = analysis.bound.eval(&b).expect("bound evaluates");
+    assert!(q > 0.0);
+}

@@ -54,7 +54,8 @@ impl ClosedForm {
         ];
         // (tier, error, denominator, root, rational)
         let mut best: Option<(u8, f64, i128, u32, Rational)> = None;
-        let consider = |cand: (u8, f64, i128, u32, Rational), best: &mut Option<(u8, f64, i128, u32, Rational)>| {
+        let consider = |cand: (u8, f64, i128, u32, Rational),
+                        best: &mut Option<(u8, f64, i128, u32, Rational)>| {
             let better = match best {
                 None => true,
                 Some(b) => (cand.0, cand.1, cand.2, cand.3) < (b.0, b.1, b.2, b.3),
@@ -92,7 +93,11 @@ impl ClosedForm {
         if let Some((_, _, _, root, r)) = best {
             let (coeff, radicand) = extract_kth_power(r, root);
             let coefficient = if value < 0.0 { -coeff } else { coeff };
-            return ClosedForm::Exact { coefficient, radicand, root };
+            return ClosedForm::Exact {
+                coefficient,
+                radicand,
+                root,
+            };
         }
         ClosedForm::Numeric(value)
     }
@@ -100,7 +105,11 @@ impl ClosedForm {
     /// Convert the closed form back into an [`Expr`].
     pub fn to_expr(&self) -> Expr {
         match self {
-            ClosedForm::Exact { coefficient, radicand, root } => {
+            ClosedForm::Exact {
+                coefficient,
+                radicand,
+                root,
+            } => {
                 let base = Expr::num(*coefficient);
                 if radicand.is_one() || coefficient.is_zero() {
                     base
@@ -112,7 +121,9 @@ impl ClosedForm {
                 // Fall back to a high-precision rational so Expr stays exact-ish.
                 match Rational::approximate(*v, 1_000_000, 1e-9) {
                     Some(r) => Expr::num(r),
-                    None => Expr::num(Rational::approximate(*v, 1_000_000, 1e-3).unwrap_or(Rational::ZERO)),
+                    None => Expr::num(
+                        Rational::approximate(*v, 1_000_000, 1e-3).unwrap_or(Rational::ZERO),
+                    ),
                 }
             }
         }
@@ -121,9 +132,11 @@ impl ClosedForm {
     /// Numeric value of the closed form.
     pub fn value(&self) -> f64 {
         match self {
-            ClosedForm::Exact { coefficient, radicand, root } => {
-                coefficient.to_f64() * radicand.to_f64().powf(1.0 / *root as f64)
-            }
+            ClosedForm::Exact {
+                coefficient,
+                radicand,
+                root,
+            } => coefficient.to_f64() * radicand.to_f64().powf(1.0 / *root as f64),
             ClosedForm::Numeric(v) => *v,
         }
     }
@@ -172,7 +185,11 @@ mod tests {
 
     fn assert_exact(value: f64, coeff: Rational, radicand: Rational, root: u32) {
         match ClosedForm::recognize(value) {
-            ClosedForm::Exact { coefficient, radicand: r, root: k } => {
+            ClosedForm::Exact {
+                coefficient,
+                radicand: r,
+                root: k,
+            } => {
                 assert_eq!(coefficient, coeff, "coefficient for {value}");
                 assert_eq!(r, radicand, "radicand for {value}");
                 assert_eq!(k, root, "root for {value}");
@@ -195,7 +212,12 @@ mod tests {
         // 6*sqrt(6) (fdtd-2d improvement factor)
         assert_exact(6.0 * 6.0_f64.sqrt(), Rational::int(6), Rational::int(6), 2);
         // sqrt(2)*300 (LeNet-5 constant)
-        assert_exact(300.0 * 2.0_f64.sqrt(), Rational::int(300), Rational::int(2), 2);
+        assert_exact(
+            300.0 * 2.0_f64.sqrt(),
+            Rational::int(300),
+            Rational::int(2),
+            2,
+        );
         // 1/4 * sqrt(1) is rational and must not be misread as a root.
         assert_exact(0.25, Rational::new(1, 4), Rational::ONE, 1);
     }

@@ -6,18 +6,19 @@
 //! (√S, ∛S, …), occasionally wrapped in `max`/`min` for conditional bounds
 //! (Section 5.3 of the paper).
 
+use crate::intern::Symbol;
 use crate::rational::Rational;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A symbolic expression in canonical (simplified) form.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Expr {
     /// A rational constant.
     Num(Rational),
-    /// A named symbol (loop extent, memory size `S`, tile size, …).
-    Sym(String),
+    /// A named symbol (loop extent, memory size `S`, tile size, …), stored as
+    /// a `Copy` interned handle; see [`crate::intern`].
+    Sym(Symbol),
     /// A sum of at least two terms.
     Add(Vec<Expr>),
     /// A product of at least two factors.
@@ -51,9 +52,9 @@ impl Expr {
         Expr::Num(r)
     }
 
-    /// A symbol.
-    pub fn sym(name: impl Into<String>) -> Expr {
-        Expr::Sym(name.into())
+    /// A symbol (interned; accepts both `&str` and `String`).
+    pub fn sym(name: impl AsRef<str>) -> Expr {
+        Expr::Sym(Symbol::intern(name.as_ref()))
     }
 
     /// Sum of an iterator of expressions (simplified).
@@ -93,26 +94,31 @@ impl Expr {
     }
 
     /// Addition with simplification.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         simplify_add(vec![self, rhs])
     }
 
     /// Subtraction with simplification.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         self.add(rhs.neg())
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Expr {
         Expr::int(-1).mul(self)
     }
 
     /// Multiplication with simplification.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         simplify_mul(vec![self, rhs])
     }
 
     /// Division with simplification.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         self.mul(rhs.pow(Rational::int(-1)))
     }
@@ -138,9 +144,7 @@ impl Expr {
                 }
             }
             Expr::Pow(base, e0) => base.pow(e0 * e),
-            Expr::Mul(factors) => {
-                Expr::product(factors.into_iter().map(|f| f.pow(e)))
-            }
+            Expr::Mul(factors) => Expr::product(factors.into_iter().map(|f| f.pow(e))),
             other => Expr::Pow(Box::new(other), e),
         }
     }
@@ -205,7 +209,7 @@ impl Expr {
     pub fn eval(&self, bindings: &BTreeMap<String, f64>) -> Option<f64> {
         match self {
             Expr::Num(r) => Some(r.to_f64()),
-            Expr::Sym(s) => bindings.get(s).copied(),
+            Expr::Sym(s) => bindings.get(s.as_str()).copied(),
             Expr::Add(items) => {
                 let mut acc = 0.0;
                 for it in items {
@@ -247,25 +251,29 @@ impl Expr {
 
     /// Substitute `sym := value` and re-simplify.
     pub fn subs(&self, sym: &str, value: &Expr) -> Expr {
+        self.subs_symbol(Symbol::intern(sym), value)
+    }
+
+    fn subs_symbol(&self, sym: Symbol, value: &Expr) -> Expr {
         match self {
             Expr::Num(_) => self.clone(),
             Expr::Sym(s) => {
-                if s == sym {
+                if *s == sym {
                     value.clone()
                 } else {
                     self.clone()
                 }
             }
-            Expr::Add(items) => Expr::sum(items.iter().map(|i| i.subs(sym, value))),
-            Expr::Mul(items) => Expr::product(items.iter().map(|i| i.subs(sym, value))),
-            Expr::Pow(base, e) => base.subs(sym, value).pow(*e),
+            Expr::Add(items) => Expr::sum(items.iter().map(|i| i.subs_symbol(sym, value))),
+            Expr::Mul(items) => Expr::product(items.iter().map(|i| i.subs_symbol(sym, value))),
+            Expr::Pow(base, e) => base.subs_symbol(sym, value).pow(*e),
             Expr::Max(items) => {
-                let mut it = items.iter().map(|i| i.subs(sym, value));
+                let mut it = items.iter().map(|i| i.subs_symbol(sym, value));
                 let first = it.next().expect("Max has at least two items");
                 it.fold(first, |a, b| a.max(b))
             }
             Expr::Min(items) => {
-                let mut it = items.iter().map(|i| i.subs(sym, value));
+                let mut it = items.iter().map(|i| i.subs_symbol(sym, value));
                 let first = it.next().expect("Min has at least two items");
                 it.fold(first, |a, b| a.min(b))
             }
@@ -277,21 +285,25 @@ impl Expr {
     /// `Max`/`Min` are not differentiable; callers must eliminate them first
     /// (the analysis branches over conditional cases before optimizing).
     pub fn diff(&self, sym: &str) -> Expr {
+        self.diff_symbol(Symbol::intern(sym))
+    }
+
+    fn diff_symbol(&self, sym: Symbol) -> Expr {
         match self {
             Expr::Num(_) => Expr::zero(),
             Expr::Sym(s) => {
-                if s == sym {
+                if *s == sym {
                     Expr::one()
                 } else {
                     Expr::zero()
                 }
             }
-            Expr::Add(items) => Expr::sum(items.iter().map(|i| i.diff(sym))),
+            Expr::Add(items) => Expr::sum(items.iter().map(|i| i.diff_symbol(sym))),
             Expr::Mul(items) => {
                 // Product rule over n factors.
                 let mut out = Expr::zero();
                 for (i, fi) in items.iter().enumerate() {
-                    let mut term = fi.diff(sym);
+                    let mut term = fi.diff_symbol(sym);
                     for (j, fj) in items.iter().enumerate() {
                         if i != j {
                             term = term.mul(fj.clone());
@@ -303,7 +315,7 @@ impl Expr {
             }
             Expr::Pow(base, e) => {
                 // d/dx b^e = e * b^(e-1) * b'
-                let b_prime = base.diff(sym);
+                let b_prime = base.diff_symbol(sym);
                 Expr::num(*e)
                     .mul(base.clone().pow(*e - Rational::ONE))
                     .mul(b_prime)
@@ -331,7 +343,7 @@ impl Expr {
                 let b = base.expand();
                 if e.is_integer() && e.is_positive() && matches!(b, Expr::Add(_)) {
                     let n = e.numer() as usize;
-                    distribute(std::iter::repeat(b).take(n))
+                    distribute(std::iter::repeat_n(b, n))
                 } else {
                     b.pow(*e)
                 }
@@ -362,7 +374,7 @@ impl Expr {
     fn collect_symbols(&self, out: &mut Vec<String>) {
         match self {
             Expr::Num(_) => {}
-            Expr::Sym(s) => out.push(s.clone()),
+            Expr::Sym(s) => out.push(s.as_str().to_string()),
             Expr::Add(items) | Expr::Mul(items) | Expr::Max(items) | Expr::Min(items) => {
                 for i in items {
                     i.collect_symbols(out);
@@ -392,6 +404,26 @@ impl Expr {
         }
     }
 
+    /// Owning variant of [`Expr::split_coeff`]: consumes the expression so the
+    /// simplifier's like-term collection never clones subterms.
+    fn into_coeff(self) -> (Rational, Vec<Expr>) {
+        match self {
+            Expr::Num(r) => (r, Vec::new()),
+            Expr::Mul(items) => {
+                let mut coeff = Rational::ONE;
+                let mut rest = Vec::with_capacity(items.len());
+                for it in items {
+                    match it {
+                        Expr::Num(r) => coeff *= r,
+                        other => rest.push(other),
+                    }
+                }
+                (coeff, rest)
+            }
+            other => (Rational::ONE, vec![other]),
+        }
+    }
+
     /// Total degree of the expression treating every symbol in `size_syms` as
     /// degree 1 and everything else as degree 0.  For sums, the maximum over
     /// terms; used for leading-order extraction.
@@ -399,7 +431,7 @@ impl Expr {
         match self {
             Expr::Num(_) => Rational::ZERO,
             Expr::Sym(s) => {
-                if size_syms.iter().any(|x| x == s) {
+                if size_syms.iter().any(|x| x == s.as_str()) {
                     Rational::ONE
                 } else {
                     Rational::ZERO
@@ -423,8 +455,7 @@ impl Expr {
     pub fn leading_term(&self, size_syms: &[String]) -> Expr {
         match self {
             Expr::Add(items) => {
-                let degrees: Vec<Rational> =
-                    items.iter().map(|i| i.degree_in(size_syms)).collect();
+                let degrees: Vec<Rational> = items.iter().map(|i| i.degree_in(size_syms)).collect();
                 let max_deg = degrees.iter().cloned().max().unwrap_or(Rational::ZERO);
                 Expr::sum(
                     items
@@ -462,40 +493,41 @@ fn distribute<I: IntoIterator<Item = Expr>>(factors: I) -> Expr {
 }
 
 /// Flatten and simplify a sum: fold constants and collect like terms.
+///
+/// Like terms are merged by sorting `(non-constant factors, coefficient)`
+/// pairs and folding adjacent equals — the same canonical result as the
+/// seed's `BTreeMap` collection without allocating tree nodes per term.
 fn simplify_add(items: Vec<Expr>) -> Expr {
-    let mut flat = Vec::new();
+    let mut flat = Vec::with_capacity(items.len());
     for it in items {
         match it {
             Expr::Add(inner) => flat.extend(inner),
             other => flat.push(other),
         }
     }
-    // Collect like terms keyed on the non-constant part of each term.
     let mut constant = Rational::ZERO;
-    let mut terms: BTreeMap<Vec<Expr>, Rational> = BTreeMap::new();
+    let mut terms: Vec<(Vec<Expr>, Rational)> = Vec::with_capacity(flat.len());
     for it in flat {
-        let (coeff, rest) = it.split_coeff();
+        let (coeff, rest) = it.into_coeff();
         if rest.is_empty() {
             constant += coeff;
         } else {
-            *terms.entry(rest).or_insert(Rational::ZERO) += coeff;
+            terms.push((rest, coeff));
         }
     }
-    let mut out: Vec<Expr> = Vec::new();
-    for (rest, coeff) in terms {
-        if coeff.is_zero() {
-            continue;
+    terms.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<Expr> = Vec::with_capacity(terms.len() + 1);
+    let mut terms = terms.into_iter();
+    if let Some((mut rest, mut coeff)) = terms.next() {
+        for (r, c) in terms {
+            if r == rest {
+                coeff += c;
+            } else {
+                push_collected_term(&mut out, std::mem::replace(&mut rest, r), coeff);
+                coeff = c;
+            }
         }
-        let body = if rest.len() == 1 {
-            rest.into_iter().next().unwrap()
-        } else {
-            Expr::Mul(rest)
-        };
-        if coeff.is_one() {
-            out.push(body);
-        } else {
-            out.push(simplify_mul(vec![Expr::Num(coeff), body]));
-        }
+        push_collected_term(&mut out, rest, coeff);
     }
     if !constant.is_zero() {
         out.push(Expr::Num(constant));
@@ -510,9 +542,30 @@ fn simplify_add(items: Vec<Expr>) -> Expr {
     }
 }
 
+/// Rebuild one collected term `coeff · ∏rest` and append it unless it
+/// cancelled to zero.
+fn push_collected_term(out: &mut Vec<Expr>, rest: Vec<Expr>, coeff: Rational) {
+    if coeff.is_zero() {
+        return;
+    }
+    let body = if rest.len() == 1 {
+        rest.into_iter().next().expect("one factor")
+    } else {
+        Expr::Mul(rest)
+    };
+    if coeff.is_one() {
+        out.push(body);
+    } else {
+        out.push(simplify_mul(vec![Expr::Num(coeff), body]));
+    }
+}
+
 /// Flatten and simplify a product: fold constants and combine equal bases.
+///
+/// Equal bases are merged by sorting `(base, exponent)` pairs and folding
+/// adjacent equals, mirroring [`simplify_add`]'s allocation-light collection.
 fn simplify_mul(items: Vec<Expr>) -> Expr {
-    let mut flat = Vec::new();
+    let mut flat = Vec::with_capacity(items.len());
     for it in items {
         match it {
             Expr::Mul(inner) => flat.extend(inner),
@@ -520,9 +573,7 @@ fn simplify_mul(items: Vec<Expr>) -> Expr {
         }
     }
     let mut coeff = Rational::ONE;
-    // base -> exponent
-    let mut powers: BTreeMap<Expr, Rational> = BTreeMap::new();
-    let mut others: Vec<Expr> = Vec::new();
+    let mut powers: Vec<(Expr, Rational)> = Vec::with_capacity(flat.len());
     for it in flat {
         match it {
             Expr::Num(r) => {
@@ -531,29 +582,28 @@ fn simplify_mul(items: Vec<Expr>) -> Expr {
                 }
                 coeff *= r;
             }
-            Expr::Pow(base, e) => {
-                *powers.entry(*base).or_insert(Rational::ZERO) += e;
-            }
-            Expr::Sym(_) | Expr::Add(_) | Expr::Max(_) | Expr::Min(_) => {
-                *powers.entry(it).or_insert(Rational::ZERO) += Rational::ONE;
-            }
-            Expr::Mul(_) => unreachable!("flattened above"),
+            Expr::Pow(base, e) => powers.push((*base, e)),
+            other => powers.push((other, Rational::ONE)),
         }
     }
-    for (base, e) in powers {
-        if e.is_zero() {
-            continue;
+    powers.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut others: Vec<Expr> = Vec::with_capacity(powers.len());
+    let mut powers = powers.into_iter();
+    if let Some((mut base, mut e)) = powers.next() {
+        for (b, e2) in powers {
+            if b == base {
+                e += e2;
+            } else {
+                apply_collected_power(&mut others, &mut coeff, std::mem::replace(&mut base, b), e);
+                e = e2;
+            }
         }
-        let p = base.pow(e);
-        match p {
-            Expr::Num(r) => coeff *= r,
-            other => others.push(other),
-        }
+        apply_collected_power(&mut others, &mut coeff, base, e);
     }
     if coeff.is_zero() {
         return Expr::zero();
     }
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(others.len() + 1);
     if !coeff.is_one() {
         out.push(Expr::Num(coeff));
     }
@@ -563,6 +613,17 @@ fn simplify_mul(items: Vec<Expr>) -> Expr {
         0 => Expr::one(),
         1 => out.pop().unwrap(),
         _ => Expr::Mul(out),
+    }
+}
+
+/// Apply one collected `base^exponent`, folding numeric results into `coeff`.
+fn apply_collected_power(others: &mut Vec<Expr>, coeff: &mut Rational, base: Expr, e: Rational) {
+    if e.is_zero() {
+        return;
+    }
+    match base.pow(e) {
+        Expr::Num(r) => *coeff *= r,
+        other => others.push(other),
     }
 }
 
@@ -639,10 +700,7 @@ impl fmt::Display for Expr {
                 }
             }
             Expr::Pow(base, e) => {
-                let b = if matches!(
-                    **base,
-                    Expr::Add(_) | Expr::Mul(_) | Expr::Pow(_, _)
-                ) {
+                let b = if matches!(**base, Expr::Add(_) | Expr::Mul(_) | Expr::Pow(_, _)) {
                     format!("({})", base)
                 } else {
                     format!("{}", base)
@@ -665,6 +723,66 @@ impl fmt::Display for Expr {
                 let parts: Vec<String> = items.iter().map(|i| format!("{}", i)).collect();
                 write!(f, "min({})", parts.join(", "))
             }
+        }
+    }
+}
+
+// The wire format matches what `#[derive(Serialize, Deserialize)]` produced
+// for the seed's `Expr` (externally tagged variants, `Sym` carrying its name
+// as a plain string): `{"Sym":"N"}`, `{"Add":[…]}`, `{"Pow":[…, {…}]}`.
+// Symbols are resolved through the interner on the way out and re-interned on
+// the way in, so interning is invisible on the wire.
+impl serde::Serialize for Expr {
+    fn to_value(&self) -> serde::Value {
+        let (tag, payload) = match self {
+            Expr::Num(r) => ("Num", r.to_value()),
+            Expr::Sym(s) => ("Sym", serde::Value::Str(s.as_str().to_string())),
+            Expr::Add(items) => ("Add", items.to_value()),
+            Expr::Mul(items) => ("Mul", items.to_value()),
+            Expr::Pow(base, e) => (
+                "Pow",
+                serde::Value::Array(vec![base.to_value(), e.to_value()]),
+            ),
+            Expr::Max(items) => ("Max", items.to_value()),
+            Expr::Min(items) => ("Min", items.to_value()),
+        };
+        serde::Value::Object(vec![(tag.to_string(), payload)])
+    }
+}
+
+impl serde::Deserialize for Expr {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Object(fields) = v else {
+            return Err(serde::DeError::msg("Expr: expected a single-key object"));
+        };
+        let [(tag, payload)] = fields.as_slice() else {
+            return Err(serde::DeError::msg(
+                "Expr: expected exactly one variant tag",
+            ));
+        };
+        match tag.as_str() {
+            "Num" => Rational::from_value(payload).map(Expr::Num),
+            "Sym" => payload
+                .as_str()
+                .map(|s| Expr::Sym(Symbol::intern(s)))
+                .ok_or_else(|| serde::DeError::msg("Expr::Sym: expected a string name")),
+            "Add" => Vec::from_value(payload).map(Expr::Add),
+            "Mul" => Vec::from_value(payload).map(Expr::Mul),
+            "Max" => Vec::from_value(payload).map(Expr::Max),
+            "Min" => Vec::from_value(payload).map(Expr::Min),
+            "Pow" => {
+                let items = payload
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| serde::DeError::msg("Expr::Pow: expected [base, exponent]"))?;
+                Ok(Expr::Pow(
+                    Box::new(Expr::from_value(&items[0])?),
+                    Rational::from_value(&items[1])?,
+                ))
+            }
+            other => Err(serde::DeError::msg(format!(
+                "Expr: unknown variant '{other}'"
+            ))),
         }
     }
 }
@@ -700,7 +818,9 @@ mod tests {
     fn powers_combine() {
         let e = n().mul(n());
         assert_eq!(e, n().pow(Rational::int(2)));
-        let e2 = n().pow(Rational::new(1, 2)).mul(n().pow(Rational::new(1, 2)));
+        let e2 = n()
+            .pow(Rational::new(1, 2))
+            .mul(n().pow(Rational::new(1, 2)));
         assert_eq!(e2, n());
         let e3 = n().div(n());
         assert!(e3.is_one());
@@ -709,9 +829,7 @@ mod tests {
     #[test]
     fn display_is_readable() {
         // 2*N^3 / sqrt(S)
-        let bound = Expr::int(2)
-            .mul(n().pow(Rational::int(3)))
-            .div(s().sqrt());
+        let bound = Expr::int(2).mul(n().pow(Rational::int(3))).div(s().sqrt());
         assert_eq!(format!("{}", bound), "2*N^3/sqrt(S)");
         let diff = n().sub(Expr::one());
         assert_eq!(format!("{}", diff), "N - 1");
@@ -722,9 +840,7 @@ mod tests {
         let mut b = BTreeMap::new();
         b.insert("N".to_string(), 10.0);
         b.insert("S".to_string(), 4.0);
-        let bound = Expr::int(2)
-            .mul(n().pow(Rational::int(3)))
-            .div(s().sqrt());
+        let bound = Expr::int(2).mul(n().pow(Rational::int(3))).div(s().sqrt());
         assert!((bound.eval(&b).unwrap() - 1000.0).abs() < 1e-9);
         assert_eq!(Expr::sym("unbound").eval(&b), None);
     }
@@ -766,9 +882,7 @@ mod tests {
             .mul(Expr::sym("M"))
             .sub(n().sub(Expr::int(2)).mul(Expr::sym("M").sub(Expr::one())));
         let expanded = g.expand();
-        let expected = n()
-            .add(Expr::int(2).mul(Expr::sym("M")))
-            .sub(Expr::int(2));
+        let expected = n().add(Expr::int(2).mul(Expr::sym("M"))).sub(Expr::int(2));
         assert_eq!(expanded, expected);
         // (N+1)^3 expands to N^3 + 3N^2 + 3N + 1.
         let cube = n().add(Expr::one()).pow(Rational::int(3)).expand();
@@ -800,6 +914,9 @@ mod tests {
     #[test]
     fn symbols_are_collected() {
         let e = n().mul(s()).add(Expr::sym("M"));
-        assert_eq!(e.symbols(), vec!["M".to_string(), "N".to_string(), "S".to_string()]);
+        assert_eq!(
+            e.symbols(),
+            vec!["M".to_string(), "N".to_string(), "S".to_string()]
+        );
     }
 }

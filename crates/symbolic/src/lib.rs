@@ -23,6 +23,7 @@
 
 pub mod closed_form;
 pub mod expr;
+pub mod intern;
 pub mod lp;
 pub mod opt;
 pub mod poly;
@@ -30,6 +31,7 @@ pub mod rational;
 
 pub use closed_form::ClosedForm;
 pub use expr::Expr;
+pub use intern::Symbol;
 pub use lp::LinearProgram;
 pub use opt::{ConstrainedProduct, PowerLaw};
 pub use poly::{Monomial, Polynomial};

@@ -48,10 +48,15 @@ impl LinearProgram {
         constraints: Vec<Vec<Rational>>,
         rhs: Vec<Rational>,
     ) -> Self {
-        LinearProgram { objective, constraints, rhs }
+        LinearProgram {
+            objective,
+            constraints,
+            rhs,
+        }
     }
 
     /// Solve with the primal simplex method (Bland's anti-cycling rule).
+    #[allow(clippy::needless_range_loop)] // simplex tableau reads clearest with explicit indices
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         let n = self.objective.len();
         let m = self.constraints.len();
@@ -129,7 +134,10 @@ impl LinearProgram {
                 assignment[bv] = t[i][cols - 1];
             }
         }
-        Ok(LpSolution { value: t[m][cols - 1], assignment })
+        Ok(LpSolution {
+            value: t[m][cols - 1],
+            assignment,
+        })
     }
 }
 
@@ -217,11 +225,7 @@ mod tests {
         // Out{k,h,w,b}, Image{r,w,s,h,c,b}, Filter{k,r,s}
         let sol = access_exponent_lp(
             7,
-            &[
-                vec![2, 4, 3, 0],
-                vec![5, 3, 6, 4, 1, 0],
-                vec![2, 5, 6],
-            ],
+            &[vec![2, 4, 3, 0], vec![5, 3, 6, 4, 1, 0], vec![2, 5, 6]],
         );
         // σ = 2 for the convolution access structure.
         assert_eq!(sol.value, r(2, 1));

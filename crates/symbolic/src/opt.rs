@@ -56,7 +56,11 @@ pub struct PowerLaw {
 impl ConstrainedProduct {
     /// Build a problem from the variable list, objective and constraint.
     pub fn new(variables: Vec<String>, objective: Expr, constraint: Expr) -> Self {
-        ConstrainedProduct { variables, objective, constraint }
+        ConstrainedProduct {
+            variables,
+            objective,
+            constraint,
+        }
     }
 
     fn eval(&self, e: &Expr, extents: &[f64]) -> f64 {
@@ -148,8 +152,7 @@ impl ConstrainedProduct {
             if active.is_empty() {
                 break;
             }
-            let mean: f64 =
-                active.iter().map(|&t| log_ratio[t]).sum::<f64>() / active.len() as f64;
+            let mean: f64 = active.iter().map(|&t| log_ratio[t]).sum::<f64>() / active.len() as f64;
             let mut max_dev: f64 = 0.0;
             for &t in &active {
                 let step = eta * (log_ratio[t] - mean);
@@ -295,11 +298,7 @@ mod tests {
             .mul(dk.clone())
             .add(dk.clone().mul(dj.clone()))
             .add(di.clone().mul(dj.clone()));
-        ConstrainedProduct::new(
-            vec!["Di".into(), "Dj".into(), "Dk".into()],
-            chi,
-            g,
-        )
+        ConstrainedProduct::new(vec!["Di".into(), "Dj".into(), "Dk".into()], chi, g)
     }
 
     #[test]

@@ -8,12 +8,11 @@
 
 use crate::expr::Expr;
 use crate::rational::Rational;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A monomial: a map from symbol name to (positive) integer exponent.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Monomial(pub BTreeMap<String, u32>);
 
 impl Monomial {
@@ -64,14 +63,20 @@ impl fmt::Debug for Monomial {
         let parts: Vec<String> = self
             .0
             .iter()
-            .map(|(k, v)| if *v == 1 { k.clone() } else { format!("{}^{}", k, v) })
+            .map(|(k, v)| {
+                if *v == 1 {
+                    k.clone()
+                } else {
+                    format!("{}^{}", k, v)
+                }
+            })
             .collect();
         write!(f, "{}", parts.join("*"))
     }
 }
 
 /// A sparse multivariate polynomial with rational coefficients.
-#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Default)]
 pub struct Polynomial {
     /// Mapping monomial → coefficient; zero coefficients are never stored.
     terms: BTreeMap<Monomial, Rational>,
@@ -80,7 +85,9 @@ pub struct Polynomial {
 impl Polynomial {
     /// The zero polynomial.
     pub fn zero() -> Self {
-        Polynomial { terms: BTreeMap::new() }
+        Polynomial {
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The constant-one polynomial.
@@ -173,7 +180,11 @@ impl Polynomial {
             return Polynomial::zero();
         }
         Polynomial {
-            terms: self.terms.iter().map(|(m, c)| (m.clone(), *c * r)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, c)| (m.clone(), *c * r))
+                .collect(),
         }
     }
 
@@ -219,7 +230,9 @@ impl Polynomial {
         let mut out = Polynomial::zero();
         for (m, c) in &self.terms {
             let (rest, d) = m.without(var);
-            let mut term = Polynomial { terms: BTreeMap::from([(rest, *c)]) };
+            let mut term = Polynomial {
+                terms: BTreeMap::from([(rest, *c)]),
+            };
             term = term.mul(&value.pow(d));
             out = out.add(&term);
         }
@@ -358,8 +371,8 @@ fn faulhaber(k: u32) -> Polynomial {
         if bj.is_zero() {
             continue;
         }
-        let coeff = *bj * Rational::int(binom(k as i128 + 1, j as i128))
-            / Rational::int(k as i128 + 1);
+        let coeff =
+            *bj * Rational::int(binom(k as i128 + 1, j as i128)) / Rational::int(k as i128 + 1);
         out = out.add(&n.pow(k + 1 - j as u32).scale(coeff));
     }
     out
@@ -420,11 +433,8 @@ mod tests {
     #[test]
     fn sum_over_rectangle() {
         // Σ_{i=0}^{N-1} 1 = N
-        let count = Polynomial::one().sum_over(
-            "i",
-            &Polynomial::zero(),
-            &n().sub(&Polynomial::one()),
-        );
+        let count =
+            Polynomial::one().sum_over("i", &Polynomial::zero(), &n().sub(&Polynomial::one()));
         assert_eq!(count, n());
     }
 
@@ -434,8 +444,16 @@ mod tests {
         //   = Σ_k (N-1-k)^2 = (N-1)N(2N-1)/6
         let k = Polynomial::var("k");
         let inner = Polynomial::one()
-            .sum_over("j", &k.add(&Polynomial::one()), &n().sub(&Polynomial::one()))
-            .sum_over("i", &k.add(&Polynomial::one()), &n().sub(&Polynomial::one()))
+            .sum_over(
+                "j",
+                &k.add(&Polynomial::one()),
+                &n().sub(&Polynomial::one()),
+            )
+            .sum_over(
+                "i",
+                &k.add(&Polynomial::one()),
+                &n().sub(&Polynomial::one()),
+            )
             .sum_over("k", &Polynomial::zero(), &n().sub(&Polynomial::one()));
         let mut b = BTreeMap::new();
         b.insert("N".to_string(), 20.0);

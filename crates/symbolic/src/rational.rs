@@ -5,13 +5,12 @@
 //! normalization is ample; overflow panics loudly instead of silently
 //! corrupting a bound.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rational {
     num: i128,
     den: i128,
@@ -178,6 +177,34 @@ impl Rational {
 impl Default for Rational {
     fn default() -> Self {
         Rational::ZERO
+    }
+}
+
+// The wire format matches what `#[derive(Serialize, Deserialize)]` would
+// produce for the two named fields: `{"num":-2,"den":3}`.
+impl serde::Serialize for Rational {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("num".to_string(), serde::Value::Int(self.num)),
+            ("den".to_string(), serde::Value::Int(self.den)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Rational {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let num = v
+            .get("num")
+            .and_then(serde::Value::as_i128)
+            .ok_or_else(|| serde::DeError::msg("Rational: missing integer field 'num'"))?;
+        let den = v
+            .get("den")
+            .and_then(serde::Value::as_i128)
+            .ok_or_else(|| serde::DeError::msg("Rational: missing integer field 'den'"))?;
+        if den == 0 {
+            return Err(serde::DeError::msg("Rational: zero denominator"));
+        }
+        Ok(Rational::new(num, den))
     }
 }
 

@@ -1,0 +1,117 @@
+//! Golden tests pinning the interned-symbol `Expr` to the seed's observable
+//! behaviour: `Display` strings and the serde wire format must be exactly
+//! what the pre-interning `String`-payload implementation produced.
+//!
+//! The expressions are the leading-order Table-2 bounds the pipeline derives
+//! (gemm, 2mm, mvt, jacobi-1d-style stencils), so any canonical-ordering or
+//! formatting drift in the symbol rewrite shows up as a failed golden string.
+
+use soap_symbolic::{Expr, Rational};
+
+fn gemm_bound() -> Expr {
+    // 2*NI*NJ*NK/sqrt(S)
+    Expr::int(2)
+        .mul(Expr::sym("NI"))
+        .mul(Expr::sym("NJ"))
+        .mul(Expr::sym("NK"))
+        .div(Expr::sym("S").sqrt())
+}
+
+fn two_mm_bound() -> Expr {
+    // 2*NI*NJ*NK/sqrt(S) + 2*NI*NJ*NL/sqrt(S)
+    let first = Expr::int(2)
+        .mul(Expr::sym("NI"))
+        .mul(Expr::sym("NJ"))
+        .mul(Expr::sym("NK"))
+        .div(Expr::sym("S").sqrt());
+    let second = Expr::int(2)
+        .mul(Expr::sym("NI"))
+        .mul(Expr::sym("NJ"))
+        .mul(Expr::sym("NL"))
+        .div(Expr::sym("S").sqrt());
+    first.add(second)
+}
+
+#[test]
+fn table2_display_strings_match_seed() {
+    assert_eq!(format!("{}", gemm_bound()), "2*NI*NJ*NK/sqrt(S)");
+    assert_eq!(
+        format!("{}", two_mm_bound()),
+        "2*NI*NJ*NK/sqrt(S) + 2*NI*NJ*NL/sqrt(S)"
+    );
+    // mvt: N^2
+    assert_eq!(format!("{}", Expr::sym("N").pow(Rational::int(2))), "N^2");
+    // jacobi-1d-style: 3*N*T/S (leading order of the stencil bound).
+    let jacobi = Expr::int(3)
+        .mul(Expr::sym("N"))
+        .mul(Expr::sym("T"))
+        .div(Expr::sym("S"));
+    assert_eq!(format!("{jacobi}"), "3*N*T/S");
+    // A subtraction renders with the constant last.
+    assert_eq!(format!("{}", Expr::sym("N").sub(Expr::one())), "N - 1");
+}
+
+#[test]
+fn canonical_term_order_is_alphabetical_not_interner_order() {
+    // Intern Z before A: canonical ordering must still follow the strings,
+    // exactly as the seed's `Expr::Sym(String)` ordering did.
+    let z_first = Expr::sym("ZZZ_golden").add(Expr::sym("AAA_golden"));
+    assert_eq!(format!("{z_first}"), "AAA_golden + ZZZ_golden");
+    let product = Expr::sym("ZZ_g2").mul(Expr::sym("AA_g2"));
+    assert_eq!(format!("{product}"), "AA_g2*ZZ_g2");
+}
+
+#[test]
+fn serde_wire_format_matches_seed_derive() {
+    // {"Sym":"N"} — externally tagged, name as a plain string.
+    assert_eq!(
+        serde_json::to_string(&Expr::sym("N")).unwrap(),
+        r#"{"Sym":"N"}"#
+    );
+    // Numbers carry the named Rational fields.
+    assert_eq!(
+        serde_json::to_string(&Expr::num(Rational::new(1, 2))).unwrap(),
+        r#"{"Num":{"num":1,"den":2}}"#
+    );
+    // Pow is a [base, exponent] tuple variant.
+    assert_eq!(
+        serde_json::to_string(&Expr::sym("S").sqrt()).unwrap(),
+        r#"{"Pow":[{"Sym":"S"},{"num":1,"den":2}]}"#
+    );
+    // The full gemm bound, exactly as the seed's derived serde wrote it.
+    assert_eq!(
+        serde_json::to_string(&gemm_bound()).unwrap(),
+        r#"{"Mul":[{"Num":{"num":2,"den":1}},{"Sym":"NI"},{"Sym":"NJ"},{"Sym":"NK"},{"Pow":[{"Sym":"S"},{"num":-1,"den":2}]}]}"#
+    );
+}
+
+#[test]
+fn serde_round_trips_table2_bounds() {
+    for expr in [
+        gemm_bound(),
+        two_mm_bound(),
+        Expr::sym("N").pow(Rational::int(2)),
+        Expr::sym("N").max(Expr::sym("S")).mul(Expr::int(3)),
+        Expr::sym("N").min(Expr::sym("M")).add(Expr::one()),
+    ] {
+        let text = serde_json::to_string(&expr).unwrap();
+        let back: Expr = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, expr, "round trip changed {text}");
+        // Round-tripping must also preserve the rendered form.
+        assert_eq!(format!("{back}"), format!("{expr}"));
+    }
+}
+
+#[test]
+fn eval_subs_diff_are_stable_across_interning() {
+    let bound = gemm_bound();
+    let mut bindings = std::collections::BTreeMap::new();
+    for (k, v) in [("NI", 10.0), ("NJ", 10.0), ("NK", 10.0), ("S", 4.0)] {
+        bindings.insert(k.to_string(), v);
+    }
+    assert!((bound.eval(&bindings).unwrap() - 1000.0).abs() < 1e-9);
+    let fixed = bound.subs("NK", &Expr::int(7));
+    assert_eq!(format!("{fixed}"), "14*NI*NJ/sqrt(S)");
+    let d = Expr::sym("N").pow(Rational::int(3)).diff("N");
+    assert_eq!(format!("{d}"), "3*N^2");
+}

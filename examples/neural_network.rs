@@ -16,7 +16,10 @@ fn main() {
         let entry = soap::kernels::by_name(name).expect("kernel exists");
         let analysis = analyze_program_with(
             &entry.program,
-            &SdgOptions { assume_injective: entry.assume_injective, ..SdgOptions::default() },
+            &SdgOptions {
+                assume_injective: entry.assume_injective,
+                ..SdgOptions::default()
+            },
         )
         .expect("analysis succeeds");
         println!("{name:<14} Q ≥ {}", analysis.bound);
@@ -28,8 +31,14 @@ fn main() {
     let st = &conv.program.statements[0];
     let (overlapping, injective) = analyze_conditional(st).expect("conditional analysis");
     println!("\ndirect convolution (Example 6)");
-    println!("  case 1 (large stride, injective) : ρ_min = {}", injective.intensity.rho);
-    println!("  case 2 (unit stride, overlapping) : ρ_max = {}", overlapping.intensity.rho);
+    println!(
+        "  case 1 (large stride, injective) : ρ_min = {}",
+        injective.intensity.rho
+    );
+    println!(
+        "  case 2 (unit stride, overlapping) : ρ_max = {}",
+        overlapping.intensity.rho
+    );
 
     // Evaluate the BERT-encoder bound for a BERT-base-like shape.
     let bert = soap::kernels::by_name("bert-encoder").unwrap();

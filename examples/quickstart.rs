@@ -47,8 +47,7 @@ fn main() {
         println!("  X0             = {}", x0);
     }
     if let Some(tiles) = res.intensity.tiles_at(s_words) {
-        let rendered: Vec<String> =
-            tiles.iter().map(|(v, t)| format!("{v} ≈ {t:.0}")).collect();
+        let rendered: Vec<String> = tiles.iter().map(|(v, t)| format!("{v} ≈ {t:.0}")).collect();
         println!("  optimal tiles  @ S = {s_words}: {}", rendered.join(", "));
     }
 

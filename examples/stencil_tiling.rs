@@ -23,8 +23,9 @@ fn main() {
     let entry = soap::kernels::by_name("jacobi-1d").unwrap();
     let analysis = analyze_program(&entry.program).unwrap();
     let (n, t, s) = (48i64, 24i64, 16usize);
-    let params: BTreeMap<String, i64> =
-        [("N".to_string(), n), ("T".to_string(), t)].into_iter().collect();
+    let params: BTreeMap<String, i64> = [("N".to_string(), n), ("T".to_string(), t)]
+        .into_iter()
+        .collect();
     let cdag = Cdag::from_program(&entry.program, &params);
     let stats = simulate_program_order(&cdag, s).expect("valid pebbling");
 
@@ -36,7 +37,15 @@ fn main() {
 
     println!("\njacobi-1d, N = {n}, T = {t}, S = {s} red pebbles");
     println!("  analytic lower bound : {bound:.0} words");
-    println!("  simulated schedule   : {} loads + {} stores = {} words", stats.loads, stats.stores, stats.io());
+    println!(
+        "  simulated schedule   : {} loads + {} stores = {} words",
+        stats.loads,
+        stats.stores,
+        stats.io()
+    );
     println!("  gap (schedule/bound) : {:.2}×", stats.io() as f64 / bound);
-    assert!(stats.io() as f64 >= bound, "a valid schedule can never beat the lower bound");
+    assert!(
+        stats.io() as f64 >= bound,
+        "a valid schedule can never beat the lower bound"
+    );
 }

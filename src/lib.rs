@@ -42,7 +42,9 @@ pub use soap_symbolic as symbolic;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use soap_core::{analyze_statement, AnalysisOptions, StatementAnalysis};
-    pub use soap_ir::{ArrayAccess, IterationDomain, Program, ProgramBuilder, Statement, StatementBuilder};
+    pub use soap_ir::{
+        ArrayAccess, IterationDomain, Program, ProgramBuilder, Statement, StatementBuilder,
+    };
     pub use soap_sdg::{analyze_program, analyze_program_with, ProgramAnalysis, SdgOptions};
     pub use soap_symbolic::{Expr, Polynomial, Rational};
 }

@@ -17,7 +17,11 @@ fn concrete_params(kernel: &str, size: i64) -> BTreeMap<String, i64> {
 
 #[test]
 fn simulated_schedules_never_beat_the_bound() {
-    for (kernel, size, s) in [("gemm", 10i64, 32usize), ("jacobi-1d", 24, 12), ("lu", 12, 32)] {
+    for (kernel, size, s) in [
+        ("gemm", 10i64, 32usize),
+        ("jacobi-1d", 24, 12),
+        ("lu", 12, 32),
+    ] {
         let entry = soap::kernels::by_name(kernel).unwrap();
         let analysis = analyze_program(&entry.program).unwrap();
         let params = concrete_params(kernel, size);

@@ -52,7 +52,10 @@ for (t = 1; t < T; t++) {
     assert!((a - b).abs() / a < 0.02, "python {a} vs c {b}");
     // And both reproduce the 2NT/S leading term.
     let expected = 2.0 * 4096.0 * 512.0 / 64.0;
-    assert!((a - expected).abs() / expected < 0.1, "bound {a} vs {expected}");
+    assert!(
+        (a - expected).abs() / expected < 0.1,
+        "bound {a} vs {expected}"
+    );
 }
 
 #[test]
@@ -73,7 +76,10 @@ for (i = 0; i < N; i++) {
 "#;
     let program = parse_c("atax", c).unwrap();
     let analysis = analyze_program(&program).unwrap();
-    let v = eval(&analysis.bound, &[("N", 1000.0), ("M", 1000.0), ("S", 4096.0)]);
+    let v = eval(
+        &analysis.bound,
+        &[("N", 1000.0), ("M", 1000.0), ("S", 4096.0)],
+    );
     let mn = 1.0e6;
     assert!((v - mn).abs() / mn < 0.1, "bound {v} vs {mn}");
 }

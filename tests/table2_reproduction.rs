@@ -21,7 +21,10 @@ fn bindings_for(kernel: &str) -> BTreeMap<String, f64> {
 
 fn derived_over_paper(kernel: &str) -> f64 {
     let entry = by_name(kernel).expect("kernel exists");
-    let opts = SdgOptions { assume_injective: entry.assume_injective, ..SdgOptions::default() };
+    let opts = SdgOptions {
+        assume_injective: entry.assume_injective,
+        ..SdgOptions::default()
+    };
     let analysis = analyze_program_with(&entry.program, &opts).expect("analysis succeeds");
     let b = bindings_for(kernel);
     let derived = analysis.bound.eval(&b).expect("derived bound evaluates");
@@ -35,7 +38,9 @@ fn derived_over_paper(kernel: &str) -> f64 {
 
 #[test]
 fn linear_algebra_rows_match_the_paper() {
-    for kernel in ["gemm", "2mm", "3mm", "symm", "trmm", "lu", "ludcmp", "doitgen"] {
+    for kernel in [
+        "gemm", "2mm", "3mm", "symm", "trmm", "lu", "ludcmp", "doitgen",
+    ] {
         let ratio = derived_over_paper(kernel);
         assert!(
             (ratio - 1.0).abs() < 0.06,
@@ -95,8 +100,10 @@ fn all_rows_stay_within_the_documented_envelope() {
 #[test]
 fn every_kernel_produces_a_finite_positive_bound() {
     for entry in registry() {
-        let opts =
-            SdgOptions { assume_injective: entry.assume_injective, ..SdgOptions::default() };
+        let opts = SdgOptions {
+            assume_injective: entry.assume_injective,
+            ..SdgOptions::default()
+        };
         let analysis = analyze_program_with(&entry.program, &opts)
             .unwrap_or_else(|e| panic!("{} failed: {e}", entry.name));
         let b = bindings_for(entry.name);
