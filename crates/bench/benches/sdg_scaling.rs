@@ -3,28 +3,8 @@
 //! matrix-multiplication statements are analyzed for growing `k`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use soap_ir::{Program, ProgramBuilder};
+use soap_bench::fixtures::chain_of_matmuls;
 use soap_sdg::{analyze_program_with, SdgOptions};
-
-fn chain_of_matmuls(k: usize) -> Program {
-    let mut b = ProgramBuilder::new(format!("chain{k}"));
-    for s in 0..k {
-        let src = if s == 0 {
-            "A0".to_string()
-        } else {
-            format!("T{s}")
-        };
-        let dst = format!("T{}", s + 1);
-        let w = format!("W{}", s + 1);
-        b = b.statement(move |st| {
-            st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
-                .update(&dst, "i,j")
-                .read(&src, "i,k")
-                .read(&w, "k,j")
-        });
-    }
-    b.build().expect("chain builds")
-}
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("sdg_scaling");

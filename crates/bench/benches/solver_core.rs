@@ -1,0 +1,87 @@
+//! The compiled posynomial solver core vs the retained `Expr`-eval reference:
+//! single solves, full power-law fits, and the cross-subgraph canonical-key
+//! cache on a merged-model workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use soap_bench::fixtures::mmm_access_model;
+use soap_core::access_size::tile_var;
+use soap_core::{solve_model, AccessModel};
+use soap_sdg::SolveCache;
+use soap_symbolic::{ConstrainedProduct, Expr};
+
+fn dv(v: &str) -> Expr {
+    Expr::sym(tile_var(v))
+}
+
+/// Matrix multiplication: the canonical 3-variable problem.
+fn mmm() -> (Vec<String>, Expr, Expr) {
+    let chi = dv("i").mul(dv("j")).mul(dv("k"));
+    let g = dv("i")
+        .mul(dv("k"))
+        .add(dv("k").mul(dv("j")))
+        .add(dv("i").mul(dv("j")));
+    (vec![tile_var("i"), tile_var("j"), tile_var("k")], chi, g)
+}
+
+/// A fused two-statement model with a conservative-union `max` dominator —
+/// the piecewise compiled form.
+fn fused_max() -> (Vec<String>, Expr, Expr) {
+    let chi = dv("i").mul(dv("j")).add(dv("i").mul(dv("l")));
+    let g = dv("i")
+        .add(dv("j"))
+        .add(dv("l"))
+        .add(dv("i").mul(dv("j")).max(dv("i").mul(dv("l"))));
+    (vec![tile_var("i"), tile_var("j"), tile_var("l")], chi, g)
+}
+
+fn bench_solver_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_core");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for (label, (vars, chi, g)) in [("mmm", mmm()), ("fused_max", fused_max())] {
+        let compiled = ConstrainedProduct::new(vars.clone(), chi.clone(), g.clone());
+        let reference = ConstrainedProduct::new_reference(vars, chi, g);
+        group.bench_function(format!("solve_compiled/{label}"), |b| {
+            b.iter(|| black_box(compiled.solve(black_box(3.0e6))))
+        });
+        group.bench_function(format!("solve_reference/{label}"), |b| {
+            b.iter(|| black_box(reference.solve_reference(black_box(3.0e6))))
+        });
+        group.bench_function(format!("fit_power_law_compiled/{label}"), |b| {
+            b.iter(|| black_box(compiled.fit_power_law()))
+        });
+    }
+
+    // 64 isomorphic merged models through the canonical-key cache vs solved
+    // individually — the cross-subgraph dedup that PR 2 adds.
+    let names: Vec<String> = (0..64).map(|s| format!("m{s}")).collect();
+    let models: Vec<AccessModel> = names
+        .iter()
+        .enumerate()
+        .map(|(s, name)| {
+            let (a, b, c) = (format!("a{s}"), format!("b{s}"), format!("c{s}"));
+            mmm_access_model(name, [a.as_str(), b.as_str(), c.as_str()])
+        })
+        .collect();
+    group.bench_function("isomorphic_64/cached", |b| {
+        b.iter(|| {
+            let cache = SolveCache::new();
+            for m in &models {
+                black_box(cache.solve(m).expect("solves"));
+            }
+        })
+    });
+    group.bench_function("isomorphic_64/uncached", |b| {
+        b.iter(|| {
+            for m in &models {
+                black_box(solve_model(m).expect("solves"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_core);
+criterion_main!(benches);

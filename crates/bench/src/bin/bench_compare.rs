@@ -1,0 +1,157 @@
+//! Compare two `BENCH_*.json` perf snapshots by per-bench median ratio and
+//! fail loudly on regressions — the CI tripwire for the solver hot path.
+//!
+//! ```text
+//! bench_compare --new BENCH_PR2.json --base BENCH_PR1.json \
+//!     [--max-ratio 2.0] [--require "sdg_scaling/35<=0.34"]...
+//! ```
+//!
+//! Every bench present in both files is compared as `new/base`; any ratio
+//! above `--max-ratio` (default 2.0 — the snapshots are medians from the same
+//! host, so honest noise stays well under that) is a failure.  `--require`
+//! pins a specific bench to a *maximum* ratio, e.g. `<=0.34` asserts the PR's
+//! claimed ≥3× improvement is actually present in the committed snapshot.
+
+use serde_json::Value;
+
+fn median_ms(report: &Value, name: &str) -> Option<f64> {
+    let benches = report.get("benches")?.as_array()?;
+    for b in benches {
+        if b.get("name").and_then(Value::as_str) == Some(name) {
+            return as_f64(b.get("median_ms")?);
+        }
+    }
+    None
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn bench_names(report: &Value) -> Vec<String> {
+    report
+        .get("benches")
+        .and_then(Value::as_array)
+        .map(|benches| {
+            benches
+                .iter()
+                .filter_map(|b| b.get("name").and_then(Value::as_str).map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut new_path = None;
+    let mut base_path = None;
+    let mut max_ratio = 2.0f64;
+    let mut requirements: Vec<(String, f64)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--new" => {
+                i += 1;
+                new_path = args.get(i).cloned();
+            }
+            "--base" => {
+                i += 1;
+                base_path = args.get(i).cloned();
+            }
+            "--max-ratio" => {
+                i += 1;
+                max_ratio = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-ratio takes a float");
+            }
+            "--require" => {
+                i += 1;
+                let spec = args.get(i).expect("--require takes NAME<=RATIO");
+                let (name, ratio) = spec
+                    .split_once("<=")
+                    .expect("--require spec must be NAME<=RATIO");
+                requirements.push((
+                    name.trim().to_string(),
+                    ratio.trim().parse().expect("ratio must be a float"),
+                ));
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let new_path = new_path.expect("--new FILE is required");
+    let base_path = base_path.expect("--base FILE is required");
+    let new_report = load(&new_path);
+    let base_report = load(&base_path);
+
+    let mut failures: Vec<String> = Vec::new();
+    println!(
+        "{:<40} {:>12} {:>12} {:>8}",
+        "bench", "base[ms]", "new[ms]", "ratio"
+    );
+    println!("{}", "-".repeat(76));
+    for name in bench_names(&base_report) {
+        let Some(base) = median_ms(&base_report, &name) else {
+            continue;
+        };
+        let Some(new) = median_ms(&new_report, &name) else {
+            println!("{name:<40} {base:>12.3} {:>12} {:>8}", "missing", "-");
+            failures.push(format!(
+                "{name}: present in {base_path} but missing in {new_path}"
+            ));
+            continue;
+        };
+        let ratio = new / base.max(1e-9);
+        let flag = if ratio > max_ratio {
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        println!("{name:<40} {base:>12.3} {new:>12.3} {ratio:>8.3}{flag}");
+        if ratio > max_ratio {
+            failures.push(format!(
+                "{name}: {new:.3} ms vs {base:.3} ms (ratio {ratio:.2} > {max_ratio})"
+            ));
+        }
+    }
+    for (name, required) in &requirements {
+        let base = median_ms(&base_report, name);
+        let new = median_ms(&new_report, name);
+        match (base, new) {
+            (Some(base), Some(new)) => {
+                let ratio = new / base.max(1e-9);
+                if ratio > *required {
+                    failures.push(format!(
+                        "required {name} <= {required}: actual ratio {ratio:.3} ({new:.3} vs {base:.3} ms)"
+                    ));
+                } else {
+                    println!("require {name} <= {required}: ok (ratio {ratio:.3})");
+                }
+            }
+            _ => failures.push(format!(
+                "required bench {name} missing from one of the files"
+            )),
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nbench_compare FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nbench_compare OK ({new_path} vs {base_path})");
+}

@@ -13,13 +13,39 @@
 
 use serde_json::{json, Value};
 use soap_bench::analyze_kernel;
+use soap_bench::fixtures::{chain_of_matmuls, dense_star};
 use soap_bench::validation::{validate_kernel, ValidationCase};
-use soap_ir::{Program, ProgramBuilder};
 use soap_pebbling::{min_dominator_size, Cdag, VertexKind};
 use soap_sdg::subgraphs::{enumerate_connected_subgraphs, enumerate_connected_subgraphs_naive};
-use soap_sdg::{analyze_program_with, Sdg, SdgOptions};
+use soap_sdg::{analyze_program_with, ProgramAnalysis, Sdg, SdgOptions};
+use soap_symbolic::{reset_solver_counters, solver_counters};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// One instrumented analysis run: resets the process-wide solver counters,
+/// runs `f`, and records the KKT/solve/cache accounting as a JSON object.
+fn solver_stats_record(name: &str, f: impl FnOnce() -> ProgramAnalysis) -> Value {
+    reset_solver_counters();
+    let analysis = f();
+    let counters = solver_counters();
+    let s = analysis.solver;
+    println!(
+        "solver_stats/{name:<30} models {:>4}   solved {:>4}   cache hits {:>4}   uncacheable {:>3}   kkt iters {:>7}",
+        s.subgraphs_enumerated, counters.solves, s.cache_hits, s.uncacheable, counters.kkt_iterations
+    );
+    json!({
+        "name": name,
+        "subgraphs_enumerated": s.subgraphs_enumerated,
+        "cache_hits": s.cache_hits,
+        "cache_misses": s.cache_misses,
+        "uncacheable": s.uncacheable,
+        "merge_failures": s.merge_failures,
+        "solve_failures": s.solve_failures,
+        "solves": counters.solves,
+        "compiled_solves": counters.compiled_solves,
+        "kkt_iterations": counters.kkt_iterations,
+    })
+}
 
 /// Median and minimum wall-clock milliseconds of `reps` runs of `f`.
 fn time_ms(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
@@ -36,35 +62,6 @@ fn time_ms(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
 fn record(name: &str, median_ms: f64, min_ms: f64) -> Value {
     println!("{name:<40} median {median_ms:>10.3} ms   min {min_ms:>10.3} ms");
     json!({ "name": name, "median_ms": median_ms, "min_ms": min_ms })
-}
-
-fn chain_of_matmuls(k: usize) -> Program {
-    let mut b = ProgramBuilder::new(format!("chain{k}"));
-    for s in 0..k {
-        let src = if s == 0 {
-            "A0".to_string()
-        } else {
-            format!("T{s}")
-        };
-        let dst = format!("T{}", s + 1);
-        let w = format!("W{}", s + 1);
-        b = b.statement(move |st| {
-            st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
-                .update(&dst, "i,j")
-                .read(&src, "i,k")
-                .read(&w, "k,j")
-        });
-    }
-    b.build().expect("chain builds")
-}
-
-fn dense_star(k: usize) -> Program {
-    let mut b = ProgramBuilder::new(format!("dense{k}"));
-    for s in 0..k {
-        let dst = format!("D{s}");
-        b = b.statement(move |st| st.loops(&[("i", "0", "N")]).write(&dst, "i").read("A", "i"));
-    }
-    b.build().expect("dense builds")
 }
 
 fn main() {
@@ -114,6 +111,24 @@ fn main() {
             analyze_kernel(entry);
         });
         benches.push(record(&format!("analysis_runtime/{name}"), median, min));
+    }
+
+    // --- solver_stats: compiled-solver + cache accounting per workload ---
+    let mut solver_stats: Vec<Value> = Vec::new();
+    {
+        let chain = chain_of_matmuls(35);
+        let chain_opts = opts.clone();
+        solver_stats.push(solver_stats_record("chain35", || {
+            analyze_program_with(&chain, &chain_opts).expect("analysis succeeds")
+        }));
+        let registry = soap_kernels::registry();
+        for name in ["bert-encoder", "lulesh"] {
+            let entry = registry
+                .iter()
+                .find(|e| e.name == name)
+                .expect("kernel exists");
+            solver_stats.push(solver_stats_record(name, || analyze_kernel(entry)));
+        }
     }
 
     // --- subgraph_enumeration: bitset fast path vs the seed's algorithm ---
@@ -195,6 +210,7 @@ fn main() {
         "reps": reps,
         "profile": if cfg!(debug_assertions) { "debug" } else { "release" },
         "benches": json!(benches),
+        "solver_stats": json!(solver_stats),
         "subgraph_enumeration": json!(enumeration),
         "notes": json!([
             "naive_median_ms times enumerate_connected_subgraphs_naive, a faithful retention of the seed's BTreeSet<Vec<String>> algorithm, so the speedup column is the before/after of the bitset rewrite on the same build",

@@ -1,0 +1,59 @@
+//! Shared synthetic workloads used by the benches and the `perf` binary.
+//!
+//! `soap-sdg`'s own tests (`perf_smoke.rs`, `solver_differential.rs`) carry
+//! private copies of `chain_of_matmuls` — depending on this crate from there
+//! would be a dependency cycle — so changes here must be mirrored there.
+
+use soap_core::AccessModel;
+use soap_ir::{Program, ProgramBuilder};
+use soap_symbolic::Expr;
+
+/// A chain of `k` matrix-multiplication statements
+/// (`T_{s+1}[i,j] += T_s[i,k]·W_{s+1}[k,j]`), the paper's SDG scaling
+/// workload.
+pub fn chain_of_matmuls(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("chain{k}"));
+    for s in 0..k {
+        let src = if s == 0 {
+            "A0".to_string()
+        } else {
+            format!("T{s}")
+        };
+        let dst = format!("T{}", s + 1);
+        let w = format!("W{}", s + 1);
+        b = b.statement(move |st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                .update(&dst, "i,j")
+                .read(&src, "i,k")
+                .read(&w, "k,j")
+        });
+    }
+    b.build().expect("chain builds")
+}
+
+/// `k` independent writers of a shared read-only input — a dense SDG star.
+pub fn dense_star(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("dense{k}"));
+    for s in 0..k {
+        let dst = format!("D{s}");
+        b = b.statement(move |st| st.loops(&[("i", "0", "N")]).write(&dst, "i").read("A", "i"));
+    }
+    b.build().expect("dense builds")
+}
+
+/// The matrix-multiplication [`AccessModel`] over the given tile-variable
+/// names: χ = D₀·D₁·D₂, g = D₀·D₂ + D₂·D₁ + D₀·D₁.
+pub fn mmm_access_model(name: &str, vars: [&str; 3]) -> AccessModel {
+    let tile_var = soap_core::access_size::tile_var;
+    let dv = |v: &str| Expr::sym(tile_var(v));
+    AccessModel {
+        name: name.into(),
+        tile_variables: vars.iter().map(|v| tile_var(v)).collect(),
+        objective: dv(vars[0]).mul(dv(vars[1])).mul(dv(vars[2])),
+        dominator: dv(vars[0])
+            .mul(dv(vars[2]))
+            .add(dv(vars[2]).mul(dv(vars[1])))
+            .add(dv(vars[0]).mul(dv(vars[1]))),
+        access_index_sets: vec![],
+    }
+}

@@ -12,6 +12,7 @@
 //! time the individual pipeline stages.
 #![forbid(unsafe_code)]
 
+pub mod fixtures;
 pub mod validation;
 
 use serde::Serialize;

@@ -26,7 +26,7 @@ pub mod model;
 pub mod projections;
 
 pub use analysis::{analyze_conditional, analyze_statement, AnalysisOptions, StatementAnalysis};
-pub use model::{solve_model, AccessModel, IntensityResult};
+pub use model::{solve_model, solve_model_reference, AccessModel, IntensityResult};
 
 /// Errors produced by the analysis.
 #[derive(Clone, Debug, PartialEq)]

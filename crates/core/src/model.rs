@@ -8,7 +8,6 @@
 
 use crate::AnalysisError;
 use soap_symbolic::{lp, ClosedForm, ConstrainedProduct, Expr, Rational};
-use std::collections::BTreeMap;
 
 /// The optimization model for one (possibly merged) statement.
 #[derive(Clone, Debug)]
@@ -51,10 +50,11 @@ pub struct IntensityResult {
 
 impl IntensityResult {
     /// Numeric intensity at a concrete fast-memory size `S` (words).
+    ///
+    /// Allocation-free: `ρ` only ever mentions the symbol `S`, so the single
+    /// binding avoids building a `BTreeMap` per call.
     pub fn rho_at(&self, s: f64) -> f64 {
-        let mut b = BTreeMap::new();
-        b.insert("S".to_string(), s);
-        self.rho.eval(&b).unwrap_or(f64::NAN)
+        self.rho.eval_single("S", s).unwrap_or(f64::NAN)
     }
 
     /// Concrete optimal tile sizes for a given fast-memory size `S`.
@@ -64,9 +64,7 @@ impl IntensityResult {
     /// `None` is returned.
     pub fn tiles_at(&self, s: f64) -> Option<Vec<(String, f64)>> {
         let x0 = self.x0.as_ref()?;
-        let mut b = BTreeMap::new();
-        b.insert("S".to_string(), s);
-        let x0v = x0.eval(&b)?;
+        let x0v = x0.eval_single("S", s)?;
         Some(
             self.tile_exponents
                 .iter()
@@ -80,7 +78,25 @@ impl IntensityResult {
 /// Solve an [`AccessModel`]: fit the power law of `χ(X)`, cross-check the
 /// exponent against the exact access LP when available, and assemble the
 /// symbolic intensity.
+///
+/// The objective and dominator are compiled once into posynomial form inside
+/// [`ConstrainedProduct::new`]; all three power-law probes and the tile-shape
+/// solve reuse the compiled arrays.
 pub fn solve_model(model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
+    solve_model_impl(model, false)
+}
+
+/// [`solve_model`] forced down the retained `Expr`-eval solver path
+/// (finite-difference gradients, bisection projection) — the differential
+/// baseline the compiled path is pinned against.
+pub fn solve_model_reference(model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
+    solve_model_impl(model, true)
+}
+
+fn solve_model_impl(
+    model: &AccessModel,
+    reference: bool,
+) -> Result<IntensityResult, AnalysisError> {
     if model.tile_variables.is_empty() {
         return Err(AnalysisError::InvalidStatement(format!(
             "model {} has no tile variables",
@@ -90,7 +106,12 @@ pub fn solve_model(model: &AccessModel) -> Result<IntensityResult, AnalysisError
     if model.dominator.is_zero() {
         return Err(AnalysisError::NoInputs(model.name.clone()));
     }
-    let problem = ConstrainedProduct::new(
+    let build = if reference {
+        ConstrainedProduct::new_reference
+    } else {
+        ConstrainedProduct::new
+    };
+    let problem = build(
         model.tile_variables.clone(),
         model.objective.clone(),
         model.dominator.clone(),

@@ -1,10 +1,11 @@
 //! Program-level analysis: Theorem 1.
 
+use crate::cache::{CacheStats, SolveCache};
 use crate::graph::Sdg;
 use crate::merge::merged_model;
 use crate::subgraphs::enumerate_connected_subgraphs;
 use rayon::prelude::*;
-use soap_core::{solve_model, AnalysisError, AnalysisOptions, IntensityResult};
+use soap_core::{AnalysisError, AnalysisOptions, IntensityResult};
 use soap_ir::Program;
 use soap_symbolic::{Expr, Polynomial, Rational};
 use std::collections::BTreeMap;
@@ -40,6 +41,10 @@ pub struct SubgraphIntensity {
     pub arrays: Vec<String>,
     /// The solved intensity of the subgraph statement `St_H`.
     pub intensity: IntensityResult,
+    /// `ρ` evaluated once at [`SdgOptions::reference_s`], cached so the
+    /// Theorem-1 maximum compares plain floats instead of re-evaluating the
+    /// symbolic intensity inside the comparator.
+    pub rho_ref: f64,
 }
 
 /// The per-array term of Theorem 1.
@@ -59,6 +64,24 @@ pub struct ArrayBound {
     pub bound: Expr,
 }
 
+/// Solver-side accounting of one program analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverSummary {
+    /// Subgraphs enumerated (models attempted).
+    pub subgraphs_enumerated: usize,
+    /// Models answered from the canonical-key cache.
+    pub cache_hits: u64,
+    /// Models actually solved (cache misses).
+    pub cache_misses: u64,
+    /// Models solved directly because no canonical key exists
+    /// (`Max`/`Min` dominators).
+    pub uncacheable: u64,
+    /// Subgraphs dropped because statement merging failed.
+    pub merge_failures: usize,
+    /// Subgraphs dropped because the intensity solve failed.
+    pub solve_failures: usize,
+}
+
 /// The result of analyzing a whole program.
 #[derive(Clone, Debug)]
 pub struct ProgramAnalysis {
@@ -72,6 +95,8 @@ pub struct ProgramAnalysis {
     pub bound: Expr,
     /// Diagnostic notes (skipped arrays, enumeration truncation, …).
     pub notes: Vec<String>,
+    /// Solve/cache accounting for the perf harness.
+    pub solver: SolverSummary,
 }
 
 impl ProgramAnalysis {
@@ -115,18 +140,74 @@ pub fn analyze_program_with(
         assume_injective: opts.assume_injective,
     };
 
-    // Solve all subgraph statements in parallel.
-    let subgraphs: Vec<SubgraphIntensity> = subgraph_sets
+    // Solve all subgraph statements in parallel; structurally identical
+    // merged models (canonical key modulo variable renaming) hit the shared
+    // solve cache and are solved only once.
+    let cache = SolveCache::new();
+    let reference_s = opts.reference_s;
+    enum SubgraphFailure {
+        Merge(AnalysisError),
+        Solve(AnalysisError),
+    }
+    let outcomes: Vec<Result<SubgraphIntensity, SubgraphFailure>> = subgraph_sets
         .par_iter()
-        .filter_map(|arrays| {
-            let model = merged_model(program, arrays, &core_opts).ok()?;
-            let intensity = solve_model(&model).ok()?;
-            Some(SubgraphIntensity {
+        .map(|arrays| {
+            let model =
+                merged_model(program, arrays, &core_opts).map_err(SubgraphFailure::Merge)?;
+            let intensity = cache.solve(&model).map_err(SubgraphFailure::Solve)?;
+            let rho_ref = intensity.rho_at(reference_s);
+            Ok(SubgraphIntensity {
                 arrays: arrays.clone(),
                 intensity,
+                rho_ref,
             })
         })
         .collect();
+
+    // Failed subgraphs only loosen the Theorem-1 maximum (fewer candidate
+    // intensities); count them per error kind so a looser bound is
+    // diagnosable instead of silently dropping them.
+    let attempted = outcomes.len();
+    let mut subgraphs: Vec<SubgraphIntensity> = Vec::with_capacity(attempted);
+    let mut merge_failures = 0usize;
+    let mut solve_failures = 0usize;
+    let mut failure_kinds: BTreeMap<String, usize> = BTreeMap::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(s) => subgraphs.push(s),
+            Err(failure) => {
+                let (stage, err) = match &failure {
+                    SubgraphFailure::Merge(e) => {
+                        merge_failures += 1;
+                        ("merge", e)
+                    }
+                    SubgraphFailure::Solve(e) => {
+                        solve_failures += 1;
+                        ("solve", e)
+                    }
+                };
+                let kind = match err {
+                    AnalysisError::InvalidStatement(_) => "invalid statement",
+                    AnalysisError::NoInputs(_) => "no inputs",
+                    AnalysisError::NumericalFailure(_) => "numerical failure",
+                };
+                *failure_kinds.entry(format!("{stage}/{kind}")).or_insert(0) += 1;
+            }
+        }
+    }
+    if merge_failures + solve_failures > 0 {
+        let breakdown: Vec<String> = failure_kinds
+            .iter()
+            .map(|(kind, count)| format!("{count}× {kind}"))
+            .collect();
+        notes.push(format!(
+            "{} of {} enumerated subgraphs were skipped ({}); their intensities are missing from the Theorem-1 maximum, so the bound may be looser",
+            merge_failures + solve_failures,
+            attempted,
+            breakdown.join(", ")
+        ));
+    }
+    let cache_stats: CacheStats = cache.stats();
 
     // Theorem 1: per computed array, the maximal intensity over subgraphs
     // containing it.
@@ -146,11 +227,7 @@ pub fn analyze_program_with(
         }
         let best = candidates
             .iter()
-            .max_by(|a, b| {
-                let ra = a.intensity.rho_at(opts.reference_s);
-                let rb = b.intensity.rho_at(opts.reference_s);
-                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|a, b| nan_last(a.rho_ref, b.rho_ref))
             .expect("non-empty candidates");
         let vertex_count = program.vertex_count_of(&array);
         let leading = vertex_count.leading_terms(&params).to_expr();
@@ -172,7 +249,28 @@ pub fn analyze_program_with(
         subgraphs,
         bound: total,
         notes,
+        solver: SolverSummary {
+            subgraphs_enumerated: attempted,
+            cache_hits: cache_stats.hits,
+            cache_misses: cache_stats.misses,
+            uncacheable: cache_stats.uncacheable,
+            merge_failures,
+            solve_failures,
+        },
     })
+}
+
+/// Total order on intensities that sorts NaN *below* every number, so a
+/// subgraph whose `ρ` failed to evaluate can never win the Theorem-1 maximum
+/// (the seed's `partial_cmp(..).unwrap_or(Equal)` silently treated NaN as
+/// equal to everything, making the winner order-dependent).
+fn nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("both finite or infinite"),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,424 @@
+//! Canonical model keys and the cross-subgraph solve cache.
+//!
+//! On real programs the ~hundreds of merged subgraph models are highly
+//! repetitive: a chain of `k` matmuls produces `O(k)` singleton/pair/triple
+//! subgraphs whose [`AccessModel`]s differ only in array and variable *names*.
+//! Solving each takes thousands of compiled-posynomial probes, so structurally
+//! identical models are detected up front and solved once.
+//!
+//! A model's **canonical key** is the pair of exponent matrices (objective,
+//! dominator) of its compiled posynomial forms, with exact rational
+//! coefficients, brought to a canonical variable order *modulo renaming*:
+//! variables are sorted by an iteratively refined occurrence signature
+//! (Weisfeiler–Leman style), the matrices' columns are permuted accordingly,
+//! and the term rows sorted.  Equal keys therefore exhibit an explicit
+//! isomorphism between the two models; distinct-but-isomorphic models can at
+//! worst miss a cache hit (when the refinement cannot separate tied
+//! variables), never collide.
+//!
+//! The cache itself is a mutex-guarded hash map shared across the rayon
+//! workers of one program analysis; hits re-instantiate the cached solution
+//! under the requesting model's variable names.
+
+use soap_core::{solve_model, AccessModel, AnalysisError, IntensityResult};
+use soap_symbolic::{CompiledPosynomial, Expr, Rational};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One term row of a canonical matrix: permuted exponents plus the exact
+/// coefficient.
+type CanonicalRow = (Vec<i16>, Rational);
+
+/// The canonical key of an [`AccessModel`] modulo variable renaming.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CanonicalKey {
+    n_vars: usize,
+    objective: Vec<CanonicalRow>,
+    dominator: Vec<CanonicalRow>,
+}
+
+/// A canonicalized model: the key plus the variable order that produced it
+/// (`order[p]` = the model's variable index at canonical position `p`).
+pub struct CanonicalModel {
+    /// The renaming-invariant key.
+    pub key: CanonicalKey,
+    /// Canonical position → original variable index.
+    pub order: Vec<usize>,
+}
+
+/// Compute the canonical form of a model.
+///
+/// Returns `None` when the model is not cacheable: a non-posynomial
+/// objective/dominator (`Max`/`Min` union fallbacks) or a non-empty
+/// `access_index_sets` (the exact-LP cross-check depends on data outside the
+/// matrices, so such models are solved directly).
+pub fn canonicalize(model: &AccessModel) -> Option<CanonicalModel> {
+    if !model.access_index_sets.is_empty() {
+        return None;
+    }
+    let vars = &model.tile_variables;
+    let obj = CompiledPosynomial::compile(&model.objective, vars)?;
+    let dom = CompiledPosynomial::compile(&model.dominator, vars)?;
+    let order = canonical_variable_order(&[(0u8, &obj), (1u8, &dom)], vars.len());
+    let key = CanonicalKey {
+        n_vars: vars.len(),
+        objective: permuted_rows(&obj, &order),
+        dominator: permuted_rows(&dom, &order),
+    };
+    Some(CanonicalModel { key, order })
+}
+
+/// A variable's signature: a sortable value that is invariant under variable
+/// renaming, refined over rounds.  Each entry describes one occurrence of the
+/// variable in a term: `(polynomial tag, own exponent, coefficient, sorted
+/// co-occurring (signature-rank, exponent) pairs)`.
+type Signature = Vec<(u8, i16, Rational, Vec<(usize, i16)>)>;
+
+/// Order the variables canonically by iterated signature refinement.
+///
+/// Round 0 ranks variables by their raw occurrence profile; each subsequent
+/// round re-ranks them using the previous ranks of the co-occurring variables
+/// in every term.  Two rounds separate everything the analysis meets in
+/// practice; any remaining ties are broken by original index, which can only
+/// cost cache hits, never correctness (the full matrices are in the key).
+fn canonical_variable_order(polys: &[(u8, &CompiledPosynomial)], n_vars: usize) -> Vec<usize> {
+    let mut ranks: Vec<usize> = vec![0; n_vars];
+    for _round in 0..2 {
+        let mut sigs: Vec<Signature> = vec![Vec::new(); n_vars];
+        for &(tag, poly) in polys {
+            for k in 0..poly.n_terms() {
+                let row = poly.exponent_row(k);
+                let coeff = poly.rational_coeff(k);
+                for (t, &e) in row.iter().enumerate() {
+                    if e == 0 {
+                        continue;
+                    }
+                    let mut others: Vec<(usize, i16)> = row
+                        .iter()
+                        .enumerate()
+                        .filter(|&(u, &eu)| u != t && eu != 0)
+                        .map(|(u, &eu)| (ranks[u], eu))
+                        .collect();
+                    others.sort_unstable();
+                    sigs[t].push((tag, e, coeff, others));
+                }
+            }
+        }
+        for sig in &mut sigs {
+            sig.sort();
+        }
+        // Re-rank: equal signatures share a rank.
+        let mut sorted: Vec<usize> = (0..n_vars).collect();
+        sorted.sort_by(|&a, &b| sigs[a].cmp(&sigs[b]));
+        let mut next_rank = 0;
+        for (i, &t) in sorted.iter().enumerate() {
+            if i > 0 && sigs[t] != sigs[sorted[i - 1]] {
+                next_rank = i;
+            }
+            ranks[t] = next_rank;
+        }
+    }
+    let mut order: Vec<usize> = (0..n_vars).collect();
+    // Stable on original index for tied ranks.
+    order.sort_by_key(|&t| ranks[t]);
+    order
+}
+
+/// Permute the columns of a compiled posynomial to the canonical order and
+/// sort the term rows.
+fn permuted_rows(poly: &CompiledPosynomial, order: &[usize]) -> Vec<CanonicalRow> {
+    let mut rows: Vec<CanonicalRow> = (0..poly.n_terms())
+        .map(|k| {
+            let row = poly.exponent_row(k);
+            let permuted: Vec<i16> = order.iter().map(|&t| row[t]).collect();
+            (permuted, poly.rational_coeff(k))
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// A cached solution, stored in canonical variable order.
+#[derive(Clone)]
+struct CanonicalSolution {
+    sigma: Rational,
+    chi_coeff: f64,
+    rho: Expr,
+    x0: Option<Expr>,
+    /// Indexed by canonical position.
+    tile_exponents: Vec<Rational>,
+    tile_coeffs: Vec<f64>,
+}
+
+/// Cache statistics, surfaced through `ProgramAnalysis`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Models answered from the cache.
+    pub hits: u64,
+    /// Models solved and inserted.
+    pub misses: u64,
+    /// Models solved directly because no canonical key exists.
+    pub uncacheable: u64,
+}
+
+/// A concurrent solve cache keyed by [`CanonicalKey`], shared across the
+/// parallel subgraph workers of one program analysis.
+///
+/// Each key maps to a [`OnceLock`] cell: the mutex only guards the key→cell
+/// lookup, the expensive solve runs outside it, and concurrent requests for
+/// the same structure block on the cell instead of duplicating the solve —
+/// so `misses` is exactly the number of distinct structures even under
+/// parallel first-touches.
+#[derive(Default)]
+pub struct SolveCache {
+    map: Mutex<HashMap<CanonicalKey, Arc<SolveCell>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    uncacheable: AtomicU64,
+}
+
+type SolveCell = OnceLock<Result<CanonicalSolution, AnalysisError>>;
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> SolveCache {
+        SolveCache::default()
+    }
+
+    /// Solve `model`, answering structurally identical models from the cache.
+    ///
+    /// Failures are cached too (a model isomorphic to one that failed will
+    /// fail identically).  On a miss the model is solved *as given* — the
+    /// first occurrence of every structure therefore takes exactly the same
+    /// numeric path as an uncached solve.
+    pub fn solve(&self, model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
+        let Some(canon) = canonicalize(model) else {
+            self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            return solve_model(model);
+        };
+        let cell = Arc::clone(
+            self.map
+                .lock()
+                .expect("cache poisoned")
+                .entry(canon.key)
+                .or_default(),
+        );
+        // Whoever wins the cell's initialization race runs the solve; every
+        // other requester of the same structure blocks until it lands.
+        let mut direct: Option<Result<IntensityResult, AnalysisError>> = None;
+        let cached = cell.get_or_init(|| {
+            let solved = solve_model(model);
+            let canonical = to_canonical(&solved, &canon.order);
+            direct = Some(solved);
+            canonical
+        });
+        if let Some(solved) = direct {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return solved;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        instantiate(cached.clone(), model, &canon.order)
+    }
+
+    /// Snapshot the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Canonicalize one solve outcome for storage: tile data re-indexed by
+/// canonical position so any isomorphic model can re-instantiate it.
+fn to_canonical(
+    solved: &Result<IntensityResult, AnalysisError>,
+    order: &[usize],
+) -> Result<CanonicalSolution, AnalysisError> {
+    let res = solved.as_ref().map_err(Clone::clone)?;
+    let mut tile_exponents = vec![Rational::ZERO; order.len()];
+    let mut tile_coeffs = vec![0.0; order.len()];
+    for (p, &t) in order.iter().enumerate() {
+        tile_exponents[p] = res.tile_exponents[t].1;
+        tile_coeffs[p] = res.tile_coeffs[t].1;
+    }
+    Ok(CanonicalSolution {
+        sigma: res.sigma,
+        chi_coeff: res.chi_coeff,
+        rho: res.rho.clone(),
+        x0: res.x0.clone(),
+        tile_exponents,
+        tile_coeffs,
+    })
+}
+
+/// Re-express a cached canonical solution under `model`'s variable names.
+///
+/// Cached *failures* are re-labelled with the requesting model's name (the
+/// stored message names whichever isomorphic model was solved first).
+fn instantiate(
+    cached: Result<CanonicalSolution, AnalysisError>,
+    model: &AccessModel,
+    order: &[usize],
+) -> Result<IntensityResult, AnalysisError> {
+    let sol = cached.map_err(|e| relabel_error(e, &model.name))?;
+    let n = order.len();
+    let mut tile_exponents: Vec<(String, Rational)> = vec![(String::new(), Rational::ZERO); n];
+    let mut tile_coeffs: Vec<(String, f64)> = vec![(String::new(), 0.0); n];
+    for (p, &t) in order.iter().enumerate() {
+        tile_exponents[t] = (model.tile_variables[t].clone(), sol.tile_exponents[p]);
+        tile_coeffs[t] = (model.tile_variables[t].clone(), sol.tile_coeffs[p]);
+    }
+    Ok(IntensityResult {
+        name: model.name.clone(),
+        sigma: sol.sigma,
+        chi_coeff: sol.chi_coeff,
+        rho: sol.rho,
+        x0: sol.x0,
+        tile_exponents,
+        tile_coeffs,
+    })
+}
+
+/// Rewrite a cached failure so it names the model that asked, noting that
+/// the underlying solve ran on a structurally identical model.
+fn relabel_error(e: AnalysisError, name: &str) -> AnalysisError {
+    match e {
+        AnalysisError::InvalidStatement(msg) => AnalysisError::InvalidStatement(format!(
+            "model {name} (via structurally identical cached model): {msg}"
+        )),
+        AnalysisError::NoInputs(_) => AnalysisError::NoInputs(name.to_string()),
+        AnalysisError::NumericalFailure(msg) => AnalysisError::NumericalFailure(format!(
+            "model {name} (via structurally identical cached model): {msg}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap_core::access_size::tile_var;
+
+    fn dv(v: &str) -> Expr {
+        Expr::sym(tile_var(v))
+    }
+
+    fn mmm_model(name: &str, v: [&str; 3]) -> AccessModel {
+        AccessModel {
+            name: name.into(),
+            tile_variables: v.iter().map(|x| tile_var(x)).collect(),
+            objective: dv(v[0]).mul(dv(v[1])).mul(dv(v[2])),
+            dominator: dv(v[0])
+                .mul(dv(v[2]))
+                .add(dv(v[2]).mul(dv(v[1])))
+                .add(dv(v[0]).mul(dv(v[1]))),
+            access_index_sets: vec![],
+        }
+    }
+
+    #[test]
+    fn renamed_models_share_a_key() {
+        let a = canonicalize(&mmm_model("a", ["i", "j", "k"])).unwrap();
+        let b = canonicalize(&mmm_model("b", ["p", "q", "r"])).unwrap();
+        assert_eq!(a.key, b.key);
+        // Reordered variables too: the canonical order undoes the shuffle.
+        let c = canonicalize(&mmm_model("c", ["k", "i", "j"])).unwrap();
+        assert_eq!(a.key, c.key);
+    }
+
+    #[test]
+    fn different_structures_get_different_keys() {
+        let mmm = canonicalize(&mmm_model("mmm", ["i", "j", "k"])).unwrap();
+        // A stencil-like model over three variables: same variable count,
+        // different matrices.
+        let stencil = AccessModel {
+            name: "stencil".into(),
+            tile_variables: vec![tile_var("i"), tile_var("j"), tile_var("k")],
+            objective: dv("i").mul(dv("j")).mul(dv("k")),
+            dominator: dv("i").add(dv("j")).add(dv("k")),
+            access_index_sets: vec![],
+        };
+        let stencil = canonicalize(&stencil).unwrap();
+        assert_ne!(mmm.key, stencil.key);
+        // Same matrices but a different coefficient also differs.
+        let mut scaled = mmm_model("scaled", ["i", "j", "k"]);
+        scaled.objective = Expr::int(2).mul(scaled.objective);
+        let scaled = canonicalize(&scaled).unwrap();
+        assert_ne!(mmm.key, scaled.key);
+    }
+
+    #[test]
+    fn asymmetric_variables_order_canonically() {
+        // χ = Di²·Dj, g = Di + Dj: Di and Dj have different profiles, so the
+        // canonical order must map a renamed copy onto the same key.
+        let make = |v: [&str; 2]| AccessModel {
+            name: "asym".into(),
+            tile_variables: v.iter().map(|x| tile_var(x)).collect(),
+            objective: dv(v[0]).pow(Rational::int(2)).mul(dv(v[1])),
+            dominator: dv(v[0]).add(dv(v[1])),
+            access_index_sets: vec![],
+        };
+        let a = canonicalize(&make(["x", "y"])).unwrap();
+        let b = canonicalize(&make(["u", "t"])).unwrap();
+        let c = canonicalize(&make(["t", "u"])).unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.key, c.key);
+    }
+
+    #[test]
+    fn max_dominators_are_uncacheable() {
+        let model = AccessModel {
+            name: "union".into(),
+            tile_variables: vec![tile_var("i"), tile_var("j")],
+            objective: dv("i").mul(dv("j")),
+            dominator: dv("i").max(dv("j")),
+            access_index_sets: vec![],
+        };
+        assert!(canonicalize(&model).is_none());
+        // The cache still solves it (directly) and counts it.
+        let cache = SolveCache::new();
+        let _ = cache.solve(&model);
+        assert_eq!(cache.stats().uncacheable, 1);
+    }
+
+    #[test]
+    fn cached_failures_are_relabelled_for_the_requesting_model() {
+        let failing = |name: &str, var: &str| AccessModel {
+            name: name.into(),
+            tile_variables: vec![tile_var(var)],
+            objective: dv(var),
+            dominator: Expr::zero(),
+            access_index_sets: vec![],
+        };
+        let cache = SolveCache::new();
+        let first = cache.solve(&failing("first", "i"));
+        let second = cache.solve(&failing("second", "q"));
+        assert!(matches!(first, Err(AnalysisError::NoInputs(ref n)) if n == "first"));
+        assert!(matches!(second, Err(AnalysisError::NoInputs(ref n)) if n == "second"));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_hits_reproduce_the_direct_solution() {
+        let cache = SolveCache::new();
+        let first = cache.solve(&mmm_model("first", ["i", "j", "k"])).unwrap();
+        let renamed = mmm_model("renamed", ["c", "a", "b"]);
+        let hit = cache.solve(&renamed).unwrap();
+        let direct = solve_model(&renamed).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(hit.name, "renamed");
+        assert_eq!(hit.sigma, direct.sigma);
+        assert_eq!(format!("{}", hit.rho), format!("{}", direct.rho));
+        assert_eq!(first.sigma, hit.sigma);
+        // Tile entries carry the renamed model's variable names, in order.
+        let names: Vec<&str> = hit.tile_exponents.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["D_c", "D_a", "D_b"]);
+        for ((_, e_hit), (_, e_direct)) in hit.tile_exponents.iter().zip(&direct.tile_exponents) {
+            assert_eq!(e_hit, e_direct);
+        }
+    }
+}

@@ -16,18 +16,22 @@
 //!     Q  ≥  Σ_{A ∈ computed arrays}  |A| / max_{H ∋ A} ρ_H .
 //! ```
 //!
-//! Subgraph evaluation is embarrassingly parallel and runs under rayon.
+//! Subgraph evaluation is embarrassingly parallel and runs under rayon;
+//! structurally identical merged models (canonical key modulo variable
+//! renaming, see [`cache`]) are solved once and answered from a shared cache.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod graph;
 pub mod merge;
 pub mod subgraphs;
 
 pub use analysis::{
-    analyze_program, analyze_program_with, ArrayBound, ProgramAnalysis, SdgOptions,
+    analyze_program, analyze_program_with, ArrayBound, ProgramAnalysis, SdgOptions, SolverSummary,
 };
+pub use cache::{canonicalize, CacheStats, CanonicalKey, SolveCache};
 pub use graph::{Sdg, SdgEdge};
 pub use merge::merged_model;
 pub use subgraphs::{enumerate_connected_subgraphs, SubgraphEnumeration};

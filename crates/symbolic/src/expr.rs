@@ -249,6 +249,58 @@ impl Expr {
         }
     }
 
+    /// Evaluate numerically with a single symbol binding, without building a
+    /// `BTreeMap` — the hot shape for intensity evaluation `ρ(S)` where `S` is
+    /// the only free symbol.
+    ///
+    /// Same `None` semantics as [`Expr::eval`]: unbound symbols (anything
+    /// other than `sym`) and fractional powers of negative bases fail.
+    pub fn eval_single(&self, sym: &str, value: f64) -> Option<f64> {
+        self.eval_single_symbol(Symbol::intern(sym), value)
+    }
+
+    fn eval_single_symbol(&self, sym: Symbol, value: f64) -> Option<f64> {
+        match self {
+            Expr::Num(r) => Some(r.to_f64()),
+            Expr::Sym(s) => (*s == sym).then_some(value),
+            Expr::Add(items) => {
+                let mut acc = 0.0;
+                for it in items {
+                    acc += it.eval_single_symbol(sym, value)?;
+                }
+                Some(acc)
+            }
+            Expr::Mul(items) => {
+                let mut acc = 1.0;
+                for it in items {
+                    acc *= it.eval_single_symbol(sym, value)?;
+                }
+                Some(acc)
+            }
+            Expr::Pow(base, e) => {
+                let b = base.eval_single_symbol(sym, value)?;
+                if b < 0.0 && !e.is_integer() {
+                    return None;
+                }
+                Some(b.powf(e.to_f64()))
+            }
+            Expr::Max(items) => {
+                let mut acc = f64::NEG_INFINITY;
+                for it in items {
+                    acc = acc.max(it.eval_single_symbol(sym, value)?);
+                }
+                Some(acc)
+            }
+            Expr::Min(items) => {
+                let mut acc = f64::INFINITY;
+                for it in items {
+                    acc = acc.min(it.eval_single_symbol(sym, value)?);
+                }
+                Some(acc)
+            }
+        }
+    }
+
     /// Substitute `sym := value` and re-simplify.
     pub fn subs(&self, sym: &str, value: &Expr) -> Expr {
         self.subs_symbol(Symbol::intern(sym), value)
@@ -843,6 +895,19 @@ mod tests {
         let bound = Expr::int(2).mul(n().pow(Rational::int(3))).div(s().sqrt());
         assert!((bound.eval(&b).unwrap() - 1000.0).abs() < 1e-9);
         assert_eq!(Expr::sym("unbound").eval(&b), None);
+    }
+
+    #[test]
+    fn eval_single_matches_map_eval() {
+        let rho = Expr::num(Rational::new(1, 2)).mul(s().sqrt());
+        let mut b = BTreeMap::new();
+        b.insert("S".to_string(), 10000.0);
+        assert_eq!(rho.eval_single("S", 10000.0), rho.eval(&b));
+        assert_eq!(rho.eval_single("S", 10000.0), Some(50.0));
+        // Unbound symbols still fail.
+        assert_eq!(n().mul(s()).eval_single("S", 4.0), None);
+        // Max/Min evaluate.
+        assert_eq!(s().max(Expr::int(7)).eval_single("S", 3.0), Some(7.0));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   bounds, which handles triangular loop nests such as Cholesky or LU).
 //! * [`lp`] — a small exact-rational simplex solver for the access-exponent LP
 //!   that determines the exponent σ of `χ(X) = c·X^σ`.
+//! * [`posy`] — compiled posynomial forms (dense exponent matrix + flat
+//!   coefficients) with allocation-free evaluation and analytic log-space
+//!   gradients, the data layout every hot solver probe runs on.
 //! * [`opt`] — the numeric KKT solver for the constrained product maximization
 //!   (optimization problem (8) of the paper) and the power-law fitting that
 //!   recovers the constant `c`.
@@ -27,12 +30,16 @@ pub mod intern;
 pub mod lp;
 pub mod opt;
 pub mod poly;
+pub mod posy;
 pub mod rational;
 
 pub use closed_form::ClosedForm;
 pub use expr::Expr;
 pub use intern::Symbol;
 pub use lp::LinearProgram;
-pub use opt::{ConstrainedProduct, PowerLaw};
+pub use opt::{
+    reset_solver_counters, solver_counters, ConstrainedProduct, PowerLaw, SolverCounters,
+};
 pub use poly::{Monomial, Polynomial};
+pub use posy::{CompiledPosynomial, MaxPosynomial, MaxScratch};
 pub use rational::Rational;

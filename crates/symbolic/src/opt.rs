@@ -18,8 +18,118 @@
 
 use crate::closed_form::ClosedForm;
 use crate::expr::Expr;
+use crate::posy::{CompiledPosynomial, MaxPosynomial, MaxScratch};
 use crate::rational::Rational;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SOLVES: AtomicU64 = AtomicU64::new(0);
+static COMPILED_SOLVES: AtomicU64 = AtomicU64::new(0);
+static KKT_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide counters of the numeric solver, for perf reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverCounters {
+    /// Total [`ConstrainedProduct::solve`] calls.
+    pub solves: u64,
+    /// Solves that ran on the compiled-posynomial fast path.
+    pub compiled_solves: u64,
+    /// Total KKT fixed-point iterations across all solves.
+    pub kkt_iterations: u64,
+}
+
+/// Snapshot the process-wide solver counters.
+pub fn solver_counters() -> SolverCounters {
+    SolverCounters {
+        solves: SOLVES.load(Ordering::Relaxed),
+        compiled_solves: COMPILED_SOLVES.load(Ordering::Relaxed),
+        kkt_iterations: KKT_ITERATIONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset the process-wide solver counters (perf harness bookkeeping).
+pub fn reset_solver_counters() {
+    SOLVES.store(0, Ordering::Relaxed);
+    COMPILED_SOLVES.store(0, Ordering::Relaxed);
+    KKT_ITERATIONS.store(0, Ordering::Relaxed);
+}
+
+/// The compiled forms of a problem's objective and constraint.
+#[derive(Clone, Debug)]
+struct CompiledProblem {
+    objective: CompiledPosynomial,
+    constraint: CompiledConstraint,
+}
+
+/// A compiled dominator: pure posynomial when possible, otherwise the
+/// piecewise max-posynomial form (§5.1/§5.3 conservative unions).
+#[derive(Clone, Debug)]
+enum CompiledConstraint {
+    Pure(CompiledPosynomial),
+    Mixed(MaxPosynomial),
+}
+
+/// Reusable scratch for constraint evaluation (sized lazily; one per solve).
+#[derive(Default)]
+struct ConstraintScratch {
+    terms: Vec<f64>,
+    grad: Vec<f64>,
+    max: MaxScratch,
+}
+
+impl CompiledConstraint {
+    fn compile(expr: &Expr, vars: &[String]) -> Option<CompiledConstraint> {
+        if let Some(pure) = CompiledPosynomial::compile(expr, vars) {
+            return Some(CompiledConstraint::Pure(pure));
+        }
+        MaxPosynomial::compile(expr, vars).map(CompiledConstraint::Mixed)
+    }
+
+    fn eval(&self, x: &[f64], scratch: &mut ConstraintScratch) -> f64 {
+        match self {
+            CompiledConstraint::Pure(p) => p.eval(x),
+            CompiledConstraint::Mixed(m) => m.eval(x, &mut scratch.max),
+        }
+    }
+
+    /// Value plus full analytic log-space gradient in one pass.
+    fn eval_grad(&self, x: &[f64], grad: &mut [f64], scratch: &mut ConstraintScratch) -> f64 {
+        match self {
+            CompiledConstraint::Pure(p) => {
+                scratch.terms.resize(p.n_terms(), 0.0);
+                let v = p.eval_terms(x, &mut scratch.terms);
+                p.grad_log_from_terms(&scratch.terms, grad);
+                v
+            }
+            CompiledConstraint::Mixed(m) => m.eval_grad(x, grad, &mut scratch.max),
+        }
+    }
+
+    /// Value plus derivative w.r.t. a common log-scale of the `active`
+    /// variables (the one derivative Newton constraint-projection needs).
+    fn eval_and_scale_derivative(
+        &self,
+        x: &[f64],
+        active: impl Fn(usize) -> bool,
+        scratch: &mut ConstraintScratch,
+    ) -> (f64, f64) {
+        match self {
+            CompiledConstraint::Pure(p) => p.eval_and_scale_derivative(x, active),
+            CompiledConstraint::Mixed(m) => {
+                scratch.grad.resize(x.len(), 0.0);
+                let (grad, max) = (&mut scratch.grad, &mut scratch.max);
+                let v = m.eval_grad(x, grad, max);
+                let d = grad
+                    .iter()
+                    .enumerate()
+                    .filter(|&(t, _)| active(t))
+                    .map(|(_, g)| g)
+                    .sum();
+                (v, d)
+            }
+        }
+    }
+}
 
 /// A constrained product-maximization problem over tile extents.
 #[derive(Clone, Debug)]
@@ -31,6 +141,9 @@ pub struct ConstrainedProduct {
     /// The constraint function `g(D)` (dominator-set size); the constraint is
     /// `g(D) ≤ X`.
     pub constraint: Expr,
+    /// Both sides compiled to posynomial form, when possible; `None` falls
+    /// back to the retained `Expr`-eval path (e.g. `Max` in the dominator).
+    compiled: Option<CompiledProblem>,
 }
 
 /// Result of solving a [`ConstrainedProduct`] at a specific `X`.
@@ -55,12 +168,43 @@ pub struct PowerLaw {
 
 impl ConstrainedProduct {
     /// Build a problem from the variable list, objective and constraint.
+    ///
+    /// Both expressions are compiled once into posynomial form here; every
+    /// subsequent [`Self::solve`] (the three `fit_power_law` probes plus the
+    /// tile-shape solve) reuses the compiled arrays.
     pub fn new(variables: Vec<String>, objective: Expr, constraint: Expr) -> Self {
+        let compiled = match (
+            CompiledPosynomial::compile(&objective, &variables),
+            CompiledConstraint::compile(&constraint, &variables),
+        ) {
+            (Some(obj), Some(con)) => Some(CompiledProblem {
+                objective: obj,
+                constraint: con,
+            }),
+            _ => None,
+        };
         ConstrainedProduct {
             variables,
             objective,
             constraint,
+            compiled,
         }
+    }
+
+    /// Build a problem that never uses the compiled fast path — the retained
+    /// reference configuration for differential testing.
+    pub fn new_reference(variables: Vec<String>, objective: Expr, constraint: Expr) -> Self {
+        ConstrainedProduct {
+            variables,
+            objective,
+            constraint,
+            compiled: None,
+        }
+    }
+
+    /// Whether the compiled-posynomial fast path is available.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
     }
 
     fn eval(&self, e: &Expr, extents: &[f64]) -> f64 {
@@ -125,7 +269,26 @@ impl ConstrainedProduct {
     /// "benefit/cost" ratios `(D_t ∂χ/∂D_t) / (D_t ∂g/∂D_t)` to be equal; the
     /// iteration nudges each `log D_t` towards the geometric mean of these
     /// ratios and re-projects onto the active constraint.
+    ///
+    /// Dispatches to the compiled-posynomial fast path (analytic gradients,
+    /// Newton constraint projection) when compilation succeeded at
+    /// construction; the `Expr`-eval reference path otherwise.
     pub fn solve(&self, x: f64) -> ProductSolution {
+        SOLVES.fetch_add(1, Ordering::Relaxed);
+        match &self.compiled {
+            Some(c) => {
+                COMPILED_SOLVES.fetch_add(1, Ordering::Relaxed);
+                self.solve_compiled(c, x)
+            }
+            None => self.solve_reference(x),
+        }
+    }
+
+    /// The retained `Expr`-eval solver (finite-difference gradients, bisection
+    /// constraint projection) — byte-for-byte the pre-compilation algorithm,
+    /// kept as the differential-testing reference and the fallback for
+    /// non-posynomial models (`Max`/`Min` dominators).
+    pub fn solve_reference(&self, x: f64) -> ProductSolution {
         let n = self.variables.len();
         assert!(n > 0, "constrained product needs at least one variable");
         // Initial guess: equal extents sized so the constraint is roughly met.
@@ -135,7 +298,9 @@ impl ConstrainedProduct {
 
         let mut eta = 0.35;
         let mut best = (f64::NEG_INFINITY, extents.clone());
+        let mut iters_done = 0u64;
         for iter in 0..400 {
+            iters_done += 1;
             // Benefit/cost ratios in log space.
             let mut log_ratio = vec![0.0; n];
             let mut active: Vec<usize> = Vec::new();
@@ -172,10 +337,102 @@ impl ConstrainedProduct {
                 eta *= 0.7;
             }
         }
+        KKT_ITERATIONS.fetch_add(iters_done, Ordering::Relaxed);
         let extents = best.1;
         ProductSolution {
             chi: self.eval(&self.objective, &extents),
             constraint_value: self.eval(&self.constraint, &extents),
+            extents,
+        }
+    }
+
+    /// The compiled fast path: the same damped multiplicative KKT fixed point
+    /// as [`Self::solve_reference`], but with the objective/constraint term
+    /// values computed once per iteration and shared across all `n` analytic
+    /// log-space partial derivatives, and with the constraint projection done
+    /// by safeguarded Newton on `log g` instead of 200-step bisection.
+    fn solve_compiled(&self, c: &CompiledProblem, x: f64) -> ProductSolution {
+        let n = self.variables.len();
+        assert!(n > 0, "constrained product needs at least one variable");
+        let mut extents = vec![x.powf(1.0 / n as f64).max(1.0); n];
+        let mut clamped = vec![false; n];
+        // Scratch buffers reused across iterations — the solve allocates a
+        // fixed set of vectors up front and nothing inside the loop.
+        let mut obj_terms = vec![0.0; c.objective.n_terms()];
+        let mut d_obj = vec![0.0; n];
+        let mut d_con = vec![0.0; n];
+        let mut log_ratio = vec![0.0; n];
+        let mut scaled = vec![0.0; n];
+        let mut scratch = ConstraintScratch::default();
+        rescale_newton(
+            &c.constraint,
+            &mut extents,
+            x,
+            &clamped,
+            &mut scaled,
+            &mut scratch,
+        );
+
+        let mut eta = 0.35;
+        let mut best = (f64::NEG_INFINITY, extents.clone());
+        let mut iters_done = 0u64;
+        for iter in 0..400 {
+            iters_done += 1;
+            c.objective.eval_terms(&extents, &mut obj_terms);
+            c.objective.grad_log_from_terms(&obj_terms, &mut d_obj);
+            c.constraint.eval_grad(&extents, &mut d_con, &mut scratch);
+            let mut n_active = 0usize;
+            let mut ratio_sum = 0.0;
+            for t in 0..n {
+                let num = d_obj[t].max(1e-300);
+                let den = d_con[t].max(1e-300);
+                log_ratio[t] = (num / den).ln();
+                let at_box = extents[t] <= 1.0 + 1e-9;
+                clamped[t] = at_box && log_ratio[t] < 0.0;
+                if !clamped[t] {
+                    n_active += 1;
+                    ratio_sum += log_ratio[t];
+                }
+            }
+            if n_active == 0 {
+                break;
+            }
+            let mean = ratio_sum / n_active as f64;
+            let mut max_dev: f64 = 0.0;
+            for t in 0..n {
+                if clamped[t] {
+                    continue;
+                }
+                let step = eta * (log_ratio[t] - mean);
+                max_dev = max_dev.max((log_ratio[t] - mean).abs());
+                extents[t] = (extents[t] * step.exp()).max(1.0);
+            }
+            rescale_newton(
+                &c.constraint,
+                &mut extents,
+                x,
+                &clamped,
+                &mut scaled,
+                &mut scratch,
+            );
+            let chi = c.objective.eval(&extents);
+            if chi > best.0 {
+                best.0 = chi;
+                best.1.copy_from_slice(&extents);
+            }
+            if max_dev < 1e-10 {
+                break;
+            }
+            // Mild annealing keeps the iteration stable on stiff constraints.
+            if iter % 100 == 99 {
+                eta *= 0.7;
+            }
+        }
+        KKT_ITERATIONS.fetch_add(iters_done, Ordering::Relaxed);
+        let extents = best.1;
+        ProductSolution {
+            chi: c.objective.eval(&extents),
+            constraint_value: c.constraint.eval(&extents, &mut scratch),
             extents,
         }
     }
@@ -262,6 +519,72 @@ impl PowerLaw {
         }
         rho((a + b) / 2.0)
     }
+}
+
+/// Scale all *unclamped* extents by a common factor so the compiled
+/// constraint is active (`g(D) = x`): safeguarded Newton on `log g` as a
+/// function of the log-scale, replacing the reference path's 200-step
+/// bisection.  `log g` is near-linear in the log-scale (each term scales like
+/// `e^{deg·s}`), so Newton converges in a handful of iterations; every step
+/// stays inside a shrinking bisection bracket for robustness, and the
+/// `max(·, 1)` box clamp is honoured exactly like the reference.
+fn rescale_newton(
+    con: &CompiledConstraint,
+    extents: &mut [f64],
+    x: f64,
+    clamped: &[bool],
+    scaled: &mut [f64],
+    scratch: &mut ConstraintScratch,
+) {
+    let apply = |u: f64, extents: &[f64], scaled: &mut [f64]| {
+        let factor = u.exp();
+        for ((s, &v), &c) in scaled.iter_mut().zip(extents.iter()).zip(clamped) {
+            *s = if c { v } else { (v * factor).max(1.0) };
+        }
+    };
+    let (mut lo, mut hi) = ((1e-9f64).ln(), (1e9f64).ln());
+    apply(hi, extents, scaled);
+    if con.eval(scaled, scratch) < x {
+        // Constraint can never reach X (all variables effectively capped):
+        // leave as-is.
+        return;
+    }
+    let mut u = 0.0f64;
+    let mut converged = false;
+    for _ in 0..64 {
+        apply(u, extents, scaled);
+        let (g, dg) =
+            con.eval_and_scale_derivative(scaled, |t| !clamped[t] && scaled[t] > 1.0, scratch);
+        if (g - x).abs() <= x * 1e-12 {
+            converged = true;
+            break;
+        }
+        if g > x {
+            hi = u;
+        } else {
+            lo = u;
+        }
+        // Newton on log g: u' = u + (log x − log g)·g/g'.
+        let newton = if g > 0.0 && dg > 0.0 {
+            u + (x.ln() - g.ln()) * g / dg
+        } else {
+            f64::NAN
+        };
+        u = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if hi - lo <= f64::EPSILON * hi.abs().max(1.0) {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        u = 0.5 * (lo + hi);
+    }
+    apply(u, extents, scaled);
+    extents.copy_from_slice(scaled);
 }
 
 /// Minimize a univariate function by golden-section search on `[lo, hi]`.
@@ -376,6 +699,95 @@ mod tests {
         assert!(sol.extents.iter().all(|&e| e >= 1.0));
         assert!((sol.constraint_value - 100.0).abs() < 1.0);
         assert!((sol.chi - 2500.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn compiled_and_reference_paths_agree() {
+        let p = mmm_problem();
+        assert!(p.is_compiled());
+        for x in [1.0e5, 3.0e6, 1.0e8] {
+            let fast = p.solve(x);
+            let slow = p.solve_reference(x);
+            assert!(
+                (fast.chi - slow.chi).abs() / slow.chi < 1e-6,
+                "chi {} vs {}",
+                fast.chi,
+                slow.chi
+            );
+            for (a, b) in fast.extents.iter().zip(&slow.extents) {
+                assert!((a - b).abs() / b < 1e-4, "extent {a} vs {b}");
+            }
+        }
+        // The fitted laws must snap to the same rational exponent and the
+        // same constant within the closed-form recognition tolerance.
+        let fast_law = p.fit_power_law();
+        let slow_law = ConstrainedProduct::new_reference(
+            p.variables.clone(),
+            p.objective.clone(),
+            p.constraint.clone(),
+        )
+        .fit_power_law();
+        assert_eq!(fast_law.exponent, slow_law.exponent);
+        assert!((fast_law.coeff - slow_law.coeff).abs() / slow_law.coeff < 1e-6);
+    }
+
+    #[test]
+    fn max_dominators_compile_to_the_piecewise_form() {
+        // A §5.3 conservative-union dominator containing Max compiles to the
+        // max-posynomial form and must agree with the Expr reference path.
+        let p = ConstrainedProduct::new(
+            vec!["Dr".into(), "Dw".into()],
+            d("Dr").mul(d("Dw")),
+            d("Dr").max(d("Dw")).add(d("Dr")),
+        );
+        assert!(p.is_compiled());
+        let sol = p.solve(1000.0);
+        let slow = p.solve_reference(1000.0);
+        assert!(sol.chi.is_finite() && sol.chi > 0.0);
+        assert!((sol.constraint_value - 1000.0).abs() < 1.0);
+        assert!(
+            (sol.chi - slow.chi).abs() / slow.chi < 1e-4,
+            "chi {} vs {}",
+            sol.chi,
+            slow.chi
+        );
+        // Max-atoms *inside* monomials (non-injective subscripts like
+        // Image[r+σ·w]: max(D_r,D_w)·D_c terms) compile too.
+        let conv = ConstrainedProduct::new(
+            vec!["Dr".into(), "Dw".into(), "Dc".into()],
+            d("Dr").mul(d("Dw")).mul(d("Dc")),
+            d("Dr").max(d("Dw")).mul(d("Dc")).add(d("Dr").mul(d("Dw"))),
+        );
+        assert!(conv.is_compiled());
+        let fast = conv.solve(1.0e6);
+        let slow = conv.solve_reference(1.0e6);
+        assert!((fast.constraint_value - 1.0e6).abs() < 1.0e3);
+        // The analytic optimum is a²c with ac + a² = X at a² = X/3:
+        // χ = √(X/3)·(2X/3) ≈ 3.849e8.  The compiled path must reach it; the
+        // finite-difference reference is allowed to be (and is) a hair under.
+        let analytic = (1.0e6f64 / 3.0).sqrt() * (2.0e6 / 3.0);
+        assert!(
+            (fast.chi - analytic).abs() / analytic < 1e-3,
+            "chi {} vs analytic {analytic}",
+            fast.chi
+        );
+        assert!(
+            fast.chi >= slow.chi * (1.0 - 1e-3),
+            "compiled regressed below reference"
+        );
+    }
+
+    #[test]
+    fn solver_counters_accumulate() {
+        // Delta-based: the counters are process-wide and other tests solve
+        // concurrently, so only monotone growth is asserted.
+        let before = solver_counters();
+        let p = mmm_problem();
+        p.solve(1.0e6);
+        let after = solver_counters();
+        assert!(after.solves > before.solves);
+        assert!(after.compiled_solves > before.compiled_solves);
+        assert!(after.kkt_iterations > before.kkt_iterations);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Differential property tests for the compiled posynomial core: over
+//! randomized posynomials, the compiled evaluation must match `Expr::eval`
+//! exactly (same multiset of monomials, IEEE-summed), and the analytic
+//! log-space gradients must match central differences of the `Expr` tree.
+
+use soap_symbolic::{CompiledPosynomial, Expr, MaxPosynomial, MaxScratch, Rational};
+use std::collections::BTreeMap;
+
+/// Deterministic xorshift64* generator so every run checks the same cases.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A point component in `[1, 50)` — the extents the solver visits.
+    fn point(&mut self) -> f64 {
+        1.0 + (self.next() % 4900) as f64 / 100.0
+    }
+}
+
+fn var_names(n: usize) -> Vec<String> {
+    (0..n).map(|t| format!("D_{t}")).collect()
+}
+
+/// A random posynomial over `n` variables: `terms` monomials with integer
+/// coefficients in `1..=9` and exponents in `0..=3`.
+fn random_posynomial(rng: &mut XorShift, n: usize, terms: usize) -> Expr {
+    let vars = var_names(n);
+    let mut sum = Expr::zero();
+    for _ in 0..terms {
+        let mut term = Expr::int(1 + rng.below(9) as i64);
+        for v in &vars {
+            let e = rng.below(4) as i128;
+            if e > 0 {
+                term = term.mul(Expr::sym(v).pow(Rational::int(e)));
+            }
+        }
+        sum = sum.add(term);
+    }
+    sum
+}
+
+fn bindings(vars: &[String], x: &[f64]) -> BTreeMap<String, f64> {
+    vars.iter().cloned().zip(x.iter().copied()).collect()
+}
+
+#[test]
+fn compiled_eval_matches_expr_eval_on_random_posynomials() {
+    let mut rng = XorShift(0x5eed0001);
+    for case in 0..200 {
+        let n = 1 + rng.below(6) as usize;
+        let terms = 1 + rng.below(8) as usize;
+        let vars = var_names(n);
+        let e = random_posynomial(&mut rng, n, terms);
+        let p = CompiledPosynomial::compile(&e, &vars)
+            .unwrap_or_else(|| panic!("case {case}: posynomial failed to compile: {e}"));
+        for _ in 0..5 {
+            let x: Vec<f64> = (0..n).map(|_| rng.point()).collect();
+            let expected = e.eval(&bindings(&vars, &x)).unwrap();
+            let got = p.eval(&x);
+            let rel = (got - expected).abs() / expected.abs().max(1.0);
+            assert!(
+                rel < 1e-12,
+                "case {case}: eval mismatch at {x:?}: {got} vs {expected} ({e})"
+            );
+        }
+    }
+}
+
+#[test]
+fn analytic_gradients_match_central_differences() {
+    let mut rng = XorShift(0x5eed0002);
+    for case in 0..100 {
+        let n = 1 + rng.below(5) as usize;
+        let terms = 1 + rng.below(6) as usize;
+        let vars = var_names(n);
+        let e = random_posynomial(&mut rng, n, terms);
+        let p = CompiledPosynomial::compile(&e, &vars).expect("posynomial compiles");
+        let x: Vec<f64> = (0..n).map(|_| rng.point()).collect();
+        let mut term_values = vec![0.0; p.n_terms()];
+        p.eval_terms(&x, &mut term_values);
+        let mut grad = vec![0.0; n];
+        p.grad_log_from_terms(&term_values, &mut grad);
+        // Central differences of Expr::eval in log space.  The error scale
+        // includes the function value: the FD quotient carries cancellation
+        // noise of order `ulp(f)/h`, so a gradient component tiny relative to
+        // `f` cannot be resolved more precisely than that.
+        let f_val = e.eval(&bindings(&vars, &x)).unwrap();
+        let h: f64 = 1e-5;
+        for t in 0..n {
+            let mut up = x.clone();
+            let mut dn = x.clone();
+            up[t] *= h.exp();
+            dn[t] *= (-h).exp();
+            let fd = (e.eval(&bindings(&vars, &up)).unwrap()
+                - e.eval(&bindings(&vars, &dn)).unwrap())
+                / (2.0 * h);
+            let scale = f_val.abs() + grad[t].abs();
+            assert!(
+                (grad[t] - fd).abs() / scale < 1e-5,
+                "case {case}: d/dlog {} mismatch: analytic {} vs fd {} ({e})",
+                vars[t],
+                grad[t],
+                fd
+            );
+        }
+    }
+}
+
+#[test]
+fn max_posynomial_eval_and_gradient_match_expr() {
+    let mut rng = XorShift(0x5eed0003);
+    for case in 0..100 {
+        let n = 2 + rng.below(4) as usize;
+        let vars = var_names(n);
+        // base posynomial + max(p1, p2)·monomial — the merged-dominator shape.
+        let (t0, t1, t2) = (
+            1 + rng.below(4) as usize,
+            1 + rng.below(3) as usize,
+            1 + rng.below(3) as usize,
+        );
+        let base = random_posynomial(&mut rng, n, t0);
+        let b1 = random_posynomial(&mut rng, n, t1);
+        let b2 = random_posynomial(&mut rng, n, t2);
+        let factor = Expr::sym(&vars[rng.below(n as u64) as usize]);
+        let e = base.clone().add(b1.clone().max(b2.clone()).mul(factor));
+        let m = MaxPosynomial::compile(&e, &vars)
+            .unwrap_or_else(|| panic!("case {case}: max-posynomial failed to compile: {e}"));
+        let mut scratch = MaxScratch::default();
+        for _ in 0..5 {
+            let x: Vec<f64> = (0..n).map(|_| rng.point()).collect();
+            let expected = e.eval(&bindings(&vars, &x)).unwrap();
+            let got = m.eval(&x, &mut scratch);
+            let rel = (got - expected).abs() / expected.abs().max(1.0);
+            assert!(
+                rel < 1e-12,
+                "case {case}: max-eval mismatch at {x:?}: {got} vs {expected}"
+            );
+            // Gradient vs central differences, skipping points too close to a
+            // kink (where the subgradient and the straddling difference
+            // legitimately disagree).
+            let v1 = b1.eval(&bindings(&vars, &x)).unwrap();
+            let v2 = b2.eval(&bindings(&vars, &x)).unwrap();
+            if (v1 - v2).abs() < 1e-3 * v1.abs().max(v2.abs()) {
+                continue;
+            }
+            let mut grad = vec![0.0; n];
+            m.eval_grad(&x, &mut grad, &mut scratch);
+            let h: f64 = 1e-5;
+            for t in 0..n {
+                let mut up = x.clone();
+                let mut dn = x.clone();
+                up[t] *= h.exp();
+                dn[t] *= (-h).exp();
+                let fd = (e.eval(&bindings(&vars, &up)).unwrap()
+                    - e.eval(&bindings(&vars, &dn)).unwrap())
+                    / (2.0 * h);
+                let scale = expected.abs() + grad[t].abs();
+                assert!(
+                    (grad[t] - fd).abs() / scale < 1e-4,
+                    "case {case}: max-grad d/dlog {} mismatch: {} vs {}",
+                    vars[t],
+                    grad[t],
+                    fd
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn eval_single_agrees_with_map_eval_on_random_intensities() {
+    let mut rng = XorShift(0x5eed0004);
+    for _ in 0..100 {
+        // c · S^(p/q) — the shape of every intensity expression.
+        let c = Rational::new(1 + rng.below(20) as i128, 1 + rng.below(6) as i128);
+        let p = rng.below(5) as i128;
+        let q = 1 + rng.below(4) as i128;
+        let rho = Expr::num(c).mul(Expr::sym("S").pow(Rational::new(p, q)));
+        let s = 1.0 + rng.below(1_000_000) as f64;
+        let mut b = BTreeMap::new();
+        b.insert("S".to_string(), s);
+        assert_eq!(rho.eval_single("S", s), rho.eval(&b));
+    }
+}
