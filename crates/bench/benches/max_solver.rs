@@ -1,0 +1,123 @@
+//! The max-form (piecewise-posynomial) solver path: trust-region KKT solves
+//! and full power-law fits on §5.1/§5.3 conservative-union dominators, plus
+//! the max-aware canonical-key cache on renamed-isomorphic union models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use soap_core::access_size::tile_var;
+use soap_core::{solve_model, AccessModel};
+use soap_sdg::SolveCache;
+use soap_symbolic::{ConstrainedProduct, Expr};
+
+fn dv(v: &str) -> Expr {
+    Expr::sym(tile_var(v))
+}
+
+/// A bert-style two-statement union: both statements read the same input, so
+/// the dominator carries a top-level `max` of the two Lemma-3 sizes.
+fn union_pair() -> (Vec<String>, Expr, Expr) {
+    let chi = dv("b")
+        .mul(dv("e"))
+        .mul(dv("l"))
+        .mul(dv("p"))
+        .add(dv("b").mul(dv("e1")).mul(dv("l1")).mul(dv("p")));
+    let g = dv("b")
+        .mul(dv("l"))
+        .mul(dv("l1"))
+        .add(dv("b").mul(dv("l")).mul(dv("p")))
+        .add(dv("b").mul(dv("l1")).mul(dv("p")))
+        .add(dv("e").mul(dv("p")))
+        .add(dv("e1").mul(dv("p")))
+        .add(
+            dv("b")
+                .mul(dv("e"))
+                .mul(dv("l"))
+                .max(dv("b").mul(dv("e1")).mul(dv("l1"))),
+        );
+    (
+        ["b", "e", "l", "p", "e1", "l1"]
+            .iter()
+            .map(|v| tile_var(v))
+            .collect(),
+        chi,
+        g,
+    )
+}
+
+/// A convolution-style model with a `max` atom *inside* a monomial
+/// (non-injective subscript: `max(D_r, D_w)·D_c`).
+fn union_monomial() -> (Vec<String>, Expr, Expr) {
+    let chi = dv("r").mul(dv("w")).mul(dv("c"));
+    let g = dv("r").max(dv("w")).mul(dv("c")).add(dv("r").mul(dv("w")));
+    (
+        ["r", "w", "c"].iter().map(|v| tile_var(v)).collect(),
+        chi,
+        g,
+    )
+}
+
+/// A renamable union model for the cache benchmark.
+fn union_model(name: &str, v: [&str; 3]) -> AccessModel {
+    AccessModel {
+        name: name.into(),
+        tile_variables: v.iter().map(|x| tile_var(x)).collect(),
+        objective: dv(v[0]).mul(dv(v[1])).mul(dv(v[2])),
+        dominator: dv(v[0])
+            .mul(dv(v[1]))
+            .max(dv(v[0]).mul(dv(v[2])))
+            .add(dv(v[1]).mul(dv(v[2]))),
+        access_index_sets: vec![],
+    }
+}
+
+fn bench_max_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_solver");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for (label, (vars, chi, g)) in [
+        ("union_pair", union_pair()),
+        ("union_monomial", union_monomial()),
+    ] {
+        let compiled = ConstrainedProduct::new(vars.clone(), chi.clone(), g.clone());
+        assert!(compiled.is_compiled());
+        let reference = ConstrainedProduct::new_reference(vars, chi, g);
+        group.bench_function(format!("solve_compiled/{label}"), |b| {
+            b.iter(|| black_box(compiled.solve(black_box(3.0e6))))
+        });
+        group.bench_function(format!("solve_reference/{label}"), |b| {
+            b.iter(|| black_box(reference.solve_reference(black_box(3.0e6))))
+        });
+        group.bench_function(format!("fit_power_law_compiled/{label}"), |b| {
+            b.iter(|| black_box(compiled.fit_power_law()))
+        });
+    }
+
+    // 32 renamed-isomorphic union models through the max-aware canonical-key
+    // cache vs solved individually — the dedup PR 3 adds for max dominators.
+    let models: Vec<AccessModel> = (0..32)
+        .map(|s| {
+            let (a, b, c) = (format!("a{s}"), format!("b{s}"), format!("c{s}"));
+            union_model(&format!("m{s}"), [a.as_str(), b.as_str(), c.as_str()])
+        })
+        .collect();
+    group.bench_function("isomorphic_32/cached", |b| {
+        b.iter(|| {
+            let cache = SolveCache::new();
+            for m in &models {
+                black_box(cache.solve(m).expect("solves"));
+            }
+        })
+    });
+    group.bench_function("isomorphic_32/uncached", |b| {
+        b.iter(|| {
+            for m in &models {
+                black_box(solve_model(m).expect("solves"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_solver);
+criterion_main!(benches);

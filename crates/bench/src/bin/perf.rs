@@ -18,7 +18,7 @@ use soap_bench::validation::{validate_kernel, ValidationCase};
 use soap_pebbling::{min_dominator_size, Cdag, VertexKind};
 use soap_sdg::subgraphs::{enumerate_connected_subgraphs, enumerate_connected_subgraphs_naive};
 use soap_sdg::{analyze_program_with, ProgramAnalysis, Sdg, SdgOptions};
-use soap_symbolic::{reset_solver_counters, solver_counters};
+use soap_symbolic::{reset_solver_counters, solver_counters, KKT_HISTOGRAM_EDGES};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -30,8 +30,32 @@ fn solver_stats_record(name: &str, f: impl FnOnce() -> ProgramAnalysis) -> Value
     let counters = solver_counters();
     let s = analysis.solver;
     println!(
-        "solver_stats/{name:<30} models {:>4}   solved {:>4}   cache hits {:>4}   uncacheable {:>3}   kkt iters {:>7}",
-        s.subgraphs_enumerated, counters.solves, s.cache_hits, s.uncacheable, counters.kkt_iterations
+        "solver_stats/{name:<30} models {:>4}   solved {:>4}   cache hits {:>4} ({:>3} max)   uncacheable {:>3}   kkt iters {:>7}   cap hits {:>3}",
+        s.subgraphs_enumerated,
+        counters.solves,
+        s.cache_hits,
+        s.max_cache_hits,
+        s.uncacheable,
+        counters.kkt_iterations,
+        counters.kkt_cap_hits,
+    );
+    let histogram: Vec<Value> = KKT_HISTOGRAM_EDGES
+        .iter()
+        .map(|e| json!(format!("<{e}")))
+        .chain([json!(">=400")])
+        .zip(counters.kkt_histogram)
+        .map(|(bucket, count)| json!({ "bucket": bucket, "solves": count }))
+        .collect();
+    println!(
+        "    kkt histogram: {}",
+        KKT_HISTOGRAM_EDGES
+            .iter()
+            .map(|e| format!("<{e}"))
+            .chain([">=400".to_string()])
+            .zip(counters.kkt_histogram)
+            .map(|(b, c)| format!("{b}:{c}"))
+            .collect::<Vec<_>>()
+            .join("  ")
     );
     json!({
         "name": name,
@@ -39,11 +63,16 @@ fn solver_stats_record(name: &str, f: impl FnOnce() -> ProgramAnalysis) -> Value
         "cache_hits": s.cache_hits,
         "cache_misses": s.cache_misses,
         "uncacheable": s.uncacheable,
+        "max_cache_hits": s.max_cache_hits,
+        "max_cache_misses": s.max_cache_misses,
+        "kkt_cap_hits": s.kkt_cap_hits,
         "merge_failures": s.merge_failures,
         "solve_failures": s.solve_failures,
         "solves": counters.solves,
         "compiled_solves": counters.compiled_solves,
+        "max_form_solves": counters.max_form_solves,
         "kkt_iterations": counters.kkt_iterations,
+        "kkt_histogram": json!(histogram),
     })
 }
 

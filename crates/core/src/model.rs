@@ -7,7 +7,10 @@
 //! `ρ(S) = min_X χ(X)/(X−S)`, the optimal `X₀`, and the optimal tile shape.
 
 use crate::AnalysisError;
-use soap_symbolic::{lp, ClosedForm, ConstrainedProduct, Expr, Rational};
+use soap_symbolic::{
+    lp, ClosedForm, CompiledConstraint, CompiledPosynomial, ConstrainedProduct, Expr, Rational,
+    SolveInfo,
+};
 
 /// The optimization model for one (possibly merged) statement.
 #[derive(Clone, Debug)]
@@ -83,19 +86,59 @@ impl IntensityResult {
 /// [`ConstrainedProduct::new`]; all three power-law probes and the tile-shape
 /// solve reuse the compiled arrays.
 pub fn solve_model(model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
-    solve_model_impl(model, false)
+    solve_model_instrumented(model).0
+}
+
+/// [`solve_model`] plus the aggregated KKT accounting of all its probe
+/// solves — the cross-subgraph cache uses the accounting to surface
+/// iteration-budget exhaustion in `SolverSummary`.
+pub fn solve_model_instrumented(
+    model: &AccessModel,
+) -> (Result<IntensityResult, AnalysisError>, SolveInfo) {
+    solve_model_impl(model, ProblemBuild::Compiled)
+}
+
+/// [`solve_model`] with both sides already compiled (the solve cache compiles
+/// them for its canonical key); skips the duplicate compilation of
+/// [`ConstrainedProduct::new`] but takes exactly the same numeric path.
+pub fn solve_model_precompiled(
+    model: &AccessModel,
+    objective: CompiledPosynomial,
+    dominator: CompiledConstraint,
+) -> (Result<IntensityResult, AnalysisError>, SolveInfo) {
+    solve_model_impl(
+        model,
+        ProblemBuild::Precompiled(Box::new((objective, dominator))),
+    )
 }
 
 /// [`solve_model`] forced down the retained `Expr`-eval solver path
 /// (finite-difference gradients, bisection projection) — the differential
 /// baseline the compiled path is pinned against.
 pub fn solve_model_reference(model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
-    solve_model_impl(model, true)
+    solve_model_impl(model, ProblemBuild::Reference).0
+}
+
+/// How [`solve_model_impl`] constructs its [`ConstrainedProduct`].
+enum ProblemBuild {
+    Compiled,
+    Precompiled(Box<(CompiledPosynomial, CompiledConstraint)>),
+    Reference,
 }
 
 fn solve_model_impl(
     model: &AccessModel,
-    reference: bool,
+    build: ProblemBuild,
+) -> (Result<IntensityResult, AnalysisError>, SolveInfo) {
+    let mut info = SolveInfo::default();
+    let result = solve_model_inner(model, build, &mut info);
+    (result, info)
+}
+
+fn solve_model_inner(
+    model: &AccessModel,
+    build: ProblemBuild,
+    info: &mut SolveInfo,
 ) -> Result<IntensityResult, AnalysisError> {
     if model.tile_variables.is_empty() {
         return Err(AnalysisError::InvalidStatement(format!(
@@ -106,17 +149,30 @@ fn solve_model_impl(
     if model.dominator.is_zero() {
         return Err(AnalysisError::NoInputs(model.name.clone()));
     }
-    let build = if reference {
-        ConstrainedProduct::new_reference
-    } else {
-        ConstrainedProduct::new
+    let problem = match build {
+        ProblemBuild::Compiled => ConstrainedProduct::new(
+            model.tile_variables.clone(),
+            model.objective.clone(),
+            model.dominator.clone(),
+        ),
+        ProblemBuild::Precompiled(compiled) => {
+            let (objective, dominator) = *compiled;
+            ConstrainedProduct::from_compiled(
+                model.tile_variables.clone(),
+                model.objective.clone(),
+                model.dominator.clone(),
+                objective,
+                dominator,
+            )
+        }
+        ProblemBuild::Reference => ConstrainedProduct::new_reference(
+            model.tile_variables.clone(),
+            model.objective.clone(),
+            model.dominator.clone(),
+        ),
     };
-    let problem = build(
-        model.tile_variables.clone(),
-        model.objective.clone(),
-        model.dominator.clone(),
-    );
-    let mut law = problem.fit_power_law();
+    let (mut law, fit_info, fit_extents) = problem.fit_power_law_instrumented();
+    info.absorb(fit_info);
     if !law.coeff.is_finite() || law.coeff <= 0.0 {
         return Err(AnalysisError::NumericalFailure(format!(
             "power-law fit failed for {} (coeff = {})",
@@ -136,9 +192,11 @@ fn solve_model_impl(
         }
     }
 
-    // Per-variable tile shape from a large-X solve.
+    // Per-variable tile shape from a large-X solve, warm-started from the
+    // final power-law probe (the same problem at a nearby X).
     let x_probe = 1.0e8;
-    let sol = problem.solve(x_probe);
+    let (sol, probe_info) = problem.solve_seeded_instrumented(x_probe, Some(&fit_extents));
+    info.absorb(probe_info);
     let mut tile_exponents = Vec::new();
     let mut tile_coeffs = Vec::new();
     for (name, extent) in model.tile_variables.iter().zip(&sol.extents) {

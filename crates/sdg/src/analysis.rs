@@ -73,9 +73,16 @@ pub struct SolverSummary {
     pub cache_hits: u64,
     /// Models actually solved (cache misses).
     pub cache_misses: u64,
-    /// Models solved directly because no canonical key exists
-    /// (`Max`/`Min` dominators).
+    /// Models solved directly because no canonical key exists (outside
+    /// (max-)posynomial form, or carrying exact-LP index sets).
     pub uncacheable: u64,
+    /// The subset of `cache_hits` with a max-form (`max`/`min`) dominator.
+    pub max_cache_hits: u64,
+    /// The subset of `cache_misses` with a max-form dominator.
+    pub max_cache_misses: u64,
+    /// KKT solves of this analysis that exhausted the iteration budget
+    /// without converging (also reported in `notes` when non-zero).
+    pub kkt_cap_hits: u64,
     /// Subgraphs dropped because statement merging failed.
     pub merge_failures: usize,
     /// Subgraphs dropped because the intensity solve failed.
@@ -208,6 +215,12 @@ pub fn analyze_program_with(
         ));
     }
     let cache_stats: CacheStats = cache.stats();
+    if cache_stats.kkt_cap_hits > 0 {
+        notes.push(format!(
+            "{} KKT solve(s) exhausted the iteration budget without converging; the affected intensities use the best iterate found and may be slightly loose",
+            cache_stats.kkt_cap_hits
+        ));
+    }
 
     // Theorem 1: per computed array, the maximal intensity over subgraphs
     // containing it.
@@ -254,6 +267,9 @@ pub fn analyze_program_with(
             cache_hits: cache_stats.hits,
             cache_misses: cache_stats.misses,
             uncacheable: cache_stats.uncacheable,
+            max_cache_hits: cache_stats.max_hits,
+            max_cache_misses: cache_stats.max_misses,
+            kkt_cap_hits: cache_stats.kkt_cap_hits,
             merge_failures,
             solve_failures,
         },

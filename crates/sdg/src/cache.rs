@@ -16,12 +16,25 @@
 //! worst miss a cache hit (when the refinement cannot separate tied
 //! variables), never collide.
 //!
+//! **Max-form dominators** (§5.1/§5.3 conservative-union `max(...)` terms,
+//! compiled to [`MaxPosynomial`]) participate too: each term carries the
+//! canonical indices of its `max`/`min` atoms, and each atom's branches are
+//! stored as an unordered multiset of canonicalized exponent matrices
+//! (branch order in the source expression depends on variable names, so it
+//! must not leak into the key).  The explicit-isomorphism guarantee carries
+//! over: equal keys mean the monomial matrices, the atom multisets and the
+//! term↔atom incidence all coincide under the canonical variable renaming.
+//!
 //! The cache itself is a mutex-guarded hash map shared across the rayon
 //! workers of one program analysis; hits re-instantiate the cached solution
-//! under the requesting model's variable names.
+//! under the requesting model's variable names.  Canonicalization compiles
+//! both sides once; a miss threads the compiled forms straight into the
+//! solve (`solve_model_precompiled`), so nothing is compiled twice.
 
-use soap_core::{solve_model, AccessModel, AnalysisError, IntensityResult};
-use soap_symbolic::{CompiledPosynomial, Expr, Rational};
+use soap_core::{
+    solve_model_instrumented, solve_model_precompiled, AccessModel, AnalysisError, IntensityResult,
+};
+use soap_symbolic::{CompiledConstraint, CompiledPosynomial, Expr, MaxPosynomial, Rational};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -30,43 +43,159 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// coefficient.
 type CanonicalRow = (Vec<i16>, Rational);
 
+/// One canonicalized `max`/`min` atom: its branches as an unordered (sorted)
+/// multiset of canonical matrices.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct CanonicalAtom {
+    is_min: bool,
+    branches: Vec<Vec<CanonicalRow>>,
+}
+
+/// One term of a canonical max-form dominator: the monomial part plus the
+/// sorted canonical indices of its atoms.
+type CanonicalMaxTerm = (Vec<i16>, Rational, Vec<u32>);
+
+/// The canonical dominator: pure exponent matrix, or the max-posynomial
+/// structure (monomial matrix + atom incidence + atom multiset).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum CanonicalDominator {
+    Pure(Vec<CanonicalRow>),
+    Max {
+        terms: Vec<CanonicalMaxTerm>,
+        atoms: Vec<CanonicalAtom>,
+    },
+}
+
 /// The canonical key of an [`AccessModel`] modulo variable renaming.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CanonicalKey {
     n_vars: usize,
     objective: Vec<CanonicalRow>,
-    dominator: Vec<CanonicalRow>,
+    dominator: CanonicalDominator,
 }
 
-/// A canonicalized model: the key plus the variable order that produced it
-/// (`order[p]` = the model's variable index at canonical position `p`).
+impl CanonicalKey {
+    /// Whether the dominator of this key is in max-posynomial form.
+    pub fn is_max_form(&self) -> bool {
+        matches!(self.dominator, CanonicalDominator::Max { .. })
+    }
+}
+
+/// A canonicalized model: the key, the variable order that produced it
+/// (`order[p]` = the model's variable index at canonical position `p`), and
+/// the compiled forms of both sides (reused by the solve on a cache miss).
 pub struct CanonicalModel {
     /// The renaming-invariant key.
     pub key: CanonicalKey,
     /// Canonical position → original variable index.
     pub order: Vec<usize>,
+    /// The objective compiled during canonicalization.
+    pub compiled_objective: CompiledPosynomial,
+    /// The dominator compiled during canonicalization.
+    pub compiled_dominator: CompiledConstraint,
 }
 
 /// Compute the canonical form of a model.
 ///
-/// Returns `None` when the model is not cacheable: a non-posynomial
-/// objective/dominator (`Max`/`Min` union fallbacks) or a non-empty
-/// `access_index_sets` (the exact-LP cross-check depends on data outside the
-/// matrices, so such models are solved directly).
+/// Returns `None` when the model is not cacheable: an objective/dominator
+/// outside (max-)posynomial form, or a non-empty `access_index_sets` (the
+/// exact-LP cross-check depends on data outside the matrices, so such models
+/// are solved directly).
 pub fn canonicalize(model: &AccessModel) -> Option<CanonicalModel> {
     if !model.access_index_sets.is_empty() {
         return None;
     }
     let vars = &model.tile_variables;
     let obj = CompiledPosynomial::compile(&model.objective, vars)?;
-    let dom = CompiledPosynomial::compile(&model.dominator, vars)?;
-    let order = canonical_variable_order(&[(0u8, &obj), (1u8, &dom)], vars.len());
+    if let Some(dom) = CompiledPosynomial::compile(&model.dominator, vars) {
+        let order = canonical_variable_order(&[(0u8, &obj), (1u8, &dom)], vars.len());
+        let key = CanonicalKey {
+            n_vars: vars.len(),
+            objective: permuted_rows(&obj, &order),
+            dominator: CanonicalDominator::Pure(permuted_rows(&dom, &order)),
+        };
+        return Some(CanonicalModel {
+            key,
+            order,
+            compiled_objective: obj,
+            compiled_dominator: CompiledConstraint::Pure(dom),
+        });
+    }
+    let dom = MaxPosynomial::compile(&model.dominator, vars)?;
+    let order = max_variable_order(&obj, &dom, vars.len());
     let key = CanonicalKey {
         n_vars: vars.len(),
         objective: permuted_rows(&obj, &order),
-        dominator: permuted_rows(&dom, &order),
+        dominator: canonical_max_dominator(&dom, &order),
     };
-    Some(CanonicalModel { key, order })
+    Some(CanonicalModel {
+        key,
+        order,
+        compiled_objective: obj,
+        compiled_dominator: CompiledConstraint::Mixed(dom),
+    })
+}
+
+/// Canonical variable order for a max-form model: the objective (tag 0) and
+/// the dominator's monomial-part matrix (tag 1) refine like the pure case;
+/// every atom branch contributes under one shared tag (2) — the branch
+/// *multiset* is renaming-invariant even though branch order is not, so
+/// pooling the branches keeps the order invariant under renaming (pooling
+/// can only cost hits, never correctness: the full structure is in the key).
+fn max_variable_order(obj: &CompiledPosynomial, dom: &MaxPosynomial, n_vars: usize) -> Vec<usize> {
+    let mono = dom.monomial_part();
+    let mut polys: Vec<(u8, &CompiledPosynomial)> = vec![(0u8, obj), (1u8, &mono)];
+    for j in 0..dom.n_atoms() {
+        for branch in dom.atom_branches(j) {
+            polys.push((2u8, branch));
+        }
+    }
+    canonical_variable_order(&polys, n_vars)
+}
+
+/// Canonicalize a max-form dominator under the given variable order: branch
+/// matrices are permuted and sorted within each atom, atoms are sorted (and
+/// re-indexed) by their canonical form, each term's atom list is remapped and
+/// sorted, and finally the term rows are sorted.
+fn canonical_max_dominator(dom: &MaxPosynomial, order: &[usize]) -> CanonicalDominator {
+    let canon_atoms: Vec<CanonicalAtom> = (0..dom.n_atoms())
+        .map(|j| {
+            let mut branches: Vec<Vec<CanonicalRow>> = dom
+                .atom_branches(j)
+                .iter()
+                .map(|b| permuted_rows(b, order))
+                .collect();
+            branches.sort();
+            CanonicalAtom {
+                is_min: dom.atom_is_min(j),
+                branches,
+            }
+        })
+        .collect();
+    // Sort atom indices by canonical form; equal atoms are interchangeable,
+    // so their relative order cannot affect the key.
+    let mut atom_perm: Vec<usize> = (0..canon_atoms.len()).collect();
+    atom_perm.sort_by(|&a, &b| canon_atoms[a].cmp(&canon_atoms[b]));
+    let mut atom_rank = vec![0u32; canon_atoms.len()];
+    for (new_idx, &old_idx) in atom_perm.iter().enumerate() {
+        atom_rank[old_idx] = new_idx as u32;
+    }
+    let atoms: Vec<CanonicalAtom> = atom_perm.iter().map(|&j| canon_atoms[j].clone()).collect();
+    let mut terms: Vec<CanonicalMaxTerm> = (0..dom.n_terms())
+        .map(|k| {
+            let row = dom.exponent_row(k);
+            let permuted: Vec<i16> = order.iter().map(|&t| row[t]).collect();
+            let mut atom_ids: Vec<u32> = dom
+                .term_atom_indices(k)
+                .iter()
+                .map(|&j| atom_rank[j as usize])
+                .collect();
+            atom_ids.sort_unstable();
+            (permuted, dom.rational_coeff(k), atom_ids)
+        })
+        .collect();
+    terms.sort();
+    CanonicalDominator::Max { terms, atoms }
 }
 
 /// A variable's signature: a sortable value that is invariant under variable
@@ -79,12 +208,15 @@ type Signature = Vec<(u8, i16, Rational, Vec<(usize, i16)>)>;
 ///
 /// Round 0 ranks variables by their raw occurrence profile; each subsequent
 /// round re-ranks them using the previous ranks of the co-occurring variables
-/// in every term.  Two rounds separate everything the analysis meets in
-/// practice; any remaining ties are broken by original index, which can only
-/// cost cache hits, never correctness (the full matrices are in the key).
+/// in every term, until the ranking reaches a fixed point (rank information
+/// can take several rounds to propagate through chained statement blocks —
+/// bert's 12-variable merged attention models need four).  Any remaining ties
+/// are broken by original index, which can only cost cache hits, never
+/// correctness (the full matrices are in the key).
 fn canonical_variable_order(polys: &[(u8, &CompiledPosynomial)], n_vars: usize) -> Vec<usize> {
     let mut ranks: Vec<usize> = vec![0; n_vars];
-    for _round in 0..2 {
+    for _round in 0..n_vars.max(2) {
+        let prev_ranks = ranks.clone();
         let mut sigs: Vec<Signature> = vec![Vec::new(); n_vars];
         for &(tag, poly) in polys {
             for k in 0..poly.n_terms() {
@@ -117,6 +249,9 @@ fn canonical_variable_order(polys: &[(u8, &CompiledPosynomial)], n_vars: usize) 
                 next_rank = i;
             }
             ranks[t] = next_rank;
+        }
+        if ranks == prev_ranks {
+            break;
         }
     }
     let mut order: Vec<usize> = (0..n_vars).collect();
@@ -160,6 +295,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Models solved directly because no canonical key exists.
     pub uncacheable: u64,
+    /// The subset of `hits` whose dominator is in max-posynomial form.
+    pub max_hits: u64,
+    /// The subset of `misses` whose dominator is in max-posynomial form.
+    pub max_misses: u64,
+    /// KKT solves run by this cache (misses + uncacheable models) that
+    /// exhausted the iteration budget without converging.
+    pub kkt_cap_hits: u64,
 }
 
 /// A concurrent solve cache keyed by [`CanonicalKey`], shared across the
@@ -176,6 +318,9 @@ pub struct SolveCache {
     hits: AtomicU64,
     misses: AtomicU64,
     uncacheable: AtomicU64,
+    max_hits: AtomicU64,
+    max_misses: AtomicU64,
+    kkt_cap_hits: AtomicU64,
 }
 
 type SolveCell = OnceLock<Result<CanonicalSolution, AnalysisError>>;
@@ -195,30 +340,51 @@ impl SolveCache {
     pub fn solve(&self, model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
         let Some(canon) = canonicalize(model) else {
             self.uncacheable.fetch_add(1, Ordering::Relaxed);
-            return solve_model(model);
+            let (solved, info) = solve_model_instrumented(model);
+            self.kkt_cap_hits
+                .fetch_add(u64::from(info.cap_hits), Ordering::Relaxed);
+            return solved;
         };
+        let CanonicalModel {
+            key,
+            order,
+            compiled_objective,
+            compiled_dominator,
+        } = canon;
+        let max_form = key.is_max_form();
         let cell = Arc::clone(
             self.map
                 .lock()
                 .expect("cache poisoned")
-                .entry(canon.key)
+                .entry(key)
                 .or_default(),
         );
         // Whoever wins the cell's initialization race runs the solve; every
-        // other requester of the same structure blocks until it lands.
+        // other requester of the same structure blocks until it lands.  The
+        // forms compiled for the key are threaded into the solve, which
+        // otherwise takes exactly the same numeric path as an uncached one.
         let mut direct: Option<Result<IntensityResult, AnalysisError>> = None;
         let cached = cell.get_or_init(|| {
-            let solved = solve_model(model);
-            let canonical = to_canonical(&solved, &canon.order);
+            let (solved, info) =
+                solve_model_precompiled(model, compiled_objective, compiled_dominator);
+            self.kkt_cap_hits
+                .fetch_add(u64::from(info.cap_hits), Ordering::Relaxed);
+            let canonical = to_canonical(&solved, &order);
             direct = Some(solved);
             canonical
         });
         if let Some(solved) = direct {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if max_form {
+                self.max_misses.fetch_add(1, Ordering::Relaxed);
+            }
             return solved;
         }
         self.hits.fetch_add(1, Ordering::Relaxed);
-        instantiate(cached.clone(), model, &canon.order)
+        if max_form {
+            self.max_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        instantiate(cached.clone(), model, &order)
     }
 
     /// Snapshot the hit/miss counters.
@@ -227,6 +393,9 @@ impl SolveCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            max_hits: self.max_hits.load(Ordering::Relaxed),
+            max_misses: self.max_misses.load(Ordering::Relaxed),
+            kkt_cap_hits: self.kkt_cap_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -300,6 +469,7 @@ fn relabel_error(e: AnalysisError, name: &str) -> AnalysisError {
 mod tests {
     use super::*;
     use soap_core::access_size::tile_var;
+    use soap_core::solve_model;
 
     fn dv(v: &str) -> Expr {
         Expr::sym(tile_var(v))
@@ -367,17 +537,99 @@ mod tests {
         assert_eq!(a.key, c.key);
     }
 
-    #[test]
-    fn max_dominators_are_uncacheable() {
-        let model = AccessModel {
-            name: "union".into(),
-            tile_variables: vec![tile_var("i"), tile_var("j")],
-            objective: dv("i").mul(dv("j")),
-            dominator: dv("i").max(dv("j")),
+    /// A §5.3-style union model: χ = Πv, g = max-union of two Lemma-3 sizes
+    /// plus a plain term, parameterized by variable names.
+    fn union_model(name: &str, v: [&str; 3]) -> AccessModel {
+        AccessModel {
+            name: name.into(),
+            tile_variables: v.iter().map(|x| tile_var(x)).collect(),
+            objective: dv(v[0]).mul(dv(v[1])).mul(dv(v[2])),
+            dominator: dv(v[0])
+                .mul(dv(v[1]))
+                .max(dv(v[0]).mul(dv(v[2])))
+                .add(dv(v[1]).mul(dv(v[2]))),
             access_index_sets: vec![],
-        };
+        }
+    }
+
+    #[test]
+    fn renamed_max_models_share_a_key() {
+        let a = canonicalize(&union_model("a", ["i", "j", "k"])).unwrap();
+        assert!(a.key.is_max_form());
+        let b = canonicalize(&union_model("b", ["p", "q", "r"])).unwrap();
+        assert_eq!(a.key, b.key);
+        // Reordered variables: the canonical order undoes the shuffle.  Note
+        // the reordering also flips the branch order inside the max (Expr
+        // simplification sorts operands by name), so this exercises the
+        // unordered branch multiset too.
+        let c = canonicalize(&union_model("c", ["k", "i", "j"])).unwrap();
+        assert_eq!(a.key, c.key);
+    }
+
+    #[test]
+    fn max_models_differing_in_one_branch_do_not_collide() {
+        let base = canonicalize(&union_model("base", ["i", "j", "k"])).unwrap();
+        // Same shape except one max branch has a squared exponent.
+        let mut bumped = union_model("bumped", ["i", "j", "k"]);
+        bumped.dominator = dv("i")
+            .mul(dv("j"))
+            .max(dv("i").pow(Rational::int(2)).mul(dv("k")))
+            .add(dv("j").mul(dv("k")));
+        let bumped = canonicalize(&bumped).unwrap();
+        assert_ne!(base.key, bumped.key);
+        // A different coefficient inside a branch also differs.
+        let mut scaled = union_model("scaled", ["i", "j", "k"]);
+        scaled.dominator = dv("i")
+            .mul(dv("j"))
+            .max(Expr::int(2).mul(dv("i")).mul(dv("k")))
+            .add(dv("j").mul(dv("k")));
+        let scaled = canonicalize(&scaled).unwrap();
+        assert_ne!(base.key, scaled.key);
+        // And so does moving the max to a different monomial association:
+        // max(...)·j vs max(...) + j·k keeps different term↔atom incidence.
+        let mut assoc = union_model("assoc", ["i", "j", "k"]);
+        assoc.dominator = dv("i")
+            .mul(dv("j"))
+            .max(dv("i").mul(dv("k")))
+            .mul(dv("j"))
+            .add(dv("j").mul(dv("k")));
+        let assoc = canonicalize(&assoc).unwrap();
+        assert_ne!(base.key, assoc.key);
+        // Pure and max-form models can never collide.
+        let pure = canonicalize(&mmm_model("pure", ["i", "j", "k"])).unwrap();
+        assert!(!pure.key.is_max_form());
+        assert_ne!(pure.key, base.key);
+    }
+
+    #[test]
+    fn max_cache_hits_reproduce_the_direct_solution() {
+        let cache = SolveCache::new();
+        let first = cache.solve(&union_model("first", ["i", "j", "k"])).unwrap();
+        let renamed = union_model("renamed", ["c", "a", "b"]);
+        let hit = cache.solve(&renamed).unwrap();
+        let direct = solve_model(&renamed).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.max_hits, 1);
+        assert_eq!(stats.max_misses, 1);
+        assert_eq!(stats.uncacheable, 0);
+        assert_eq!(hit.name, "renamed");
+        assert_eq!(hit.sigma, direct.sigma);
+        assert_eq!(hit.sigma, first.sigma);
+        assert_eq!(format!("{}", hit.rho), format!("{}", direct.rho));
+        for ((_, e_hit), (_, e_direct)) in hit.tile_exponents.iter().zip(&direct.tile_exponents) {
+            assert_eq!(e_hit, e_direct);
+        }
+    }
+
+    #[test]
+    fn index_set_models_are_uncacheable() {
+        // Models carrying exact-LP index sets depend on data outside the
+        // matrices; the cache solves them directly and counts them.
+        let mut model = mmm_model("lp", ["i", "j", "k"]);
+        model.access_index_sets = vec![vec![0, 2], vec![2, 1], vec![0, 1]];
         assert!(canonicalize(&model).is_none());
-        // The cache still solves it (directly) and counts it.
         let cache = SolveCache::new();
         let _ = cache.solve(&model);
         assert_eq!(cache.stats().uncacheable, 1);

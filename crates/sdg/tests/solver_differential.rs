@@ -79,6 +79,33 @@ fn jacobi_like() -> Program {
         .unwrap()
 }
 
+/// `k` independent bert-attention-style blocks: each block's two matmuls read
+/// the same input `X_s`, so the merged pair model `{K_s,Q_s}` carries a
+/// conservative-union `max` over the two (differently-unified) Lemma-3 sizes
+/// — and all `k` pair models are renamed-isomorphic max-form models.
+fn union_chain(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("union_chain{k}"));
+    for s in 0..k {
+        let (x, w, v) = (format!("X{s}"), format!("W{s}"), format!("V{s}"));
+        let (kk, q) = (format!("K{s}"), format!("Q{s}"));
+        let xa = x.clone();
+        b = b
+            .statement(move |st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                    .update(&kk, "i,j")
+                    .read(&xa, "i,k")
+                    .read(&w, "k,j")
+            })
+            .statement(move |st| {
+                st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                    .update(&q, "i,j")
+                    .read(&x, "i,k")
+                    .read(&v, "k,j")
+            });
+    }
+    b.build().expect("union chain builds")
+}
+
 /// Every merged subgraph model of `program`: the compiled and reference
 /// solver paths must produce byte-identical snapped outputs.
 fn assert_models_differentially_identical(program: &Program) {
@@ -127,7 +154,13 @@ fn assert_models_differentially_identical(program: &Program) {
 
 #[test]
 fn compiled_solver_outputs_are_byte_identical_to_the_reference() {
-    for program in [chain_of_matmuls(6), atax(), figure2(), jacobi_like()] {
+    for program in [
+        chain_of_matmuls(6),
+        atax(),
+        figure2(),
+        jacobi_like(),
+        union_chain(4),
+    ] {
         assert_models_differentially_identical(&program);
     }
 }
@@ -139,7 +172,7 @@ fn compiled_solver_outputs_are_byte_identical_to_the_reference() {
 /// so literally identical).
 #[test]
 fn analysis_bound_is_deterministic_under_the_cache() {
-    for program in [chain_of_matmuls(8), atax(), figure2()] {
+    for program in [chain_of_matmuls(8), atax(), figure2(), union_chain(8)] {
         let opts = SdgOptions {
             max_subgraph_size: 3,
             max_subgraphs: 512,
@@ -193,4 +226,49 @@ fn chain_cache_collapses_isomorphic_models() {
         s.cache_misses
     );
     assert_eq!(s.merge_failures + s.solve_failures, 0);
+    assert_eq!(s.kkt_cap_hits, 0, "a chain solve exhausted its budget");
+}
+
+/// Max-form models participate in the cache: the union chain's `k` merged
+/// pair models are renamed-isomorphic max models, so all but the first hit —
+/// under `par_iter`, with the accounting still exact.
+#[test]
+fn union_chain_max_models_hit_the_cache() {
+    let program = union_chain(12);
+    let analysis = analyze_program_with(&program, &SdgOptions::default()).expect("analysis");
+    let s = analysis.solver;
+    assert_eq!(s.uncacheable, 0, "max models must be cacheable now");
+    assert!(
+        s.max_cache_hits >= 11,
+        "expected ≥11 max-form hits (12 isomorphic union-pair models), got {}",
+        s.max_cache_hits
+    );
+    assert_eq!(
+        s.max_cache_misses, 1,
+        "expected exactly one distinct max structure, got {}",
+        s.max_cache_misses
+    );
+    assert_eq!(s.merge_failures + s.solve_failures, 0);
+    assert_eq!(s.kkt_cap_hits, 0, "a union solve exhausted its budget");
+}
+
+/// No fixture program may exhaust the KKT iteration budget: the trust-region
+/// step must converge well before the cap on every merged model.
+#[test]
+fn no_fixture_program_hits_the_kkt_cap() {
+    for program in [
+        chain_of_matmuls(8),
+        atax(),
+        figure2(),
+        jacobi_like(),
+        union_chain(6),
+    ] {
+        let analysis =
+            analyze_program_with(&program, &SdgOptions::default()).expect("analysis succeeds");
+        assert_eq!(
+            analysis.solver.kkt_cap_hits, 0,
+            "{}: solves exhausted the iteration budget",
+            program.name
+        );
+    }
 }

@@ -26,6 +26,11 @@ pub enum ClosedForm {
     Numeric(f64),
 }
 
+/// Largest numerator a recognized `value^k` rational may have: the values the
+/// analysis produces have small powered numerators (e.g. `(32/(3·∛3))³ =
+/// 32768/81`); anything larger is a spurious continued-fraction match.
+const MAX_POWERED_NUMERATOR: i128 = 1_000_000_000;
+
 impl ClosedForm {
     /// Attempt to recognize `value` as `(p/q)·r^{1/k}` for k ∈ {1,2,3,4,6}.
     ///
@@ -67,9 +72,18 @@ impl ClosedForm {
         for root in [1u32, 2, 3, 4, 6] {
             let powered = value.abs().powi(root as i32);
             let scale = powered.abs().max(1.0);
-            // Tier 0: the input is exact up to float noise.
-            if let Some(r) = Rational::approximate(powered, 4096, 1e-9 * scale) {
-                if r.is_positive() {
+            // Tier 0: the input is exact up to float noise.  The denominator
+            // bound must stay small: at the larger root indices a continued
+            // fraction with a few-thousand denominator lands within
+            // `1e-9·scale` of essentially *any* float (the spurious-match
+            // probability scales with denom²·tol), which would beat the
+            // legitimate tier-1 match at root 1 on tier alone.
+            if let Some(r) = Rational::approximate(powered, 128, 1e-9 * scale) {
+                // Same sanity cap as tier 1: a "closed form" whose k-th
+                // power needs a ten-digit numerator is numerology, and
+                // extracting k-th powers from it costs a √n trial-division
+                // scan besides.
+                if r.is_positive() && r.numer() <= MAX_POWERED_NUMERATOR {
                     consider((0, 0.0, r.denom(), root, r), &mut best);
                     continue;
                 }
@@ -80,7 +94,7 @@ impl ClosedForm {
             let tol = 3e-5 * root as f64 * scale;
             for &q in &DENOMS {
                 let p = (powered * q as f64).round();
-                if !(1.0..=1e18).contains(&p) {
+                if !(1.0..=MAX_POWERED_NUMERATOR as f64).contains(&p) {
                     continue;
                 }
                 let r = Rational::new(p as i128, q);

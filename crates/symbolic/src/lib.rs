@@ -38,7 +38,8 @@ pub use expr::Expr;
 pub use intern::Symbol;
 pub use lp::LinearProgram;
 pub use opt::{
-    reset_solver_counters, solver_counters, ConstrainedProduct, PowerLaw, SolverCounters,
+    reset_solver_counters, solver_counters, CompiledConstraint, ConstrainedProduct, PowerLaw,
+    SolveInfo, SolverCounters, KKT_HISTOGRAM_EDGES, KKT_ITERATION_CAP,
 };
 pub use poly::{Monomial, Polynomial};
 pub use posy::{CompiledPosynomial, MaxPosynomial, MaxScratch};

@@ -190,6 +190,8 @@ pub struct MaxPosynomial {
     n_vars: usize,
     /// Per-term coefficients.
     coeffs: Vec<f64>,
+    /// Per-term coefficients as exact rationals (canonical keys).
+    rat_coeffs: Vec<Rational>,
     /// Dense `n_terms × n_vars` exponent matrix of the monomial parts.
     exps: Vec<i16>,
     /// Per-term `(start, len)` slice into `atom_refs`.
@@ -221,6 +223,40 @@ pub struct MaxScratch {
     branch_terms: Vec<f64>,
     /// Gradient accumulator for one branch.
     branch_grad: Vec<f64>,
+    /// Smallest relative gap between any atom's selected value and its nearest
+    /// *excluded* (non-tied) branch at the last gradient evaluation; `∞` when
+    /// every branch of every atom is tied (or there is only one branch).
+    kink_gap: f64,
+    /// The relative tie window used by the next gradient evaluation; values
+    /// `< TIE_REL_FLOOR` (including the default 0) fall back to the floor.
+    tie_window: f64,
+}
+
+/// The minimum (and default) relative tie window: branches this close to the
+/// selected one always average their gradients, mirroring the central
+/// differences of the `Expr`-eval reference path at kinks.
+pub const TIE_REL_FLOOR: f64 = 1e-4;
+
+impl MaxScratch {
+    /// The relative distance from the last evaluated point to the nearest
+    /// subgradient kink: how much the closest non-selected branch of any atom
+    /// trails the selected one.  The trust-region KKT step uses this to decide
+    /// when its iterates have settled onto a kink.
+    pub fn kink_gap(&self) -> f64 {
+        self.kink_gap
+    }
+
+    /// Set the relative tie window for subsequent gradient evaluations.
+    ///
+    /// Branches within this relative distance of the selected one count as
+    /// tied and average their gradients — a Polyak-style smoothing of the
+    /// `max`.  The trust-region KKT solve starts wide (smooth surrogate, no
+    /// kink oscillation while the iterates travel) and anneals down to
+    /// [`TIE_REL_FLOOR`] (the exact subgradient, matching the reference
+    /// path's central differences).
+    pub fn set_tie_window(&mut self, window: f64) {
+        self.tie_window = window;
+    }
 }
 
 impl MaxPosynomial {
@@ -239,6 +275,7 @@ impl MaxPosynomial {
         let mut out = MaxPosynomial {
             n_vars,
             coeffs: Vec::with_capacity(terms.len()),
+            rat_coeffs: Vec::with_capacity(terms.len()),
             exps: vec![0i16; terms.len() * n_vars],
             term_atoms: Vec::with_capacity(terms.len()),
             atom_refs: Vec::new(),
@@ -280,6 +317,7 @@ impl MaxPosynomial {
                 }
             }
             out.coeffs.push(coeff.to_f64());
+            out.rat_coeffs.push(coeff);
             out.term_atoms
                 .push((start, out.atom_refs.len() as u32 - start));
         }
@@ -291,16 +329,66 @@ impl MaxPosynomial {
         self.n_vars
     }
 
+    /// Number of terms (rows of the monomial-part exponent matrix).
+    pub fn n_terms(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The monomial-part exponent row of term `k`.
+    pub fn exponent_row(&self, k: usize) -> &[i16] {
+        &self.exps[k * self.n_vars..(k + 1) * self.n_vars]
+    }
+
+    /// The exact rational coefficient of term `k`.
+    pub fn rational_coeff(&self, k: usize) -> Rational {
+        self.rat_coeffs[k]
+    }
+
+    /// The atom indices attached to term `k` (indices into the atom list).
+    pub fn term_atom_indices(&self, k: usize) -> &[u32] {
+        let (start, len) = self.term_atoms[k];
+        &self.atom_refs[start as usize..(start + len) as usize]
+    }
+
+    /// Number of distinct max/min atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether atom `j` is a `min` (as opposed to a `max`).
+    pub fn atom_is_min(&self, j: usize) -> bool {
+        self.atoms[j].is_min
+    }
+
+    /// The pure-posynomial branches of atom `j`.
+    pub fn atom_branches(&self, j: usize) -> &[CompiledPosynomial] {
+        &self.atoms[j].branches
+    }
+
+    /// The monomial parts alone as a pure posynomial (atom factors dropped).
+    ///
+    /// Used by the canonical model key: the monomial-part matrix participates
+    /// in the variable-signature refinement exactly like a pure dominator.
+    pub fn monomial_part(&self) -> CompiledPosynomial {
+        CompiledPosynomial {
+            n_vars: self.n_vars,
+            coeffs: self.coeffs.clone(),
+            rat_coeffs: self.rat_coeffs.clone(),
+            exps: self.exps.clone(),
+        }
+    }
+
     fn prepare_atoms(&self, x: &[f64], scratch: &mut MaxScratch, with_grads: bool) {
-        // Branches within this relative window of the selected value count as
-        // tied; the subgradient averages their gradients.  Symmetric optima
-        // sit exactly on the kink (`max(D_i·D_j, D_i·D_k)` with `D_j = D_k`),
+        // Branches within the tie window of the selected value count as tied;
+        // the subgradient averages their gradients.  Symmetric optima sit
+        // exactly on the kink (`max(D_i·D_j, D_i·D_k)` with `D_j = D_k`),
         // where a one-sided argmax gradient would break the symmetry and
         // drive the KKT iteration away — the central differences of the
         // reference path average the two slopes there, and so do we.
-        const TIE_REL: f64 = 1e-4;
+        let tie_rel = scratch.tie_window.max(TIE_REL_FLOOR);
         let n_atoms = self.atoms.len();
         scratch.atom_values.resize(n_atoms, 0.0);
+        scratch.kink_gap = f64::INFINITY;
         if with_grads {
             scratch.atom_grads.resize(n_atoms * self.n_vars, 0.0);
             scratch.branch_grad.resize(self.n_vars, 0.0);
@@ -322,7 +410,10 @@ impl MaxPosynomial {
                 scratch.atom_grads[grad_range.clone()].fill(0.0);
                 let mut tied = 0usize;
                 for (b, branch) in atom.branches.iter().enumerate() {
-                    if (scratch.branch_values[b] - best_v).abs() > TIE_REL * best_v.abs() {
+                    let rel_gap =
+                        (scratch.branch_values[b] - best_v).abs() / best_v.abs().max(1e-300);
+                    if rel_gap > tie_rel {
+                        scratch.kink_gap = scratch.kink_gap.min(rel_gap);
                         continue;
                     }
                     tied += 1;
