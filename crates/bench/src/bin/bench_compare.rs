@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! bench_compare --new BENCH_PR2.json --base BENCH_PR1.json \
-//!     [--max-ratio 2.0] [--require "sdg_scaling/35<=0.34"]...
+//!     [--max-ratio 2.0] [--require "sdg_scaling/35<=0.34"]... \
+//!     [--require-within "suite/registry_batch<=0.95*suite/registry_sequential"]...
 //! ```
 //!
 //! Every bench present in both files is compared as `new/base`; any ratio
@@ -11,6 +12,10 @@
 //! host, so honest noise stays well under that) is a failure.  `--require`
 //! pins a specific bench to a *maximum* ratio, e.g. `<=0.34` asserts the PR's
 //! claimed ≥3× improvement is actually present in the committed snapshot.
+//! `--require-within` relates two benches of the *new* snapshot
+//! (`A<=R*B` asserts `median(A) ≤ R·median(B)`) — used to pin the
+//! whole-suite batch wall clock under the per-program sequential baseline
+//! recorded in the same run, where host noise cancels.
 
 use serde_json::Value;
 
@@ -56,6 +61,7 @@ fn main() {
     let mut base_path = None;
     let mut max_ratio = 2.0f64;
     let mut requirements: Vec<(String, f64)> = Vec::new();
+    let mut within_requirements: Vec<(String, f64, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -83,6 +89,23 @@ fn main() {
                 requirements.push((
                     name.trim().to_string(),
                     ratio.trim().parse().expect("ratio must be a float"),
+                ));
+            }
+            "--require-within" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .expect("--require-within takes NAME<=RATIO*OTHER");
+                let (name, rhs) = spec
+                    .split_once("<=")
+                    .expect("--require-within spec must be NAME<=RATIO*OTHER");
+                let (ratio, other) = rhs
+                    .split_once('*')
+                    .expect("--require-within spec must be NAME<=RATIO*OTHER");
+                within_requirements.push((
+                    name.trim().to_string(),
+                    ratio.trim().parse().expect("ratio must be a float"),
+                    other.trim().to_string(),
                 ));
             }
             other => {
@@ -143,6 +166,27 @@ fn main() {
             }
             _ => failures.push(format!(
                 "required bench {name} missing from one of the files"
+            )),
+        }
+    }
+    for (name, ratio, other) in &within_requirements {
+        let a = median_ms(&new_report, name);
+        let b = median_ms(&new_report, other);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                let limit = ratio * b;
+                if a > limit {
+                    failures.push(format!(
+                        "required {name} <= {ratio}*{other} within {new_path}: actual {a:.3} ms vs limit {limit:.3} ms ({other} = {b:.3} ms)"
+                    ));
+                } else {
+                    println!(
+                        "require {name} <= {ratio}*{other}: ok ({a:.3} ms vs limit {limit:.3} ms)"
+                    );
+                }
+            }
+            _ => failures.push(format!(
+                "required benches {name}/{other} missing from {new_path}"
             )),
         }
     }

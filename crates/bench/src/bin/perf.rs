@@ -12,12 +12,14 @@
 //! rewrite (the naive reference implements the seed's string-set algorithm).
 
 use serde_json::{json, Value};
-use soap_bench::analyze_kernel;
 use soap_bench::fixtures::{chain_of_matmuls, dense_star};
 use soap_bench::validation::{validate_kernel, ValidationCase};
+use soap_bench::{analyze_kernel, suite_program, suite_summary_record};
 use soap_pebbling::{min_dominator_size, Cdag, VertexKind};
 use soap_sdg::subgraphs::{enumerate_connected_subgraphs, enumerate_connected_subgraphs_naive};
-use soap_sdg::{analyze_program_with, ProgramAnalysis, Sdg, SdgOptions};
+use soap_sdg::{
+    analyze_program_with, analyze_suite, ProgramAnalysis, Sdg, SdgOptions, SuiteProgram,
+};
 use soap_symbolic::{reset_solver_counters, solver_counters, KKT_HISTOGRAM_EDGES};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -65,6 +67,7 @@ fn solver_stats_record(name: &str, f: impl FnOnce() -> ProgramAnalysis) -> Value
         "uncacheable": s.uncacheable,
         "max_cache_hits": s.max_cache_hits,
         "max_cache_misses": s.max_cache_misses,
+        "cross_program_hits": s.cross_program_hits,
         "kkt_cap_hits": s.kkt_cap_hits,
         "merge_failures": s.merge_failures,
         "solve_failures": s.solve_failures,
@@ -160,6 +163,37 @@ fn main() {
         }
     }
 
+    // --- suite: the whole 38-kernel registry through the batch engine ---
+    // `registry_sequential` is the PR 3 behavior (one private cache per
+    // program, Table-2 options); `registry_batch` shares one sharded cache
+    // across the suite, so renamed structures (the 2mm/3mm/bert matmuls, the
+    // stencil family) are solved once per run instead of once per kernel.
+    let suite_stats_record;
+    {
+        let jobs: Vec<SuiteProgram> = soap_kernels::registry().iter().map(suite_program).collect();
+        let (seq_median, seq_min) = time_ms(reps, || {
+            for job in &jobs {
+                analyze_program_with(&job.program, &job.opts).expect("analysis succeeds");
+            }
+        });
+        benches.push(record("suite/registry_sequential", seq_median, seq_min));
+        let (batch_median, batch_min) = time_ms(reps, || {
+            analyze_suite(&jobs);
+        });
+        benches.push(record("suite/registry_batch", batch_median, batch_min));
+        let batch = analyze_suite(&jobs);
+        let s = &batch.summary;
+        println!(
+            "suite/registry cache: {} structures solved, {} hits ({} cross-program), {} uncacheable, speedup {:.2}x",
+            s.cache.misses,
+            s.cache.hits,
+            s.cache.cross_program_hits,
+            s.cache.uncacheable,
+            seq_median / batch_median.max(1e-9),
+        );
+        suite_stats_record = suite_summary_record(s);
+    }
+
     // --- subgraph_enumeration: bitset fast path vs the seed's algorithm ---
     let mut enumeration: Vec<Value> = Vec::new();
     for (label, program, max_size) in [
@@ -240,6 +274,7 @@ fn main() {
         "profile": if cfg!(debug_assertions) { "debug" } else { "release" },
         "benches": json!(benches),
         "solver_stats": json!(solver_stats),
+        "suite_stats": suite_stats_record,
         "subgraph_enumeration": json!(enumeration),
         "notes": json!([
             "naive_median_ms times enumerate_connected_subgraphs_naive, a faithful retention of the seed's BTreeSet<Vec<String>> algorithm, so the speedup column is the before/after of the bitset rewrite on the same build",

@@ -3,19 +3,31 @@
 //! over the previous state of the art.
 //!
 //! ```text
-//! cargo run --release -p soap-bench --bin table2 [-- --group polybench|nn|various] [--json out.json]
+//! cargo run --release -p soap-bench --bin table2 [-- --group polybench|nn|various] [--json out.json] [--suite-json suite.json]
 //! ```
+//!
+//! The rows are produced by the cross-program batch engine (one shared solve
+//! cache across the whole table), so the suite-level cache accounting printed
+//! at the end — and written by `--suite-json` — shows how many structures
+//! were deduplicated *across* kernels.
 
-use soap_bench::{render_table, table2, Table2Row};
+use soap_bench::{
+    render_suite_summary, render_table, suite_summary_record, table2_suite, Table2Row,
+};
 use soap_kernels::KernelGroup;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut group = None;
     let mut json_path: Option<String> = None;
+    let mut suite_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--suite-json" => {
+                i += 1;
+                suite_json_path = args.get(i).cloned();
+            }
             "--group" => {
                 i += 1;
                 group = match args.get(i).map(|s| s.as_str()) {
@@ -40,15 +52,22 @@ fn main() {
         i += 1;
     }
 
-    let rows: Vec<Table2Row> = table2(group);
+    let (rows, suite): (Vec<Table2Row>, _) = table2_suite(group);
     println!("{}", render_table(&rows));
     println!(
         "reference sizes: every size parameter = {}, S = {} words",
         soap_bench::REFERENCE_SIZE,
         soap_bench::REFERENCE_S
     );
+    println!("{}", render_suite_summary(&suite));
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&rows).expect("rows serialize to JSON");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if let Some(path) = suite_json_path {
+        let json = serde_json::to_string_pretty(&suite_summary_record(&suite))
+            .expect("suite summary serializes");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote {path}");
     }

@@ -1,8 +1,11 @@
 //! Shared synthetic workloads used by the benches and the `perf` binary.
 //!
-//! `soap-sdg`'s own tests (`perf_smoke.rs`, `solver_differential.rs`) carry
-//! private copies of `chain_of_matmuls` — depending on this crate from there
-//! would be a dependency cycle — so changes here must be mirrored there.
+//! `soap-sdg`'s own tests (`perf_smoke.rs`, `solver_differential.rs`) carry a
+//! private copy of `chain_of_matmuls` in `crates/sdg/tests/common/fixtures.rs`
+//! — depending on this crate from there would be a dependency cycle — so
+//! changes here must be mirrored there.  The root-level
+//! `tests/fixture_sync.rs` test compares the built `Program`s of both copies
+//! and fails if they drift.
 
 use soap_core::AccessModel;
 use soap_ir::{Program, ProgramBuilder};

@@ -18,7 +18,9 @@ pub mod validation;
 use serde::Serialize;
 use soap_baselines::{loomis_whitney_bound, sota_bound};
 use soap_kernels::{registry, KernelEntry, KernelGroup};
-use soap_sdg::{analyze_program_with, ProgramAnalysis, SdgOptions};
+use soap_sdg::{
+    analyze_program_with, analyze_suite, ProgramAnalysis, SdgOptions, SuiteProgram, SuiteSummary,
+};
 use std::collections::BTreeMap;
 
 /// Reference problem size used for the numeric columns of the table.
@@ -155,11 +157,29 @@ pub fn analyze_kernel(entry: &KernelEntry) -> ProgramAnalysis {
         .unwrap_or_else(|e| panic!("analysis of {} failed: {e}", entry.name))
 }
 
+/// The Table-2 analysis options of a kernel, as one [`SuiteProgram`] for the
+/// batch engine.
+pub fn suite_program(entry: &KernelEntry) -> SuiteProgram {
+    SuiteProgram::new(
+        entry.program.clone(),
+        SdgOptions {
+            assume_injective: entry.assume_injective,
+            ..SdgOptions::default()
+        },
+    )
+}
+
 /// Build one Table-2 row.
 pub fn build_row(entry: &KernelEntry) -> Table2Row {
     let start = std::time::Instant::now();
     let analysis = analyze_kernel(entry);
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    build_row_from(entry, &analysis, elapsed)
+}
+
+/// Build one Table-2 row from an already-computed analysis (the batch engine
+/// produces the analyses; this derives the comparison columns).
+pub fn build_row_from(entry: &KernelEntry, analysis: &ProgramAnalysis, elapsed: f64) -> Table2Row {
     let bindings = reference_bindings(entry);
     let derived_numeric = analysis.bound.eval(&bindings).unwrap_or(f64::NAN);
     let table = sota_bound(entry.name).expect("every kernel has a Table-2 record");
@@ -185,13 +205,57 @@ pub fn build_row(entry: &KernelEntry) -> Table2Row {
     }
 }
 
+/// Build all rows of a group (or all groups when `group` is `None`) through
+/// the cross-program batch engine: one shared solve cache across the whole
+/// suite, so renamed structures (gemm/2mm/3mm, the stencil family) are solved
+/// once per run.  Returns the rows plus the suite-level cache accounting.
+pub fn table2_suite(group: Option<KernelGroup>) -> (Vec<Table2Row>, SuiteSummary) {
+    let entries: Vec<KernelEntry> = registry()
+        .into_iter()
+        .filter(|e| group.map(|g| e.group == g).unwrap_or(true))
+        .collect();
+    let jobs: Vec<SuiteProgram> = entries.iter().map(suite_program).collect();
+    let batch = analyze_suite(&jobs);
+    let rows = entries
+        .iter()
+        .zip(&batch.reports)
+        .map(|(entry, report)| {
+            let analysis = report
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("analysis of {} failed: {e}", entry.name));
+            build_row_from(entry, analysis, report.analysis_ms)
+        })
+        .collect();
+    (rows, batch.summary)
+}
+
 /// Build all rows of a group (or all groups when `group` is `None`).
 pub fn table2(group: Option<KernelGroup>) -> Vec<Table2Row> {
-    registry()
-        .iter()
-        .filter(|e| group.map(|g| e.group == g).unwrap_or(true))
-        .map(build_row)
-        .collect()
+    table2_suite(group).0
+}
+
+/// The suite-level accounting of a batch run as a JSON record (shared by the
+/// `table2` and `perf` binaries and the CI suite artifact).  The record
+/// layout is defined once, by `SuiteSummary`'s `Serialize` impl in
+/// `soap-sdg` — the same one `soap-cli batch` emits.
+pub fn suite_summary_record(summary: &SuiteSummary) -> serde_json::Value {
+    serde_json::to_value(summary)
+}
+
+/// One-line human rendering of a batch run's suite-level cache accounting.
+pub fn render_suite_summary(summary: &SuiteSummary) -> String {
+    let c = summary.cache;
+    format!(
+        "suite: {} programs in {:.1} ms — {} structures solved, {} cache hits ({} cross-program, {} intra-program), {} uncacheable",
+        summary.programs,
+        summary.wall_ms,
+        c.misses,
+        c.hits,
+        c.cross_program_hits,
+        c.hits - c.cross_program_hits,
+        c.uncacheable,
+    )
 }
 
 /// Render rows as a fixed-width text table.

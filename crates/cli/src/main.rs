@@ -5,18 +5,27 @@
 //! soap-cli analyze --lang c path/to/kernel.c
 //! soap-cli analyze --lang python path/to/kernel.py [--injective] [--json]
 //! soap-cli kernel gemm            # analyze a built-in Table-2 kernel
+//! soap-cli batch gemm 2mm 3mm     # batch-analyze over one shared cache
+//! soap-cli batch --all            # the whole built-in registry
 //! soap-cli list                   # list the built-in kernels
 //! ```
+//!
+//! `batch` accepts any mix of built-in kernel names and source files (`.c`,
+//! `.py`), runs them all through the cross-program batch engine (one shared
+//! solve cache, so renamed structures are solved once per *suite*), and
+//! emits one JSON line per program followed by a suite-summary line with the
+//! shared-cache accounting.
 
 use soap_baselines::sota_bound;
 use soap_frontend::{parse_c, parse_python};
 use soap_ir::Program;
-use soap_sdg::{analyze_program_with, SdgOptions};
+use soap_sdg::{analyze_program_with, analyze_suite, SdgOptions, SuiteProgram};
+use std::io::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  soap-cli analyze --lang <c|python> <file> [--injective] [--json]\n  soap-cli kernel <name> [--json]\n  soap-cli list"
+        "usage:\n  soap-cli analyze --lang <c|python> <file> [--injective] [--json]\n  soap-cli kernel <name> [--json]\n  soap-cli batch [--all] [--injective] [--out FILE] [<kernel-or-file>...]\n  soap-cli list"
     );
     std::process::exit(2);
 }
@@ -42,6 +51,7 @@ fn main() -> ExitCode {
                 args.contains(&"--json".to_string()),
             )
         }
+        Some("batch") => batch(&args[1..]),
         Some("analyze") => {
             let mut lang = "python".to_string();
             let mut file = None;
@@ -90,6 +100,153 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `soap-cli batch`: resolve each spec to a program (built-in kernel name or
+/// `.c`/`.py` source file), run them through `analyze_suite` over one shared
+/// solve cache, and emit JSON-lines: one record per program, then one
+/// `{"suite": ...}` record with the shared-cache accounting.
+fn batch(args: &[String]) -> ExitCode {
+    let mut specs: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut injective = false;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--injective" => injective = true,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned();
+            }
+            other if !other.starts_with("--") => specs.push(other.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let mut jobs: Vec<SuiteProgram> = Vec::new();
+    if all {
+        for entry in soap_kernels::registry() {
+            jobs.push(SuiteProgram::new(
+                entry.program,
+                SdgOptions {
+                    assume_injective: entry.assume_injective,
+                    ..SdgOptions::default()
+                },
+            ));
+        }
+    }
+    for spec in &specs {
+        let path = std::path::Path::new(spec);
+        let extension = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(str::to_ascii_lowercase);
+        let is_c = extension.as_deref() == Some("c");
+        let by_extension = is_c || extension.as_deref() == Some("py");
+        if by_extension || path.exists() {
+            let source = match std::fs::read_to_string(spec) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {spec}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().to_string())
+                .unwrap_or_else(|| "program".to_string());
+            let parsed = if is_c {
+                parse_c(&name, &source)
+            } else {
+                parse_python(&name, &source)
+            };
+            match parsed {
+                Ok(program) => jobs.push(SuiteProgram::new(
+                    program,
+                    SdgOptions {
+                        assume_injective: injective,
+                        ..SdgOptions::default()
+                    },
+                )),
+                Err(e) => {
+                    eprintln!("parse error in {spec}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(entry) = soap_kernels::by_name(spec) {
+            jobs.push(SuiteProgram::new(
+                entry.program,
+                SdgOptions {
+                    assume_injective: entry.assume_injective,
+                    ..SdgOptions::default()
+                },
+            ));
+        } else {
+            eprintln!("'{spec}' is neither a readable source file nor a built-in kernel; run `soap-cli list`");
+            return ExitCode::FAILURE;
+        }
+    }
+    if jobs.is_empty() {
+        eprintln!("batch: nothing to analyze (pass kernel names / source files, or --all)");
+        return ExitCode::FAILURE;
+    }
+
+    let batch = analyze_suite(&jobs);
+    let mut lines: Vec<String> = Vec::new();
+    for report in &batch.reports {
+        let record = match &report.outcome {
+            Ok(analysis) => serde_json::json!({
+                "program": report.name,
+                "ok": true,
+                "analysis_ms": report.analysis_ms,
+                "bound": format!("{}", analysis.bound),
+                "per_array": analysis.per_array.iter().map(|a| serde_json::json!({
+                    "array": a.array,
+                    "rho": format!("{}", a.rho),
+                    "sigma": format!("{}", a.sigma),
+                })).collect::<Vec<_>>(),
+                "cache_hits": analysis.solver.cache_hits,
+                "cross_program_hits": analysis.solver.cross_program_hits,
+                "notes": analysis.notes,
+            }),
+            Err(e) => serde_json::json!({
+                "program": report.name,
+                "ok": false,
+                "analysis_ms": report.analysis_ms,
+                "error": format!("{e}"),
+            }),
+        };
+        lines.push(serde_json::to_string(&record).expect("record serializes"));
+    }
+    let s = &batch.summary;
+    // The record layout is defined once by `SuiteSummary`'s Serialize impl
+    // (shared with `table2 --suite-json` and the perf snapshot).
+    let suite_record = serde_json::json!({ "suite": serde_json::to_value(s) });
+    lines.push(serde_json::to_string(&suite_record).expect("summary serializes"));
+    let text = lines.join("\n") + "\n";
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {path}: {} programs, {} failures, {} cross-program cache hits",
+                s.programs, s.failures, s.cache.cross_program_hits
+            );
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(text.as_bytes());
+        }
+    }
+    if s.failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

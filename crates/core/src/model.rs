@@ -9,7 +9,7 @@
 use crate::AnalysisError;
 use soap_symbolic::{
     lp, ClosedForm, CompiledConstraint, CompiledPosynomial, ConstrainedProduct, Expr, Rational,
-    SolveInfo,
+    SolveInfo, POWER_LAW_PROBES,
 };
 
 /// The optimization model for one (possibly merged) statement.
@@ -193,15 +193,30 @@ fn solve_model_inner(
     }
 
     // Per-variable tile shape from a large-X solve, warm-started from the
-    // final power-law probe (the same problem at a nearby X).
+    // final power-law probe (the same problem at a nearby X).  The exponent
+    // is fitted from *two* points — this solve (X = 1e8) and the last
+    // power-law probe (X = 1.6e8), whose extents are already in hand — via
+    // `ln(e₂/e₁)/ln(X₂/X₁)`: the single-point estimate `ln(extent)/ln(X)`
+    // converges only like `1/ln X` (a tile `D = X/2` reads 0.962 at X = 1e8,
+    // which snaps to exponent 0 with a huge coefficient instead of exponent 1
+    // with coefficient 1/2), while the two-point ratio cancels the constant
+    // exactly and costs no extra solve.
     let x_probe = 1.0e8;
+    let x_fit = *POWER_LAW_PROBES.last().expect("probes are non-empty");
     let (sol, probe_info) = problem.solve_seeded_instrumented(x_probe, Some(&fit_extents));
     info.absorb(probe_info);
     let mut tile_exponents = Vec::new();
     let mut tile_coeffs = Vec::new();
-    for (name, extent) in model.tile_variables.iter().zip(&sol.extents) {
-        let raw = extent.ln() / x_probe.ln();
-        let e = Rational::approximate(raw, 12, 0.03).unwrap_or(Rational::ZERO);
+    for ((name, extent), fit_extent) in model
+        .tile_variables
+        .iter()
+        .zip(&sol.extents)
+        .zip(&fit_extents)
+    {
+        let raw = (fit_extent / extent).ln() / (x_fit / x_probe).ln();
+        let e = Rational::approximate(raw, 12, 0.03)
+            .or_else(|| Rational::approximate(raw, 48, 0.05))
+            .unwrap_or(Rational::ZERO);
         let coeff = extent / x_probe.powf(e.to_f64());
         let coeff_cf = ClosedForm::recognize(coeff);
         tile_exponents.push((name.clone(), e));
@@ -250,6 +265,48 @@ mod tests {
         for (_, t) in tiles {
             assert!((t - 100.0).abs() < 5.0, "tile size {t}");
         }
+    }
+
+    #[test]
+    fn linear_tile_exponents_snap_to_one_not_zero() {
+        // Regression (ROADMAP open item): χ = Di·Dt, g = Di + 2·Dt has the
+        // optimal tiles Di = X/2, Dt = X/4.  The single-point estimate
+        // ln(X/2)/ln(X) ≈ 0.962 at X = 1e8 missed every denominator-≤12
+        // rational within 0.03 and fell back to exponent 0 with coefficient
+        // ~5e7; the two-point fit must recover exponent 1 with coefficients
+        // 1/2 and 1/4.
+        let model = AccessModel {
+            name: "stencil-tiles".into(),
+            tile_variables: vec![tile_var("i"), tile_var("t")],
+            objective: dv("i").mul(dv("t")),
+            dominator: dv("i").add(Expr::int(2).mul(dv("t"))),
+            access_index_sets: vec![],
+        };
+        let res = solve_model(&model).unwrap();
+        assert_eq!(res.sigma, Rational::int(2));
+        for (name, e) in &res.tile_exponents {
+            assert_eq!(*e, Rational::ONE, "tile exponent of {name}");
+        }
+        let coeffs: std::collections::BTreeMap<&str, f64> = res
+            .tile_coeffs
+            .iter()
+            .map(|(n, c)| (n.as_str(), *c))
+            .collect();
+        assert!(
+            (coeffs["D_i"] - 0.5).abs() < 1e-6,
+            "D_i coeff {}",
+            coeffs["D_i"]
+        );
+        assert!(
+            (coeffs["D_t"] - 0.25).abs() < 1e-6,
+            "D_t coeff {}",
+            coeffs["D_t"]
+        );
+        // Sane concrete tiles now: X₀ = 2S, so Di = S and Dt = S/2.
+        let tiles: std::collections::BTreeMap<String, f64> =
+            res.tiles_at(1000.0).unwrap().into_iter().collect();
+        assert!((tiles["D_i"] - 1000.0).abs() / 1000.0 < 0.01);
+        assert!((tiles["D_t"] - 500.0).abs() / 500.0 < 0.01);
     }
 
     #[test]

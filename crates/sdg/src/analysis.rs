@@ -80,6 +80,10 @@ pub struct SolverSummary {
     pub max_cache_hits: u64,
     /// The subset of `cache_misses` with a max-form dominator.
     pub max_cache_misses: u64,
+    /// The subset of `cache_hits` answered from a structure first solved by a
+    /// *different* program sharing the same cache (always 0 for a private
+    /// per-program cache).
+    pub cross_program_hits: u64,
     /// KKT solves of this analysis that exhausted the iteration budget
     /// without converging (also reported in `notes` when non-zero).
     pub kkt_cap_hits: u64,
@@ -129,6 +133,20 @@ pub fn analyze_program_with(
     program: &Program,
     opts: &SdgOptions,
 ) -> Result<ProgramAnalysis, AnalysisError> {
+    analyze_program_with_cache(program, opts, &SolveCache::new())
+}
+
+/// [`analyze_program_with`] against a caller-provided (possibly shared)
+/// [`SolveCache`]: structures already solved by *other* programs through the
+/// same cache are answered without solving, and the returned
+/// [`SolverSummary`] accounts this analysis's traffic only (with
+/// cross-program hits broken out).  Results are byte-identical to a run with
+/// a private cache — see the order-invariance notes on [`crate::cache`].
+pub fn analyze_program_with_cache(
+    program: &Program,
+    opts: &SdgOptions,
+    cache: &SolveCache,
+) -> Result<ProgramAnalysis, AnalysisError> {
     program
         .validate()
         .map_err(|e| AnalysisError::InvalidStatement(e.to_string()))?;
@@ -149,8 +167,9 @@ pub fn analyze_program_with(
 
     // Solve all subgraph statements in parallel; structurally identical
     // merged models (canonical key modulo variable renaming) hit the shared
-    // solve cache and are solved only once.
-    let cache = SolveCache::new();
+    // solve cache and are solved only once.  The session scopes this
+    // analysis's accounting within the (possibly shared) cache.
+    let session = cache.session();
     let reference_s = opts.reference_s;
     enum SubgraphFailure {
         Merge(AnalysisError),
@@ -161,7 +180,7 @@ pub fn analyze_program_with(
         .map(|arrays| {
             let model =
                 merged_model(program, arrays, &core_opts).map_err(SubgraphFailure::Merge)?;
-            let intensity = cache.solve(&model).map_err(SubgraphFailure::Solve)?;
+            let intensity = session.solve(&model).map_err(SubgraphFailure::Solve)?;
             let rho_ref = intensity.rho_at(reference_s);
             Ok(SubgraphIntensity {
                 arrays: arrays.clone(),
@@ -214,7 +233,7 @@ pub fn analyze_program_with(
             breakdown.join(", ")
         ));
     }
-    let cache_stats: CacheStats = cache.stats();
+    let cache_stats: CacheStats = session.stats();
     if cache_stats.kkt_cap_hits > 0 {
         notes.push(format!(
             "{} KKT solve(s) exhausted the iteration budget without converging; the affected intensities use the best iterate found and may be slightly loose",
@@ -269,6 +288,7 @@ pub fn analyze_program_with(
             uncacheable: cache_stats.uncacheable,
             max_cache_hits: cache_stats.max_hits,
             max_cache_misses: cache_stats.max_misses,
+            cross_program_hits: cache_stats.cross_program_hits,
             kkt_cap_hits: cache_stats.kkt_cap_hits,
             merge_failures,
             solve_failures,

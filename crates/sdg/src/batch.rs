@@ -1,0 +1,272 @@
+//! Cross-program batch analysis: many programs, one shared solve cache.
+//!
+//! The paper's headline result is a *suite* of bounds — dozens of kernels
+//! analyzed by the same machinery — and real suites are full of renamed
+//! copies of the same structures (gemm/2mm/3mm/bert's matmuls, the
+//! jacobi/heat stencil family).  The canonical solve-cache key is
+//! renaming-invariant, so sharing one [`SolveCache`] across the whole suite
+//! solves each structure once *per suite* instead of once per kernel:
+//! analyze the class, not the instance.
+//!
+//! [`analyze_suite`] runs a slice of [`SuiteProgram`]s through rayon over a
+//! shared sharded cache with per-program error isolation (one failing
+//! program reports its error in its [`ProgramReport`]; the rest of the suite
+//! is unaffected) and returns a [`BatchAnalysis`]: per-program results and
+//! timings plus a [`SuiteSummary`] with suite-wide cache accounting in which
+//! cross-program hits are distinguishable from intra-program hits.
+//!
+//! Batch results are **byte-identical** to sequential per-program
+//! [`analyze_program_with`](crate::analyze_program_with) calls regardless of
+//! shard count, thread count, or program order: a cache miss solves the
+//! *canonical model* of the structure, never the requesting representative
+//! (see [`crate::cache`]).
+
+use crate::analysis::{analyze_program_with_cache, ProgramAnalysis, SdgOptions};
+use crate::cache::{CacheStats, SolveCache};
+use rayon::prelude::*;
+use soap_core::AnalysisError;
+use soap_ir::Program;
+use std::time::Instant;
+
+/// One unit of batch work: a program plus the options to analyze it with.
+#[derive(Clone, Debug)]
+pub struct SuiteProgram {
+    /// Report name (defaults to the program's own name).
+    pub name: String,
+    /// The program to analyze.
+    pub program: Program,
+    /// Analysis options for this program.
+    pub opts: SdgOptions,
+}
+
+impl SuiteProgram {
+    /// A suite entry named after the program, with the given options.
+    pub fn new(program: Program, opts: SdgOptions) -> SuiteProgram {
+        SuiteProgram {
+            name: program.name.clone(),
+            program,
+            opts,
+        }
+    }
+
+    /// A suite entry named after the program, with default options.
+    pub fn with_default_opts(program: Program) -> SuiteProgram {
+        SuiteProgram::new(program, SdgOptions::default())
+    }
+}
+
+/// The outcome of one program of a batch run.
+#[derive(Clone, Debug)]
+pub struct ProgramReport {
+    /// The suite entry's name.
+    pub name: String,
+    /// Wall-clock milliseconds spent analyzing this program.
+    pub analysis_ms: f64,
+    /// The analysis, or the error that failed it (isolated: other programs
+    /// of the suite are unaffected).
+    pub outcome: Result<ProgramAnalysis, AnalysisError>,
+}
+
+/// Aggregated accounting of one batch run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SuiteSummary {
+    /// Programs analyzed.
+    pub programs: usize,
+    /// Programs whose analysis returned an error.
+    pub failures: usize,
+    /// Wall-clock milliseconds for the whole suite (parallel over programs).
+    pub wall_ms: f64,
+    /// Sum of the per-program analysis times (equals `wall_ms` up to
+    /// bookkeeping overhead on a single-threaded host; smaller than the sum
+    /// under parallel execution).
+    pub sum_program_ms: f64,
+    /// Subgraph models attempted across the suite.
+    pub subgraphs_enumerated: usize,
+    /// Suite-wide cache accounting: the shared cache's counter deltas over
+    /// this run.  `cache.cross_program_hits` counts hits answered from a
+    /// structure first solved by a *different* program — the dedup that only
+    /// the shared cache provides; `cache.hits - cache.cross_program_hits`
+    /// are ordinary intra-program hits.
+    pub cache: CacheStats,
+}
+
+impl serde::Serialize for SuiteSummary {
+    /// The canonical JSON record of a suite's accounting — one definition
+    /// shared by `soap-cli batch`, `table2 --suite-json` and the perf
+    /// snapshot's `suite_stats`, so the emitters cannot drift apart.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("programs".to_string(), self.programs.to_value()),
+            ("failures".to_string(), self.failures.to_value()),
+            ("wall_ms".to_string(), self.wall_ms.to_value()),
+            ("sum_program_ms".to_string(), self.sum_program_ms.to_value()),
+            (
+                "subgraphs_enumerated".to_string(),
+                self.subgraphs_enumerated.to_value(),
+            ),
+            ("cache".to_string(), self.cache.to_value()),
+        ])
+    }
+}
+
+/// The result of a batch run: per-program reports (in input order) plus the
+/// aggregated [`SuiteSummary`].
+#[derive(Clone, Debug)]
+pub struct BatchAnalysis {
+    /// One report per suite entry, in input order.
+    pub reports: Vec<ProgramReport>,
+    /// Aggregated suite accounting.
+    pub summary: SuiteSummary,
+}
+
+impl BatchAnalysis {
+    /// Look up a report by suite-entry name.
+    pub fn report(&self, name: &str) -> Option<&ProgramReport> {
+        self.reports.iter().find(|r| r.name == name)
+    }
+}
+
+/// Analyze a suite of programs over a fresh shared [`SolveCache`].
+pub fn analyze_suite(jobs: &[SuiteProgram]) -> BatchAnalysis {
+    analyze_suite_with(jobs, &SolveCache::new())
+}
+
+/// Analyze a suite of programs over a caller-provided shared cache (e.g.
+/// [`crate::cache::global_solve_cache`] in a long-running service, so
+/// structures solved by *earlier* suites are reused too).
+///
+/// The summary's cache stats are the cache's counter deltas over this call;
+/// when other threads use the same cache concurrently their traffic is
+/// included in the delta.
+pub fn analyze_suite_with(jobs: &[SuiteProgram], cache: &SolveCache) -> BatchAnalysis {
+    let stats_before = cache.stats();
+    let suite_start = Instant::now();
+    let reports: Vec<ProgramReport> = jobs
+        .par_iter()
+        .map(|job| {
+            let start = Instant::now();
+            let outcome = analyze_program_with_cache(&job.program, &job.opts, cache);
+            ProgramReport {
+                name: job.name.clone(),
+                analysis_ms: start.elapsed().as_secs_f64() * 1e3,
+                outcome,
+            }
+        })
+        .collect();
+    let wall_ms = suite_start.elapsed().as_secs_f64() * 1e3;
+    let summary = SuiteSummary {
+        programs: reports.len(),
+        failures: reports.iter().filter(|r| r.outcome.is_err()).count(),
+        wall_ms,
+        sum_program_ms: reports.iter().map(|r| r.analysis_ms).sum(),
+        subgraphs_enumerated: reports
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|a| a.solver.subgraphs_enumerated)
+            .sum(),
+        cache: cache.stats().since(&stats_before),
+    };
+    BatchAnalysis { reports, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soap_ir::ProgramBuilder;
+
+    fn matmul(name: &str, vars: [&str; 3]) -> Program {
+        ProgramBuilder::new(name)
+            .statement(|st| {
+                st.loops(&[
+                    (vars[0], "0", "N"),
+                    (vars[1], "0", "N"),
+                    (vars[2], "0", "N"),
+                ])
+                .update("C", &format!("{},{}", vars[0], vars[1]))
+                .read("A", &format!("{},{}", vars[0], vars[2]))
+                .read("B", &format!("{},{}", vars[2], vars[1]))
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn renamed_matmuls_hit_across_programs() {
+        let jobs = vec![
+            SuiteProgram::with_default_opts(matmul("mm1", ["i", "j", "k"])),
+            SuiteProgram::with_default_opts(matmul("mm2", ["p", "q", "r"])),
+        ];
+        let batch = analyze_suite(&jobs);
+        assert_eq!(batch.summary.programs, 2);
+        assert_eq!(batch.summary.failures, 0);
+        assert!(
+            batch.summary.cache.cross_program_hits >= 1,
+            "renamed matmul must be answered from the other program's entry: {:?}",
+            batch.summary.cache
+        );
+        // Per-program summaries see their own traffic: the second program's
+        // analysis reports the cross-program hit, the first reports none.
+        let a = batch.report("mm1").unwrap().outcome.as_ref().unwrap();
+        let b = batch.report("mm2").unwrap().outcome.as_ref().unwrap();
+        assert_eq!(
+            a.solver.cross_program_hits + b.solver.cross_program_hits,
+            batch.summary.cache.cross_program_hits
+        );
+        // And the bounds are identical to standalone analyses.
+        for (job, report) in jobs.iter().zip(&batch.reports) {
+            let standalone = crate::analyze_program_with(&job.program, &job.opts).unwrap();
+            let batched = report.outcome.as_ref().unwrap();
+            assert_eq!(
+                format!("{}", standalone.bound),
+                format!("{}", batched.bound)
+            );
+        }
+    }
+
+    #[test]
+    fn failing_programs_are_isolated() {
+        use soap_ir::{ArrayAccess, IterationDomain, LinIndex, Statement};
+        // A statement with an empty loop nest fails `Program::validate`, so
+        // its analysis errors — the builder refuses to construct one, hence
+        // assemble it directly.  The other programs of the suite must be
+        // unaffected, and the failure must land in the report, not abort the
+        // batch.
+        let invalid = Program::new(
+            "invalid",
+            vec![Statement {
+                name: "empty_nest".to_string(),
+                domain: IterationDomain::new(vec![]),
+                output: ArrayAccess::single("Z", vec![LinIndex::constant(0)]),
+                inputs: vec![],
+                is_update: false,
+            }],
+        );
+        assert!(invalid.validate().is_err(), "fixture must be invalid");
+        let jobs = vec![
+            SuiteProgram::with_default_opts(matmul("ok", ["i", "j", "k"])),
+            SuiteProgram::with_default_opts(invalid),
+            SuiteProgram::with_default_opts(matmul("ok2", ["p", "q", "r"])),
+        ];
+        let batch = analyze_suite(&jobs);
+        assert_eq!(batch.summary.programs, 3);
+        assert_eq!(batch.summary.failures, 1);
+        assert!(batch.report("ok").unwrap().outcome.is_ok());
+        assert!(batch.report("ok2").unwrap().outcome.is_ok());
+        let failure = &batch.report("invalid").unwrap().outcome;
+        assert!(
+            matches!(failure, Err(AnalysisError::InvalidStatement(_))),
+            "expected an isolated InvalidStatement error, got {failure:?}"
+        );
+        // An init-only program, by contrast, analyzes successfully with
+        // diagnostic notes (not an error) — both outcomes coexist in one
+        // suite without affecting each other.
+        let init_only = ProgramBuilder::new("init_only")
+            .statement(|st| st.loops(&[("i", "0", "N")]).write("Z", "0"))
+            .build()
+            .unwrap();
+        let batch = analyze_suite(&[SuiteProgram::with_default_opts(init_only)]);
+        assert_eq!(batch.summary.failures, 0);
+        let init = batch.report("init_only").unwrap().outcome.as_ref().unwrap();
+        assert!(!init.notes.is_empty());
+    }
+}

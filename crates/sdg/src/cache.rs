@@ -25,17 +25,30 @@
 //! over: equal keys mean the monomial matrices, the atom multisets and the
 //! term↔atom incidence all coincide under the canonical variable renaming.
 //!
-//! The cache itself is a mutex-guarded hash map shared across the rayon
-//! workers of one program analysis; hits re-instantiate the cached solution
-//! under the requesting model's variable names.  Canonicalization compiles
-//! both sides once; a miss threads the compiled forms straight into the
-//! solve (`solve_model_precompiled`), so nothing is compiled twice.
+//! The cache itself is a **sharded** hash map (lock stripes keyed by the
+//! canonical key's hash) shared across the rayon workers of one program
+//! analysis — or, through [`SolveCache::session`] /
+//! [`global_solve_cache`], across *many* program analyses of a batch run.
+//! Hits re-instantiate the cached solution under the requesting model's
+//! variable names.
+//!
+//! **Order invariance.**  A miss does not solve the requesting model as
+//! given: it solves the *canonical model* reconstructed from the key
+//! (canonical variable order, canonically sorted terms) and stores that
+//! solution.  Every requester — including the first — then instantiates the
+//! canonical solution under its own names, so the full numeric output
+//! (including the unsnapped `chi_coeff`/`tile_coeffs` floats) is a pure
+//! function of the canonical key: independent of which isomorphic model
+//! arrived first, of the shard count, of thread interleaving, and of the
+//! order programs are analyzed in.  This is what makes a batch analysis over
+//! a shared cache byte-identical to sequential per-program analyses.
 
 use soap_core::{
     solve_model_instrumented, solve_model_precompiled, AccessModel, AnalysisError, IntensityResult,
 };
 use soap_symbolic::{CompiledConstraint, CompiledPosynomial, Expr, MaxPosynomial, Rational};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -83,7 +96,10 @@ impl CanonicalKey {
 
 /// A canonicalized model: the key, the variable order that produced it
 /// (`order[p]` = the model's variable index at canonical position `p`), and
-/// the compiled forms of both sides (reused by the solve on a cache miss).
+/// the compiled forms of both sides (byproducts of building the key, exposed
+/// for callers that want to solve the model directly without re-compiling —
+/// the cache itself solves the reconstructed canonical model instead, so its
+/// stored solutions are representative-independent).
 pub struct CanonicalModel {
     /// The renaming-invariant key.
     pub key: CanonicalKey,
@@ -286,7 +302,7 @@ struct CanonicalSolution {
     tile_coeffs: Vec<f64>,
 }
 
-/// Cache statistics, surfaced through `ProgramAnalysis`.
+/// Cache statistics, surfaced through `ProgramAnalysis` and `SuiteSummary`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Models answered from the cache.
@@ -302,93 +318,72 @@ pub struct CacheStats {
     /// KKT solves run by this cache (misses + uncacheable models) that
     /// exhausted the iteration budget without converging.
     pub kkt_cap_hits: u64,
+    /// The subset of `hits` answered from an entry first inserted by a
+    /// *different* session (another program of a batch run) — the dedup that
+    /// only a shared cache can provide.  Always 0 for a private per-program
+    /// cache.
+    pub cross_program_hits: u64,
 }
 
-/// A concurrent solve cache keyed by [`CanonicalKey`], shared across the
-/// parallel subgraph workers of one program analysis.
-///
-/// Each key maps to a [`OnceLock`] cell: the mutex only guards the key→cell
-/// lookup, the expensive solve runs outside it, and concurrent requests for
-/// the same structure block on the cell instead of duplicating the solve —
-/// so `misses` is exactly the number of distinct structures even under
-/// parallel first-touches.
+impl CacheStats {
+    /// The counter deltas since an earlier snapshot of the same cache
+    /// (saturating, in case another concurrent user reset nothing but raced).
+    pub fn since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(before.hits),
+            misses: self.misses.saturating_sub(before.misses),
+            uncacheable: self.uncacheable.saturating_sub(before.uncacheable),
+            max_hits: self.max_hits.saturating_sub(before.max_hits),
+            max_misses: self.max_misses.saturating_sub(before.max_misses),
+            kkt_cap_hits: self.kkt_cap_hits.saturating_sub(before.kkt_cap_hits),
+            cross_program_hits: self
+                .cross_program_hits
+                .saturating_sub(before.cross_program_hits),
+        }
+    }
+}
+
+impl serde::Serialize for CacheStats {
+    /// The canonical JSON record of the cache accounting, shared by the CLI
+    /// batch subcommand, the bench suite artifacts, and the perf snapshot
+    /// (one definition, so the emitters cannot drift apart).  Includes the
+    /// derived `intra_program_hits = hits - cross_program_hits` split.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("hits".to_string(), self.hits.to_value()),
+            ("misses".to_string(), self.misses.to_value()),
+            ("uncacheable".to_string(), self.uncacheable.to_value()),
+            (
+                "cross_program_hits".to_string(),
+                self.cross_program_hits.to_value(),
+            ),
+            (
+                "intra_program_hits".to_string(),
+                self.hits.saturating_sub(self.cross_program_hits).to_value(),
+            ),
+            ("max_hits".to_string(), self.max_hits.to_value()),
+            ("max_misses".to_string(), self.max_misses.to_value()),
+            ("kkt_cap_hits".to_string(), self.kkt_cap_hits.to_value()),
+        ])
+    }
+}
+
+/// A bundle of cache counters.  The cache itself owns one (process/suite
+/// accounting); every [`CacheSession`] owns another, so one shared cache can
+/// report exact per-program numbers for many concurrent analyses.
 #[derive(Default)]
-pub struct SolveCache {
-    map: Mutex<HashMap<CanonicalKey, Arc<SolveCell>>>,
+struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     uncacheable: AtomicU64,
     max_hits: AtomicU64,
     max_misses: AtomicU64,
     kkt_cap_hits: AtomicU64,
+    cross_program_hits: AtomicU64,
 }
 
-type SolveCell = OnceLock<Result<CanonicalSolution, AnalysisError>>;
-
-impl SolveCache {
-    /// An empty cache.
-    pub fn new() -> SolveCache {
-        SolveCache::default()
-    }
-
-    /// Solve `model`, answering structurally identical models from the cache.
-    ///
-    /// Failures are cached too (a model isomorphic to one that failed will
-    /// fail identically).  On a miss the model is solved *as given* — the
-    /// first occurrence of every structure therefore takes exactly the same
-    /// numeric path as an uncached solve.
-    pub fn solve(&self, model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
-        let Some(canon) = canonicalize(model) else {
-            self.uncacheable.fetch_add(1, Ordering::Relaxed);
-            let (solved, info) = solve_model_instrumented(model);
-            self.kkt_cap_hits
-                .fetch_add(u64::from(info.cap_hits), Ordering::Relaxed);
-            return solved;
-        };
-        let CanonicalModel {
-            key,
-            order,
-            compiled_objective,
-            compiled_dominator,
-        } = canon;
-        let max_form = key.is_max_form();
-        let cell = Arc::clone(
-            self.map
-                .lock()
-                .expect("cache poisoned")
-                .entry(key)
-                .or_default(),
-        );
-        // Whoever wins the cell's initialization race runs the solve; every
-        // other requester of the same structure blocks until it lands.  The
-        // forms compiled for the key are threaded into the solve, which
-        // otherwise takes exactly the same numeric path as an uncached one.
-        let mut direct: Option<Result<IntensityResult, AnalysisError>> = None;
-        let cached = cell.get_or_init(|| {
-            let (solved, info) =
-                solve_model_precompiled(model, compiled_objective, compiled_dominator);
-            self.kkt_cap_hits
-                .fetch_add(u64::from(info.cap_hits), Ordering::Relaxed);
-            let canonical = to_canonical(&solved, &order);
-            direct = Some(solved);
-            canonical
-        });
-        if let Some(solved) = direct {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            if max_form {
-                self.max_misses.fetch_add(1, Ordering::Relaxed);
-            }
-            return solved;
-        }
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        if max_form {
-            self.max_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        instantiate(cached.clone(), model, &order)
-    }
-
-    /// Snapshot the hit/miss counters.
-    pub fn stats(&self) -> CacheStats {
+impl CacheCounters {
+    fn snapshot(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -396,8 +391,311 @@ impl SolveCache {
             max_hits: self.max_hits.load(Ordering::Relaxed),
             max_misses: self.max_misses.load(Ordering::Relaxed),
             kkt_cap_hits: self.kkt_cap_hits.load(Ordering::Relaxed),
+            cross_program_hits: self.cross_program_hits.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Number of lock stripes of [`SolveCache::new`]: enough that the rayon
+/// workers of a whole-registry batch run rarely contend on the same mutex,
+/// small enough that an empty cache stays cheap to allocate per analysis.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// One lock stripe: its slice of the key→cell map.
+type CacheShard = Mutex<HashMap<CanonicalKey, Arc<SolveCell>>>;
+
+/// A concurrent solve cache keyed by [`CanonicalKey`], shared across the
+/// parallel subgraph workers of one program analysis — or, via
+/// [`SolveCache::session`], across the many analyses of a batch run.
+///
+/// The key→cell map is split into `n` lock stripes selected by the key's
+/// hash; each key maps to a [`OnceLock`] cell, so a stripe mutex only guards
+/// its slice of lookups while the expensive solve runs outside any lock, and
+/// concurrent requests for the same structure block on the cell instead of
+/// duplicating the solve — `misses` is exactly the number of distinct
+/// structures even under parallel first-touches.  The shard count changes
+/// lock contention only, never results (see the module docs on order
+/// invariance).
+pub struct SolveCache {
+    shards: Box<[CacheShard]>,
+    counters: CacheCounters,
+    scopes: AtomicU64,
+}
+
+impl Default for SolveCache {
+    fn default() -> Self {
+        SolveCache::new()
+    }
+}
+
+/// One cached structure: the scope of the session whose solve initialized
+/// the cell (used to classify later hits as intra- vs cross-program) plus
+/// the canonical solution itself.
+type SolveCell = OnceLock<(u64, Result<CanonicalSolution, AnalysisError>)>;
+
+/// The process-lifetime solve cache (the *global solve cache*): one shared
+/// [`SolveCache`] that outlives any single analysis, so long-running services
+/// can thread it through every `analyze_program_with_cache` /
+/// `analyze_suite_with` call and amortize solves across requests.
+pub fn global_solve_cache() -> &'static SolveCache {
+    static GLOBAL: OnceLock<SolveCache> = OnceLock::new();
+    GLOBAL.get_or_init(SolveCache::new)
+}
+
+/// A per-analysis view of a (possibly shared) [`SolveCache`]: carries the
+/// session's scope id (for cross-program hit classification) and its own
+/// counters, so [`CacheSession::stats`] reports exactly this analysis's
+/// traffic even when many analyses share the cache concurrently.
+pub struct CacheSession<'a> {
+    cache: &'a SolveCache,
+    scope: u64,
+    local: CacheCounters,
+}
+
+impl CacheSession<'_> {
+    /// Solve `model` through the underlying shared cache, accounting the
+    /// outcome to both the cache and this session.
+    pub fn solve(&self, model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
+        self.cache
+            .solve_scoped(model, self.scope, Some(&self.local))
+    }
+
+    /// This session's traffic only (not the whole cache's).
+    pub fn stats(&self) -> CacheStats {
+        self.local.snapshot()
+    }
+}
+
+impl SolveCache {
+    /// An empty cache with [`DEFAULT_CACHE_SHARDS`] lock stripes.
+    pub fn new() -> SolveCache {
+        SolveCache::with_shards(DEFAULT_CACHE_SHARDS)
+    }
+
+    /// An empty cache with `n` lock stripes (clamped to ≥ 1).  The shard
+    /// count is a concurrency knob only: results are byte-identical for any
+    /// value.
+    pub fn with_shards(n: usize) -> SolveCache {
+        let n = n.max(1);
+        SolveCache {
+            shards: (0..n).map(|_| Mutex::default()).collect(),
+            counters: CacheCounters::default(),
+            scopes: AtomicU64::new(0),
+        }
+    }
+
+    /// The number of lock stripes.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Open a new session (one per program analysis).  Sessions are how a
+    /// shared cache distinguishes cross-program hits from intra-program hits:
+    /// a hit on an entry first inserted by a different session counts as
+    /// cross-program.
+    pub fn session(&self) -> CacheSession<'_> {
+        CacheSession {
+            cache: self,
+            scope: self.scopes.fetch_add(1, Ordering::Relaxed) + 1,
+            local: CacheCounters::default(),
+        }
+    }
+
+    /// Solve `model`, answering structurally identical models from the cache
+    /// (scope-less convenience for single-program use; see
+    /// [`SolveCache::session`] for batch use).
+    pub fn solve(&self, model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
+        self.solve_scoped(model, 0, None)
+    }
+
+    /// Snapshot the cache-wide counters (every session's traffic combined).
+    pub fn stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+
+    fn shard_of(&self, key: &CanonicalKey) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn bump(
+        &self,
+        local: Option<&CacheCounters>,
+        f: impl Fn(&CacheCounters) -> &AtomicU64,
+        n: u64,
+    ) {
+        f(&self.counters).fetch_add(n, Ordering::Relaxed);
+        if let Some(local) = local {
+            f(local).fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Solve `model` for the given session scope.
+    ///
+    /// Failures are cached too (a model isomorphic to one that failed will
+    /// fail identically).  A miss solves the *canonical model* of the key —
+    /// not the requesting model as given — and every requester instantiates
+    /// the stored canonical solution, so the output is a pure function of the
+    /// structure (see the module docs).
+    fn solve_scoped(
+        &self,
+        model: &AccessModel,
+        scope: u64,
+        local: Option<&CacheCounters>,
+    ) -> Result<IntensityResult, AnalysisError> {
+        let Some(canon) = canonicalize(model) else {
+            self.bump(local, |c| &c.uncacheable, 1);
+            let (solved, info) = solve_model_instrumented(model);
+            self.bump(local, |c| &c.kkt_cap_hits, u64::from(info.cap_hits));
+            return solved;
+        };
+        let CanonicalModel { key, order, .. } = canon;
+        let max_form = key.is_max_form();
+        let cell = {
+            let mut map = self.shards[self.shard_of(&key)]
+                .lock()
+                .expect("cache poisoned");
+            if let Some(cell) = map.get(&key) {
+                Arc::clone(cell)
+            } else {
+                let cell: Arc<SolveCell> = Arc::default();
+                map.insert(key.clone(), Arc::clone(&cell));
+                cell
+            }
+        };
+        // Whoever wins the cell's initialization race runs the solve; every
+        // other requester of the same structure blocks until it lands.  The
+        // cell records the *solver's* scope (not the map-entry inserter's),
+        // so a hit is classified cross-program exactly when the solve that
+        // answers it ran in a different session — even when two sessions
+        // first-touch the same structure concurrently.
+        let mut solved_here = false;
+        let mut cap_hits = 0u32;
+        let (solver_scope, cached) = cell.get_or_init(|| {
+            solved_here = true;
+            let canonical_model = canonical_access_model(&key);
+            let (compiled_objective, compiled_dominator) = canonical_compiled_forms(&key);
+            let (solved, info) =
+                solve_model_precompiled(&canonical_model, compiled_objective, compiled_dominator);
+            cap_hits = info.cap_hits;
+            // The canonical model's variables are already in canonical
+            // positions, so the storage order is the identity.
+            let identity: Vec<usize> = (0..key.n_vars).collect();
+            (scope, to_canonical(&solved, &identity))
+        });
+        self.bump(local, |c| &c.kkt_cap_hits, u64::from(cap_hits));
+        if solved_here {
+            self.bump(local, |c| &c.misses, 1);
+            if max_form {
+                self.bump(local, |c| &c.max_misses, 1);
+            }
+        } else {
+            self.bump(local, |c| &c.hits, 1);
+            if max_form {
+                self.bump(local, |c| &c.max_hits, 1);
+            }
+            if *solver_scope != scope {
+                self.bump(local, |c| &c.cross_program_hits, 1);
+            }
+        }
+        instantiate(cached.clone(), model, &order)
+    }
+}
+
+/// Reconstruct the canonical [`AccessModel`] of a key: canonical variable
+/// names (`D_c000`, `D_c001`, … — zero-padded so lexicographic order matches
+/// canonical position order) and expressions rebuilt from the canonically
+/// sorted matrices.  A pure function of the key, so the solve it feeds is
+/// identical no matter which isomorphic model triggered the miss.
+fn canonical_access_model(key: &CanonicalKey) -> AccessModel {
+    let vars: Vec<String> = (0..key.n_vars).map(|i| format!("D_c{i:03}")).collect();
+    let rows_to_expr = |rows: &[CanonicalRow]| -> Expr {
+        Expr::sum(
+            rows.iter()
+                .map(|(exps, coeff)| monomial(exps, *coeff, &vars)),
+        )
+    };
+    let dominator = match &key.dominator {
+        CanonicalDominator::Pure(rows) => rows_to_expr(rows),
+        CanonicalDominator::Max { terms, atoms } => {
+            let atom_exprs: Vec<Expr> = atoms
+                .iter()
+                .map(|atom| {
+                    let mut branches = atom.branches.iter().map(|b| rows_to_expr(b));
+                    let first = branches.next().expect("atom has at least one branch");
+                    branches.fold(
+                        first,
+                        |acc, b| {
+                            if atom.is_min {
+                                acc.min(b)
+                            } else {
+                                acc.max(b)
+                            }
+                        },
+                    )
+                })
+                .collect();
+            Expr::sum(terms.iter().map(|(exps, coeff, atom_ids)| {
+                let mut term = monomial(exps, *coeff, &vars);
+                for &j in atom_ids {
+                    term = term.mul(atom_exprs[j as usize].clone());
+                }
+                term
+            }))
+        }
+    };
+    let objective = rows_to_expr(&key.objective);
+    AccessModel {
+        name: "canonical".to_string(),
+        tile_variables: vars,
+        objective,
+        dominator,
+        access_index_sets: vec![],
+    }
+}
+
+/// The compiled forms of a key's canonical model, assembled directly from
+/// the canonical matrices (`CompiledPosynomial::from_rows` /
+/// `MaxPosynomial::from_parts`) — no `Expr` expansion or re-compilation on
+/// the miss path, and the term order fed to the solver is exactly the key's
+/// canonical row order.
+fn canonical_compiled_forms(key: &CanonicalKey) -> (CompiledPosynomial, CompiledConstraint) {
+    let objective = CompiledPosynomial::from_rows(key.n_vars, &key.objective);
+    let dominator = match &key.dominator {
+        CanonicalDominator::Pure(rows) => {
+            CompiledConstraint::Pure(CompiledPosynomial::from_rows(key.n_vars, rows))
+        }
+        CanonicalDominator::Max { terms, atoms } => {
+            let atoms = atoms
+                .iter()
+                .map(|atom| {
+                    let branches = atom
+                        .branches
+                        .iter()
+                        .map(|b| CompiledPosynomial::from_rows(key.n_vars, b))
+                        .collect();
+                    (atom.is_min, branches)
+                })
+                .collect();
+            CompiledConstraint::Mixed(MaxPosynomial::from_parts(key.n_vars, terms, atoms))
+        }
+    };
+    (objective, dominator)
+}
+
+/// `coeff · Π vars[t]^exps[t]` as an [`Expr`] (one simplification pass, not
+/// one per factor — the reconstruction runs once per cache miss but bert-size
+/// models have thousands of factors).
+fn monomial(exps: &[i16], coeff: Rational, vars: &[String]) -> Expr {
+    Expr::product(
+        std::iter::once(Expr::num(coeff)).chain(
+            vars.iter()
+                .zip(exps)
+                .filter(|&(_, &e)| e != 0)
+                .map(|(v, &e)| Expr::sym(v).pow(Rational::int(i128::from(e)))),
+        ),
+    )
 }
 
 /// Canonicalize one solve outcome for storage: tile data re-indexed by

@@ -18,20 +18,29 @@
 //!
 //! Subgraph evaluation is embarrassingly parallel and runs under rayon;
 //! structurally identical merged models (canonical key modulo variable
-//! renaming, see [`cache`]) are solved once and answered from a shared cache.
+//! renaming, see [`cache`]) are solved once and answered from a shared,
+//! sharded cache — which [`batch`] extends across whole *suites* of
+//! programs, deduplicating renamed structures program-to-program.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod cache;
 pub mod graph;
 pub mod merge;
 pub mod subgraphs;
 
 pub use analysis::{
-    analyze_program, analyze_program_with, ArrayBound, ProgramAnalysis, SdgOptions, SolverSummary,
+    analyze_program, analyze_program_with, analyze_program_with_cache, ArrayBound, ProgramAnalysis,
+    SdgOptions, SolverSummary,
 };
-pub use cache::{canonicalize, CacheStats, CanonicalKey, SolveCache};
+pub use batch::{
+    analyze_suite, analyze_suite_with, BatchAnalysis, ProgramReport, SuiteProgram, SuiteSummary,
+};
+pub use cache::{
+    canonicalize, global_solve_cache, CacheSession, CacheStats, CanonicalKey, SolveCache,
+};
 pub use graph::{Sdg, SdgEdge};
 pub use merge::merged_model;
 pub use subgraphs::{enumerate_connected_subgraphs, SubgraphEnumeration};

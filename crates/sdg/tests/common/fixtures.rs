@@ -1,0 +1,32 @@
+//! The private test copy of `soap_bench::fixtures::chain_of_matmuls`.
+//!
+//! `soap-sdg`'s tests cannot depend on `soap-bench` (dependency cycle), so
+//! they carry this copy; the root-level `tests/fixture_sync.rs` test includes
+//! this very file via `#[path]` and asserts the built `Program`s are
+//! identical to `soap_bench::fixtures::chain_of_matmuls`, so the two copies
+//! cannot drift apart silently.
+
+use soap_ir::{Program, ProgramBuilder};
+
+/// A chain of `k` matrix-multiplication statements
+/// (`T_{s+1}[i,j] += T_s[i,k]·W_{s+1}[k,j]`), the paper's SDG scaling
+/// workload.
+pub fn chain_of_matmuls(k: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("chain{k}"));
+    for s in 0..k {
+        let src = if s == 0 {
+            "A0".to_string()
+        } else {
+            format!("T{s}")
+        };
+        let dst = format!("T{}", s + 1);
+        let w = format!("W{}", s + 1);
+        b = b.statement(move |st| {
+            st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
+                .update(&dst, "i,j")
+                .read(&src, "i,k")
+                .read(&w, "k,j")
+        });
+    }
+    b.build().expect("chain builds")
+}

@@ -6,29 +6,12 @@
 //! merge / simplification hot paths, not a benchmark — the Criterion benches
 //! and the `soap-bench` `perf` binary produce the real numbers.
 
-use soap_ir::{Program, ProgramBuilder};
 use soap_sdg::{analyze_program_with, SdgOptions};
 use std::time::{Duration, Instant};
 
-fn chain_of_matmuls(k: usize) -> Program {
-    let mut b = ProgramBuilder::new(format!("chain{k}"));
-    for s in 0..k {
-        let src = if s == 0 {
-            "A0".to_string()
-        } else {
-            format!("T{s}")
-        };
-        let dst = format!("T{}", s + 1);
-        let w = format!("W{}", s + 1);
-        b = b.statement(move |st| {
-            st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
-                .update(&dst, "i,j")
-                .read(&src, "i,k")
-                .read(&w, "k,j")
-        });
-    }
-    b.build().expect("chain builds")
-}
+#[path = "common/fixtures.rs"]
+mod fixtures;
+use fixtures::chain_of_matmuls;
 
 #[test]
 fn thirty_five_statement_chain_analyzes_within_budget() {

@@ -12,25 +12,9 @@ use soap_ir::{Program, ProgramBuilder};
 use soap_sdg::subgraphs::enumerate_connected_subgraphs;
 use soap_sdg::{analyze_program_with, merged_model, Sdg, SdgOptions};
 
-fn chain_of_matmuls(k: usize) -> Program {
-    let mut b = ProgramBuilder::new(format!("chain{k}"));
-    for s in 0..k {
-        let src = if s == 0 {
-            "A0".to_string()
-        } else {
-            format!("T{s}")
-        };
-        let dst = format!("T{}", s + 1);
-        let w = format!("W{}", s + 1);
-        b = b.statement(move |st| {
-            st.loops(&[("i", "0", "N"), ("j", "0", "N"), ("k", "0", "N")])
-                .update(&dst, "i,j")
-                .read(&src, "i,k")
-                .read(&w, "k,j")
-        });
-    }
-    b.build().expect("chain builds")
-}
+#[path = "common/fixtures.rs"]
+mod fixtures;
+use fixtures::chain_of_matmuls;
 
 fn atax() -> Program {
     ProgramBuilder::new("atax")

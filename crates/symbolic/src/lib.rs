@@ -39,7 +39,7 @@ pub use intern::Symbol;
 pub use lp::LinearProgram;
 pub use opt::{
     reset_solver_counters, solver_counters, CompiledConstraint, ConstrainedProduct, PowerLaw,
-    SolveInfo, SolverCounters, KKT_HISTOGRAM_EDGES, KKT_ITERATION_CAP,
+    SolveInfo, SolverCounters, KKT_HISTOGRAM_EDGES, KKT_ITERATION_CAP, POWER_LAW_PROBES,
 };
 pub use poly::{Monomial, Polynomial};
 pub use posy::{CompiledPosynomial, MaxPosynomial, MaxScratch};

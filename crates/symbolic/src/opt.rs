@@ -48,6 +48,12 @@ pub const KKT_HISTOGRAM_EDGES: [u64; 6] = [10, 25, 50, 100, 200, 400];
 /// budget without meeting a convergence criterion is counted as a cap hit.
 pub const KKT_ITERATION_CAP: usize = 400;
 
+/// The `X` values of the three power-law probes run by
+/// [`ConstrainedProduct::fit_power_law`].  Public because the tile-shape fit
+/// in `soap-core` reuses the *last* probe's optimum as the second point of
+/// its two-point tile-exponent fit (no extra solve needed).
+pub const POWER_LAW_PROBES: [f64; 3] = [1.0e7, 4.0e7, 1.6e8];
+
 /// Ratio deviations below this are converged for every downstream consumer
 /// (the rational/closed-form snapping tolerances sit at 3e-5): stepping on
 /// them would amplify gradient noise into radius-sized kicks off the optimum.
@@ -821,7 +827,7 @@ impl ConstrainedProduct {
     /// multi-extremal objective and removes the repeated travel phase.
     pub fn fit_power_law_instrumented(&self) -> (PowerLaw, SolveInfo, Vec<f64>) {
         let mut info = SolveInfo::default();
-        let xs = [1.0e7, 4.0e7, 1.6e8];
+        let xs = POWER_LAW_PROBES;
         let mut warm: Option<Vec<f64>> = None;
         let mut chis = Vec::with_capacity(xs.len());
         for &x in &xs {

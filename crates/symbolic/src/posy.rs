@@ -69,6 +69,31 @@ impl CompiledPosynomial {
         })
     }
 
+    /// Assemble a compiled posynomial directly from term rows (exponent row
+    /// plus exact coefficient).  Each row must have exactly `n_vars` entries.
+    ///
+    /// Used by the cross-subgraph solve cache to rebuild a canonical model's
+    /// compiled form straight from its canonical key, so a cache miss solves
+    /// the canonical structure without round-tripping through `Expr`
+    /// construction and re-compilation.
+    pub fn from_rows(n_vars: usize, rows: &[(Vec<i16>, Rational)]) -> CompiledPosynomial {
+        let mut coeffs = Vec::with_capacity(rows.len());
+        let mut rat_coeffs = Vec::with_capacity(rows.len());
+        let mut exps = Vec::with_capacity(rows.len() * n_vars);
+        for (row, coeff) in rows {
+            debug_assert_eq!(row.len(), n_vars);
+            coeffs.push(coeff.to_f64());
+            rat_coeffs.push(*coeff);
+            exps.extend_from_slice(row);
+        }
+        CompiledPosynomial {
+            n_vars,
+            coeffs,
+            rat_coeffs,
+            exps,
+        }
+    }
+
     /// Number of variables (row width of the exponent matrix).
     pub fn n_vars(&self) -> usize {
         self.n_vars
@@ -322,6 +347,44 @@ impl MaxPosynomial {
                 .push((start, out.atom_refs.len() as u32 - start));
         }
         Some(out)
+    }
+
+    /// Assemble a max-posynomial directly from its parts: per-term monomial
+    /// rows (`n_vars` exponents, exact coefficient, atom indices into
+    /// `atoms`) and the atom list (`is_min` flag plus posynomial branches).
+    ///
+    /// The structural dual of [`MaxPosynomial::compile`], used by the
+    /// cross-subgraph solve cache to rebuild a canonical model's compiled
+    /// form straight from its canonical key (see
+    /// [`CompiledPosynomial::from_rows`]).
+    pub fn from_parts(
+        n_vars: usize,
+        terms: &[(Vec<i16>, Rational, Vec<u32>)],
+        atoms: Vec<(bool, Vec<CompiledPosynomial>)>,
+    ) -> MaxPosynomial {
+        let mut out = MaxPosynomial {
+            n_vars,
+            coeffs: Vec::with_capacity(terms.len()),
+            rat_coeffs: Vec::with_capacity(terms.len()),
+            exps: Vec::with_capacity(terms.len() * n_vars),
+            term_atoms: Vec::with_capacity(terms.len()),
+            atom_refs: Vec::new(),
+            atoms: atoms
+                .into_iter()
+                .map(|(is_min, branches)| MaxAtom { branches, is_min })
+                .collect(),
+        };
+        for (row, coeff, atom_ids) in terms {
+            debug_assert_eq!(row.len(), n_vars);
+            let start = out.atom_refs.len() as u32;
+            out.coeffs.push(coeff.to_f64());
+            out.rat_coeffs.push(*coeff);
+            out.exps.extend_from_slice(row);
+            debug_assert!(atom_ids.iter().all(|&j| (j as usize) < out.atoms.len()));
+            out.atom_refs.extend_from_slice(atom_ids);
+            out.term_atoms.push((start, atom_ids.len() as u32));
+        }
+        out
     }
 
     /// Number of variables.

@@ -1,0 +1,26 @@
+//! Sync guard for the documented `chain_of_matmuls` duplication.
+//!
+//! `soap-sdg`'s tests cannot depend on `soap-bench` (cycle), so they carry a
+//! private copy of the chain fixture in `crates/sdg/tests/common/fixtures.rs`.
+//! This test includes that exact file and compares the *built programs* —
+//! not the source text — against `soap_bench::fixtures::chain_of_matmuls`,
+//! so any semantic drift between the two copies fails CI even if the sources
+//! merely look similar.
+
+// The very file the sdg tests compile; `#[path]` keeps this a single source
+// of truth for the private copy.
+#[path = "../crates/sdg/tests/common/fixtures.rs"]
+mod sdg_test_fixtures;
+
+#[test]
+fn sdg_test_copy_of_chain_of_matmuls_matches_bench_fixture() {
+    for k in [1usize, 2, 8, 35] {
+        let bench = soap_bench::fixtures::chain_of_matmuls(k);
+        let private = sdg_test_fixtures::chain_of_matmuls(k);
+        assert_eq!(
+            bench, private,
+            "chain_of_matmuls({k}): crates/sdg/tests/common/fixtures.rs has drifted from \
+             soap_bench::fixtures — update both copies together"
+        );
+    }
+}
