@@ -18,7 +18,8 @@ use soap_bench::{analyze_kernel, suite_program, suite_summary_record};
 use soap_pebbling::{min_dominator_size, Cdag, VertexKind};
 use soap_sdg::subgraphs::{enumerate_connected_subgraphs, enumerate_connected_subgraphs_naive};
 use soap_sdg::{
-    analyze_program_with, analyze_suite, ProgramAnalysis, Sdg, SdgOptions, SuiteProgram,
+    analyze_program_with, analyze_suite, analyze_suite_with, ProgramAnalysis, Sdg, SdgOptions,
+    SolveCache, SuiteProgram,
 };
 use soap_symbolic::{reset_solver_counters, solver_counters, KKT_HISTOGRAM_EDGES};
 use std::collections::BTreeMap;
@@ -87,7 +88,9 @@ fn time_ms(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
         f();
         samples.push(t.elapsed().as_secs_f64() * 1e3);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    // Shared NaN-last total order: a rogue NaN sample surfaces as a NaN
+    // minimum in the snapshot instead of panicking the whole bench run.
+    samples.sort_by(|a, b| soap_symbolic::nan_last(*a, *b));
     (samples[samples.len() / 2], samples[0])
 }
 
@@ -194,6 +197,65 @@ fn main() {
         suite_stats_record = suite_summary_record(s);
     }
 
+    // --- suite cold vs warm: the disk-persisted canonical-solution store ---
+    // `registry_cold` opens an *empty* store, analyzes the whole registry and
+    // flushes the solved structures to disk (the full first-process cost,
+    // solves + serialization included); `registry_warm` re-opens the
+    // populated store in a fresh cache — simulating a new process — and
+    // re-analyzes the registry without solving a single cached structure.
+    // The gap is the cross-process win the store exists for.
+    let store_stats_record;
+    {
+        let jobs: Vec<SuiteProgram> = soap_kernels::registry().iter().map(suite_program).collect();
+        let store_root =
+            std::env::temp_dir().join(format!("soap-perf-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_root);
+        let cold_dir = store_root.join("cold");
+        let (cold_median, cold_min) = time_ms(reps, || {
+            let _ = std::fs::remove_dir_all(&cold_dir);
+            let cache = SolveCache::with_store(&cold_dir).expect("store opens");
+            analyze_suite_with(&jobs, &cache);
+            cache.flush_store().expect("store flushes");
+        });
+        benches.push(record("suite/registry_cold", cold_median, cold_min));
+        // Seed the warm store once from a cold run.
+        let warm_dir = store_root.join("warm");
+        {
+            let cache = SolveCache::with_store(&warm_dir).expect("store opens");
+            analyze_suite_with(&jobs, &cache);
+            cache.flush_store().expect("store flushes");
+        }
+        let (warm_median, warm_min) = time_ms(reps, || {
+            let cache = SolveCache::with_store(&warm_dir).expect("store re-opens");
+            analyze_suite_with(&jobs, &cache);
+        });
+        benches.push(record("suite/registry_warm", warm_median, warm_min));
+        // Accounting of one instrumented warm run: every cacheable structure
+        // must be answered from the store — zero misses — and the store's own
+        // load stats must be clean.
+        let cache = SolveCache::with_store(&warm_dir).expect("store re-opens");
+        let warm = analyze_suite_with(&jobs, &cache);
+        let load = cache.store_load_stats().expect("store-backed").clone();
+        let c = &warm.summary.cache;
+        println!(
+            "suite/registry store: {} entries hydrated, warm run: {} store hits, {} misses, {} uncacheable, cold/warm {:.2}x",
+            load.entries,
+            c.store_hits,
+            c.misses,
+            c.uncacheable,
+            cold_median / warm_median.max(1e-9),
+        );
+        store_stats_record = json!({
+            "entries_hydrated": load.entries,
+            "segments": load.segments,
+            "store_bytes": load.bytes,
+            "warm_store_hits": c.store_hits,
+            "warm_misses": c.misses,
+            "warm_uncacheable": c.uncacheable,
+        });
+        let _ = std::fs::remove_dir_all(&store_root);
+    }
+
     // --- subgraph_enumeration: bitset fast path vs the seed's algorithm ---
     let mut enumeration: Vec<Value> = Vec::new();
     for (label, program, max_size) in [
@@ -275,6 +337,7 @@ fn main() {
         "benches": json!(benches),
         "solver_stats": json!(solver_stats),
         "suite_stats": suite_stats_record,
+        "store_stats": store_stats_record,
         "subgraph_enumeration": json!(enumeration),
         "notes": json!([
             "naive_median_ms times enumerate_connected_subgraphs_naive, a faithful retention of the seed's BTreeSet<Vec<String>> algorithm, so the speedup column is the before/after of the bitset rewrite on the same build",

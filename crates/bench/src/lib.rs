@@ -247,13 +247,19 @@ pub fn suite_summary_record(summary: &SuiteSummary) -> serde_json::Value {
 pub fn render_suite_summary(summary: &SuiteSummary) -> String {
     let c = summary.cache;
     format!(
-        "suite: {} programs in {:.1} ms — {} structures solved, {} cache hits ({} cross-program, {} intra-program), {} uncacheable",
+        "suite: {} programs in {:.1} ms — {} structures solved, {} cache hits ({} from disk store, {} cross-program, {} intra-program), {} uncacheable",
         summary.programs,
         summary.wall_ms,
         c.misses,
         c.hits,
+        c.store_hits,
         c.cross_program_hits,
-        c.hits - c.cross_program_hits,
+        // Saturating like the CacheStats serializer: the stats are deltas of
+        // non-atomic multi-counter snapshots, so under concurrent cache use
+        // the classification counters can momentarily exceed `hits`.
+        c.hits
+            .saturating_sub(c.cross_program_hits)
+            .saturating_sub(c.store_hits),
         c.uncacheable,
     )
 }

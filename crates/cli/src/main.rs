@@ -7,6 +7,8 @@
 //! soap-cli kernel gemm            # analyze a built-in Table-2 kernel
 //! soap-cli batch gemm 2mm 3mm     # batch-analyze over one shared cache
 //! soap-cli batch --all            # the whole built-in registry
+//! soap-cli batch --all --cache-dir .soap-cache   # …over a persistent store
+//! soap-cli cache stat .soap-cache # inspect a persistent store
 //! soap-cli list                   # list the built-in kernels
 //! ```
 //!
@@ -15,19 +17,99 @@
 //! solve cache, so renamed structures are solved once per *suite*), and
 //! emits one JSON line per program followed by a suite-summary line with the
 //! shared-cache accounting.
+//!
+//! `--cache-dir DIR` (on `analyze` and `batch`) layers that cache over the
+//! disk-persisted canonical-solution store at `DIR`: structures solved by
+//! *earlier processes* are hydrated at startup and answered without solving
+//! (byte-identical results — the store keeps exact rationals and raw float
+//! bits), and new solves are flushed back at exit, so a CI fleet or a
+//! long-running service sharing one store directory converges on solving
+//! each distinct structure once ever.  `soap-cli cache <stat|list|clear> DIR`
+//! inspects or empties a store.
 
 use soap_baselines::sota_bound;
 use soap_frontend::{parse_c, parse_python};
 use soap_ir::Program;
-use soap_sdg::{analyze_program_with, analyze_suite, SdgOptions, SuiteProgram};
+use soap_sdg::{
+    analyze_program_with_cache, analyze_suite_with, SdgOptions, SolveCache, SolveStore,
+    SuiteProgram,
+};
 use std::io::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  soap-cli analyze --lang <c|python> <file> [--injective] [--json]\n  soap-cli kernel <name> [--json]\n  soap-cli batch [--all] [--injective] [--out FILE] [<kernel-or-file>...]\n  soap-cli list"
+        "usage:\n  \
+         soap-cli analyze --lang <c|python> <file> [--injective] [--json] [--cache-dir DIR]\n  \
+         soap-cli kernel <name> [--json]\n  \
+         soap-cli batch [--all] [--injective] [--out FILE] [--cache-dir DIR] [<kernel-or-file>...]\n  \
+         soap-cli cache <stat|list|clear> <dir>\n  \
+         soap-cli list\n\
+         \n\
+         --cache-dir DIR  layer the solve cache over the disk-persisted canonical-solution\n                  \
+         store at DIR (created on first use): structures solved by earlier runs are\n                  \
+         reused without re-solving — byte-identical results, warm wall clock — and\n                  \
+         new solves are persisted for later runs.  `soap-cli cache stat DIR` inspects\n                  \
+         a store, `list` shows its segment files, `clear` empties it.\n\
+         \n\
+         environment:\n  \
+         SOAP_CACHE_SHARDS  lock-stripe count of the in-memory solve cache (positive\n                     \
+         integer; clamped to a power of two <= 1024; default 16)\n  \
+         SOAP_CACHE_DIR     store directory for the process-wide global solve cache\n                     \
+         (library embeddings; the CLI subcommands use --cache-dir)"
     );
     std::process::exit(2);
+}
+
+/// Open a store-backed cache (when `--cache-dir` was given) or a plain one,
+/// surfacing the store's load-time notes on stderr.
+fn open_cache(cache_dir: Option<&str>) -> Result<SolveCache, ExitCode> {
+    let Some(dir) = cache_dir else {
+        return Ok(SolveCache::new());
+    };
+    match SolveCache::with_store(dir) {
+        Ok(cache) => {
+            let load = cache.store_load_stats().expect("store-backed").clone();
+            for note in &load.notes {
+                eprintln!("cache store: {note}");
+            }
+            if load.entries > 0 {
+                eprintln!(
+                    "cache store: hydrated {} canonical solution(s) from {} ({} segment(s), {} bytes)",
+                    load.entries, dir, load.segments, load.bytes
+                );
+            }
+            Ok(cache)
+        }
+        Err(e) => {
+            eprintln!("cannot open cache store {dir}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Flush a store-backed cache at session end, reporting what was persisted.
+/// Returns whether the flush succeeded (trivially true for a plain cache).
+fn flush_cache(cache: &SolveCache) -> bool {
+    match cache.flush_store() {
+        Ok(flush) => {
+            if flush.appended > 0 {
+                eprintln!(
+                    "cache store: persisted {} new canonical solution(s) to {}",
+                    flush.appended,
+                    cache
+                        .store_dir()
+                        .map(|d| d.display().to_string())
+                        .unwrap_or_default()
+                );
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("cache store: flush failed: {e}");
+            false
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -52,11 +134,13 @@ fn main() -> ExitCode {
             )
         }
         Some("batch") => batch(&args[1..]),
+        Some("cache") => cache_cmd(&args[1..]),
         Some("analyze") => {
             let mut lang = "python".to_string();
             let mut file = None;
             let mut injective = false;
             let mut json = false;
+            let mut cache_dir: Option<String> = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -66,6 +150,10 @@ fn main() -> ExitCode {
                     }
                     "--injective" => injective = true,
                     "--json" => json = true,
+                    "--cache-dir" => {
+                        i += 1;
+                        cache_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                    }
                     other if !other.starts_with("--") => file = Some(other.to_string()),
                     _ => usage(),
                 }
@@ -92,7 +180,18 @@ fn main() -> ExitCode {
                 }
             };
             match parsed {
-                Ok(program) => report(&program, injective, json),
+                Ok(program) => {
+                    let cache = match open_cache(cache_dir.as_deref()) {
+                        Ok(c) => c,
+                        Err(code) => return code,
+                    };
+                    let reported = report_with(&program, injective, json, &cache);
+                    if flush_cache(&cache) && reported {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
                 Err(e) => {
                     eprintln!("parse error: {e}");
                     ExitCode::FAILURE
@@ -112,6 +211,7 @@ fn batch(args: &[String]) -> ExitCode {
     let mut all = false;
     let mut injective = false;
     let mut out_path: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -119,7 +219,11 @@ fn batch(args: &[String]) -> ExitCode {
             "--injective" => injective = true,
             "--out" => {
                 i += 1;
-                out_path = args.get(i).cloned();
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             other if !other.starts_with("--") => specs.push(other.to_string()),
             _ => usage(),
@@ -194,7 +298,17 @@ fn batch(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let batch = analyze_suite(&jobs);
+    let cache = match open_cache(cache_dir.as_deref()) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let batch = analyze_suite_with(&jobs, &cache);
+    if batch.summary.duplicate_names > 0 {
+        eprintln!(
+            "batch: {} duplicate program name(s) disambiguated to name#2, name#3, … in the reports",
+            batch.summary.duplicate_names
+        );
+    }
     let mut lines: Vec<String> = Vec::new();
     for report in &batch.reports {
         let record = match &report.outcome {
@@ -210,6 +324,7 @@ fn batch(args: &[String]) -> ExitCode {
                 })).collect::<Vec<_>>(),
                 "cache_hits": analysis.solver.cache_hits,
                 "cross_program_hits": analysis.solver.cross_program_hits,
+                "store_hits": analysis.solver.store_hits,
                 "notes": analysis.notes,
             }),
             Err(e) => serde_json::json!({
@@ -243,7 +358,8 @@ fn batch(args: &[String]) -> ExitCode {
             let _ = stdout.write_all(text.as_bytes());
         }
     }
-    if s.failures > 0 {
+    let flushed = flush_cache(&cache);
+    if s.failures > 0 || !flushed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -251,11 +367,21 @@ fn batch(args: &[String]) -> ExitCode {
 }
 
 fn report(program: &Program, assume_injective: bool, json: bool) -> ExitCode {
+    if report_with(program, assume_injective, json, &SolveCache::new()) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Analyze one program through the given (possibly store-backed) cache and
+/// print the report.  Returns whether the analysis succeeded.
+fn report_with(program: &Program, assume_injective: bool, json: bool, cache: &SolveCache) -> bool {
     let opts = SdgOptions {
         assume_injective,
         ..SdgOptions::default()
     };
-    match analyze_program_with(program, &opts) {
+    match analyze_program_with_cache(program, &opts, cache) {
         Ok(analysis) => {
             if json {
                 let record = serde_json::json!({
@@ -296,10 +422,77 @@ fn report(program: &Program, assume_injective: bool, json: bool) -> ExitCode {
                     println!("  note: {n}");
                 }
             }
-            ExitCode::SUCCESS
+            true
         }
         Err(e) => {
             eprintln!("analysis failed: {e}");
+            false
+        }
+    }
+}
+
+/// `soap-cli cache <stat|list|clear> <dir>`: inspect or empty a
+/// disk-persisted canonical-solution store without running any analysis.
+fn cache_cmd(args: &[String]) -> ExitCode {
+    let (Some(action), Some(dir)) = (args.first(), args.get(1)) else {
+        usage();
+    };
+    if args.len() > 2 {
+        usage();
+    }
+    // `open_existing`: inspection must not create the directory, or a typo'd
+    // path would report a convincing empty store instead of an error.
+    let store = match SolveStore::open_existing(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open cache store {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match action.as_str() {
+        "stat" => store.stat().map(|stats| {
+            println!("store {dir}");
+            println!("  format            {}", soap_sdg::STORE_HEADER);
+            println!("  segments          {}", stats.segments);
+            println!("  segments rejected {}", stats.segments_rejected);
+            println!("  records           {}", stats.records);
+            println!("  records skipped   {}", stats.records_skipped);
+            println!("  distinct entries  {}", stats.entries);
+            println!("  bytes             {}", stats.bytes);
+            for note in &stats.notes {
+                println!("  note: {note}");
+            }
+        }),
+        "list" => store.segment_files().map(|files| {
+            for path in &files {
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                // Records = non-empty lines minus the header line.
+                let records = std::fs::read_to_string(path)
+                    .map(|t| {
+                        t.lines()
+                            .filter(|l| !l.is_empty())
+                            .count()
+                            .saturating_sub(1)
+                    })
+                    .unwrap_or(0);
+                println!(
+                    "{:<56} {records:>6} record(s) {bytes:>10} bytes",
+                    path.file_name().unwrap_or_default().to_string_lossy()
+                );
+            }
+            if files.is_empty() {
+                println!("store {dir}: no segments");
+            }
+        }),
+        "clear" => store.clear().map(|removed| {
+            println!("store {dir}: removed {removed} segment(s)");
+        }),
+        _ => usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cache {action} {dir} failed: {e}");
             ExitCode::FAILURE
         }
     }

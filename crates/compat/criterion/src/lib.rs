@@ -187,7 +187,11 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         return;
     }
     let mut sorted = b.samples_ns.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    // NaN-last shared total order: a rogue NaN sample (e.g. a zero-iteration
+    // division slipping in through a refactor) must not panic the whole bench
+    // run the way `partial_cmp(..).expect(..)` did — it sorts to the front
+    // and surfaces as a NaN minimum instead.
+    sorted.sort_by(|a, b| soap_symbolic::nan_last(*a, *b));
     let min = sorted[0];
     let median = sorted[sorted.len() / 2];
     let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;

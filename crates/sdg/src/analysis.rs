@@ -7,7 +7,11 @@ use crate::subgraphs::enumerate_connected_subgraphs;
 use rayon::prelude::*;
 use soap_core::{AnalysisError, AnalysisOptions, IntensityResult};
 use soap_ir::Program;
-use soap_symbolic::{Expr, Polynomial, Rational};
+// `nan_last` (the shared NaN-below-everything total order) keeps the
+// Theorem-1 maximum deterministic when a subgraph's `ρ` fails to evaluate:
+// the seed's `partial_cmp(..).unwrap_or(Equal)` silently treated NaN as equal
+// to everything, making the winner order-dependent.
+use soap_symbolic::{nan_last, Expr, Polynomial, Rational};
 use std::collections::BTreeMap;
 
 /// Options for the SDG analysis.
@@ -84,6 +88,11 @@ pub struct SolverSummary {
     /// *different* program sharing the same cache (always 0 for a private
     /// per-program cache).
     pub cross_program_hits: u64,
+    /// The subset of `cache_hits` answered from the disk-persisted store the
+    /// cache was opened with ([`SolveCache::with_store`]) — structures solved
+    /// by an earlier *process*.  Always 0 for a store-less cache; disjoint
+    /// from `cross_program_hits`.
+    pub store_hits: u64,
     /// KKT solves of this analysis that exhausted the iteration budget
     /// without converging (also reported in `notes` when non-zero).
     pub kkt_cap_hits: u64,
@@ -289,24 +298,12 @@ pub fn analyze_program_with_cache(
             max_cache_hits: cache_stats.max_hits,
             max_cache_misses: cache_stats.max_misses,
             cross_program_hits: cache_stats.cross_program_hits,
+            store_hits: cache_stats.store_hits,
             kkt_cap_hits: cache_stats.kkt_cap_hits,
             merge_failures,
             solve_failures,
         },
     })
-}
-
-/// Total order on intensities that sorts NaN *below* every number, so a
-/// subgraph whose `ρ` failed to evaluate can never win the Theorem-1 maximum
-/// (the seed's `partial_cmp(..).unwrap_or(Equal)` silently treated NaN as
-/// equal to everything, making the winner order-dependent).
-fn nan_last(a: f64, b: f64) -> std::cmp::Ordering {
-    match (a.is_nan(), b.is_nan()) {
-        (true, true) => std::cmp::Ordering::Equal,
-        (true, false) => std::cmp::Ordering::Less,
-        (false, true) => std::cmp::Ordering::Greater,
-        (false, false) => a.partial_cmp(&b).expect("both finite or infinite"),
-    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,10 @@ pub struct SuiteSummary {
     pub failures: usize,
     /// Wall-clock milliseconds for the whole suite (parallel over programs).
     pub wall_ms: f64,
+    /// Suite entries whose name collided with an earlier entry and were
+    /// disambiguated to `name#2`, `name#3`, … in their [`ProgramReport`] (see
+    /// [`analyze_suite_with`]).  0 when every entry name was unique.
+    pub duplicate_names: usize,
     /// Sum of the per-program analysis times (equals `wall_ms` up to
     /// bookkeeping overhead on a single-threaded host; smaller than the sum
     /// under parallel execution).
@@ -98,6 +102,10 @@ impl serde::Serialize for SuiteSummary {
         serde::Value::Object(vec![
             ("programs".to_string(), self.programs.to_value()),
             ("failures".to_string(), self.failures.to_value()),
+            (
+                "duplicate_names".to_string(),
+                self.duplicate_names.to_value(),
+            ),
             ("wall_ms".to_string(), self.wall_ms.to_value()),
             ("sum_program_ms".to_string(), self.sum_program_ms.to_value()),
             (
@@ -133,21 +141,34 @@ pub fn analyze_suite(jobs: &[SuiteProgram]) -> BatchAnalysis {
 
 /// Analyze a suite of programs over a caller-provided shared cache (e.g.
 /// [`crate::cache::global_solve_cache`] in a long-running service, so
-/// structures solved by *earlier* suites are reused too).
+/// structures solved by *earlier* suites are reused too — or a cache opened
+/// with [`SolveCache::with_store`](crate::SolveCache::with_store), so
+/// structures solved by earlier *processes* are reused and new solves persist
+/// for later ones; remember to flush such a cache at session end).
 ///
 /// The summary's cache stats are the cache's counter deltas over this call;
 /// when other threads use the same cache concurrently their traffic is
 /// included in the delta.
+///
+/// **Duplicate names.**  [`BatchAnalysis::report`] looks reports up by name,
+/// and the per-program cache accounting is keyed by program scope, so two
+/// suite entries sharing a name would silently shadow each other.  Duplicates
+/// are therefore detected up front and disambiguated: the second entry named
+/// `gemm` reports as `gemm#2`, the third as `gemm#3`, … (guaranteed unique
+/// against the caller's own names too), and `SuiteSummary::duplicate_names`
+/// counts how many entries were renamed so callers can surface the hint.
 pub fn analyze_suite_with(jobs: &[SuiteProgram], cache: &SolveCache) -> BatchAnalysis {
+    let (report_names, duplicate_names) = disambiguated_names(jobs);
     let stats_before = cache.stats();
     let suite_start = Instant::now();
-    let reports: Vec<ProgramReport> = jobs
+    let work: Vec<(&SuiteProgram, &String)> = jobs.iter().zip(report_names.iter()).collect();
+    let reports: Vec<ProgramReport> = work
         .par_iter()
-        .map(|job| {
+        .map(|&(job, name)| {
             let start = Instant::now();
             let outcome = analyze_program_with_cache(&job.program, &job.opts, cache);
             ProgramReport {
-                name: job.name.clone(),
+                name: name.clone(),
                 analysis_ms: start.elapsed().as_secs_f64() * 1e3,
                 outcome,
             }
@@ -157,6 +178,7 @@ pub fn analyze_suite_with(jobs: &[SuiteProgram], cache: &SolveCache) -> BatchAna
     let summary = SuiteSummary {
         programs: reports.len(),
         failures: reports.iter().filter(|r| r.outcome.is_err()).count(),
+        duplicate_names,
         wall_ms,
         sum_program_ms: reports.iter().map(|r| r.analysis_ms).sum(),
         subgraphs_enumerated: reports
@@ -167,6 +189,40 @@ pub fn analyze_suite_with(jobs: &[SuiteProgram], cache: &SolveCache) -> BatchAna
         cache: cache.stats().since(&stats_before),
     };
     BatchAnalysis { reports, summary }
+}
+
+/// Report names for the suite entries, with duplicates disambiguated to
+/// `name#k` (k = occurrence number, bumped past any identical caller-supplied
+/// name), plus the number of entries that had to be renamed.
+fn disambiguated_names(jobs: &[SuiteProgram]) -> (Vec<String>, usize) {
+    use std::collections::{HashMap, HashSet};
+    // Every caller-supplied name is reserved up front, so a rename can never
+    // collide with a *later* entry's verbatim name (e.g. jobs `a, a, a#2`:
+    // the duplicate skips `a#2` and becomes `a#3`).
+    let mut taken: HashSet<String> = jobs.iter().map(|j| j.name.clone()).collect();
+    let mut first_seen: HashSet<&str> = HashSet::new();
+    let mut next_suffix: HashMap<&str, usize> = HashMap::new();
+    let mut renamed = 0usize;
+    let names = jobs
+        .iter()
+        .map(|job| {
+            if first_seen.insert(job.name.as_str()) {
+                return job.name.clone();
+            }
+            renamed += 1;
+            let k = next_suffix.entry(job.name.as_str()).or_insert(2);
+            let candidate = loop {
+                let c = format!("{}#{k}", job.name);
+                *k += 1;
+                if !taken.contains(&c) {
+                    break c;
+                }
+            };
+            taken.insert(candidate.clone());
+            candidate
+        })
+        .collect();
+    (names, renamed)
 }
 
 #[cfg(test)]
@@ -221,6 +277,77 @@ mod tests {
                 format!("{}", batched.bound)
             );
         }
+    }
+
+    #[test]
+    fn duplicate_suite_names_are_disambiguated() {
+        // Two `mm` entries plus a caller-supplied literal `mm#2`: the
+        // duplicate must not shadow either, so it becomes `mm#3`.
+        let mut literal = matmul("mm", ["x", "y", "z"]);
+        literal.name = "mm#2".to_string();
+        let jobs = vec![
+            SuiteProgram::with_default_opts(matmul("mm", ["i", "j", "k"])),
+            SuiteProgram::with_default_opts(matmul("mm", ["p", "q", "r"])),
+            SuiteProgram::with_default_opts(literal),
+        ];
+        let batch = analyze_suite(&jobs);
+        let names: Vec<&str> = batch.reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["mm", "mm#3", "mm#2"]);
+        assert_eq!(batch.summary.duplicate_names, 1);
+        // Every report is now reachable by name — nothing shadowed.
+        for name in names {
+            assert!(batch.report(name).unwrap().outcome.is_ok(), "{name}");
+        }
+        // Unique names stay verbatim and report no duplicates.
+        let unique = analyze_suite(&[SuiteProgram::with_default_opts(matmul(
+            "only",
+            ["i", "j", "k"],
+        ))]);
+        assert_eq!(unique.summary.duplicate_names, 0);
+        assert_eq!(unique.reports[0].name, "only");
+    }
+
+    #[test]
+    fn store_backed_suite_runs_warm_with_zero_misses() {
+        let dir = std::env::temp_dir().join(format!("soap-batch-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = vec![
+            SuiteProgram::with_default_opts(matmul("mm1", ["i", "j", "k"])),
+            SuiteProgram::with_default_opts(matmul("mm2", ["p", "q", "r"])),
+        ];
+        let cold = {
+            let cache = SolveCache::with_store(&dir).expect("store opens");
+            let batch = analyze_suite_with(&jobs, &cache);
+            assert!(batch.summary.cache.misses > 0);
+            assert_eq!(batch.summary.cache.store_hits, 0);
+            cache.flush_store().expect("flush succeeds");
+            batch
+        };
+        let cache = SolveCache::with_store(&dir).expect("store reopens");
+        let warm = analyze_suite_with(&jobs, &cache);
+        assert_eq!(warm.summary.cache.misses, 0, "{:?}", warm.summary.cache);
+        assert_eq!(warm.summary.cache.uncacheable, 0);
+        assert!(warm.summary.cache.store_hits > 0);
+        // Byte-identical outputs, unsnapped floats included.
+        for (c, w) in cold.reports.iter().zip(&warm.reports) {
+            let (c, w) = (c.outcome.as_ref().unwrap(), w.outcome.as_ref().unwrap());
+            assert_eq!(format!("{}", c.bound), format!("{}", w.bound));
+            for (sc, sw) in c.subgraphs.iter().zip(&w.subgraphs) {
+                assert_eq!(
+                    sc.intensity.chi_coeff.to_bits(),
+                    sw.intensity.chi_coeff.to_bits()
+                );
+                for ((_, a), (_, b)) in sc
+                    .intensity
+                    .tile_coeffs
+                    .iter()
+                    .zip(&sw.intensity.tile_coeffs)
+                {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

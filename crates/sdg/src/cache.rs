@@ -42,7 +42,15 @@
 //! arrived first, of the shard count, of thread interleaving, and of the
 //! order programs are analyzed in.  This is what makes a batch analysis over
 //! a shared cache byte-identical to sequential per-program analyses.
+//!
+//! **Persistence.**  [`SolveCache::with_store`] layers the cache over a
+//! disk-persisted canonical-solution store ([`crate::store`]): entries
+//! persisted by earlier processes are hydrated at open (hits on them are
+//! counted as `store_hits`), and new misses are flushed back at session end —
+//! the same order-invariance argument makes warm results byte-identical to
+//! cold ones.
 
+use crate::store::{SolveStore, StoreFlushStats, StoreLoadStats};
 use soap_core::{
     solve_model_instrumented, solve_model_precompiled, AccessModel, AnalysisError, IntensityResult,
 };
@@ -54,24 +62,24 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// One term row of a canonical matrix: permuted exponents plus the exact
 /// coefficient.
-type CanonicalRow = (Vec<i16>, Rational);
+pub(crate) type CanonicalRow = (Vec<i16>, Rational);
 
 /// One canonicalized `max`/`min` atom: its branches as an unordered (sorted)
 /// multiset of canonical matrices.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-struct CanonicalAtom {
-    is_min: bool,
-    branches: Vec<Vec<CanonicalRow>>,
+pub(crate) struct CanonicalAtom {
+    pub(crate) is_min: bool,
+    pub(crate) branches: Vec<Vec<CanonicalRow>>,
 }
 
 /// One term of a canonical max-form dominator: the monomial part plus the
 /// sorted canonical indices of its atoms.
-type CanonicalMaxTerm = (Vec<i16>, Rational, Vec<u32>);
+pub(crate) type CanonicalMaxTerm = (Vec<i16>, Rational, Vec<u32>);
 
 /// The canonical dominator: pure exponent matrix, or the max-posynomial
 /// structure (monomial matrix + atom incidence + atom multiset).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum CanonicalDominator {
+pub(crate) enum CanonicalDominator {
     Pure(Vec<CanonicalRow>),
     Max {
         terms: Vec<CanonicalMaxTerm>,
@@ -82,9 +90,9 @@ enum CanonicalDominator {
 /// The canonical key of an [`AccessModel`] modulo variable renaming.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CanonicalKey {
-    n_vars: usize,
-    objective: Vec<CanonicalRow>,
-    dominator: CanonicalDominator,
+    pub(crate) n_vars: usize,
+    pub(crate) objective: Vec<CanonicalRow>,
+    pub(crate) dominator: CanonicalDominator,
 }
 
 impl CanonicalKey {
@@ -290,16 +298,17 @@ fn permuted_rows(poly: &CompiledPosynomial, order: &[usize]) -> Vec<CanonicalRow
     rows
 }
 
-/// A cached solution, stored in canonical variable order.
+/// A cached solution, stored in canonical variable order (also the unit the
+/// disk store persists — see [`crate::store`]).
 #[derive(Clone)]
-struct CanonicalSolution {
-    sigma: Rational,
-    chi_coeff: f64,
-    rho: Expr,
-    x0: Option<Expr>,
+pub(crate) struct CanonicalSolution {
+    pub(crate) sigma: Rational,
+    pub(crate) chi_coeff: f64,
+    pub(crate) rho: Expr,
+    pub(crate) x0: Option<Expr>,
     /// Indexed by canonical position.
-    tile_exponents: Vec<Rational>,
-    tile_coeffs: Vec<f64>,
+    pub(crate) tile_exponents: Vec<Rational>,
+    pub(crate) tile_coeffs: Vec<f64>,
 }
 
 /// Cache statistics, surfaced through `ProgramAnalysis` and `SuiteSummary`.
@@ -321,8 +330,14 @@ pub struct CacheStats {
     /// The subset of `hits` answered from an entry first inserted by a
     /// *different* session (another program of a batch run) — the dedup that
     /// only a shared cache can provide.  Always 0 for a private per-program
-    /// cache.
+    /// cache.  Disjoint from `store_hits`.
     pub cross_program_hits: u64,
+    /// The subset of `hits` answered from an entry hydrated out of the disk
+    /// store at [`SolveCache::with_store`] open — the dedup only cross-process
+    /// persistence can provide.  Always 0 for a store-less cache; disjoint
+    /// from `cross_program_hits` (a hit is classified as exactly one of
+    /// intra-program, cross-program, or persistent-store).
+    pub store_hits: u64,
 }
 
 impl CacheStats {
@@ -339,6 +354,7 @@ impl CacheStats {
             cross_program_hits: self
                 .cross_program_hits
                 .saturating_sub(before.cross_program_hits),
+            store_hits: self.store_hits.saturating_sub(before.store_hits),
         }
     }
 }
@@ -357,9 +373,13 @@ impl serde::Serialize for CacheStats {
                 "cross_program_hits".to_string(),
                 self.cross_program_hits.to_value(),
             ),
+            ("store_hits".to_string(), self.store_hits.to_value()),
             (
                 "intra_program_hits".to_string(),
-                self.hits.saturating_sub(self.cross_program_hits).to_value(),
+                self.hits
+                    .saturating_sub(self.cross_program_hits)
+                    .saturating_sub(self.store_hits)
+                    .to_value(),
             ),
             ("max_hits".to_string(), self.max_hits.to_value()),
             ("max_misses".to_string(), self.max_misses.to_value()),
@@ -380,6 +400,7 @@ struct CacheCounters {
     max_misses: AtomicU64,
     kkt_cap_hits: AtomicU64,
     cross_program_hits: AtomicU64,
+    store_hits: AtomicU64,
 }
 
 impl CacheCounters {
@@ -392,14 +413,46 @@ impl CacheCounters {
             max_misses: self.max_misses.load(Ordering::Relaxed),
             kkt_cap_hits: self.kkt_cap_hits.load(Ordering::Relaxed),
             cross_program_hits: self.cross_program_hits.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Number of lock stripes of [`SolveCache::new`]: enough that the rayon
-/// workers of a whole-registry batch run rarely contend on the same mutex,
-/// small enough that an empty cache stays cheap to allocate per analysis.
+/// Number of lock stripes of [`SolveCache::new`] when `SOAP_CACHE_SHARDS` is
+/// unset: enough that the rayon workers of a whole-registry batch run rarely
+/// contend on the same mutex, small enough that an empty cache stays cheap to
+/// allocate per analysis.
 pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// Upper clamp of the `SOAP_CACHE_SHARDS` override: far above any plausible
+/// core count, low enough that a typo (`SOAP_CACHE_SHARDS=16384`) cannot
+/// allocate an absurd stripe array per analysis.
+pub const MAX_CACHE_SHARDS: usize = 1024;
+
+/// Parse a `SOAP_CACHE_SHARDS` override: a positive integer, clamped to the
+/// nearest power of two ≥ it (lock striping by `hash % n` distributes best at
+/// powers of two) and capped at [`MAX_CACHE_SHARDS`].  `None` for anything
+/// that does not parse as a positive integer — the caller falls back to
+/// [`DEFAULT_CACHE_SHARDS`] rather than guessing what a typo meant.
+pub fn parse_cache_shards(raw: &str) -> Option<usize> {
+    let n: usize = raw.trim().parse().ok().filter(|&n| n > 0)?;
+    // Clamp before rounding: MAX_CACHE_SHARDS is itself a power of two, so
+    // min-first is equivalent and cannot overflow `next_power_of_two` the
+    // way a near-usize::MAX input would.
+    Some(n.min(MAX_CACHE_SHARDS).next_power_of_two())
+}
+
+/// The shard count of [`SolveCache::new`]: the validated `SOAP_CACHE_SHARDS`
+/// environment override when set (so the single-core reference host and
+/// multi-core hosts can both be measured without a rebuild), otherwise
+/// [`DEFAULT_CACHE_SHARDS`].  The shard count is a concurrency knob only —
+/// results are byte-identical for any value.
+pub fn cache_shards_from_env() -> usize {
+    std::env::var("SOAP_CACHE_SHARDS")
+        .ok()
+        .and_then(|raw| parse_cache_shards(&raw))
+        .unwrap_or(DEFAULT_CACHE_SHARDS)
+}
 
 /// One lock stripe: its slice of the key→cell map.
 type CacheShard = Mutex<HashMap<CanonicalKey, Arc<SolveCell>>>;
@@ -420,11 +473,40 @@ pub struct SolveCache {
     shards: Box<[CacheShard]>,
     counters: CacheCounters,
     scopes: AtomicU64,
+    /// The disk-persisted layer, when opened with [`SolveCache::with_store`].
+    store: Option<StoreLayer>,
 }
+
+/// The disk-persistence state of a store-backed cache: the store itself, the
+/// load-time accounting, and the set of keys already on disk (so a flush
+/// writes only what this process newly solved).
+struct StoreLayer {
+    store: SolveStore,
+    load_stats: StoreLoadStats,
+    persisted: Mutex<std::collections::HashSet<CanonicalKey>>,
+}
+
+/// The session scope recorded on cells hydrated from the disk store; hits on
+/// them are classified as persistent-store hits.  Live sessions use scopes
+/// counted up from 1, so this sentinel is unreachable.
+const STORE_SCOPE: u64 = u64::MAX;
 
 impl Default for SolveCache {
     fn default() -> Self {
         SolveCache::new()
+    }
+}
+
+impl Drop for SolveCache {
+    /// Best-effort session-end flush of a store-backed cache: dropping the
+    /// cache persists whatever it solved, so short-lived CLI invocations
+    /// cannot lose their work by forgetting the explicit call.  Errors are
+    /// swallowed (there is nowhere to report them from a destructor); callers
+    /// that care run [`SolveCache::flush_store`] themselves first.
+    fn drop(&mut self) {
+        if self.store.is_some() {
+            let _ = self.flush_store();
+        }
     }
 }
 
@@ -437,9 +519,32 @@ type SolveCell = OnceLock<(u64, Result<CanonicalSolution, AnalysisError>)>;
 /// [`SolveCache`] that outlives any single analysis, so long-running services
 /// can thread it through every `analyze_program_with_cache` /
 /// `analyze_suite_with` call and amortize solves across requests.
+///
+/// Two environment variables shape its first use:
+///
+/// * `SOAP_CACHE_SHARDS` — validated lock-stripe override, see
+///   [`cache_shards_from_env`];
+/// * `SOAP_CACHE_DIR` — when set (and non-empty), the global cache opens the
+///   disk-persisted store at that directory, hydrating every structure solved
+///   by *earlier processes*.  The global cache is never dropped, so services
+///   using it should call [`SolveCache::flush_store`] at their own session
+///   boundaries; if the store cannot be opened, a warning goes to stderr and
+///   the cache degrades to in-memory.
 pub fn global_solve_cache() -> &'static SolveCache {
     static GLOBAL: OnceLock<SolveCache> = OnceLock::new();
-    GLOBAL.get_or_init(SolveCache::new)
+    GLOBAL.get_or_init(|| {
+        if let Ok(dir) = std::env::var("SOAP_CACHE_DIR") {
+            if !dir.is_empty() {
+                match SolveCache::with_store(&dir) {
+                    Ok(cache) => return cache,
+                    Err(e) => eprintln!(
+                        "soap: cannot open solve store SOAP_CACHE_DIR={dir}: {e}; continuing with an in-memory cache"
+                    ),
+                }
+            }
+        }
+        SolveCache::new()
+    })
 }
 
 /// A per-analysis view of a (possibly shared) [`SolveCache`]: carries the
@@ -467,9 +572,10 @@ impl CacheSession<'_> {
 }
 
 impl SolveCache {
-    /// An empty cache with [`DEFAULT_CACHE_SHARDS`] lock stripes.
+    /// An empty cache with [`cache_shards_from_env`] lock stripes
+    /// ([`DEFAULT_CACHE_SHARDS`] unless `SOAP_CACHE_SHARDS` overrides it).
     pub fn new() -> SolveCache {
-        SolveCache::with_shards(DEFAULT_CACHE_SHARDS)
+        SolveCache::with_shards(cache_shards_from_env())
     }
 
     /// An empty cache with `n` lock stripes (clamped to ≥ 1).  The shard
@@ -481,7 +587,111 @@ impl SolveCache {
             shards: (0..n).map(|_| Mutex::default()).collect(),
             counters: CacheCounters::default(),
             scopes: AtomicU64::new(0),
+            store: None,
         }
+    }
+
+    /// A cache layered over the disk-persisted canonical-solution store at
+    /// `dir` (created if absent): every entry already on disk is hydrated
+    /// into the shards before the first solve, and
+    /// [`flush_store`](SolveCache::flush_store) (also run on drop) persists
+    /// whatever this cache solved on top.  Stored results are byte-identical
+    /// to cold solves — the store persists the canonical solution itself,
+    /// floats as raw bit patterns (see [`crate::store`]) — so a warm cache
+    /// changes wall-clock time and nothing else.
+    ///
+    /// Corrupt records and mismatched-version segments are skipped with
+    /// counted notes, never a panic: see
+    /// [`store_load_stats`](SolveCache::store_load_stats).
+    pub fn with_store(dir: impl Into<std::path::PathBuf>) -> std::io::Result<SolveCache> {
+        SolveCache::with_store_and_shards(dir, cache_shards_from_env())
+    }
+
+    /// [`with_store`](SolveCache::with_store) with an explicit shard count.
+    pub fn with_store_and_shards(
+        dir: impl Into<std::path::PathBuf>,
+        n: usize,
+    ) -> std::io::Result<SolveCache> {
+        let store = SolveStore::open(dir)?;
+        let (entries, load_stats) = store.load()?;
+        let mut cache = SolveCache::with_shards(n);
+        let mut persisted = std::collections::HashSet::with_capacity(entries.len());
+        for (key, solution) in entries {
+            let cell: Arc<SolveCell> = Arc::default();
+            cell.set((STORE_SCOPE, solution))
+                .unwrap_or_else(|_| unreachable!("fresh cell"));
+            let shard = cache.shard_of(&key);
+            persisted.insert(key.clone());
+            cache.shards[shard]
+                .lock()
+                .expect("cache poisoned")
+                .insert(key, cell);
+        }
+        cache.store = Some(StoreLayer {
+            store,
+            load_stats,
+            persisted: Mutex::new(persisted),
+        });
+        Ok(cache)
+    }
+
+    /// The load-time accounting of the disk store (`None` for a store-less
+    /// cache): entries hydrated, corrupt records skipped, segments rejected.
+    pub fn store_load_stats(&self) -> Option<&StoreLoadStats> {
+        self.store.as_ref().map(|s| &s.load_stats)
+    }
+
+    /// The store directory, when this cache is store-backed.
+    pub fn store_dir(&self) -> Option<&std::path::Path> {
+        self.store.as_ref().map(|s| s.store.dir())
+    }
+
+    /// Persist every structure solved since the store was opened (or last
+    /// flushed) as one new segment file; entries that came *from* the store
+    /// are never rewritten.  A no-op returning `appended: 0` for a store-less
+    /// cache or when there is nothing new.  Also runs best-effort on drop, so
+    /// a `with_store` session persists its misses even without an explicit
+    /// call — long-lived caches (e.g. [`global_solve_cache`]) should flush
+    /// explicitly at session boundaries instead.
+    pub fn flush_store(&self) -> std::io::Result<StoreFlushStats> {
+        let Some(layer) = &self.store else {
+            return Ok(StoreFlushStats::default());
+        };
+        // Collect solved-here entries not yet on disk.  Holding only one
+        // stripe lock at a time; the `persisted` set is the cross-flush
+        // dedup, so two concurrent flushes may at worst both write a key —
+        // harmless under last-writer-wins (the records are identical).
+        let mut fresh: Vec<crate::store::StoreEntry> = Vec::new();
+        {
+            let persisted = layer.persisted.lock().expect("store state poisoned");
+            for shard in &self.shards {
+                let map = shard.lock().expect("cache poisoned");
+                for (key, cell) in map.iter() {
+                    if let Some((scope, solution)) = cell.get() {
+                        if *scope != STORE_SCOPE && !persisted.contains(key) {
+                            fresh.push((key.clone(), solution.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        if fresh.is_empty() {
+            return Ok(StoreFlushStats::default());
+        }
+        let refs: Vec<(&CanonicalKey, &Result<CanonicalSolution, AnalysisError>)> = fresh
+            .iter()
+            .map(|(key, solution)| (key, solution))
+            .collect();
+        let segment = layer.store.append(&refs)?;
+        let mut persisted = layer.persisted.lock().expect("store state poisoned");
+        let appended = fresh.len();
+        for (key, _) in fresh {
+            persisted.insert(key);
+        }
+        Ok(StoreFlushStats {
+            appended,
+            segment: Some(segment),
+        })
     }
 
     /// The number of lock stripes.
@@ -595,7 +805,9 @@ impl SolveCache {
             if max_form {
                 self.bump(local, |c| &c.max_hits, 1);
             }
-            if *solver_scope != scope {
+            if *solver_scope == STORE_SCOPE {
+                self.bump(local, |c| &c.store_hits, 1);
+            } else if *solver_scope != scope {
                 self.bump(local, |c| &c.cross_program_hits, 1);
             }
         }
@@ -949,6 +1161,94 @@ mod tests {
         assert!(matches!(second, Err(AnalysisError::NoInputs(ref n)) if n == "second"));
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn shard_override_parses_and_clamps() {
+        assert_eq!(parse_cache_shards("1"), Some(1));
+        assert_eq!(parse_cache_shards(" 8 "), Some(8));
+        // Non-powers of two clamp up to the next power of two.
+        assert_eq!(parse_cache_shards("3"), Some(4));
+        assert_eq!(parse_cache_shards("12"), Some(16));
+        // Absurd values cap at MAX_CACHE_SHARDS — including ones whose
+        // next_power_of_two would overflow usize.
+        assert_eq!(parse_cache_shards("1000000"), Some(MAX_CACHE_SHARDS));
+        assert_eq!(
+            parse_cache_shards("18446744073709551615"),
+            Some(MAX_CACHE_SHARDS)
+        );
+        // Invalid values are rejected, not guessed at.
+        assert_eq!(parse_cache_shards("0"), None);
+        assert_eq!(parse_cache_shards("-4"), None);
+        assert_eq!(parse_cache_shards("sixteen"), None);
+        assert_eq!(parse_cache_shards(""), None);
+    }
+
+    #[test]
+    fn store_backed_cache_round_trips_and_counts_store_hits() {
+        let dir = std::env::temp_dir().join(format!("soap-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let model = mmm_model("first", ["i", "j", "k"]);
+        let cold_result = {
+            let cold = SolveCache::with_store(&dir).expect("store opens");
+            assert_eq!(cold.store_load_stats().unwrap().entries, 0);
+            let result = cold.solve(&model).unwrap();
+            let flush = cold.flush_store().expect("flush succeeds");
+            assert_eq!(flush.appended, 1);
+            // A second flush has nothing new.
+            assert_eq!(cold.flush_store().unwrap().appended, 0);
+            result
+        };
+        // Fresh "process": hydrate from disk, solve a renamed twin.
+        let warm = SolveCache::with_store(&dir).expect("store reopens");
+        assert_eq!(warm.store_load_stats().unwrap().entries, 1);
+        let renamed = mmm_model("renamed", ["p", "q", "r"]);
+        let hit = warm.solve(&renamed).unwrap();
+        let stats = warm.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.cross_program_hits, 0);
+        assert_eq!(hit.sigma, cold_result.sigma);
+        assert_eq!(hit.chi_coeff.to_bits(), cold_result.chi_coeff.to_bits());
+        assert_eq!(format!("{}", hit.rho), format!("{}", cold_result.rho));
+        for ((_, c_cold), (_, c_hit)) in cold_result.tile_coeffs.iter().zip(&hit.tile_coeffs) {
+            assert_eq!(c_cold.to_bits(), c_hit.to_bits());
+        }
+        // Dropping the warm cache (which solved nothing) adds no segment.
+        let segments_before = warm.store_dir().map(|d| d.to_path_buf()).unwrap();
+        drop(warm);
+        let store = SolveStore::open(segments_before).unwrap();
+        assert_eq!(store.segment_files().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_failures_persist_too() {
+        let dir = std::env::temp_dir().join(format!("soap-cache-fail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let failing = AccessModel {
+            name: "failing".into(),
+            tile_variables: vec![tile_var("i")],
+            objective: dv("i"),
+            dominator: Expr::zero(),
+            access_index_sets: vec![],
+        };
+        {
+            let cold = SolveCache::with_store(&dir).unwrap();
+            assert!(cold.solve(&failing).is_err());
+            assert_eq!(cold.flush_store().unwrap().appended, 1);
+        }
+        let warm = SolveCache::with_store(&dir).unwrap();
+        let mut renamed = failing.clone();
+        renamed.name = "renamed".into();
+        renamed.tile_variables = vec![tile_var("q")];
+        renamed.objective = dv("q");
+        let err = warm.solve(&renamed);
+        assert!(matches!(err, Err(AnalysisError::NoInputs(ref n)) if n == "renamed"));
+        let stats = warm.stats();
+        assert_eq!((stats.misses, stats.store_hits), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! structurally identical merged models (canonical key modulo variable
 //! renaming, see [`cache`]) are solved once and answered from a shared,
 //! sharded cache — which [`batch`] extends across whole *suites* of
-//! programs, deduplicating renamed structures program-to-program.
+//! programs, deduplicating renamed structures program-to-program, and
+//! [`store`] extends across *processes* by persisting canonical solutions to
+//! disk (warm runs re-solve nothing and reproduce cold output byte-for-byte).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -29,6 +31,7 @@ pub mod batch;
 pub mod cache;
 pub mod graph;
 pub mod merge;
+pub mod store;
 pub mod subgraphs;
 
 pub use analysis::{
@@ -39,8 +42,10 @@ pub use batch::{
     analyze_suite, analyze_suite_with, BatchAnalysis, ProgramReport, SuiteProgram, SuiteSummary,
 };
 pub use cache::{
-    canonicalize, global_solve_cache, CacheSession, CacheStats, CanonicalKey, SolveCache,
+    cache_shards_from_env, canonicalize, global_solve_cache, parse_cache_shards, CacheSession,
+    CacheStats, CanonicalKey, SolveCache, DEFAULT_CACHE_SHARDS, MAX_CACHE_SHARDS,
 };
 pub use graph::{Sdg, SdgEdge};
 pub use merge::merged_model;
+pub use store::{SolveStore, StoreFlushStats, StoreLoadStats, STORE_HEADER};
 pub use subgraphs::{enumerate_connected_subgraphs, SubgraphEnumeration};

@@ -1,0 +1,726 @@
+//! Disk-persisted canonical-solution store: the solve cache, across processes.
+//!
+//! PR 4 made every solve a pure function of its [`CanonicalKey`] — the
+//! canonical structure modulo variable renaming — which is exactly the
+//! property that makes *cross-process* reuse sound: a stored canonical
+//! solution is valid for any isomorphic model in any later process, and
+//! instantiating it reproduces the solver's output byte-for-byte (exact
+//! rationals; floats persisted as raw bit patterns, so even NaN payloads
+//! survive).  [`SolveStore`] persists the `CanonicalKey → canonical solution`
+//! map of a [`SolveCache`](crate::SolveCache) into a directory of append-only
+//! **segment files**, so the 163 distinct structures of the 38-kernel
+//! registry are solved once per *store*, not once per process.
+//!
+//! ## On-disk format (`soap-solve-store/1`)
+//!
+//! A store is a directory of segment files named
+//! `seg-<nanos>-<pid>-<seq>.soapstore`.  Each segment is line-oriented text:
+//!
+//! ```text
+//! soap-solve-store/1                          ← format-version header
+//! <16-hex fnv1a-64> <record JSON>\n           ← one record per line
+//! ...
+//! ```
+//!
+//! * **Versioned**: the header names the format; a segment with any other
+//!   header is rejected whole (counted, never a panic), so a future format
+//!   bump cannot be misread as garbage records.
+//! * **Integrity-checked per record**: the leading FNV-1a-64 digest covers
+//!   the record's JSON payload; a truncated or bit-flipped line fails the
+//!   check and is skipped with a counted note while the rest of the segment
+//!   still loads — the failure mode of a crashed writer is a short final
+//!   line, not a poisoned store.
+//! * **Last-writer-wins merge**: every flush writes a *new* uniquely named
+//!   segment (never appends into another process's file), and the loader
+//!   folds segments in filename order (timestamp-prefixed), later records
+//!   overwriting earlier ones per key.  Concurrent processes sharing one
+//!   store directory therefore converge to the union of their solves; for
+//!   records produced by this workspace the duplicates are byte-identical
+//!   anyway (solutions are pure functions of the key).
+//!
+//! Records store the full solve outcome, *including failures*: a structure
+//! that failed to solve fails identically in every process, and persisting
+//! the failure is what lets a warm run report zero misses.
+
+use crate::cache::{
+    CanonicalAtom, CanonicalDominator, CanonicalKey, CanonicalRow, CanonicalSolution,
+};
+use serde::{DeError, Deserialize, Serialize, Value};
+use soap_core::AnalysisError;
+use soap_symbolic::{Expr, Rational};
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The format-version header every segment of the current format starts with.
+pub const STORE_HEADER: &str = "soap-solve-store/1";
+
+/// File-name extension of segment files.
+const SEGMENT_EXT: &str = "soapstore";
+
+/// One persisted entry: the canonical key and the stored solve outcome.
+pub(crate) type StoreEntry = (CanonicalKey, Result<CanonicalSolution, AnalysisError>);
+
+/// Accounting of one store load (hydration at
+/// [`SolveCache::with_store`](crate::SolveCache::with_store) open, or a
+/// [`SolveStore::stat`] inspection pass).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreLoadStats {
+    /// Segment files read successfully.
+    pub segments: usize,
+    /// Segment files rejected whole (unreadable, or format-version mismatch).
+    pub segments_rejected: usize,
+    /// Valid records read (counting later duplicates of the same key).
+    pub records: usize,
+    /// Records skipped by the per-record integrity check or record parse
+    /// (truncated tail of a crashed writer, bit rot, hand-edited files).
+    pub records_skipped: usize,
+    /// Distinct keys after the last-writer-wins merge.
+    pub entries: usize,
+    /// Total size of all segment files in bytes.
+    pub bytes: u64,
+    /// Human-readable notes for everything counted in
+    /// `segments_rejected`/`records_skipped` (one note per affected segment).
+    pub notes: Vec<String>,
+}
+
+/// Accounting of one [`SolveCache::flush_store`](crate::SolveCache::flush_store).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreFlushStats {
+    /// Entries persisted by this flush (0 when everything was already stored).
+    pub appended: usize,
+    /// The segment file written, when `appended > 0`.
+    pub segment: Option<PathBuf>,
+}
+
+/// A canonical-solution store directory.  See the module docs for the format.
+#[derive(Debug)]
+pub struct SolveStore {
+    dir: PathBuf,
+}
+
+/// Process-wide sequence number making segment names unique even when two
+/// flushes — possibly from *different* `SolveStore` instances over the same
+/// directory — land in the same `SystemTime` tick.  A per-instance counter
+/// would let two instances compute the identical segment name and the later
+/// rename silently replace the earlier segment.
+static SEGMENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl SolveStore {
+    /// Open (creating if necessary) a store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SolveStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SolveStore { dir })
+    }
+
+    /// Open a store directory that must already exist — for inspection
+    /// tooling (`soap-cli cache stat|list|clear`), where auto-creating the
+    /// directory would turn a typo'd path into a convincing empty store
+    /// instead of an error.
+    pub fn open_existing(dir: impl Into<PathBuf>) -> io::Result<SolveStore> {
+        let dir = dir.into();
+        if !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("store directory {} does not exist", dir.display()),
+            ));
+        }
+        Ok(SolveStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// All segment files of the store, in load order (sorted by file name —
+    /// names are timestamp-prefixed, so this is write order up to clock skew,
+    /// which the last-writer-wins merge tolerates).
+    pub fn segment_files(&self) -> io::Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXT)
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("seg-"))
+            })
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Load every segment, folding records with the last-writer-wins merge.
+    pub(crate) fn load(&self) -> io::Result<(Vec<StoreEntry>, StoreLoadStats)> {
+        let mut stats = StoreLoadStats::default();
+        let mut merged: HashMap<CanonicalKey, Result<CanonicalSolution, AnalysisError>> =
+            HashMap::new();
+        for path in self.segment_files()? {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    stats.segments_rejected += 1;
+                    stats.notes.push(format!("segment {name}: unreadable: {e}"));
+                    continue;
+                }
+            };
+            stats.bytes += text.len() as u64;
+            let mut lines = text.lines();
+            match lines.next() {
+                Some(STORE_HEADER) => {}
+                Some(other) if other.starts_with("soap-solve-store/") => {
+                    stats.segments_rejected += 1;
+                    stats.notes.push(format!(
+                        "segment {name}: format-version mismatch (found '{other}', expected '{STORE_HEADER}'); segment ignored"
+                    ));
+                    continue;
+                }
+                _ => {
+                    stats.segments_rejected += 1;
+                    stats.notes.push(format!(
+                        "segment {name}: missing '{STORE_HEADER}' header; segment ignored"
+                    ));
+                    continue;
+                }
+            }
+            stats.segments += 1;
+            let mut skipped_here = 0usize;
+            for line in lines {
+                if line.is_empty() {
+                    continue;
+                }
+                match decode_record(line) {
+                    Some((key, sol)) => {
+                        stats.records += 1;
+                        merged.insert(key, sol);
+                    }
+                    None => skipped_here += 1,
+                }
+            }
+            if skipped_here > 0 {
+                stats.records_skipped += skipped_here;
+                stats.notes.push(format!(
+                    "segment {name}: {skipped_here} corrupt/truncated record(s) skipped (integrity check or parse failure)"
+                ));
+            }
+        }
+        stats.entries = merged.len();
+        Ok((merged.into_iter().collect(), stats))
+    }
+
+    /// Load-time accounting without keeping the entries (for `cache stat`).
+    pub fn stat(&self) -> io::Result<StoreLoadStats> {
+        self.load().map(|(_, stats)| stats)
+    }
+
+    /// Persist entries as one new segment file.  Returns the segment path.
+    ///
+    /// The segment is staged under a dot-prefixed temp name and renamed into
+    /// place, so concurrent loaders never observe a half-written segment
+    /// under its final name (a crash mid-write leaves only an ignorable temp
+    /// file behind).
+    pub(crate) fn append(
+        &self,
+        entries: &[(&CanonicalKey, &Result<CanonicalSolution, AnalysisError>)],
+    ) -> io::Result<PathBuf> {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let name = format!(
+            "seg-{nanos:020}-{}-{:04}.{SEGMENT_EXT}",
+            std::process::id(),
+            SEGMENT_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let tmp = self.dir.join(format!(".tmp-{name}"));
+        let path = self.dir.join(&name);
+        // Deterministic record order within a segment (callers often walk a
+        // HashMap, whose order is arbitrary): sort the encoded lines.  Record
+        // order never affects the merge result — keys within one segment are
+        // distinct — it only keeps identical caches producing identical
+        // segment bytes.
+        let mut lines: Vec<String> = entries
+            .iter()
+            .map(|(key, sol)| encode_record(key, sol))
+            .collect();
+        lines.sort();
+        let mut text = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>() + 32);
+        text.push_str(STORE_HEADER);
+        text.push('\n');
+        for line in &lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Delete all segment files (and stale temp files).  Returns how many
+    /// segments were removed.  The directory itself is kept.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0usize;
+        for path in self.segment_files()? {
+            std::fs::remove_file(&path)?;
+            removed += 1;
+        }
+        for entry in std::fs::read_dir(&self.dir)?.filter_map(|e| e.ok()) {
+            let p = entry.path();
+            let is_tmp = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(".tmp-seg-"));
+            if is_tmp {
+                std::fs::remove_file(&p)?;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+// --- record codec -----------------------------------------------------------
+//
+// One record per line: `<16-hex fnv1a-64 of payload> <payload JSON>`.  The
+// payload reuses the workspace serde stand-in's `Value` model; floats that
+// must stay byte-identical across the round trip (`chi_coeff`, the tile
+// coefficients) are stored as raw `f64::to_bits` integers, exact `i128`
+// rationals as `[num, den]` pairs, and `ρ`/`X₀` in `Expr`'s existing serde
+// wire format.
+
+/// FNV-1a 64-bit digest (offset basis `0xcbf29ce484222325`, prime
+/// `0x100000001b3`) — tiny, dependency-free, and ample as a corruption (not
+/// security) check.  Must match the standard constants exactly: the format
+/// docs name FNV-1a-64, so an external tool computing the real thing has to
+/// agree with every committed store.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Encode one record line (without the trailing newline).
+pub(crate) fn encode_record(
+    key: &CanonicalKey,
+    sol: &Result<CanonicalSolution, AnalysisError>,
+) -> String {
+    let payload = Value::Object(vec![
+        ("key".to_string(), key_to_value(key)),
+        ("sol".to_string(), solution_to_value(sol)),
+    ]);
+    let json = serde_json::to_string(&payload).expect("record serializes");
+    format!("{:016x} {json}", fnv1a64(json.as_bytes()))
+}
+
+/// Decode one record line; `None` on any integrity or shape failure.
+pub(crate) fn decode_record(line: &str) -> Option<StoreEntry> {
+    let (digest, json) = line.split_once(' ')?;
+    let expected = u64::from_str_radix(digest, 16).ok()?;
+    if digest.len() != 16 || fnv1a64(json.as_bytes()) != expected {
+        return None;
+    }
+    let payload: Value = serde_json::from_str(json).ok()?;
+    let key = key_from_value(payload.get("key")?).ok()?;
+    let sol = solution_from_value(payload.get("sol")?).ok()?;
+    Some((key, sol))
+}
+
+fn rational_to_value(r: Rational) -> Value {
+    Value::Array(vec![Value::Int(r.numer()), Value::Int(r.denom())])
+}
+
+fn rational_from_value(v: &Value) -> Result<Rational, DeError> {
+    let [num, den] = v
+        .as_array()
+        .and_then(|a| <&[Value; 2]>::try_from(a).ok())
+        .ok_or_else(|| DeError::msg("rational: expected [num, den]"))?;
+    let num = num
+        .as_i128()
+        .ok_or_else(|| DeError::msg("rational: non-integer numerator"))?;
+    let den = den
+        .as_i128()
+        .filter(|&d| d != 0)
+        .ok_or_else(|| DeError::msg("rational: bad denominator"))?;
+    Ok(Rational::new(num, den))
+}
+
+/// `f64` as its raw bit pattern: the only representation that survives the
+/// text round trip bit-exactly for every value, including NaN payloads and
+/// signed zeros (the JSON layer would flatten non-finite floats to `null`).
+fn f64_to_value(x: f64) -> Value {
+    Value::Int(i128::from(x.to_bits()))
+}
+
+fn f64_from_value(v: &Value) -> Result<f64, DeError> {
+    let bits = v
+        .as_i128()
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| DeError::msg("float: expected u64 bit pattern"))?;
+    Ok(f64::from_bits(bits))
+}
+
+fn rows_to_value(rows: &[CanonicalRow]) -> Value {
+    Value::Array(
+        rows.iter()
+            .map(|(exps, coeff)| Value::Array(vec![exps.to_value(), rational_to_value(*coeff)]))
+            .collect(),
+    )
+}
+
+fn rows_from_value(v: &Value) -> Result<Vec<CanonicalRow>, DeError> {
+    v.as_array()
+        .ok_or_else(|| DeError::msg("rows: expected array"))?
+        .iter()
+        .map(|row| {
+            let [exps, coeff] = row
+                .as_array()
+                .and_then(|a| <&[Value; 2]>::try_from(a).ok())
+                .ok_or_else(|| DeError::msg("row: expected [exps, rational]"))?;
+            Ok((Vec::<i16>::from_value(exps)?, rational_from_value(coeff)?))
+        })
+        .collect()
+}
+
+fn key_to_value(key: &CanonicalKey) -> Value {
+    let dominator = match &key.dominator {
+        CanonicalDominator::Pure(rows) => {
+            Value::Object(vec![("Pure".to_string(), rows_to_value(rows))])
+        }
+        CanonicalDominator::Max { terms, atoms } => {
+            let terms = Value::Array(
+                terms
+                    .iter()
+                    .map(|(exps, coeff, atom_ids)| {
+                        Value::Array(vec![
+                            exps.to_value(),
+                            rational_to_value(*coeff),
+                            atom_ids.to_value(),
+                        ])
+                    })
+                    .collect(),
+            );
+            let atoms = Value::Array(
+                atoms
+                    .iter()
+                    .map(|a| {
+                        Value::Object(vec![
+                            ("min".to_string(), Value::Bool(a.is_min)),
+                            (
+                                "branches".to_string(),
+                                Value::Array(a.branches.iter().map(|b| rows_to_value(b)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            Value::Object(vec![(
+                "Max".to_string(),
+                Value::Object(vec![
+                    ("terms".to_string(), terms),
+                    ("atoms".to_string(), atoms),
+                ]),
+            )])
+        }
+    };
+    Value::Object(vec![
+        ("n".to_string(), key.n_vars.to_value()),
+        ("obj".to_string(), rows_to_value(&key.objective)),
+        ("dom".to_string(), dominator),
+    ])
+}
+
+fn key_from_value(v: &Value) -> Result<CanonicalKey, DeError> {
+    let n_vars = usize::from_value(v.get("n").ok_or_else(|| DeError::msg("key: missing 'n'"))?)?;
+    let objective = rows_from_value(
+        v.get("obj")
+            .ok_or_else(|| DeError::msg("key: missing 'obj'"))?,
+    )?;
+    let dom = v
+        .get("dom")
+        .ok_or_else(|| DeError::msg("key: missing 'dom'"))?;
+    let dominator = if let Some(rows) = dom.get("Pure") {
+        CanonicalDominator::Pure(rows_from_value(rows)?)
+    } else if let Some(max) = dom.get("Max") {
+        let terms = max
+            .get("terms")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DeError::msg("key: Max missing 'terms'"))?
+            .iter()
+            .map(|t| {
+                let [exps, coeff, atom_ids] = t
+                    .as_array()
+                    .and_then(|a| <&[Value; 3]>::try_from(a).ok())
+                    .ok_or_else(|| DeError::msg("key: Max term shape"))?;
+                Ok((
+                    Vec::<i16>::from_value(exps)?,
+                    rational_from_value(coeff)?,
+                    Vec::<u32>::from_value(atom_ids)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, DeError>>()?;
+        let atoms = max
+            .get("atoms")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DeError::msg("key: Max missing 'atoms'"))?
+            .iter()
+            .map(|a| {
+                let is_min = bool::from_value(
+                    a.get("min")
+                        .ok_or_else(|| DeError::msg("key: atom missing 'min'"))?,
+                )?;
+                let branches = a
+                    .get("branches")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| DeError::msg("key: atom missing 'branches'"))?
+                    .iter()
+                    .map(rows_from_value)
+                    .collect::<Result<Vec<_>, DeError>>()?;
+                Ok(CanonicalAtom { is_min, branches })
+            })
+            .collect::<Result<Vec<_>, DeError>>()?;
+        CanonicalDominator::Max { terms, atoms }
+    } else {
+        return Err(DeError::msg("key: dominator is neither Pure nor Max"));
+    };
+    let key = CanonicalKey {
+        n_vars,
+        objective,
+        dominator,
+    };
+    // Shape validation: a record whose matrices disagree with `n` would
+    // poison the cache with a key no live model can produce.
+    let row_ok = |rows: &[CanonicalRow]| rows.iter().all(|(e, _)| e.len() == n_vars);
+    let shape_ok = row_ok(&key.objective)
+        && match &key.dominator {
+            CanonicalDominator::Pure(rows) => row_ok(rows),
+            CanonicalDominator::Max { terms, atoms } => {
+                terms.iter().all(|(e, _, ids)| {
+                    e.len() == n_vars && ids.iter().all(|&j| (j as usize) < atoms.len())
+                }) && atoms.iter().all(|a| a.branches.iter().all(|b| row_ok(b)))
+            }
+        };
+    if !shape_ok {
+        return Err(DeError::msg("key: matrix shape disagrees with 'n'"));
+    }
+    Ok(key)
+}
+
+fn error_to_value(e: &AnalysisError) -> Value {
+    let (tag, msg) = match e {
+        AnalysisError::InvalidStatement(m) => ("InvalidStatement", m),
+        AnalysisError::NoInputs(m) => ("NoInputs", m),
+        AnalysisError::NumericalFailure(m) => ("NumericalFailure", m),
+    };
+    Value::Object(vec![(tag.to_string(), Value::Str(msg.clone()))])
+}
+
+fn error_from_value(v: &Value) -> Result<AnalysisError, DeError> {
+    let Value::Object(fields) = v else {
+        return Err(DeError::msg("error: expected single-key object"));
+    };
+    let [(tag, payload)] = fields.as_slice() else {
+        return Err(DeError::msg("error: expected exactly one variant"));
+    };
+    let msg = String::from_value(payload)?;
+    match tag.as_str() {
+        "InvalidStatement" => Ok(AnalysisError::InvalidStatement(msg)),
+        "NoInputs" => Ok(AnalysisError::NoInputs(msg)),
+        "NumericalFailure" => Ok(AnalysisError::NumericalFailure(msg)),
+        other => Err(DeError::msg(format!("error: unknown variant '{other}'"))),
+    }
+}
+
+fn solution_to_value(sol: &Result<CanonicalSolution, AnalysisError>) -> Value {
+    match sol {
+        Ok(s) => Value::Object(vec![(
+            "Ok".to_string(),
+            Value::Object(vec![
+                ("sigma".to_string(), rational_to_value(s.sigma)),
+                ("chi".to_string(), f64_to_value(s.chi_coeff)),
+                ("rho".to_string(), s.rho.to_value()),
+                ("x0".to_string(), s.x0.to_value()),
+                (
+                    "exps".to_string(),
+                    Value::Array(
+                        s.tile_exponents
+                            .iter()
+                            .map(|r| rational_to_value(*r))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "coeffs".to_string(),
+                    Value::Array(s.tile_coeffs.iter().map(|c| f64_to_value(*c)).collect()),
+                ),
+            ]),
+        )]),
+        Err(e) => Value::Object(vec![("Err".to_string(), error_to_value(e))]),
+    }
+}
+
+fn solution_from_value(v: &Value) -> Result<Result<CanonicalSolution, AnalysisError>, DeError> {
+    if let Some(err) = v.get("Err") {
+        return Ok(Err(error_from_value(err)?));
+    }
+    let s = v
+        .get("Ok")
+        .ok_or_else(|| DeError::msg("solution: expected Ok or Err"))?;
+    let field = |name: &str| {
+        s.get(name)
+            .ok_or_else(|| DeError::msg(format!("solution: missing '{name}'")))
+    };
+    let tile_exponents = field("exps")?
+        .as_array()
+        .ok_or_else(|| DeError::msg("solution: 'exps' not an array"))?
+        .iter()
+        .map(rational_from_value)
+        .collect::<Result<Vec<_>, DeError>>()?;
+    let tile_coeffs = field("coeffs")?
+        .as_array()
+        .ok_or_else(|| DeError::msg("solution: 'coeffs' not an array"))?
+        .iter()
+        .map(f64_from_value)
+        .collect::<Result<Vec<_>, DeError>>()?;
+    if tile_exponents.len() != tile_coeffs.len() {
+        return Err(DeError::msg("solution: exps/coeffs length mismatch"));
+    }
+    Ok(Ok(CanonicalSolution {
+        sigma: rational_from_value(field("sigma")?)?,
+        chi_coeff: f64_from_value(field("chi")?)?,
+        rho: Expr::from_value(field("rho")?)?,
+        x0: Option::<Expr>::from_value(field("x0")?)?,
+        tile_exponents,
+        tile_coeffs,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::canonicalize;
+    use soap_core::AccessModel;
+
+    fn sample_key(max_form: bool) -> CanonicalKey {
+        let dv = |v: &str| Expr::sym(v);
+        let dominator = if max_form {
+            dv("a")
+                .mul(dv("b"))
+                .max(dv("a").mul(dv("c")))
+                .add(dv("b").mul(dv("c")))
+        } else {
+            dv("a").mul(dv("b")).add(dv("b").mul(dv("c")))
+        };
+        canonicalize(&AccessModel {
+            name: "t".into(),
+            tile_variables: vec!["a".into(), "b".into(), "c".into()],
+            objective: dv("a").mul(dv("b")).mul(dv("c")),
+            dominator,
+            access_index_sets: vec![],
+        })
+        .expect("cacheable")
+        .key
+    }
+
+    fn sample_solution() -> CanonicalSolution {
+        CanonicalSolution {
+            sigma: Rational::new(3, 2),
+            chi_coeff: 2.0_f64.sqrt() * 0.1234567891234567,
+            rho: Expr::sym("S").pow(Rational::new(1, 2)).mul(Expr::int(2)),
+            x0: Some(Expr::int(3).mul(Expr::sym("S"))),
+            tile_exponents: vec![Rational::new(1, 2); 3],
+            tile_coeffs: vec![0.5, f64::NAN, -0.0],
+        }
+    }
+
+    #[test]
+    fn fnv1a64_matches_the_published_test_vectors() {
+        // Standard FNV-1a-64 vectors (Noll's reference tables): the on-disk
+        // format names this hash, so external tooling must reproduce it.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        for max_form in [false, true] {
+            let key = sample_key(max_form);
+            let line = encode_record(&key, &Ok(sample_solution()));
+            let (back_key, back_sol) = decode_record(&line).expect("decodes");
+            assert_eq!(back_key, key);
+            let sol = back_sol.expect("ok solution");
+            let orig = sample_solution();
+            assert_eq!(sol.sigma, orig.sigma);
+            assert_eq!(sol.chi_coeff.to_bits(), orig.chi_coeff.to_bits());
+            assert_eq!(format!("{}", sol.rho), format!("{}", orig.rho));
+            assert_eq!(
+                sol.x0.map(|e| format!("{e}")),
+                orig.x0.map(|e| format!("{e}"))
+            );
+            assert_eq!(sol.tile_exponents, orig.tile_exponents);
+            for (a, b) in sol.tile_coeffs.iter().zip(&orig.tile_coeffs) {
+                // Bit compare: NaN and -0.0 must survive the text round trip.
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn failures_round_trip() {
+        let key = sample_key(false);
+        let err = AnalysisError::NumericalFailure("model t: diverged".into());
+        let line = encode_record(&key, &Err(err.clone()));
+        let (_, back) = decode_record(&line).expect("decodes");
+        assert_eq!(back.err(), Some(err));
+    }
+
+    #[test]
+    fn corrupt_lines_are_rejected_not_panicked() {
+        let key = sample_key(true);
+        let line = encode_record(&key, &Ok(sample_solution()));
+        // Truncation anywhere in the line fails the digest.
+        for cut in [1, 17, line.len() / 2, line.len() - 1] {
+            assert!(decode_record(&line[..cut]).is_none(), "cut at {cut}");
+        }
+        // A flipped payload byte fails the digest.
+        let mut flipped = line.clone().into_bytes();
+        let last = flipped.len() - 2;
+        flipped[last] ^= 0x01;
+        assert!(decode_record(std::str::from_utf8(&flipped).unwrap()).is_none());
+        // A well-formed digest over a garbage payload fails the parse.
+        let garbage = format!("{:016x} {{\"key\":1}}", fnv1a64(b"{\"key\":1}"));
+        assert!(decode_record(&garbage).is_none());
+        assert!(decode_record("").is_none());
+        assert!(decode_record("nonsense").is_none());
+    }
+
+    #[test]
+    fn store_clear_removes_segments() {
+        let dir = std::env::temp_dir().join(format!("soap-store-clear-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SolveStore::open(&dir).unwrap();
+        let key = sample_key(false);
+        let sol = Ok(sample_solution());
+        store.append(&[(&key, &sol)]).unwrap();
+        store.append(&[(&key, &sol)]).unwrap();
+        assert_eq!(store.segment_files().unwrap().len(), 2);
+        let stats = store.stat().unwrap();
+        assert_eq!((stats.segments, stats.records, stats.entries), (2, 2, 1));
+        assert_eq!(store.clear().unwrap(), 2);
+        assert!(store.segment_files().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,222 @@
+//! Disk-store integration tests: cold solve → flush → fresh-process reload
+//! must reproduce every result byte-identically (floats bit-compared), and
+//! the failure modes of real shared directories — truncated records from a
+//! crashed writer, future format versions, several processes flushing into
+//! one directory — must degrade to counted notes, never panics or wrong
+//! answers.
+
+use soap_kernels::registry;
+use soap_sdg::{
+    analyze_suite_with, SdgOptions, SolveCache, SolveStore, SuiteProgram, STORE_HEADER,
+};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soap-store-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The whole built-in registry with its Table-2 per-kernel options.
+fn registry_jobs() -> Vec<SuiteProgram> {
+    registry()
+        .into_iter()
+        .map(|entry| {
+            SuiteProgram::new(
+                entry.program,
+                SdgOptions {
+                    assume_injective: entry.assume_injective,
+                    ..SdgOptions::default()
+                },
+            )
+        })
+        .collect()
+}
+
+/// Jobs for a named subset of the registry (cheap fixtures for the
+/// corruption tests).
+fn jobs_for(names: &[&str]) -> Vec<SuiteProgram> {
+    registry_jobs()
+        .into_iter()
+        .filter(|j| names.contains(&j.name.as_str()))
+        .collect()
+}
+
+/// Populate a store at `dir` by batch-analyzing `jobs` cold; returns the
+/// number of structures persisted.
+fn seed_store(dir: &Path, jobs: &[SuiteProgram]) -> usize {
+    let cache = SolveCache::with_store(dir).expect("store opens");
+    analyze_suite_with(jobs, &cache);
+    cache.flush_store().expect("flush succeeds").appended
+}
+
+#[test]
+fn full_registry_round_trips_byte_identically() {
+    let dir = temp_dir("registry");
+    let jobs = registry_jobs();
+
+    let cold_cache = SolveCache::with_store(&dir).expect("store opens");
+    let cold = analyze_suite_with(&jobs, &cold_cache);
+    assert_eq!(cold.summary.failures, 0);
+    assert!(cold.summary.cache.misses > 0);
+    let flushed = cold_cache.flush_store().expect("flush succeeds").appended;
+    assert_eq!(flushed as u64, cold.summary.cache.misses);
+    drop(cold_cache);
+
+    // Fresh cache over the same directory — a simulated new process.
+    let warm_cache = SolveCache::with_store(&dir).expect("store reopens");
+    let load = warm_cache.store_load_stats().unwrap().clone();
+    assert_eq!(load.records_skipped, 0, "notes: {:?}", load.notes);
+    assert_eq!(load.segments_rejected, 0);
+    assert_eq!(load.entries, flushed);
+    let warm = analyze_suite_with(&jobs, &warm_cache);
+
+    // The acceptance bar: a warm run over the full registry re-solves
+    // nothing...
+    assert_eq!(warm.summary.cache.misses, 0, "{:?}", warm.summary.cache);
+    assert_eq!(warm.summary.cache.uncacheable, 0);
+    assert_eq!(warm.summary.cache.store_hits, warm.summary.cache.hits);
+
+    // ...and reproduces the cold output byte-for-byte, unsnapped floats
+    // included.
+    for (c, w) in cold.reports.iter().zip(&warm.reports) {
+        assert_eq!(c.name, w.name);
+        let (c, w) = (c.outcome.as_ref().unwrap(), w.outcome.as_ref().unwrap());
+        assert_eq!(format!("{}", c.bound), format!("{}", w.bound), "{}", c.name);
+        assert_eq!(c.notes, w.notes);
+        assert_eq!(c.subgraphs.len(), w.subgraphs.len());
+        for (sc, sw) in c.subgraphs.iter().zip(&w.subgraphs) {
+            assert_eq!(sc.arrays, sw.arrays);
+            assert_eq!(sc.intensity.sigma, sw.intensity.sigma);
+            assert_eq!(
+                sc.intensity.chi_coeff.to_bits(),
+                sw.intensity.chi_coeff.to_bits(),
+                "{}: chi_coeff drifted through the store",
+                c.name
+            );
+            assert_eq!(
+                format!("{}", sc.intensity.rho),
+                format!("{}", sw.intensity.rho)
+            );
+            assert_eq!(sc.intensity.tile_exponents, sw.intensity.tile_exponents);
+            for ((va, a), (vb, b)) in sc
+                .intensity
+                .tile_coeffs
+                .iter()
+                .zip(&sw.intensity.tile_coeffs)
+            {
+                assert_eq!(va, vb);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: tile coeff for {va} drifted through the store",
+                    c.name
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_record_is_skipped_with_a_counted_note() {
+    let dir = temp_dir("truncate");
+    let persisted = seed_store(&dir, &jobs_for(&["gemm", "mvt"]));
+    assert!(persisted >= 2);
+
+    // Simulate a crashed writer: chop the final record mid-line.
+    let store = SolveStore::open(&dir).unwrap();
+    let segment = store.segment_files().unwrap().pop().unwrap();
+    let text = std::fs::read_to_string(&segment).unwrap();
+    let cut = text.trim_end().len() - 40;
+    std::fs::write(&segment, &text[..cut]).unwrap();
+
+    let cache = SolveCache::with_store(&dir).expect("corrupt store still opens");
+    let load = cache.store_load_stats().unwrap();
+    assert_eq!(load.records_skipped, 1);
+    assert_eq!(load.entries, persisted - 1);
+    assert!(
+        load.notes
+            .iter()
+            .any(|n| n.contains("corrupt/truncated record(s) skipped")),
+        "notes: {:?}",
+        load.notes
+    );
+
+    // The surviving entries still answer; only the lost structure re-solves,
+    // and a flush heals the store.
+    let warm = analyze_suite_with(&jobs_for(&["gemm", "mvt"]), &cache);
+    assert_eq!(warm.summary.failures, 0);
+    assert_eq!(warm.summary.cache.misses, 1);
+    cache.flush_store().expect("flush heals");
+    drop(cache);
+    let healed = SolveCache::with_store(&dir).unwrap();
+    assert_eq!(healed.store_load_stats().unwrap().entries, persisted);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn format_version_mismatch_is_rejected_cleanly() {
+    let dir = temp_dir("version");
+    let persisted = seed_store(&dir, &jobs_for(&["gemm"]));
+
+    // A segment from a hypothetical future format, and one from something
+    // else entirely: both rejected whole, neither poisons the good segment.
+    std::fs::write(
+        dir.join("seg-99999999999999999999-1-0000.soapstore"),
+        "soap-solve-store/2\n0123456789abcdef {\"key\":\"from-the-future\"}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("seg-99999999999999999998-1-0000.soapstore"),
+        "not a store segment at all\n",
+    )
+    .unwrap();
+
+    let cache = SolveCache::with_store(&dir).expect("opens despite bad segments");
+    let load = cache.store_load_stats().unwrap();
+    assert_eq!(load.segments_rejected, 2);
+    assert_eq!(load.records_skipped, 0);
+    assert_eq!(load.entries, persisted);
+    assert!(
+        load.notes
+            .iter()
+            .any(|n| n.contains("format-version mismatch") && n.contains(STORE_HEADER)),
+        "notes: {:?}",
+        load.notes
+    );
+    assert!(load.notes.iter().any(|n| n.contains("missing")));
+    let warm = analyze_suite_with(&jobs_for(&["gemm"]), &cache);
+    assert_eq!(warm.summary.cache.misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_caches_flushing_into_one_directory_converge() {
+    let dir = temp_dir("merge");
+    // Two "processes" with overlapping workloads share the directory; both
+    // open *before* either flushes, so each solves its own full workload.
+    let cache_a = SolveCache::with_store(&dir).expect("store opens");
+    let cache_b = SolveCache::with_store(&dir).expect("store opens concurrently");
+    let jobs_a = jobs_for(&["gemm", "2mm"]);
+    let jobs_b = jobs_for(&["2mm", "mvt"]);
+    let a = analyze_suite_with(&jobs_a, &cache_a);
+    let b = analyze_suite_with(&jobs_b, &cache_b);
+    cache_a.flush_store().expect("A flushes");
+    cache_b.flush_store().expect("B flushes");
+    assert!(a.summary.cache.misses > 0 && b.summary.cache.misses > 0);
+
+    // A third process sees the union: the overlap (2mm's structures, written
+    // by both) merged last-writer-wins, and the whole combined suite runs
+    // without a single solve.
+    let merged = SolveCache::with_store(&dir).expect("merged store opens");
+    let load = merged.store_load_stats().unwrap();
+    assert_eq!(load.segments, 2);
+    assert_eq!(load.records_skipped, 0);
+    assert!(load.records > load.entries, "overlap written twice");
+    let both = analyze_suite_with(&jobs_for(&["gemm", "2mm", "mvt"]), &merged);
+    assert_eq!(both.summary.failures, 0);
+    assert_eq!(both.summary.cache.misses, 0, "{:?}", both.summary.cache);
+    assert_eq!(both.summary.cache.store_hits, both.summary.cache.hits);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -44,3 +44,51 @@ pub use opt::{
 pub use poly::{Monomial, Polynomial};
 pub use posy::{CompiledPosynomial, MaxPosynomial, MaxScratch};
 pub use rational::Rational;
+
+/// Total order on `f64` that sorts NaN *below* every number (including
+/// `-inf`), shared by every float sort in the workspace that must not panic
+/// or misbehave on a rogue NaN:
+///
+/// * the Theorem-1 intensity maximum in `soap-sdg` (a subgraph whose `ρ`
+///   failed to evaluate can never win the maximum),
+/// * the timing-sample sorts of the `perf` binary and the criterion stand-in,
+///   where a single NaN sample must not panic a whole bench run — under this
+///   order it sorts to the front, so it surfaces loudly as a NaN minimum in
+///   the printed stats instead of aborting them.
+///
+/// "Last" refers to preference: NaN loses every `max_by` under this order.
+/// This differs from `f64::total_cmp`, which sorts *negative* NaN below all
+/// numbers but positive NaN above them — under `total_cmp` a positive-NaN
+/// intensity would win the Theorem-1 maximum.
+pub fn nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
+    }
+}
+
+#[cfg(test)]
+mod nan_last_tests {
+    use super::nan_last;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn nan_sorts_below_everything() {
+        assert_eq!(nan_last(f64::NAN, f64::NEG_INFINITY), Ordering::Less);
+        assert_eq!(nan_last(f64::NEG_INFINITY, f64::NAN), Ordering::Greater);
+        assert_eq!(nan_last(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(nan_last(1.0, 2.0), Ordering::Less);
+        let mut v = [2.0, f64::NAN, 1.0, f64::INFINITY];
+        v.sort_by(|a, b| nan_last(*a, *b));
+        assert!(v[0].is_nan());
+        assert_eq!(&v[1..], &[1.0, 2.0, f64::INFINITY]);
+        // A max_by under this order can never be won by NaN.
+        let best = [1.0, f64::NAN, 3.0]
+            .into_iter()
+            .max_by(|a, b| nan_last(*a, *b))
+            .unwrap();
+        assert_eq!(best, 3.0);
+    }
+}
