@@ -5,6 +5,7 @@
 //! all-to-all worst case.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soap_bench::fixtures::skewed_hub;
 use soap_ir::{Program, ProgramBuilder};
 use soap_sdg::subgraphs::{enumerate_connected_subgraphs, enumerate_connected_subgraphs_naive};
 use soap_sdg::Sdg;
@@ -48,6 +49,10 @@ fn bench_enumeration(c: &mut Criterion) {
         ("chain35", chain(35), 4usize),
         ("dense16", dense(16), 4),
         ("dense20", dense(20), 3),
+        // One dominant seed component (a 14-array dense hub) among 40 cheap
+        // chain statements: the high-skew shape that separates self-scheduled
+        // workers from a static per-seed partition.
+        ("skew14x20", skewed_hub(14, 20), 3),
     ] {
         let sdg = Sdg::from_program(&program);
         group.bench_with_input(BenchmarkId::new("bitset", label), &sdg, |b, sdg| {

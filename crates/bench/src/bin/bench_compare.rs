@@ -16,6 +16,12 @@
 //! (`A<=R*B` asserts `median(A) ≤ R·median(B)`) — used to pin the
 //! whole-suite batch wall clock under the per-program sequential baseline
 //! recorded in the same run, where host noise cancels.
+//!
+//! `--base` is optional: without it the new snapshot doubles as its own
+//! baseline, making every cross-file ratio trivially 1.0 while
+//! `--require-within` guards still bite — the mode CI uses to assert
+//! intra-snapshot relations (e.g. thread-scaling wins) on a freshly
+//! generated file with no committed counterpart.
 
 use serde_json::Value;
 
@@ -116,7 +122,9 @@ fn main() {
         i += 1;
     }
     let new_path = new_path.expect("--new FILE is required");
-    let base_path = base_path.expect("--base FILE is required");
+    // Self-referential mode: with no baseline file every new/base ratio is
+    // 1.0 by construction, so only --require-within relations can fail.
+    let base_path = base_path.unwrap_or_else(|| new_path.clone());
     let new_report = load(&new_path);
     let base_report = load(&base_path);
 

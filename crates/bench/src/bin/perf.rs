@@ -12,14 +12,14 @@
 //! rewrite (the naive reference implements the seed's string-set algorithm).
 
 use serde_json::{json, Value};
-use soap_bench::fixtures::{chain_of_matmuls, dense_star};
+use soap_bench::fixtures::{chain_of_matmuls, dense_star, skewed_hub};
 use soap_bench::validation::{validate_kernel, ValidationCase};
 use soap_bench::{analyze_kernel, suite_program, suite_summary_record};
 use soap_pebbling::{min_dominator_size, Cdag, VertexKind};
 use soap_sdg::subgraphs::{enumerate_connected_subgraphs, enumerate_connected_subgraphs_naive};
 use soap_sdg::{
-    analyze_program_with, analyze_suite, analyze_suite_with, ProgramAnalysis, Sdg, SdgOptions,
-    SolveCache, SuiteProgram,
+    analyze_program_with, analyze_suite, analyze_suite_with, set_worker_budget, worker_budget,
+    ProgramAnalysis, Sdg, SdgOptions, SolveCache, SuiteProgram,
 };
 use soap_symbolic::{reset_solver_counters, solver_counters, KKT_HISTOGRAM_EDGES};
 use std::collections::BTreeMap;
@@ -41,6 +41,11 @@ fn solver_stats_record(name: &str, f: impl FnOnce() -> ProgramAnalysis) -> Value
         s.uncacheable,
         counters.kkt_iterations,
         counters.kkt_cap_hits,
+    );
+    let p = analysis.phases;
+    println!(
+        "    phases: enumerate {:>8.3} ms   merge {:>8.3} ms   instantiate {:>8.3} ms   solve {:>8.3} ms",
+        p.enumerate_ms, p.merge_ms, p.instantiate_ms, p.solve_ms
     );
     let histogram: Vec<Value> = KKT_HISTOGRAM_EDGES
         .iter()
@@ -72,6 +77,13 @@ fn solver_stats_record(name: &str, f: impl FnOnce() -> ProgramAnalysis) -> Value
         "kkt_cap_hits": s.kkt_cap_hits,
         "merge_failures": s.merge_failures,
         "solve_failures": s.solve_failures,
+        "panic_failures": s.panic_failures,
+        "phases": json!({
+            "enumerate_ms": p.enumerate_ms,
+            "merge_ms": p.merge_ms,
+            "instantiate_ms": p.instantiate_ms,
+            "solve_ms": p.solve_ms,
+        }),
         "solves": counters.solves,
         "compiled_solves": counters.compiled_solves,
         "max_form_solves": counters.max_form_solves,
@@ -197,6 +209,28 @@ fn main() {
         suite_stats_record = suite_summary_record(s);
     }
 
+    // --- thread_scaling: the registry suite at fixed worker budgets ---
+    // The same end-to-end batch run with the process-wide worker budget
+    // pinned to 1/2/4/8.  Output is byte-identical across budgets (the
+    // determinism tests pin that); only the wall clock may move, and only up
+    // to the host's core count — on a single-core host the family is flat.
+    {
+        let jobs: Vec<SuiteProgram> = soap_kernels::registry().iter().map(suite_program).collect();
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let prev = worker_budget();
+        for t in [1usize, 2, 4, 8] {
+            set_worker_budget(t);
+            let (median, min) = time_ms(reps, || {
+                analyze_suite(&jobs);
+            });
+            benches.push(record(&format!("thread_scaling/{t}"), median, min));
+        }
+        set_worker_budget(prev);
+        println!("thread_scaling: host has {host} core(s); budgets beyond that cannot help");
+    }
+
     // --- suite cold vs warm: the disk-persisted canonical-solution store ---
     // `registry_cold` opens an *empty* store, analyzes the whole registry and
     // flushes the solved structures to disk (the full first-process cost,
@@ -262,6 +296,9 @@ fn main() {
         ("chain35", chain_of_matmuls(35), 4usize),
         ("dense16", dense_star(16), 4),
         ("dense20", dense_star(20), 3),
+        // High skew: one dominant 14-array hub component among 40 cheap chain
+        // statements — the shape the self-scheduled workers exist for.
+        ("skew14x20", skewed_hub(14, 20), 3),
     ] {
         let sdg = Sdg::from_program(&program);
         let (bitset_median, _) = time_ms(reps, || {
@@ -341,7 +378,9 @@ fn main() {
         "subgraph_enumeration": json!(enumeration),
         "notes": json!([
             "naive_median_ms times enumerate_connected_subgraphs_naive, a faithful retention of the seed's BTreeSet<Vec<String>> algorithm, so the speedup column is the before/after of the bitset rewrite on the same build",
-            "absolute numbers are machine-dependent; compare ratios across records taken on the same host"
+            "absolute numbers are machine-dependent; compare ratios across records taken on the same host",
+            "thread_scaling/{t} runs the registry suite with the worker budget pinned to t; the family is flat on hosts with fewer cores than t, and output bytes are identical across budgets by construction",
+            "suite_stats.phases and solver_stats[].phases decompose analyses into enumerate/merge/instantiate/solve; the last three are summed across workers and can exceed wall clock on multi-threaded runs"
         ]),
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -44,6 +44,40 @@ pub fn dense_star(k: usize) -> Program {
     b.build().expect("dense builds")
 }
 
+/// A skewed SDG: a dense `hub`-statement cluster sharing one read-only input
+/// (every pair of hub arrays is adjacent, so one seed component generates
+/// almost all connected subsets) plus `tail` disjoint two-statement chains
+/// contributing almost none.  The imbalance workload for the self-scheduled
+/// enumeration: a static one-chunk-per-core split serializes behind the hub.
+pub fn skewed_hub(hub: usize, tail: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("skew{hub}x{tail}"));
+    for s in 0..hub {
+        let dst = format!("H{s}");
+        b = b.statement(move |st| {
+            st.loops(&[("i", "0", "N")])
+                .write(&dst, "i")
+                .read("HUB", "i")
+        });
+    }
+    for s in 0..tail {
+        let mid = format!("M{s}");
+        let src = format!("X{s}");
+        b = b.statement(move |st| {
+            st.loops(&[("i", "0", "N")])
+                .write(&mid, "i")
+                .read(&src, "i")
+        });
+        let mid_in = format!("M{s}");
+        let dst = format!("E{s}");
+        b = b.statement(move |st| {
+            st.loops(&[("i", "0", "N")])
+                .write(&dst, "i")
+                .read(&mid_in, "i")
+        });
+    }
+    b.build().expect("skewed hub builds")
+}
+
 /// The matrix-multiplication [`AccessModel`] over the given tile-variable
 /// names: χ = D₀·D₁·D₂, g = D₀·D₂ + D₂·D₁ + D₀·D₁.
 pub fn mmm_access_model(name: &str, vars: [&str; 3]) -> AccessModel {

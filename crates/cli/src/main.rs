@@ -31,8 +31,8 @@ use soap_baselines::sota_bound;
 use soap_frontend::{parse_c, parse_python};
 use soap_ir::Program;
 use soap_sdg::{
-    analyze_program_with_cache, analyze_suite_with, SdgOptions, SolveCache, SolveStore,
-    SuiteProgram,
+    analyze_program_with_cache, analyze_suite_with, parse_worker_threads, set_worker_budget,
+    SdgOptions, SolveCache, SolveStore, SuiteProgram,
 };
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -40,9 +40,9 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         soap-cli analyze --lang <c|python> <file> [--injective] [--json] [--cache-dir DIR]\n  \
+         soap-cli analyze --lang <c|python> <file> [--injective] [--json] [--cache-dir DIR] [--threads N]\n  \
          soap-cli kernel <name> [--json]\n  \
-         soap-cli batch [--all] [--injective] [--out FILE] [--cache-dir DIR] [<kernel-or-file>...]\n  \
+         soap-cli batch [--all] [--injective] [--out FILE] [--cache-dir DIR] [--threads N] [<kernel-or-file>...]\n  \
          soap-cli cache <stat|list|clear> <dir>\n  \
          soap-cli list\n\
          \n\
@@ -52,7 +52,13 @@ fn usage() -> ! {
          new solves are persisted for later runs.  `soap-cli cache stat DIR` inspects\n                  \
          a store, `list` shows its segment files, `clear` empties it.\n\
          \n\
+         --threads N      worker threads for the parallel analysis front half (positive\n                  \
+         integer, clamped to 512; default: SOAP_THREADS or the hardware core\n                  \
+         count).  Results are byte-identical for any thread count.\n\
+         \n\
          environment:\n  \
+         SOAP_THREADS       default worker-thread count (same validation and clamp as\n                     \
+         --threads, which overrides it)\n  \
          SOAP_CACHE_SHARDS  lock-stripe count of the in-memory solve cache (positive\n                     \
          integer; clamped to a power of two <= 1024; default 16)\n  \
          SOAP_CACHE_DIR     store directory for the process-wide global solve cache\n                     \
@@ -112,6 +118,21 @@ fn flush_cache(cache: &SolveCache) -> bool {
     }
 }
 
+/// Apply a `--threads N` override to the process-wide worker budget, with
+/// the same validation contract as `SOAP_CACHE_SHARDS` / `SOAP_THREADS`: an
+/// unparsable value is an explicit usage error, never a silent guess.
+fn set_threads_or_usage(raw: &str) {
+    match parse_worker_threads(raw) {
+        Some(n) => {
+            set_worker_budget(n);
+        }
+        None => {
+            eprintln!("--threads expects a positive integer, got '{raw}'");
+            usage();
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
@@ -153,6 +174,10 @@ fn main() -> ExitCode {
                     "--cache-dir" => {
                         i += 1;
                         cache_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                    }
+                    "--threads" => {
+                        i += 1;
+                        set_threads_or_usage(&args.get(i).cloned().unwrap_or_else(|| usage()));
                     }
                     other if !other.starts_with("--") => file = Some(other.to_string()),
                     _ => usage(),
@@ -224,6 +249,10 @@ fn batch(args: &[String]) -> ExitCode {
             "--cache-dir" => {
                 i += 1;
                 cache_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threads" => {
+                i += 1;
+                set_threads_or_usage(&args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             other if !other.starts_with("--") => specs.push(other.to_string()),
             _ => usage(),

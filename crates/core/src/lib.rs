@@ -41,6 +41,10 @@ pub enum AnalysisError {
     NoInputs(String),
     /// The numeric optimizer failed to produce a finite intensity.
     NumericalFailure(String),
+    /// The analysis itself panicked (a bug, not a property of the input);
+    /// produced when a caught worker panic is surfaced as an isolated
+    /// per-program error instead of tearing down the whole batch.
+    Internal(String),
 }
 
 impl std::fmt::Display for AnalysisError {
@@ -49,6 +53,7 @@ impl std::fmt::Display for AnalysisError {
             AnalysisError::InvalidStatement(msg) => write!(f, "invalid statement: {msg}"),
             AnalysisError::NoInputs(name) => write!(f, "statement {name} has no input accesses"),
             AnalysisError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+            AnalysisError::Internal(msg) => write!(f, "internal analysis failure: {msg}"),
         }
     }
 }

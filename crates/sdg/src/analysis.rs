@@ -13,6 +13,8 @@ use soap_ir::Program;
 // to everything, making the winner order-dependent.
 use soap_symbolic::{nan_last, Expr, Polynomial, Rational};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Options for the SDG analysis.
 #[derive(Clone, Debug)]
@@ -100,6 +102,67 @@ pub struct SolverSummary {
     pub merge_failures: usize,
     /// Subgraphs dropped because the intensity solve failed.
     pub solve_failures: usize,
+    /// Subgraphs dropped because their analysis panicked (caught and isolated
+    /// per subgraph; the rest of the program's subgraphs still complete).
+    pub panic_failures: usize,
+}
+
+/// Wall-clock decomposition of one program analysis into the pipeline's
+/// phases, in milliseconds.
+///
+/// `enumerate_ms` is plain wall clock on the calling thread (SDG construction
+/// plus connected-subgraph enumeration).  The other three are *summed across
+/// workers*, so on a multi-threaded run their total can legitimately exceed
+/// the program's wall clock.  `solve_ms` counts actual optimizer time (cache
+/// misses and uncacheable models only); `instantiate_ms` is the remainder of
+/// the per-subgraph cache path — canonical-key construction, shard lock
+/// waits and stored-solution instantiation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// SDG construction + connected-subgraph enumeration (wall clock).
+    pub enumerate_ms: f64,
+    /// Per-subgraph statement merging (summed across workers).
+    pub merge_ms: f64,
+    /// Canonical-key construction + cache lookup + stored-solution
+    /// instantiation (summed across workers).
+    pub instantiate_ms: f64,
+    /// Actual optimizer solves — cache misses and uncacheable models (summed
+    /// across workers).
+    pub solve_ms: f64,
+}
+
+impl PhaseTimings {
+    /// Fold another program's phase timings into suite-level totals.
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.enumerate_ms += other.enumerate_ms;
+        self.merge_ms += other.merge_ms;
+        self.instantiate_ms += other.instantiate_ms;
+        self.solve_ms += other.solve_ms;
+    }
+}
+
+impl serde::Serialize for PhaseTimings {
+    /// The canonical JSON record of a phase breakdown — shared by the CLI's
+    /// batch summary and the perf snapshot so the emitters cannot drift.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("enumerate_ms".to_string(), self.enumerate_ms.to_value()),
+            ("merge_ms".to_string(), self.merge_ms.to_value()),
+            ("instantiate_ms".to_string(), self.instantiate_ms.to_value()),
+            ("solve_ms".to_string(), self.solve_ms.to_value()),
+        ])
+    }
+}
+
+/// Best-effort human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The result of analyzing a whole program.
@@ -117,6 +180,8 @@ pub struct ProgramAnalysis {
     pub notes: Vec<String>,
     /// Solve/cache accounting for the perf harness.
     pub solver: SolverSummary,
+    /// Per-phase timing breakdown (enumerate / merge / instantiate / solve).
+    pub phases: PhaseTimings,
 }
 
 impl ProgramAnalysis {
@@ -160,9 +225,11 @@ pub fn analyze_program_with_cache(
         .validate()
         .map_err(|e| AnalysisError::InvalidStatement(e.to_string()))?;
     let mut notes = Vec::new();
+    let enumerate_start = Instant::now();
     let sdg = Sdg::from_program(program);
     let enumeration =
         enumerate_connected_subgraphs(&sdg, opts.max_subgraph_size, opts.max_subgraphs);
+    let enumerate_ms = enumerate_start.elapsed().as_secs_f64() * 1e3;
     if enumeration.truncated {
         notes.push(format!(
             "subgraph enumeration truncated at {} subgraphs (max size {}); the bound may be looser than the full Theorem-1 maximum",
@@ -177,25 +244,39 @@ pub fn analyze_program_with_cache(
     // Solve all subgraph statements in parallel; structurally identical
     // merged models (canonical key modulo variable renaming) hit the shared
     // solve cache and are solved only once.  The session scopes this
-    // analysis's accounting within the (possibly shared) cache.
+    // analysis's accounting within the (possibly shared) cache.  Each
+    // subgraph runs under `catch_unwind`, so one panicking subgraph is
+    // dropped like any other per-subgraph failure instead of tearing down
+    // the whole program analysis.
     let session = cache.session();
     let reference_s = opts.reference_s;
+    let merge_ns = AtomicU64::new(0);
+    let solve_call_ns = AtomicU64::new(0);
     enum SubgraphFailure {
         Merge(AnalysisError),
         Solve(AnalysisError),
+        Panic(String),
     }
     let outcomes: Vec<Result<SubgraphIntensity, SubgraphFailure>> = subgraph_sets
         .par_iter()
         .map(|arrays| {
-            let model =
-                merged_model(program, arrays, &core_opts).map_err(SubgraphFailure::Merge)?;
-            let intensity = session.solve(&model).map_err(SubgraphFailure::Solve)?;
-            let rho_ref = intensity.rho_at(reference_s);
-            Ok(SubgraphIntensity {
-                arrays: arrays.clone(),
-                intensity,
-                rho_ref,
-            })
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let merge_start = Instant::now();
+                let merged = merged_model(program, arrays, &core_opts);
+                merge_ns.fetch_add(crate::cache::elapsed_ns(merge_start), Ordering::Relaxed);
+                let model = merged.map_err(SubgraphFailure::Merge)?;
+                let solve_start = Instant::now();
+                let solved = session.solve(&model);
+                solve_call_ns.fetch_add(crate::cache::elapsed_ns(solve_start), Ordering::Relaxed);
+                let intensity = solved.map_err(SubgraphFailure::Solve)?;
+                let rho_ref = intensity.rho_at(reference_s);
+                Ok(SubgraphIntensity {
+                    arrays: arrays.clone(),
+                    intensity,
+                    rho_ref,
+                })
+            }))
+            .unwrap_or_else(|payload| Err(SubgraphFailure::Panic(panic_message(&*payload))))
         })
         .collect();
 
@@ -206,40 +287,49 @@ pub fn analyze_program_with_cache(
     let mut subgraphs: Vec<SubgraphIntensity> = Vec::with_capacity(attempted);
     let mut merge_failures = 0usize;
     let mut solve_failures = 0usize;
+    let mut panic_failures = 0usize;
+    let mut first_panic: Option<String> = None;
     let mut failure_kinds: BTreeMap<String, usize> = BTreeMap::new();
     for outcome in outcomes {
         match outcome {
             Ok(s) => subgraphs.push(s),
             Err(failure) => {
-                let (stage, err) = match &failure {
+                let (stage, kind) = match &failure {
                     SubgraphFailure::Merge(e) => {
                         merge_failures += 1;
-                        ("merge", e)
+                        ("merge", error_kind(e))
                     }
                     SubgraphFailure::Solve(e) => {
                         solve_failures += 1;
-                        ("solve", e)
+                        ("solve", error_kind(e))
                     }
-                };
-                let kind = match err {
-                    AnalysisError::InvalidStatement(_) => "invalid statement",
-                    AnalysisError::NoInputs(_) => "no inputs",
-                    AnalysisError::NumericalFailure(_) => "numerical failure",
+                    SubgraphFailure::Panic(msg) => {
+                        panic_failures += 1;
+                        if first_panic.is_none() {
+                            first_panic = Some(msg.clone());
+                        }
+                        ("analysis", "panic")
+                    }
                 };
                 *failure_kinds.entry(format!("{stage}/{kind}")).or_insert(0) += 1;
             }
         }
     }
-    if merge_failures + solve_failures > 0 {
+    if merge_failures + solve_failures + panic_failures > 0 {
         let breakdown: Vec<String> = failure_kinds
             .iter()
             .map(|(kind, count)| format!("{count}× {kind}"))
             .collect();
         notes.push(format!(
             "{} of {} enumerated subgraphs were skipped ({}); their intensities are missing from the Theorem-1 maximum, so the bound may be looser",
-            merge_failures + solve_failures,
+            merge_failures + solve_failures + panic_failures,
             attempted,
             breakdown.join(", ")
+        ));
+    }
+    if let Some(msg) = first_panic {
+        notes.push(format!(
+            "a subgraph analysis panicked (first payload: {msg}); this is a bug in the analysis, not a property of the input"
         ));
     }
     let cache_stats: CacheStats = session.stats();
@@ -284,6 +374,14 @@ pub fn analyze_program_with_cache(
         });
     }
 
+    let solve_ms = session.solve_ms();
+    let phases = PhaseTimings {
+        enumerate_ms,
+        merge_ms: merge_ns.load(Ordering::Relaxed) as f64 / 1e6,
+        instantiate_ms: (solve_call_ns.load(Ordering::Relaxed) as f64 / 1e6 - solve_ms).max(0.0),
+        solve_ms,
+    };
+
     Ok(ProgramAnalysis {
         name: program.name.clone(),
         per_array,
@@ -302,8 +400,20 @@ pub fn analyze_program_with_cache(
             kkt_cap_hits: cache_stats.kkt_cap_hits,
             merge_failures,
             solve_failures,
+            panic_failures,
         },
+        phases,
     })
+}
+
+/// The diagnostic kind label of an [`AnalysisError`] for failure breakdowns.
+fn error_kind(err: &AnalysisError) -> &'static str {
+    match err {
+        AnalysisError::InvalidStatement(_) => "invalid statement",
+        AnalysisError::NoInputs(_) => "no inputs",
+        AnalysisError::NumericalFailure(_) => "numerical failure",
+        AnalysisError::Internal(_) => "internal failure",
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@
 //! *canonical model* of the structure, never the requesting representative
 //! (see [`crate::cache`]).
 
-use crate::analysis::{analyze_program_with_cache, ProgramAnalysis, SdgOptions};
+use crate::analysis::{
+    analyze_program_with_cache, panic_message, PhaseTimings, ProgramAnalysis, SdgOptions,
+};
 use crate::cache::{CacheStats, SolveCache};
 use rayon::prelude::*;
 use soap_core::AnalysisError;
@@ -86,6 +88,9 @@ pub struct SuiteSummary {
     pub sum_program_ms: f64,
     /// Subgraph models attempted across the suite.
     pub subgraphs_enumerated: usize,
+    /// Suite-wide per-phase timing totals (the successful programs'
+    /// [`PhaseTimings`] summed; worker-summed phases can exceed `wall_ms`).
+    pub phases: PhaseTimings,
     /// Suite-wide cache accounting: the shared cache's counter deltas over
     /// this run.  `cache.cross_program_hits` counts hits answered from a
     /// structure first solved by a *different* program — the dedup that only
@@ -112,6 +117,7 @@ impl serde::Serialize for SuiteSummary {
                 "subgraphs_enumerated".to_string(),
                 self.subgraphs_enumerated.to_value(),
             ),
+            ("phases".to_string(), self.phases.to_value()),
             ("cache".to_string(), self.cache.to_value()),
         ])
     }
@@ -158,6 +164,19 @@ pub fn analyze_suite(jobs: &[SuiteProgram]) -> BatchAnalysis {
 /// against the caller's own names too), and `SuiteSummary::duplicate_names`
 /// counts how many entries were renamed so callers can surface the hint.
 pub fn analyze_suite_with(jobs: &[SuiteProgram], cache: &SolveCache) -> BatchAnalysis {
+    analyze_suite_inner(jobs, cache, &|job| {
+        analyze_program_with_cache(&job.program, &job.opts, cache)
+    })
+}
+
+/// The batch engine behind [`analyze_suite_with`], with the per-program
+/// analysis injectable so the panic-isolation discipline is testable without
+/// manufacturing a program whose real analysis panics.
+fn analyze_suite_inner(
+    jobs: &[SuiteProgram],
+    cache: &SolveCache,
+    analyze: &(dyn Fn(&SuiteProgram) -> Result<ProgramAnalysis, AnalysisError> + Sync),
+) -> BatchAnalysis {
     let (report_names, duplicate_names) = disambiguated_names(jobs);
     let stats_before = cache.stats();
     let suite_start = Instant::now();
@@ -166,7 +185,7 @@ pub fn analyze_suite_with(jobs: &[SuiteProgram], cache: &SolveCache) -> BatchAna
         .par_iter()
         .map(|&(job, name)| {
             let start = Instant::now();
-            let outcome = analyze_program_with_cache(&job.program, &job.opts, cache);
+            let outcome = catch_outcome(|| analyze(job));
             ProgramReport {
                 name: name.clone(),
                 analysis_ms: start.elapsed().as_secs_f64() * 1e3,
@@ -175,6 +194,10 @@ pub fn analyze_suite_with(jobs: &[SuiteProgram], cache: &SolveCache) -> BatchAna
         })
         .collect();
     let wall_ms = suite_start.elapsed().as_secs_f64() * 1e3;
+    let mut phases = PhaseTimings::default();
+    for analysis in reports.iter().filter_map(|r| r.outcome.as_ref().ok()) {
+        phases.accumulate(&analysis.phases);
+    }
     let summary = SuiteSummary {
         programs: reports.len(),
         failures: reports.iter().filter(|r| r.outcome.is_err()).count(),
@@ -186,9 +209,25 @@ pub fn analyze_suite_with(jobs: &[SuiteProgram], cache: &SolveCache) -> BatchAna
             .filter_map(|r| r.outcome.as_ref().ok())
             .map(|a| a.solver.subgraphs_enumerated)
             .sum(),
+        phases,
         cache: cache.stats().since(&stats_before),
     };
     BatchAnalysis { reports, summary }
+}
+
+/// Run one program's analysis with panic isolation: a panicking analysis
+/// reports [`AnalysisError::Internal`] in its own [`ProgramReport`] — the
+/// same per-program error discipline as a returned error — instead of
+/// unwinding through the worker pool and killing the whole batch.
+fn catch_outcome(
+    analyze: impl FnOnce() -> Result<ProgramAnalysis, AnalysisError>,
+) -> Result<ProgramAnalysis, AnalysisError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(analyze)).unwrap_or_else(|payload| {
+        Err(AnalysisError::Internal(format!(
+            "analysis panicked: {}",
+            panic_message(&*payload)
+        )))
+    })
 }
 
 /// Report names for the suite entries, with duplicates disambiguated to
@@ -395,5 +434,37 @@ mod tests {
         assert_eq!(batch.summary.failures, 0);
         let init = batch.report("init_only").unwrap().outcome.as_ref().unwrap();
         assert!(!init.notes.is_empty());
+    }
+
+    #[test]
+    fn poisoned_program_does_not_kill_the_batch() {
+        // A per-program analysis that *panics* (a bug, not an error return)
+        // must be caught and reported as an isolated Internal error in its
+        // own report; the other programs of the suite still complete, and the
+        // suite accounting sees exactly one failure.  Inject the panic
+        // through the analysis seam so the test does not depend on finding a
+        // program that crashes the real pipeline.
+        let jobs = vec![
+            SuiteProgram::with_default_opts(matmul("ok", ["i", "j", "k"])),
+            SuiteProgram::with_default_opts(matmul("poison", ["p", "q", "r"])),
+            SuiteProgram::with_default_opts(matmul("ok2", ["x", "y", "z"])),
+        ];
+        let cache = SolveCache::new();
+        let batch = analyze_suite_inner(&jobs, &cache, &|job| {
+            if job.name == "poison" {
+                panic!("injected analysis bug");
+            }
+            analyze_program_with_cache(&job.program, &job.opts, &cache)
+        });
+        assert_eq!(batch.summary.programs, 3);
+        assert_eq!(batch.summary.failures, 1);
+        assert!(batch.report("ok").unwrap().outcome.is_ok());
+        assert!(batch.report("ok2").unwrap().outcome.is_ok());
+        match &batch.report("poison").unwrap().outcome {
+            Err(AnalysisError::Internal(msg)) => {
+                assert!(msg.contains("injected analysis bug"), "message: {msg}");
+            }
+            other => panic!("expected an isolated Internal error, got {other:?}"),
+        }
     }
 }

@@ -396,6 +396,12 @@ struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     uncacheable: AtomicU64,
+    /// Nanoseconds spent inside actual KKT solves (misses + uncacheable
+    /// models) — the "solve" share of the per-phase timing breakdown.  Not
+    /// part of [`CacheStats`]: wall-clock is not a determinism-checked
+    /// output.  Summed across workers, so under parallel execution it can
+    /// exceed the analysis's wall-clock time.
+    solve_ns: AtomicU64,
     max_hits: AtomicU64,
     max_misses: AtomicU64,
     kkt_cap_hits: AtomicU64,
@@ -568,6 +574,14 @@ impl CacheSession<'_> {
     /// This session's traffic only (not the whole cache's).
     pub fn stats(&self) -> CacheStats {
         self.local.snapshot()
+    }
+
+    /// Milliseconds this session spent inside actual KKT solves (cache
+    /// misses + uncacheable models) — the "solve" share of the per-phase
+    /// timing breakdown.  Summed across workers: under parallel execution it
+    /// can exceed the analysis's wall-clock time.
+    pub fn solve_ms(&self) -> f64 {
+        self.local.solve_ns.load(Ordering::Relaxed) as f64 / 1e6
     }
 }
 
@@ -756,7 +770,9 @@ impl SolveCache {
     ) -> Result<IntensityResult, AnalysisError> {
         let Some(canon) = canonicalize(model) else {
             self.bump(local, |c| &c.uncacheable, 1);
+            let solve_start = std::time::Instant::now();
             let (solved, info) = solve_model_instrumented(model);
+            self.bump(local, |c| &c.solve_ns, elapsed_ns(solve_start));
             self.bump(local, |c| &c.kkt_cap_hits, u64::from(info.cap_hits));
             return solved;
         };
@@ -782,18 +798,22 @@ impl SolveCache {
         // first-touch the same structure concurrently.
         let mut solved_here = false;
         let mut cap_hits = 0u32;
+        let mut solve_ns = 0u64;
         let (solver_scope, cached) = cell.get_or_init(|| {
             solved_here = true;
+            let solve_start = std::time::Instant::now();
             let canonical_model = canonical_access_model(&key);
             let (compiled_objective, compiled_dominator) = canonical_compiled_forms(&key);
             let (solved, info) =
                 solve_model_precompiled(&canonical_model, compiled_objective, compiled_dominator);
             cap_hits = info.cap_hits;
+            solve_ns = elapsed_ns(solve_start);
             // The canonical model's variables are already in canonical
             // positions, so the storage order is the identity.
             let identity: Vec<usize> = (0..key.n_vars).collect();
             (scope, to_canonical(&solved, &identity))
         });
+        self.bump(local, |c| &c.solve_ns, solve_ns);
         self.bump(local, |c| &c.kkt_cap_hits, u64::from(cap_hits));
         if solved_here {
             self.bump(local, |c| &c.misses, 1);
@@ -813,6 +833,11 @@ impl SolveCache {
         }
         instantiate(cached.clone(), model, &order)
     }
+}
+
+/// Elapsed nanoseconds since `start`, saturated into a `u64` counter bump.
+pub(crate) fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Reconstruct the canonical [`AccessModel`] of a key: canonical variable
@@ -970,6 +995,9 @@ fn relabel_error(e: AnalysisError, name: &str) -> AnalysisError {
         )),
         AnalysisError::NoInputs(_) => AnalysisError::NoInputs(name.to_string()),
         AnalysisError::NumericalFailure(msg) => AnalysisError::NumericalFailure(format!(
+            "model {name} (via structurally identical cached model): {msg}"
+        )),
+        AnalysisError::Internal(msg) => AnalysisError::Internal(format!(
             "model {name} (via structurally identical cached model): {msg}"
         )),
     }

@@ -23,6 +23,13 @@
 //! programs, deduplicating renamed structures program-to-program, and
 //! [`store`] extends across *processes* by persisting canonical solutions to
 //! disk (warm runs re-solve nothing and reproduce cold output byte-for-byte).
+//!
+//! The whole front half — subgraph enumeration, statement merging,
+//! canonical-key construction and stored-solution instantiation — runs on a
+//! shared self-scheduling worker pool sized by [`worker_budget`]
+//! (`SOAP_THREADS` / `--threads`, see [`set_worker_budget`]).  Output is a
+//! pure function of program structure: byte-identical for any thread count,
+//! shard count, or program order.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -35,9 +42,11 @@ pub mod store;
 pub mod subgraphs;
 
 pub use analysis::{
-    analyze_program, analyze_program_with, analyze_program_with_cache, ArrayBound, ProgramAnalysis,
-    SdgOptions, SolverSummary,
+    analyze_program, analyze_program_with, analyze_program_with_cache, ArrayBound, PhaseTimings,
+    ProgramAnalysis, SdgOptions, SolverSummary,
 };
+// The worker-pool controls live in the vendored `rayon` stand-in; re-export
+// them so CLI/bench/test crates configure threading through one front door.
 pub use batch::{
     analyze_suite, analyze_suite_with, BatchAnalysis, ProgramReport, SuiteProgram, SuiteSummary,
 };
@@ -47,5 +56,6 @@ pub use cache::{
 };
 pub use graph::{Sdg, SdgEdge};
 pub use merge::merged_model;
+pub use rayon::{parse_worker_threads, set_worker_budget, worker_budget, MAX_WORKER_THREADS};
 pub use store::{SolveStore, StoreFlushStats, StoreLoadStats, STORE_HEADER};
 pub use subgraphs::{enumerate_connected_subgraphs, SubgraphEnumeration};

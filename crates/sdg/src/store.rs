@@ -523,6 +523,7 @@ fn error_to_value(e: &AnalysisError) -> Value {
         AnalysisError::InvalidStatement(m) => ("InvalidStatement", m),
         AnalysisError::NoInputs(m) => ("NoInputs", m),
         AnalysisError::NumericalFailure(m) => ("NumericalFailure", m),
+        AnalysisError::Internal(m) => ("Internal", m),
     };
     Value::Object(vec![(tag.to_string(), Value::Str(msg.clone()))])
 }
@@ -539,6 +540,7 @@ fn error_from_value(v: &Value) -> Result<AnalysisError, DeError> {
         "InvalidStatement" => Ok(AnalysisError::InvalidStatement(msg)),
         "NoInputs" => Ok(AnalysisError::NoInputs(msg)),
         "NumericalFailure" => Ok(AnalysisError::NumericalFailure(msg)),
+        "Internal" => Ok(AnalysisError::Internal(msg)),
         other => Err(DeError::msg(format!("error: unknown variant '{other}'"))),
     }
 }

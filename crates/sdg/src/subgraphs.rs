@@ -15,10 +15,33 @@
 //! results.  The seed's string-set algorithm is retained as
 //! [`enumerate_connected_subgraphs_naive`] — it is the differential-testing
 //! reference and the "before" side of the `subgraph_enumeration` benchmark.
+//!
+//! ## Parallelism
+//!
+//! The breadth-first level expansion is parallelized over the frontier sets:
+//! each level's *proposal* stage — per frontier set, the neighbourhood union,
+//! the name-ordered candidate scan and the extended-set clones, which is
+//! where all the time goes — runs on the shared worker pool (partitioned by
+//! seed vertex at level 1, self-scheduled thereafter so one heavy seed
+//! component cannot serialize a worker), while the cheap *commit* stage
+//! (global dedup + count cap) replays the proposals sequentially in exactly
+//! the serial discovery order.  The output — including which family survives
+//! a truncating cap — is therefore byte-identical to a single-threaded run
+//! for any thread count ([`rayon::worker_budget`]).
 
 use crate::graph::Sdg;
+use rayon::prelude::*;
 use soap_bitset::BitSet;
 use std::collections::{BTreeSet, HashSet};
+
+/// Below this many frontier sets a level is expanded serially: the per-level
+/// thread-pool round trip costs more than the expansion itself.
+const PARALLEL_FRONTIER_THRESHOLD: usize = 32;
+
+/// Frontier sets per self-scheduled claim: proposal items are cheap (a few
+/// bitset unions + clones), so claiming small blocks amortizes the shared
+/// atomic without giving up balance under skew.
+const FRONTIER_CHUNK: usize = 8;
 
 /// The result of a subgraph enumeration.
 #[derive(Clone, Debug)]
@@ -63,17 +86,60 @@ pub fn enumerate_connected_subgraphs(
         if frontier.is_empty() || truncated {
             break;
         }
-        let mut next: Vec<BitSet> = Vec::new();
-        'outer: for set in &frontier {
+        // Proposal stage: per frontier set, every one-vertex extension in
+        // array-name order, pre-filtered against the *frozen* pre-level `seen`
+        // (duplicates produced within this level are caught at commit time).
+        let propose = |set: &BitSet| -> Vec<BitSet> {
             // All computed neighbours of the current set, minus the set.
-            candidates.clear();
+            let mut candidates = BitSet::new(n);
             for v in set.iter() {
                 candidates.union_with(&adj[v]);
             }
             candidates.subtract(set);
+            let mut exts = Vec::new();
             for cand in by_name.iter().copied().filter(|&c| candidates.contains(c)) {
                 let mut extended = set.clone();
                 extended.insert(cand);
+                if !seen.contains(&extended) {
+                    exts.push(extended);
+                }
+            }
+            exts
+        };
+        let proposals: Vec<Vec<BitSet>> =
+            if frontier.len() >= PARALLEL_FRONTIER_THRESHOLD && rayon::worker_budget() > 1 {
+                frontier
+                    .par_iter()
+                    .with_min_len(FRONTIER_CHUNK)
+                    .map(propose)
+                    .collect()
+            } else {
+                // Serial expansion, reusing one candidate buffer across sets.
+                frontier
+                    .iter()
+                    .map(|set| {
+                        candidates.clear();
+                        for v in set.iter() {
+                            candidates.union_with(&adj[v]);
+                        }
+                        candidates.subtract(set);
+                        let mut exts = Vec::new();
+                        for cand in by_name.iter().copied().filter(|&c| candidates.contains(c)) {
+                            let mut extended = set.clone();
+                            extended.insert(cand);
+                            if !seen.contains(&extended) {
+                                exts.push(extended);
+                            }
+                        }
+                        exts
+                    })
+                    .collect()
+            };
+        // Commit stage: replay the proposals in frontier order — exactly the
+        // serial discovery order — applying global dedup and the count cap.
+        let mut next: Vec<BitSet> = Vec::new();
+        'outer: for exts in proposals {
+            for extended in exts {
                 if seen.contains(&extended) {
                     continue;
                 }
