@@ -31,18 +31,20 @@ use soap_baselines::sota_bound;
 use soap_frontend::{parse_c, parse_python};
 use soap_ir::Program;
 use soap_sdg::{
-    analyze_program_with_cache, analyze_suite_with, parse_worker_threads, set_worker_budget,
-    SdgOptions, SolveCache, SolveStore, SuiteProgram,
+    analyze_program_with_cache, analyze_suite_governed, parse_timeout_ms, parse_worker_threads,
+    set_worker_budget, SdgOptions, SolveCache, SolveStore, SuiteProgram,
 };
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          soap-cli analyze --lang <c|python> <file> [--injective] [--json] [--cache-dir DIR] [--threads N]\n  \
          soap-cli kernel <name> [--json]\n  \
-         soap-cli batch [--all] [--injective] [--out FILE] [--cache-dir DIR] [--threads N] [<kernel-or-file>...]\n  \
+         soap-cli batch [--all] [--injective] [--out FILE] [--cache-dir DIR] [--threads N]\n             \
+         [--timeout-ms MS] [--suite-timeout-ms MS] [<kernel-or-file>...]\n  \
          soap-cli cache <stat|list|clear> <dir>\n  \
          soap-cli list\n\
          \n\
@@ -56,13 +58,25 @@ fn usage() -> ! {
          integer, clamped to 512; default: SOAP_THREADS or the hardware core\n                  \
          count).  Results are byte-identical for any thread count.\n\
          \n\
+         --timeout-ms MS  per-program analysis budget in milliseconds (positive integer).\n                  \
+         A program exceeding it completes *degraded*: a sound partial bound\n                  \
+         with the abandoned work accounted, never an error.  --suite-timeout-ms\n                  \
+         additionally caps the whole batch; each program gets the smaller of\n                  \
+         its own budget and the suite's remaining time.\n\
+         \n\
          environment:\n  \
          SOAP_THREADS       default worker-thread count (same validation and clamp as\n                     \
          --threads, which overrides it)\n  \
          SOAP_CACHE_SHARDS  lock-stripe count of the in-memory solve cache (positive\n                     \
          integer; clamped to a power of two <= 1024; default 16)\n  \
          SOAP_CACHE_DIR     store directory for the process-wide global solve cache\n                     \
-         (library embeddings; the CLI subcommands use --cache-dir)"
+         (library embeddings; the CLI subcommands use --cache-dir)\n  \
+         SOAP_TIMEOUT_MS    default per-program budget (same validation as --timeout-ms,\n                     \
+         which overrides it); SOAP_SUITE_TIMEOUT_MS likewise for the suite\n  \
+         SOAP_FAULT_PLAN    deterministic fault-injection plan for chaos testing\n                     \
+         (seed=..,store_read_transient=..,store_write_transient=..,\n                     \
+         corrupt_every=..,panic_every=..,cancel_at_subgraph=..,\n                     \
+         cancel_at_level=..); off unless set and well-formed"
     );
     std::process::exit(2);
 }
@@ -131,6 +145,25 @@ fn set_threads_or_usage(raw: &str) {
             usage();
         }
     }
+}
+
+/// Parse a `--timeout-ms`-style flag value: an explicit flag with an invalid
+/// value is a usage error (same contract as `--threads`), never a silent
+/// guess.
+fn timeout_or_usage(flag: &str, raw: &str) -> Duration {
+    parse_timeout_ms(raw).unwrap_or_else(|| {
+        eprintln!("{flag} expects a positive integer of milliseconds, got '{raw}'");
+        usage();
+    })
+}
+
+/// The environment-variable default for a budget: invalid values are ignored
+/// (an env var travels further than a flag, so a typo must not kill every
+/// invocation on the host).
+fn timeout_from_env(var: &str) -> Option<Duration> {
+    std::env::var(var)
+        .ok()
+        .and_then(|raw| parse_timeout_ms(&raw))
 }
 
 fn main() -> ExitCode {
@@ -237,6 +270,8 @@ fn batch(args: &[String]) -> ExitCode {
     let mut injective = false;
     let mut out_path: Option<String> = None;
     let mut cache_dir: Option<String> = None;
+    let mut program_budget = timeout_from_env("SOAP_TIMEOUT_MS");
+    let mut suite_budget = timeout_from_env("SOAP_SUITE_TIMEOUT_MS");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -253,6 +288,16 @@ fn batch(args: &[String]) -> ExitCode {
             "--threads" => {
                 i += 1;
                 set_threads_or_usage(&args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--timeout-ms" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| usage());
+                program_budget = Some(timeout_or_usage("--timeout-ms", &raw));
+            }
+            "--suite-timeout-ms" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| usage());
+                suite_budget = Some(timeout_or_usage("--suite-timeout-ms", &raw));
             }
             other if !other.starts_with("--") => specs.push(other.to_string()),
             _ => usage(),
@@ -331,31 +376,55 @@ fn batch(args: &[String]) -> ExitCode {
         Ok(c) => c,
         Err(code) => return code,
     };
-    let batch = analyze_suite_with(&jobs, &cache);
+    let batch = analyze_suite_governed(&jobs, &cache, program_budget, suite_budget);
     if batch.summary.duplicate_names > 0 {
         eprintln!(
             "batch: {} duplicate program name(s) disambiguated to name#2, name#3, … in the reports",
             batch.summary.duplicate_names
         );
     }
+    if batch.summary.degraded > 0 {
+        eprintln!(
+            "batch: {} program(s) degraded by the analysis budget; their bounds are sound partial bounds (not failures)",
+            batch.summary.degraded
+        );
+    }
     let mut lines: Vec<String> = Vec::new();
     for report in &batch.reports {
         let record = match &report.outcome {
-            Ok(analysis) => serde_json::json!({
-                "program": report.name,
-                "ok": true,
-                "analysis_ms": report.analysis_ms,
-                "bound": format!("{}", analysis.bound),
-                "per_array": analysis.per_array.iter().map(|a| serde_json::json!({
-                    "array": a.array,
-                    "rho": format!("{}", a.rho),
-                    "sigma": format!("{}", a.sigma),
-                })).collect::<Vec<_>>(),
-                "cache_hits": analysis.solver.cache_hits,
-                "cross_program_hits": analysis.solver.cross_program_hits,
-                "store_hits": analysis.solver.store_hits,
-                "notes": analysis.notes,
-            }),
+            Ok(analysis) => {
+                let mut record = serde_json::json!({
+                    "program": report.name,
+                    "ok": true,
+                    "analysis_ms": report.analysis_ms,
+                    "bound": format!("{}", analysis.bound),
+                    "per_array": analysis.per_array.iter().map(|a| serde_json::json!({
+                        "array": a.array,
+                        "rho": format!("{}", a.rho),
+                        "sigma": format!("{}", a.sigma),
+                    })).collect::<Vec<_>>(),
+                    "cache_hits": analysis.solver.cache_hits,
+                    "cross_program_hits": analysis.solver.cross_program_hits,
+                    "store_hits": analysis.solver.store_hits,
+                    "notes": analysis.notes,
+                });
+                // Degradation fields only when present: default-config output
+                // stays byte-identical to earlier releases.
+                if analysis.degraded {
+                    if let serde_json::Value::Object(fields) = &mut record {
+                        fields.push(("degraded".to_string(), serde_json::to_value(&true)));
+                        fields.push((
+                            "subgraphs_cancelled".to_string(),
+                            serde_json::to_value(&analysis.solver.cancelled),
+                        ));
+                        fields.push((
+                            "arrays_deferred".to_string(),
+                            serde_json::to_value(&analysis.arrays_deferred),
+                        ));
+                    }
+                }
+                record
+            }
             Err(e) => serde_json::json!({
                 "program": report.name,
                 "ok": false,
@@ -480,6 +549,9 @@ fn cache_cmd(args: &[String]) -> ExitCode {
     };
     let outcome = match action.as_str() {
         "stat" => store.stat().map(|stats| {
+            // Quarantined segments from *earlier* loads still sit in the
+            // directory (until `clear`); count them alongside this pass's.
+            let quarantined_on_disk = store.quarantined_files().map(|f| f.len()).unwrap_or(0);
             println!("store {dir}");
             println!("  format            {}", soap_sdg::STORE_HEADER);
             println!("  segments          {}", stats.segments);
@@ -488,6 +560,7 @@ fn cache_cmd(args: &[String]) -> ExitCode {
             println!("  records skipped   {}", stats.records_skipped);
             println!("  distinct entries  {}", stats.entries);
             println!("  bytes             {}", stats.bytes);
+            println!("  quarantined       {quarantined_on_disk}");
             for note in &stats.notes {
                 println!("  note: {note}");
             }

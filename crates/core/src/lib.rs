@@ -27,8 +27,9 @@ pub mod projections;
 
 pub use analysis::{analyze_conditional, analyze_statement, AnalysisOptions, StatementAnalysis};
 pub use model::{
-    solve_model, solve_model_instrumented, solve_model_precompiled, solve_model_reference,
-    AccessModel, IntensityResult,
+    solve_model, solve_model_instrumented, solve_model_instrumented_governed,
+    solve_model_precompiled, solve_model_precompiled_governed, solve_model_reference, AccessModel,
+    IntensityResult,
 };
 
 /// Errors produced by the analysis.
@@ -45,6 +46,11 @@ pub enum AnalysisError {
     /// produced when a caught worker panic is surfaced as an isolated
     /// per-program error instead of tearing down the whole batch.
     Internal(String),
+    /// The work was abandoned at a deterministic commit point because a
+    /// deadline expired or a cancellation was requested.  Never cached and
+    /// never persisted: a cancelled solve says nothing about the model, only
+    /// about the budget of the run that attempted it.
+    Cancelled(String),
 }
 
 impl std::fmt::Display for AnalysisError {
@@ -54,6 +60,7 @@ impl std::fmt::Display for AnalysisError {
             AnalysisError::NoInputs(name) => write!(f, "statement {name} has no input accesses"),
             AnalysisError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
             AnalysisError::Internal(msg) => write!(f, "internal analysis failure: {msg}"),
+            AnalysisError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
         }
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::AnalysisError;
 use soap_symbolic::{
-    lp, ClosedForm, CompiledConstraint, CompiledPosynomial, ConstrainedProduct, Expr, Rational,
-    SolveInfo, POWER_LAW_PROBES,
+    lp, ClosedForm, CompiledConstraint, CompiledPosynomial, ConstrainedProduct, Deadline, Expr,
+    Rational, SolveInfo, POWER_LAW_PROBES,
 };
 
 /// The optimization model for one (possibly merged) statement.
@@ -95,7 +95,17 @@ pub fn solve_model(model: &AccessModel) -> Result<IntensityResult, AnalysisError
 pub fn solve_model_instrumented(
     model: &AccessModel,
 ) -> (Result<IntensityResult, AnalysisError>, SolveInfo) {
-    solve_model_impl(model, ProblemBuild::Compiled)
+    solve_model_impl(model, ProblemBuild::Compiled, None)
+}
+
+/// [`solve_model_instrumented`] under an optional [`Deadline`]: the KKT loops
+/// poll the deadline and the whole solve returns
+/// [`AnalysisError::Cancelled`] when the budget expires mid-solve.
+pub fn solve_model_instrumented_governed(
+    model: &AccessModel,
+    deadline: Option<&Deadline>,
+) -> (Result<IntensityResult, AnalysisError>, SolveInfo) {
+    solve_model_impl(model, ProblemBuild::Compiled, deadline)
 }
 
 /// [`solve_model`] with both sides already compiled (the solve cache compiles
@@ -106,9 +116,20 @@ pub fn solve_model_precompiled(
     objective: CompiledPosynomial,
     dominator: CompiledConstraint,
 ) -> (Result<IntensityResult, AnalysisError>, SolveInfo) {
+    solve_model_precompiled_governed(model, objective, dominator, None)
+}
+
+/// [`solve_model_precompiled`] under an optional [`Deadline`].
+pub fn solve_model_precompiled_governed(
+    model: &AccessModel,
+    objective: CompiledPosynomial,
+    dominator: CompiledConstraint,
+    deadline: Option<&Deadline>,
+) -> (Result<IntensityResult, AnalysisError>, SolveInfo) {
     solve_model_impl(
         model,
         ProblemBuild::Precompiled(Box::new((objective, dominator))),
+        deadline,
     )
 }
 
@@ -116,7 +137,7 @@ pub fn solve_model_precompiled(
 /// (finite-difference gradients, bisection projection) — the differential
 /// baseline the compiled path is pinned against.
 pub fn solve_model_reference(model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
-    solve_model_impl(model, ProblemBuild::Reference).0
+    solve_model_impl(model, ProblemBuild::Reference, None).0
 }
 
 /// How [`solve_model_impl`] constructs its [`ConstrainedProduct`].
@@ -129,16 +150,23 @@ enum ProblemBuild {
 fn solve_model_impl(
     model: &AccessModel,
     build: ProblemBuild,
+    deadline: Option<&Deadline>,
 ) -> (Result<IntensityResult, AnalysisError>, SolveInfo) {
     let mut info = SolveInfo::default();
-    let result = solve_model_inner(model, build, &mut info);
+    let result = solve_model_inner(model, build, &mut info, deadline);
     (result, info)
+}
+
+/// The [`AnalysisError`] for a deadline that expired inside a model solve.
+fn cancelled(model: &AccessModel) -> AnalysisError {
+    AnalysisError::Cancelled(format!("deadline expired while solving {}", model.name))
 }
 
 fn solve_model_inner(
     model: &AccessModel,
     build: ProblemBuild,
     info: &mut SolveInfo,
+    deadline: Option<&Deadline>,
 ) -> Result<IntensityResult, AnalysisError> {
     if model.tile_variables.is_empty() {
         return Err(AnalysisError::InvalidStatement(format!(
@@ -171,7 +199,9 @@ fn solve_model_inner(
             model.dominator.clone(),
         ),
     };
-    let (mut law, fit_info, fit_extents) = problem.fit_power_law_instrumented();
+    let (mut law, fit_info, fit_extents) = problem
+        .fit_power_law_governed(deadline)
+        .map_err(|_| cancelled(model))?;
     info.absorb(fit_info);
     if !law.coeff.is_finite() || law.coeff <= 0.0 {
         return Err(AnalysisError::NumericalFailure(format!(
@@ -203,7 +233,9 @@ fn solve_model_inner(
     // exactly and costs no extra solve.
     let x_probe = 1.0e8;
     let x_fit = *POWER_LAW_PROBES.last().expect("probes are non-empty");
-    let (sol, probe_info) = problem.solve_seeded_instrumented(x_probe, Some(&fit_extents));
+    let (sol, probe_info) = problem
+        .solve_seeded_governed(x_probe, Some(&fit_extents), deadline)
+        .map_err(|_| cancelled(model))?;
     info.absorb(probe_info);
     let mut tile_exponents = Vec::new();
     let mut tile_coeffs = Vec::new();

@@ -1,7 +1,7 @@
 //! The C-like dialect: brace-scoped `for (i = lo; i < hi; i++) { ... }`.
 
 use crate::rhs::{group_reads, parse_assignment};
-use crate::FrontendError;
+use crate::{FrontendError, MAX_LOOP_DEPTH, MAX_SOURCE_BYTES};
 use soap_ir::parse::parse_affine;
 use soap_ir::{ArrayAccess, IterationDomain, LoopVar, Program, Statement};
 
@@ -13,6 +13,11 @@ use soap_ir::{ArrayAccess, IterationDomain, LoopVar, Program, Statement};
 /// touch arrays are ignored, mirroring how the paper's tool extracts only the
 /// access structure from C code.
 pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
+    if source.len() > MAX_SOURCE_BYTES {
+        return Err(FrontendError::SourceTooLarge {
+            bytes: source.len(),
+        });
+    }
     let mut stack: Vec<LoopVar> = Vec::new();
     // Number of loops opened at each brace depth, so `}` pops correctly.
     let mut brace_is_loop: Vec<bool> = Vec::new();
@@ -22,6 +27,7 @@ pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
         let line_no = idx + 1;
         let without_comment = raw.split("//").next().unwrap_or("");
         let mut rest = without_comment.trim();
+        let col = |s: &str| crate::column_of(raw, s);
         while !rest.is_empty() {
             if let Some(r) = rest.strip_prefix('}') {
                 if let Some(was_loop) = brace_is_loop.pop() {
@@ -35,10 +41,31 @@ pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
             if rest.starts_with("for") {
                 let open = rest.find('(').ok_or(FrontendError::Syntax {
                     line: line_no,
+                    column: col(rest),
                     message: "malformed for loop".into(),
                 })?;
-                let close = rest.rfind(')').ok_or(FrontendError::Syntax {
+                // Find the close paren *matching* the open by scanning
+                // forward.  `rfind(')')` would pair with a stray ')' before
+                // the '(' (an inverted, panicking slice) or with a ')' in
+                // trailing code on the same line.
+                let mut depth = 0usize;
+                let mut close = None;
+                for (off, b) in rest.bytes().enumerate().skip(open) {
+                    match b {
+                        b'(' => depth += 1,
+                        b')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                close = Some(off);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let close = close.ok_or(FrontendError::Syntax {
                     line: line_no,
+                    column: col(rest),
                     message: "malformed for loop".into(),
                 })?;
                 let header = &rest[open + 1..close];
@@ -46,6 +73,7 @@ pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
                 if parts.len() != 3 {
                     return Err(FrontendError::Syntax {
                         line: line_no,
+                        column: col(header),
                         message: "for loop header must have three clauses".into(),
                     });
                 }
@@ -53,6 +81,7 @@ pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
                 let cond = parts[1];
                 let (var, lo) = init.split_once('=').ok_or(FrontendError::Syntax {
                     line: line_no,
+                    column: col(init),
                     message: "for loop initialization must be 'var = expr'".into(),
                 })?;
                 let var = var.trim().trim_start_matches("int").trim();
@@ -64,11 +93,15 @@ pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
                 } else {
                     return Err(FrontendError::Syntax {
                         line: line_no,
+                        column: col(cond),
                         message: "for loop condition must be 'var < bound' or 'var <= bound'"
                             .into(),
                     });
                 };
                 let upper = if inclusive { upper.offset(1) } else { upper };
+                if stack.len() >= MAX_LOOP_DEPTH {
+                    return Err(FrontendError::NestingTooDeep { line: line_no });
+                }
                 stack.push(LoopVar::new(var, lower, upper));
                 // Whatever follows the loop header on this line.
                 rest = rest[close + 1..].trim_start();
@@ -99,7 +132,7 @@ pub fn parse_c(name: &str, source: &str) -> Result<Program, FrontendError> {
             if stack.is_empty() {
                 return Err(FrontendError::StatementOutsideLoop { line: line_no });
             }
-            let assignment = parse_assignment(stmt_text, line_no)?;
+            let assignment = parse_assignment(stmt_text, line_no, col(stmt_text))?;
             let st = Statement {
                 name: format!("St{}", statements.len() + 1),
                 domain: IterationDomain::new(stack.clone()),
@@ -187,5 +220,45 @@ for (i = 0; i < N; i++) {
     fn rejects_malformed_loops() {
         assert!(parse_c("bad", "for (i) { A[i] = B[i]; }").is_err());
         assert!(parse_c("bad", "A[i] = B[i];").is_err());
+    }
+
+    #[test]
+    fn close_paren_before_open_is_an_error_not_a_panic() {
+        // `rfind(')')` used to pair this stray ')' with the later '(' and
+        // slice backwards, panicking.
+        assert!(parse_c("bad", "for ) ( { A[i] = B[i]; }").is_err());
+        assert!(parse_c("bad", "for (i = 0; i < N; i++ { A[i] = B[i]; }").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_sources_and_too_deep_nesting() {
+        let big = "x".repeat(MAX_SOURCE_BYTES + 1);
+        assert!(matches!(
+            parse_c("big", &big),
+            Err(FrontendError::SourceTooLarge { .. })
+        ));
+        let mut nested = String::new();
+        for d in 0..=MAX_LOOP_DEPTH {
+            nested.push_str(&format!("for (v{d} = 0; v{d} < N; v{d}++) {{\n"));
+        }
+        nested.push_str("A[v0] = B[v0];\n");
+        nested.push_str(&"}\n".repeat(MAX_LOOP_DEPTH + 1));
+        assert!(matches!(
+            parse_c("deep", &nested),
+            Err(FrontendError::NestingTooDeep { line }) if line == MAX_LOOP_DEPTH + 1
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_and_column() {
+        // The one-clause header `j` starts at column 8 of line 2.
+        let err = parse_c("bad", "for (i = 0; i < N; i++) {\n  for (j) { }\n}").unwrap_err();
+        match err {
+            FrontendError::Syntax { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 8);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

@@ -28,6 +28,15 @@ pub use python_like::parse_python;
 
 use soap_ir::IrError;
 
+/// Largest source (in bytes) either parser accepts.  Real kernels are a few
+/// hundred bytes; anything past this is rejected up front instead of parsed.
+pub const MAX_SOURCE_BYTES: usize = 1 << 20;
+
+/// Deepest loop nest either parser accepts.  The analysis cost is already
+/// exponential in nesting depth, so this only guards against adversarial
+/// input, not real programs.
+pub const MAX_LOOP_DEPTH: usize = 64;
+
 /// Errors produced by the front-end parsers.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FrontendError {
@@ -35,12 +44,24 @@ pub enum FrontendError {
     Syntax {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column where the offending construct starts.
+        column: usize,
         /// Description of the problem.
         message: String,
     },
     /// A statement appeared outside of any loop.
     StatementOutsideLoop {
         /// 1-based line number.
+        line: usize,
+    },
+    /// The source exceeds [`MAX_SOURCE_BYTES`].
+    SourceTooLarge {
+        /// Size of the rejected source in bytes.
+        bytes: usize,
+    },
+    /// Loops nest deeper than [`MAX_LOOP_DEPTH`].
+    NestingTooDeep {
+        /// 1-based line number of the loop that exceeded the limit.
         line: usize,
     },
     /// Lowering to the IR failed.
@@ -50,12 +71,40 @@ pub enum FrontendError {
 impl std::fmt::Display for FrontendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FrontendError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            FrontendError::Syntax {
+                line,
+                column,
+                message,
+            } => write!(f, "line {line}, column {column}: {message}"),
             FrontendError::StatementOutsideLoop { line } => {
                 write!(f, "line {line}: statement outside of any loop")
             }
+            FrontendError::SourceTooLarge { bytes } => {
+                write!(
+                    f,
+                    "source is {bytes} bytes, above the {MAX_SOURCE_BYTES}-byte limit"
+                )
+            }
+            FrontendError::NestingTooDeep { line } => {
+                write!(
+                    f,
+                    "line {line}: loops nest deeper than the limit of {MAX_LOOP_DEPTH}"
+                )
+            }
             FrontendError::Ir(e) => write!(f, "IR error: {e}"),
         }
+    }
+}
+
+/// 1-based byte column of the subslice `part` inside the line `whole` it was
+/// sliced from.  Falls back to column 1 when `part` is not a subslice.
+pub(crate) fn column_of(whole: &str, part: &str) -> usize {
+    let whole_range = whole.as_ptr() as usize..whole.as_ptr() as usize + whole.len();
+    let part_start = part.as_ptr() as usize;
+    if whole_range.contains(&part_start) || part_start == whole_range.end {
+        part_start - whole_range.start + 1
+    } else {
+        1
     }
 }
 

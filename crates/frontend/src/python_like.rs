@@ -1,7 +1,7 @@
 //! The Python-like dialect: indentation-scoped `for x in range(lo, hi):`.
 
 use crate::rhs::{group_reads, parse_assignment};
-use crate::FrontendError;
+use crate::{FrontendError, MAX_LOOP_DEPTH, MAX_SOURCE_BYTES};
 use soap_ir::parse::parse_affine;
 use soap_ir::{ArrayAccess, IterationDomain, LoopVar, Program, Statement};
 
@@ -11,6 +11,11 @@ use soap_ir::{ArrayAccess, IterationDomain, LoopVar, Program, Statement};
 /// array assignments, comments (`#`), and blank lines.  Loop nesting follows
 /// indentation, exactly as in the paper's listings.
 pub fn parse_python(name: &str, source: &str) -> Result<Program, FrontendError> {
+    if source.len() > MAX_SOURCE_BYTES {
+        return Err(FrontendError::SourceTooLarge {
+            bytes: source.len(),
+        });
+    }
     // Stack of (indentation, loop).
     let mut stack: Vec<(usize, LoopVar)> = Vec::new();
     let mut statements = Vec::new();
@@ -22,6 +27,7 @@ pub fn parse_python(name: &str, source: &str) -> Result<Program, FrontendError> 
         }
         let indent = without_comment.len() - without_comment.trim_start().len();
         let line = without_comment.trim();
+        let col = |s: &str| crate::column_of(raw, s);
         // Pop loops that ended (dedent).
         while let Some((level, _)) = stack.last() {
             if indent <= *level {
@@ -33,6 +39,7 @@ pub fn parse_python(name: &str, source: &str) -> Result<Program, FrontendError> 
         if let Some(rest) = line.strip_prefix("for ") {
             let (var, range) = rest.split_once(" in ").ok_or(FrontendError::Syntax {
                 line: line_no,
+                column: col(rest),
                 message: "expected 'for <var> in range(...):'".to_string(),
             })?;
             let range = range.trim().trim_end_matches(':').trim();
@@ -41,6 +48,7 @@ pub fn parse_python(name: &str, source: &str) -> Result<Program, FrontendError> 
                 .and_then(|r| r.strip_suffix(')'))
                 .ok_or(FrontendError::Syntax {
                     line: line_no,
+                    column: col(range),
                     message: format!("expected range(...), found '{range}'"),
                 })?;
             let (lo, hi) = match inner.split_once(',') {
@@ -49,12 +57,15 @@ pub fn parse_python(name: &str, source: &str) -> Result<Program, FrontendError> 
             };
             let lower = parse_affine(&lo)?;
             let upper = parse_affine(&hi)?;
+            if stack.len() >= MAX_LOOP_DEPTH {
+                return Err(FrontendError::NestingTooDeep { line: line_no });
+            }
             stack.push((indent, LoopVar::new(var.trim(), lower, upper)));
         } else {
             if stack.is_empty() {
                 return Err(FrontendError::StatementOutsideLoop { line: line_no });
             }
-            let assignment = parse_assignment(line, line_no)?;
+            let assignment = parse_assignment(line, line_no, col(line))?;
             let loops: Vec<LoopVar> = stack.iter().map(|(_, l)| l.clone()).collect();
             let st = Statement {
                 name: format!("St{}", statements.len() + 1),
@@ -127,7 +138,33 @@ for i in range(100):
     #[test]
     fn reports_malformed_ranges() {
         let err = parse_python("bad", "for i in 0..N:\n    A[i] = B[i]\n").unwrap_err();
-        assert!(matches!(err, FrontendError::Syntax { .. }));
+        // `0..N` starts at column 10 of the line.
+        assert!(matches!(
+            err,
+            FrontendError::Syntax {
+                line: 1,
+                column: 10,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_sources_and_too_deep_nesting() {
+        let big = "#".repeat(MAX_SOURCE_BYTES + 1);
+        assert!(matches!(
+            parse_python("big", &big),
+            Err(FrontendError::SourceTooLarge { .. })
+        ));
+        let mut nested = String::new();
+        for d in 0..=MAX_LOOP_DEPTH {
+            nested.push_str(&" ".repeat(d));
+            nested.push_str(&format!("for v{d} in range(N):\n"));
+        }
+        assert!(matches!(
+            parse_python("deep", &nested),
+            Err(FrontendError::NestingTooDeep { line }) if line == MAX_LOOP_DEPTH + 1
+        ));
     }
 
     #[test]

@@ -16,9 +16,17 @@ pub struct Assignment {
 }
 
 /// Parse `name [subscripts] (=|+=|-=|*=) rhs`.
-pub fn parse_assignment(line: &str, line_no: usize) -> Result<Assignment, FrontendError> {
-    let syntax = |message: String| FrontendError::Syntax {
+///
+/// `col_base` is the 1-based column of `line`'s first byte in the original
+/// source line; error columns are reported relative to it.
+pub fn parse_assignment(
+    line: &str,
+    line_no: usize,
+    col_base: usize,
+) -> Result<Assignment, FrontendError> {
+    let syntax = |column: usize, message: String| FrontendError::Syntax {
         line: line_no,
+        column,
         message,
     };
     // Find the assignment operator outside of brackets.
@@ -32,8 +40,14 @@ pub fn parse_assignment(line: &str, line_no: usize) -> Result<Assignment, Fronte
             b'[' | b'(' => depth += 1,
             b']' | b')' => depth -= 1,
             _ if depth == 0 => {
-                // Check compound operators first (they contain '=').
-                if let Some(op) = ops.iter().find(|op| line[i..].starts_with(**op)).copied() {
+                // Check compound operators first (they contain '=').  Compare
+                // bytes, not `line[i..]`: `i` walks bytes, and slicing the str
+                // inside a multi-byte character would panic.
+                if let Some(op) = ops
+                    .iter()
+                    .find(|op| bytes[i..].starts_with(op.as_bytes()))
+                    .copied()
+                {
                     // Skip relational operators such as '<=' '==' '>='.
                     let prev = if i > 0 { bytes[i - 1] } else { b' ' };
                     let next = bytes.get(i + op.len()).copied().unwrap_or(b' ');
@@ -49,12 +63,16 @@ pub fn parse_assignment(line: &str, line_no: usize) -> Result<Assignment, Fronte
         }
         i += 1;
     }
-    let (pos, op) = split.ok_or_else(|| syntax("expected an assignment".to_string()))?;
+    let (pos, op) = split.ok_or_else(|| syntax(col_base, "expected an assignment".to_string()))?;
     let lhs = line[..pos].trim();
     let rhs = &line[pos + op.len()..];
-    let output = parse_array_ref(lhs, line_no)?
-        .ok_or_else(|| syntax(format!("left-hand side '{lhs}' is not an array reference")))?;
-    let reads = extract_array_refs(rhs, line_no)?;
+    let output = parse_array_ref(lhs, line_no, col_base)?.ok_or_else(|| {
+        syntax(
+            col_base,
+            format!("left-hand side '{lhs}' is not an array reference"),
+        )
+    })?;
+    let reads = extract_array_refs(rhs, line_no, col_base + pos + op.len())?;
     Ok(Assignment {
         output,
         reads,
@@ -67,6 +85,7 @@ pub fn parse_assignment(line: &str, line_no: usize) -> Result<Assignment, Fronte
 fn parse_array_ref(
     text: &str,
     line_no: usize,
+    col: usize,
 ) -> Result<Option<(String, Vec<LinIndex>)>, FrontendError> {
     let text = text.trim();
     let Some(bracket) = text.find('[') else {
@@ -80,10 +99,16 @@ fn parse_array_ref(
     let mut indices_text = String::new();
     let mut rest = &text[bracket..];
     while let Some(open) = rest.find('[') {
-        let close = rest.find(']').ok_or(FrontendError::Syntax {
-            line: line_no,
-            message: format!("unbalanced brackets in '{text}'"),
-        })?;
+        // Look for the close *after* the open — a stray ']' earlier in the
+        // text (e.g. `A[i]]x[`) would otherwise invert the slice below.
+        let close = rest[open..]
+            .find(']')
+            .map(|c| open + c)
+            .ok_or(FrontendError::Syntax {
+                line: line_no,
+                column: col,
+                message: format!("unbalanced brackets in '{text}'"),
+            })?;
         if !indices_text.is_empty() {
             indices_text.push(',');
         }
@@ -98,10 +123,12 @@ fn parse_array_ref(
     Ok(Some((name.to_string(), indices)))
 }
 
-/// Extract every array reference appearing in an expression.
+/// Extract every array reference appearing in an expression.  `col_base` is
+/// the 1-based column of `expr`'s first byte in the original source line.
 pub fn extract_array_refs(
     expr: &str,
     line_no: usize,
+    col_base: usize,
 ) -> Result<Vec<(String, Vec<LinIndex>)>, FrontendError> {
     let mut out = Vec::new();
     let bytes = expr.as_bytes();
@@ -143,7 +170,7 @@ pub fn extract_array_refs(
                     end += 1;
                 }
                 let text = &expr[start..end];
-                if let Some(r) = parse_array_ref(text, line_no)? {
+                if let Some(r) = parse_array_ref(text, line_no, col_base + start)? {
                     out.push(r);
                 }
                 i = end;
@@ -178,7 +205,7 @@ mod tests {
 
     #[test]
     fn parses_simple_assignment() {
-        let a = parse_assignment("C[i, j] = A[i] * B[j]", 1).unwrap();
+        let a = parse_assignment("C[i, j] = A[i] * B[j]", 1, 1).unwrap();
         assert_eq!(a.output.0, "C");
         assert!(!a.is_update);
         assert_eq!(a.reads.len(), 2);
@@ -186,7 +213,7 @@ mod tests {
 
     #[test]
     fn parses_compound_assignment_and_c_style_subscripts() {
-        let a = parse_assignment("E[i][j] += C[i][k] * D[k][j]", 3).unwrap();
+        let a = parse_assignment("E[i][j] += C[i][k] * D[k][j]", 3, 1).unwrap();
         assert!(a.is_update);
         assert_eq!(a.output.1.len(), 2);
         assert_eq!(a.reads[0].0, "C");
@@ -198,6 +225,7 @@ mod tests {
         let a = parse_assignment(
             "A[i, t+1] = (A[i-1, t] + A[i, t] + A[i+1, t]) / 3 + B[i]",
             1,
+            1,
         )
         .unwrap();
         assert_eq!(a.reads.len(), 4);
@@ -208,6 +236,34 @@ mod tests {
 
     #[test]
     fn rejects_scalar_left_hand_side() {
-        assert!(parse_assignment("alpha = A[i]", 1).is_err());
+        assert!(parse_assignment("alpha = A[i]", 1, 1).is_err());
+    }
+
+    #[test]
+    fn error_columns_point_at_the_offending_construct() {
+        // `A[i` starts at offset 7 of the statement; with the statement
+        // itself starting at column 5 of the source line, the unbalanced
+        // bracket is reported at column 12.
+        let err = parse_assignment("X[i] = A[i", 1, 5).unwrap_err();
+        match err {
+            FrontendError::Syntax { line, column, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(column, 12);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_byte_characters_do_not_panic() {
+        // A non-ASCII byte sequence ahead of the operator used to panic the
+        // operator scan (`line[i..]` inside a UTF-8 character).
+        assert!(parse_assignment("αβγ = A[i]", 1, 1).is_err());
+        assert!(parse_assignment("A[i] = βy[j]", 1, 1).is_ok());
+    }
+
+    #[test]
+    fn stray_close_bracket_before_open_is_an_error_not_a_panic() {
+        assert!(parse_assignment("A[i]]x[ = B[i]", 1, 1).is_err());
     }
 }

@@ -3,7 +3,7 @@
 use crate::cache::{CacheStats, SolveCache};
 use crate::graph::Sdg;
 use crate::merge::merged_model;
-use crate::subgraphs::enumerate_connected_subgraphs;
+use crate::subgraphs::enumerate_connected_subgraphs_governed;
 use rayon::prelude::*;
 use soap_core::{AnalysisError, AnalysisOptions, IntensityResult};
 use soap_ir::Program;
@@ -11,8 +11,8 @@ use soap_ir::Program;
 // Theorem-1 maximum deterministic when a subgraph's `ρ` fails to evaluate:
 // the seed's `partial_cmp(..).unwrap_or(Equal)` silently treated NaN as equal
 // to everything, making the winner order-dependent.
-use soap_symbolic::{nan_last, Expr, Polynomial, Rational};
-use std::collections::BTreeMap;
+use soap_symbolic::{nan_last, Deadline, Expr, Polynomial, Rational};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -105,6 +105,12 @@ pub struct SolverSummary {
     /// Subgraphs dropped because their analysis panicked (caught and isolated
     /// per subgraph; the rest of the program's subgraphs still complete).
     pub panic_failures: usize,
+    /// Subgraphs abandoned at a deadline/cancellation commit point.  Unlike
+    /// the failure counters above these do **not** merely loosen the
+    /// Theorem-1 maximum: every array touching a cancelled subgraph has its
+    /// contribution deferred (counted as zero), keeping the degraded bound a
+    /// sound partial bound.  Always 0 on an ungoverned, fault-free run.
+    pub cancelled: usize,
 }
 
 /// Wall-clock decomposition of one program analysis into the pipeline's
@@ -182,6 +188,15 @@ pub struct ProgramAnalysis {
     pub solver: SolverSummary,
     /// Per-phase timing breakdown (enumerate / merge / instantiate / solve).
     pub phases: PhaseTimings,
+    /// True iff a deadline or cancellation abandoned part of the analysis.
+    /// The `bound` is then a *sound partial bound*: numerically at most the
+    /// full Theorem-1 bound (deferred arrays contribute zero), never more.
+    /// Always false on an ungoverned, fault-free run.
+    pub degraded: bool,
+    /// Computed arrays whose contribution was deferred (counted as zero)
+    /// because a candidate subgraph was cancelled before it solved, or
+    /// because enumeration itself was cut short.
+    pub arrays_deferred: usize,
 }
 
 impl ProgramAnalysis {
@@ -221,14 +236,39 @@ pub fn analyze_program_with_cache(
     opts: &SdgOptions,
     cache: &SolveCache,
 ) -> Result<ProgramAnalysis, AnalysisError> {
+    analyze_program_governed(program, opts, cache, None)
+}
+
+/// [`analyze_program_with_cache`] under a budget.  With no deadline (and no
+/// active fault plan) the output is byte-identical to the ungoverned path.
+///
+/// When the deadline expires — or the active [`crate::faults::FaultPlan`]
+/// trips a deterministic cancellation — the analysis abandons work only at
+/// commit points (enumeration level boundaries, per-subgraph closure starts,
+/// KKT iteration checks) and returns a **degraded-but-sound** result instead
+/// of an error: every array touching a cancelled subgraph contributes *zero*
+/// to the bound (see [`ProgramAnalysis::degraded`]), so the degraded bound
+/// never exceeds the full Theorem-1 bound.
+pub fn analyze_program_governed(
+    program: &Program,
+    opts: &SdgOptions,
+    cache: &SolveCache,
+    deadline: Option<&Deadline>,
+) -> Result<ProgramAnalysis, AnalysisError> {
     program
         .validate()
         .map_err(|e| AnalysisError::InvalidStatement(e.to_string()))?;
+    let plan = crate::faults::active_plan();
     let mut notes = Vec::new();
     let enumerate_start = Instant::now();
     let sdg = Sdg::from_program(program);
-    let enumeration =
-        enumerate_connected_subgraphs(&sdg, opts.max_subgraph_size, opts.max_subgraphs);
+    let enumeration = enumerate_connected_subgraphs_governed(
+        &sdg,
+        opts.max_subgraph_size,
+        opts.max_subgraphs,
+        deadline,
+        plan.as_deref().and_then(|p| p.level_cap()),
+    );
     let enumerate_ms = enumerate_start.elapsed().as_secs_f64() * 1e3;
     if enumeration.truncated {
         notes.push(format!(
@@ -236,6 +276,7 @@ pub fn analyze_program_with_cache(
             opts.max_subgraphs, opts.max_subgraph_size
         ));
     }
+    let enumeration_cut_short = enumeration.deadline_truncated;
     let subgraph_sets = enumeration.subgraphs;
     let core_opts = AnalysisOptions {
         assume_injective: opts.assume_injective,
@@ -248,7 +289,7 @@ pub fn analyze_program_with_cache(
     // subgraph runs under `catch_unwind`, so one panicking subgraph is
     // dropped like any other per-subgraph failure instead of tearing down
     // the whole program analysis.
-    let session = cache.session();
+    let session = cache.session_governed(deadline.cloned());
     let reference_s = opts.reference_s;
     let merge_ns = AtomicU64::new(0);
     let solve_call_ns = AtomicU64::new(0);
@@ -256,11 +297,33 @@ pub fn analyze_program_with_cache(
         Merge(AnalysisError),
         Solve(AnalysisError),
         Panic(String),
+        Cancelled,
     }
-    let outcomes: Vec<Result<SubgraphIntensity, SubgraphFailure>> = subgraph_sets
+    let program_name = program.name.as_str();
+    // The worker-pool stand-in has no `enumerate`; pair each set with its
+    // enumeration index up front (the index keys the plan's deterministic,
+    // thread-independent cancellation trip).
+    let indexed_sets: Vec<(usize, &Vec<String>)> = subgraph_sets.iter().enumerate().collect();
+    let outcomes: Vec<Result<SubgraphIntensity, SubgraphFailure>> = indexed_sets
         .par_iter()
-        .map(|arrays| {
+        .map(|&(index, arrays)| {
+            // Cancellation commit point: the plan trip is a pure function of
+            // the enumeration index (thread-independent), the wall-clock
+            // check is best-effort.  Checked before any work is spent.
+            if plan.as_deref().is_some_and(|p| p.cancels_subgraph(index))
+                || deadline.is_some_and(|d| d.expired())
+            {
+                return Err(SubgraphFailure::Cancelled);
+            }
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if plan
+                    .as_deref()
+                    .is_some_and(|p| p.panics_subgraph(program_name, arrays))
+                {
+                    panic!(
+                        "injected fault-plan panic (program {program_name}, subgraph {arrays:?})"
+                    );
+                }
                 let merge_start = Instant::now();
                 let merged = merged_model(program, arrays, &core_opts);
                 merge_ns.fetch_add(crate::cache::elapsed_ns(merge_start), Ordering::Relaxed);
@@ -268,7 +331,10 @@ pub fn analyze_program_with_cache(
                 let solve_start = Instant::now();
                 let solved = session.solve(&model);
                 solve_call_ns.fetch_add(crate::cache::elapsed_ns(solve_start), Ordering::Relaxed);
-                let intensity = solved.map_err(SubgraphFailure::Solve)?;
+                let intensity = solved.map_err(|e| match e {
+                    AnalysisError::Cancelled(_) => SubgraphFailure::Cancelled,
+                    other => SubgraphFailure::Solve(other),
+                })?;
                 let rho_ref = intensity.rho_at(reference_s);
                 Ok(SubgraphIntensity {
                     arrays: arrays.clone(),
@@ -282,17 +348,25 @@ pub fn analyze_program_with_cache(
 
     // Failed subgraphs only loosen the Theorem-1 maximum (fewer candidate
     // intensities); count them per error kind so a looser bound is
-    // diagnosable instead of silently dropping them.
+    // diagnosable instead of silently dropping them.  *Cancelled* subgraphs
+    // are different: dropping a candidate would raise the claimed lower
+    // bound, so every array they touch is deferred instead (contributes 0).
     let attempted = outcomes.len();
     let mut subgraphs: Vec<SubgraphIntensity> = Vec::with_capacity(attempted);
     let mut merge_failures = 0usize;
     let mut solve_failures = 0usize;
     let mut panic_failures = 0usize;
+    let mut cancelled = 0usize;
+    let mut deferred_arrays: BTreeSet<String> = BTreeSet::new();
     let mut first_panic: Option<String> = None;
     let mut failure_kinds: BTreeMap<String, usize> = BTreeMap::new();
-    for outcome in outcomes {
+    for (index, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
             Ok(s) => subgraphs.push(s),
+            Err(SubgraphFailure::Cancelled) => {
+                cancelled += 1;
+                deferred_arrays.extend(subgraph_sets[index].iter().cloned());
+            }
             Err(failure) => {
                 let (stage, kind) = match &failure {
                     SubgraphFailure::Merge(e) => {
@@ -310,6 +384,7 @@ pub fn analyze_program_with_cache(
                         }
                         ("analysis", "panic")
                     }
+                    SubgraphFailure::Cancelled => unreachable!("handled above"),
                 };
                 *failure_kinds.entry(format!("{stage}/{kind}")).or_insert(0) += 1;
             }
@@ -340,12 +415,40 @@ pub fn analyze_program_with_cache(
         ));
     }
 
+    let degraded = enumeration_cut_short || cancelled > 0;
+    if degraded {
+        let mut parts = Vec::new();
+        if enumeration_cut_short {
+            parts.push("subgraph enumeration was cut short at a level boundary".to_string());
+        }
+        if cancelled > 0 {
+            parts.push(format!(
+                "{cancelled} of {attempted} subgraph(s) were cancelled before solving"
+            ));
+        }
+        notes.push(format!(
+            "analysis degraded by deadline/cancellation: {}; affected arrays contribute zero, so the reported bound is a sound partial bound (at most the full Theorem-1 bound)",
+            parts.join("; ")
+        ));
+    }
+
     // Theorem 1: per computed array, the maximal intensity over subgraphs
-    // containing it.
+    // containing it.  Under degradation an array is *deferred* — counted as
+    // zero — when its candidate set may be incomplete: dropping a candidate
+    // from the maximum would shrink the denominator and *raise* the claimed
+    // lower bound, which is the unsound direction.
     let params = program.parameters();
     let mut per_array = Vec::new();
+    let mut arrays_deferred = 0usize;
     let mut total = Expr::zero();
     for array in program.computed_arrays() {
+        if enumeration_cut_short || deferred_arrays.contains(&array) {
+            arrays_deferred += 1;
+            notes.push(format!(
+                "array {array}: contribution deferred (a candidate subgraph was cancelled before solving); counted as zero in the degraded bound"
+            ));
+            continue;
+        }
         let candidates: Vec<&SubgraphIntensity> = subgraphs
             .iter()
             .filter(|s| s.arrays.contains(&array))
@@ -401,8 +504,11 @@ pub fn analyze_program_with_cache(
             merge_failures,
             solve_failures,
             panic_failures,
+            cancelled,
         },
         phases,
+        degraded,
+        arrays_deferred,
     })
 }
 
@@ -413,6 +519,7 @@ fn error_kind(err: &AnalysisError) -> &'static str {
         AnalysisError::NoInputs(_) => "no inputs",
         AnalysisError::NumericalFailure(_) => "numerical failure",
         AnalysisError::Internal(_) => "internal failure",
+        AnalysisError::Cancelled(_) => "cancelled",
     }
 }
 

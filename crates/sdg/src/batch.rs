@@ -22,13 +22,15 @@
 //! (see [`crate::cache`]).
 
 use crate::analysis::{
-    analyze_program_with_cache, panic_message, PhaseTimings, ProgramAnalysis, SdgOptions,
+    analyze_program_governed, analyze_program_with_cache, panic_message, PhaseTimings,
+    ProgramAnalysis, SdgOptions,
 };
 use crate::cache::{CacheStats, SolveCache};
 use rayon::prelude::*;
 use soap_core::AnalysisError;
 use soap_ir::Program;
-use std::time::Instant;
+use soap_symbolic::Deadline;
+use std::time::{Duration, Instant};
 
 /// One unit of batch work: a program plus the options to analyze it with.
 #[derive(Clone, Debug)]
@@ -97,6 +99,15 @@ pub struct SuiteSummary {
     /// the shared cache provides; `cache.hits - cache.cross_program_hits`
     /// are ordinary intra-program hits.
     pub cache: CacheStats,
+    /// Programs whose analysis completed *degraded* (deadline or plan-driven
+    /// cancellation abandoned part of the work; the reported bound is a sound
+    /// partial bound).  Degraded is not a failure: the programs count toward
+    /// `programs`, not `failures`.  Always 0 on an ungoverned, fault-free
+    /// run, and then omitted from the serialized summary.
+    pub degraded: usize,
+    /// Total array contributions deferred (counted as zero) across degraded
+    /// programs.  Omitted from the serialized summary when 0.
+    pub arrays_deferred: usize,
 }
 
 impl serde::Serialize for SuiteSummary {
@@ -104,7 +115,7 @@ impl serde::Serialize for SuiteSummary {
     /// shared by `soap-cli batch`, `table2 --suite-json` and the perf
     /// snapshot's `suite_stats`, so the emitters cannot drift apart.
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
+        let mut fields = vec![
             ("programs".to_string(), self.programs.to_value()),
             ("failures".to_string(), self.failures.to_value()),
             (
@@ -119,7 +130,18 @@ impl serde::Serialize for SuiteSummary {
             ),
             ("phases".to_string(), self.phases.to_value()),
             ("cache".to_string(), self.cache.to_value()),
-        ])
+        ];
+        // Degradation accounting is emitted only when present, so the
+        // serialized summary of an ungoverned, fault-free run stays
+        // byte-identical to earlier releases.
+        if self.degraded > 0 || self.arrays_deferred > 0 {
+            fields.push(("degraded".to_string(), self.degraded.to_value()));
+            fields.push((
+                "arrays_deferred".to_string(),
+                self.arrays_deferred.to_value(),
+            ));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -164,9 +186,51 @@ pub fn analyze_suite(jobs: &[SuiteProgram]) -> BatchAnalysis {
 /// against the caller's own names too), and `SuiteSummary::duplicate_names`
 /// counts how many entries were renamed so callers can surface the hint.
 pub fn analyze_suite_with(jobs: &[SuiteProgram], cache: &SolveCache) -> BatchAnalysis {
+    analyze_suite_governed(jobs, cache, None, None)
+}
+
+/// [`analyze_suite_with`] under budgets: `program_budget` caps each program's
+/// analysis individually, `suite_budget` caps the whole run.  Each program's
+/// deadline is the *minimum* of its own budget and whatever remains of the
+/// suite budget at the moment it starts, so a suite that runs out of time
+/// degrades its in-flight and remaining programs instead of erroring.
+/// Degraded programs complete with a sound partial bound
+/// ([`ProgramAnalysis::degraded`]) and are counted in
+/// [`SuiteSummary::degraded`] — they are *not* failures.  With both budgets
+/// `None` this is exactly [`analyze_suite_with`].
+pub fn analyze_suite_governed(
+    jobs: &[SuiteProgram],
+    cache: &SolveCache,
+    program_budget: Option<Duration>,
+    suite_budget: Option<Duration>,
+) -> BatchAnalysis {
+    if program_budget.is_none() && suite_budget.is_none() {
+        return analyze_suite_inner(jobs, cache, &|job| {
+            analyze_program_with_cache(&job.program, &job.opts, cache)
+        });
+    }
+    let suite_deadline = suite_budget.map(Deadline::after);
     analyze_suite_inner(jobs, cache, &|job| {
-        analyze_program_with_cache(&job.program, &job.opts, cache)
+        let budget = match (
+            program_budget,
+            suite_deadline.as_ref().and_then(|d| d.remaining()),
+        ) {
+            (Some(p), Some(s)) => Some(p.min(s)),
+            (Some(p), None) => Some(p),
+            (None, s) => s,
+        };
+        let deadline = budget.map(Deadline::after);
+        analyze_program_governed(&job.program, &job.opts, cache, deadline.as_ref())
     })
+}
+
+/// Parse a `--timeout-ms` / `SOAP_TIMEOUT_MS`-style millisecond budget.
+/// Strict in the spirit of [`crate::cache::parse_cache_shards`]: trimmed,
+/// positive integer, anything else — including 0, which would mean "degrade
+/// everything" and is never what the caller wants — is `None`.
+pub fn parse_timeout_ms(raw: &str) -> Option<Duration> {
+    let ms: u64 = raw.trim().parse().ok().filter(|&ms| ms > 0)?;
+    Some(Duration::from_millis(ms))
 }
 
 /// The batch engine behind [`analyze_suite_with`], with the per-program
@@ -211,6 +275,16 @@ fn analyze_suite_inner(
             .sum(),
         phases,
         cache: cache.stats().since(&stats_before),
+        degraded: reports
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .filter(|a| a.degraded)
+            .count(),
+        arrays_deferred: reports
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|a| a.arrays_deferred)
+            .sum(),
     };
     BatchAnalysis { reports, summary }
 }
@@ -434,6 +508,66 @@ mod tests {
         assert_eq!(batch.summary.failures, 0);
         let init = batch.report("init_only").unwrap().outcome.as_ref().unwrap();
         assert!(!init.notes.is_empty());
+    }
+
+    #[test]
+    fn parse_timeout_is_strict() {
+        assert_eq!(parse_timeout_ms("100"), Some(Duration::from_millis(100)));
+        assert_eq!(parse_timeout_ms(" 5 "), Some(Duration::from_millis(5)));
+        for bad in ["", "0", "-3", "1.5", "fast", "10ms"] {
+            assert_eq!(parse_timeout_ms(bad), None, "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_instead_of_failing() {
+        let jobs = vec![
+            SuiteProgram::with_default_opts(matmul("mm1", ["i", "j", "k"])),
+            SuiteProgram::with_default_opts(matmul("mm2", ["p", "q", "r"])),
+        ];
+        // A zero program budget is expired before any work starts, so every
+        // cancellation trips at its deterministic commit point: the suite
+        // must complete with degraded (not failed) reports and a zero bound.
+        let batch = analyze_suite_governed(&jobs, &SolveCache::new(), Some(Duration::ZERO), None);
+        assert_eq!(batch.summary.failures, 0, "degraded is not failure");
+        assert_eq!(batch.summary.degraded, 2);
+        assert!(batch.summary.arrays_deferred >= 2);
+        for report in &batch.reports {
+            let analysis = report.outcome.as_ref().expect("degraded, not failed");
+            assert!(analysis.degraded);
+            assert!(analysis.per_array.is_empty());
+            assert!(
+                analysis.notes.iter().any(|n| n.contains("degraded")),
+                "notes must explain the degradation: {:?}",
+                analysis.notes
+            );
+        }
+        // With no budgets the governed entry point is exactly the ungoverned
+        // one — byte-identical output and no degradation accounting.
+        let ungoverned = analyze_suite_governed(&jobs, &SolveCache::new(), None, None);
+        assert_eq!(ungoverned.summary.degraded, 0);
+        assert_eq!(ungoverned.summary.arrays_deferred, 0);
+        let baseline = analyze_suite(&jobs);
+        for (a, b) in ungoverned.reports.iter().zip(&baseline.reports) {
+            assert_eq!(
+                format!("{}", a.outcome.as_ref().unwrap().bound),
+                format!("{}", b.outcome.as_ref().unwrap().bound)
+            );
+        }
+        // A generous budget changes nothing either.
+        let generous = analyze_suite_governed(
+            &jobs,
+            &SolveCache::new(),
+            Some(Duration::from_secs(3600)),
+            Some(Duration::from_secs(3600)),
+        );
+        assert_eq!(generous.summary.degraded, 0);
+        for (a, b) in generous.reports.iter().zip(&baseline.reports) {
+            assert_eq!(
+                format!("{}", a.outcome.as_ref().unwrap().bound),
+                format!("{}", b.outcome.as_ref().unwrap().bound)
+            );
+        }
     }
 
     #[test]

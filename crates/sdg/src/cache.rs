@@ -52,9 +52,12 @@
 
 use crate::store::{SolveStore, StoreFlushStats, StoreLoadStats};
 use soap_core::{
-    solve_model_instrumented, solve_model_precompiled, AccessModel, AnalysisError, IntensityResult,
+    solve_model_instrumented_governed, solve_model_precompiled_governed, AccessModel,
+    AnalysisError, IntensityResult,
 };
-use soap_symbolic::{CompiledConstraint, CompiledPosynomial, Expr, MaxPosynomial, Rational};
+use soap_symbolic::{
+    CompiledConstraint, CompiledPosynomial, Deadline, Expr, MaxPosynomial, Rational,
+};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -497,6 +500,14 @@ struct StoreLayer {
 /// counted up from 1, so this sentinel is unreachable.
 const STORE_SCOPE: u64 = u64::MAX;
 
+/// The scope recorded on a cell whose initializing solve did not produce a
+/// result *about the model* — it was cancelled by a deadline or died in a
+/// panic.  Such cells are transient: the initializer unmaps them from the
+/// shard immediately (so the next requester retries against a fresh cell),
+/// they are never counted as hits or misses, and [`SolveCache::flush_store`]
+/// refuses to persist them even if a flush races the unmapping.
+const TRANSIENT_SCOPE: u64 = u64::MAX - 1;
+
 impl Default for SolveCache {
     fn default() -> Self {
         SolveCache::new()
@@ -561,6 +572,10 @@ pub struct CacheSession<'a> {
     cache: &'a SolveCache,
     scope: u64,
     local: CacheCounters,
+    /// The deadline governing every solve of this session, when opened with
+    /// [`SolveCache::session_governed`].  A solve cancelled by it returns
+    /// [`AnalysisError::Cancelled`] and leaves no trace in the cache.
+    deadline: Option<Deadline>,
 }
 
 impl CacheSession<'_> {
@@ -568,7 +583,7 @@ impl CacheSession<'_> {
     /// outcome to both the cache and this session.
     pub fn solve(&self, model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
         self.cache
-            .solve_scoped(model, self.scope, Some(&self.local))
+            .solve_scoped(model, self.scope, Some(&self.local), self.deadline.as_ref())
     }
 
     /// This session's traffic only (not the whole cache's).
@@ -682,7 +697,10 @@ impl SolveCache {
                 let map = shard.lock().expect("cache poisoned");
                 for (key, cell) in map.iter() {
                     if let Some((scope, solution)) = cell.get() {
-                        if *scope != STORE_SCOPE && !persisted.contains(key) {
+                        if *scope != STORE_SCOPE
+                            && *scope != TRANSIENT_SCOPE
+                            && !persisted.contains(key)
+                        {
                             fresh.push((key.clone(), solution.clone()));
                         }
                     }
@@ -718,10 +736,20 @@ impl SolveCache {
     /// a hit on an entry first inserted by a different session counts as
     /// cross-program.
     pub fn session(&self) -> CacheSession<'_> {
+        self.session_governed(None)
+    }
+
+    /// [`SolveCache::session`] under an optional [`Deadline`]: every solve of
+    /// the session polls the deadline inside its KKT loops and returns
+    /// [`AnalysisError::Cancelled`] when it expires mid-solve.  A cancelled
+    /// solve is never cached and never persisted — the entry is unmapped so
+    /// later requesters (with fresh budgets) retry it cleanly.
+    pub fn session_governed(&self, deadline: Option<Deadline>) -> CacheSession<'_> {
         CacheSession {
             cache: self,
             scope: self.scopes.fetch_add(1, Ordering::Relaxed) + 1,
             local: CacheCounters::default(),
+            deadline,
         }
     }
 
@@ -729,7 +757,7 @@ impl SolveCache {
     /// (scope-less convenience for single-program use; see
     /// [`SolveCache::session`] for batch use).
     pub fn solve(&self, model: &AccessModel) -> Result<IntensityResult, AnalysisError> {
-        self.solve_scoped(model, 0, None)
+        self.solve_scoped(model, 0, None, None)
     }
 
     /// Snapshot the cache-wide counters (every session's traffic combined).
@@ -767,71 +795,137 @@ impl SolveCache {
         model: &AccessModel,
         scope: u64,
         local: Option<&CacheCounters>,
+        deadline: Option<&Deadline>,
     ) -> Result<IntensityResult, AnalysisError> {
         let Some(canon) = canonicalize(model) else {
             self.bump(local, |c| &c.uncacheable, 1);
             let solve_start = std::time::Instant::now();
-            let (solved, info) = solve_model_instrumented(model);
+            let (solved, info) = solve_model_instrumented_governed(model, deadline);
             self.bump(local, |c| &c.solve_ns, elapsed_ns(solve_start));
             self.bump(local, |c| &c.kkt_cap_hits, u64::from(info.cap_hits));
             return solved;
         };
         let CanonicalModel { key, order, .. } = canon;
         let max_form = key.is_max_form();
-        let cell = {
-            let mut map = self.shards[self.shard_of(&key)]
-                .lock()
-                .expect("cache poisoned");
-            if let Some(cell) = map.get(&key) {
-                Arc::clone(cell)
-            } else {
-                let cell: Arc<SolveCell> = Arc::default();
-                map.insert(key.clone(), Arc::clone(&cell));
-                cell
-            }
-        };
-        // Whoever wins the cell's initialization race runs the solve; every
+        // Whoever wins a cell's initialization race runs the solve; every
         // other requester of the same structure blocks until it lands.  The
         // cell records the *solver's* scope (not the map-entry inserter's),
         // so a hit is classified cross-program exactly when the solve that
         // answers it ran in a different session — even when two sessions
         // first-touch the same structure concurrently.
-        let mut solved_here = false;
-        let mut cap_hits = 0u32;
-        let mut solve_ns = 0u64;
-        let (solver_scope, cached) = cell.get_or_init(|| {
-            solved_here = true;
-            let solve_start = std::time::Instant::now();
-            let canonical_model = canonical_access_model(&key);
-            let (compiled_objective, compiled_dominator) = canonical_compiled_forms(&key);
-            let (solved, info) =
-                solve_model_precompiled(&canonical_model, compiled_objective, compiled_dominator);
-            cap_hits = info.cap_hits;
-            solve_ns = elapsed_ns(solve_start);
-            // The canonical model's variables are already in canonical
-            // positions, so the storage order is the identity.
-            let identity: Vec<usize> = (0..key.n_vars).collect();
-            (scope, to_canonical(&solved, &identity))
-        });
-        self.bump(local, |c| &c.solve_ns, solve_ns);
-        self.bump(local, |c| &c.kkt_cap_hits, u64::from(cap_hits));
-        if solved_here {
-            self.bump(local, |c| &c.misses, 1);
-            if max_form {
-                self.bump(local, |c| &c.max_misses, 1);
+        //
+        // A solve that was cancelled mid-flight (or panicked) initializes its
+        // cell with the TRANSIENT_SCOPE marker instead of a result: the entry
+        // is immediately unmapped (so later requesters retry against a fresh
+        // cell), the initializer propagates the cancellation/panic, and a
+        // waiter that observed the marker loops to retry — unless its own
+        // deadline is gone too.  Catching the panic *inside* the closure is
+        // what keeps one poisoned solve from wedging every later requester
+        // of the same structure.
+        let (solver_scope, cached) = loop {
+            let cell = {
+                let mut map = self.shards[self.shard_of(&key)]
+                    .lock()
+                    .expect("cache poisoned");
+                if let Some(cell) = map.get(&key) {
+                    Arc::clone(cell)
+                } else {
+                    let cell: Arc<SolveCell> = Arc::default();
+                    map.insert(key.clone(), Arc::clone(&cell));
+                    cell
+                }
+            };
+            let mut solved_here = false;
+            let mut cap_hits = 0u32;
+            let mut solve_ns = 0u64;
+            let mut panicked: Option<String> = None;
+            let (solver_scope, cached) = cell.get_or_init(|| {
+                solved_here = true;
+                let solve_start = std::time::Instant::now();
+                let canonical_model = canonical_access_model(&key);
+                let (compiled_objective, compiled_dominator) = canonical_compiled_forms(&key);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    solve_model_precompiled_governed(
+                        &canonical_model,
+                        compiled_objective,
+                        compiled_dominator,
+                        deadline,
+                    )
+                }));
+                solve_ns = elapsed_ns(solve_start);
+                match outcome {
+                    Ok((solved, info)) => {
+                        cap_hits = info.cap_hits;
+                        let cell_scope = if matches!(&solved, Err(AnalysisError::Cancelled(_))) {
+                            TRANSIENT_SCOPE
+                        } else {
+                            scope
+                        };
+                        // The canonical model's variables are already in
+                        // canonical positions, so the storage order is the
+                        // identity.
+                        let identity: Vec<usize> = (0..key.n_vars).collect();
+                        (cell_scope, to_canonical(&solved, &identity))
+                    }
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        panicked = Some(msg.clone());
+                        (
+                            TRANSIENT_SCOPE,
+                            Err(AnalysisError::Cancelled(format!("solver panicked: {msg}"))),
+                        )
+                    }
+                }
+            });
+            self.bump(local, |c| &c.solve_ns, solve_ns);
+            self.bump(local, |c| &c.kkt_cap_hits, u64::from(cap_hits));
+            if *solver_scope != TRANSIENT_SCOPE {
+                if solved_here {
+                    self.bump(local, |c| &c.misses, 1);
+                    if max_form {
+                        self.bump(local, |c| &c.max_misses, 1);
+                    }
+                } else {
+                    self.bump(local, |c| &c.hits, 1);
+                    if max_form {
+                        self.bump(local, |c| &c.max_hits, 1);
+                    }
+                    if *solver_scope == STORE_SCOPE {
+                        self.bump(local, |c| &c.store_hits, 1);
+                    } else if *solver_scope != scope {
+                        self.bump(local, |c| &c.cross_program_hits, 1);
+                    }
+                }
+                break (*solver_scope, cached.clone());
             }
-        } else {
-            self.bump(local, |c| &c.hits, 1);
-            if max_form {
-                self.bump(local, |c| &c.max_hits, 1);
+            // Transient outcome: unmap the cell (only if it is still the
+            // mapped one — a concurrent requester may have raced ahead).
+            {
+                let mut map = self.shards[self.shard_of(&key)]
+                    .lock()
+                    .expect("cache poisoned");
+                if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &cell)) {
+                    map.remove(&key);
+                }
             }
-            if *solver_scope == STORE_SCOPE {
-                self.bump(local, |c| &c.store_hits, 1);
-            } else if *solver_scope != scope {
-                self.bump(local, |c| &c.cross_program_hits, 1);
+            if let Some(msg) = panicked {
+                // Re-raise the original panic so the per-subgraph isolation
+                // in `analysis` accounts it exactly like an uncached panic.
+                std::panic::resume_unwind(Box::new(msg));
             }
-        }
-        instantiate(cached.clone(), model, &order)
+            if solved_here || deadline.is_some_and(|d| d.expired()) {
+                // Our own budget is gone (we were the cancelled initializer,
+                // or a waiter whose deadline expired while waiting).
+                return instantiate(cached.clone(), model, &order);
+            }
+            // A waiter with budget left: retry against a fresh cell.
+        };
+        let _ = solver_scope;
+        instantiate(cached, model, &order)
     }
 }
 
@@ -1000,6 +1094,7 @@ fn relabel_error(e: AnalysisError, name: &str) -> AnalysisError {
         AnalysisError::Internal(msg) => AnalysisError::Internal(format!(
             "model {name} (via structurally identical cached model): {msg}"
         )),
+        AnalysisError::Cancelled(msg) => AnalysisError::Cancelled(format!("model {name}: {msg}")),
     }
 }
 
@@ -1277,6 +1372,64 @@ mod tests {
         let stats = warm.stats();
         assert_eq!((stats.misses, stats.store_hits), (0, 1));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_solves_are_never_cached() {
+        let cache = SolveCache::new();
+        let expired = Deadline::never();
+        expired.cancel();
+        // The governed session's solve is cancelled at the cache's init
+        // commit point...
+        let session = cache.session_governed(Some(expired));
+        let err = session.solve(&mmm_model("governed", ["i", "j", "k"]));
+        assert!(
+            matches!(err, Err(AnalysisError::Cancelled(_))),
+            "expected Cancelled, got {err:?}"
+        );
+        drop(session);
+        // ...and leaves no trace: an ungoverned solve of the same structure
+        // must run as a plain first-touch miss and succeed.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "{stats:?}");
+        let solved = cache.solve(&mmm_model("retry", ["p", "q", "r"]));
+        assert!(solved.is_ok());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn cancelled_solves_are_never_flushed_to_the_store() {
+        let dir = std::env::temp_dir().join(format!("soap-cache-cancel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = SolveCache::with_store(&dir).unwrap();
+            let expired = Deadline::never();
+            expired.cancel();
+            let session = cache.session_governed(Some(expired));
+            assert!(matches!(
+                session.solve(&mmm_model("cancelled", ["i", "j", "k"])),
+                Err(AnalysisError::Cancelled(_))
+            ));
+            drop(session);
+            assert_eq!(cache.flush_store().unwrap().appended, 0);
+        }
+        let store = SolveStore::open(&dir).unwrap();
+        assert!(store.segment_files().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn governed_session_with_a_live_deadline_matches_ungoverned_output() {
+        let governed_cache = SolveCache::new();
+        let session = governed_cache.session_governed(Some(Deadline::never()));
+        let governed = session.solve(&mmm_model("m", ["i", "j", "k"])).unwrap();
+        drop(session);
+        let direct = solve_model(&mmm_model("m", ["i", "j", "k"])).unwrap();
+        assert_eq!(governed.sigma, direct.sigma);
+        assert_eq!(governed.chi_coeff.to_bits(), direct.chi_coeff.to_bits());
+        assert_eq!(format!("{}", governed.rho), format!("{}", direct.rho));
+        assert_eq!(governed_cache.stats().misses, 1);
     }
 
     #[test]

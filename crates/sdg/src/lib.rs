@@ -36,19 +36,23 @@
 pub mod analysis;
 pub mod batch;
 pub mod cache;
+pub mod faults;
 pub mod graph;
 pub mod merge;
 pub mod store;
 pub mod subgraphs;
 
 pub use analysis::{
-    analyze_program, analyze_program_with, analyze_program_with_cache, ArrayBound, PhaseTimings,
-    ProgramAnalysis, SdgOptions, SolverSummary,
+    analyze_program, analyze_program_governed, analyze_program_with, analyze_program_with_cache,
+    ArrayBound, PhaseTimings, ProgramAnalysis, SdgOptions, SolverSummary,
 };
+pub use faults::{active_plan, override_plan, parse_fault_plan, FaultPlan, PlanOverrideGuard};
+pub use soap_symbolic::Deadline;
 // The worker-pool controls live in the vendored `rayon` stand-in; re-export
 // them so CLI/bench/test crates configure threading through one front door.
 pub use batch::{
-    analyze_suite, analyze_suite_with, BatchAnalysis, ProgramReport, SuiteProgram, SuiteSummary,
+    analyze_suite, analyze_suite_governed, analyze_suite_with, parse_timeout_ms, BatchAnalysis,
+    ProgramReport, SuiteProgram, SuiteSummary,
 };
 pub use cache::{
     cache_shards_from_env, canonicalize, global_solve_cache, parse_cache_shards, CacheSession,
@@ -58,4 +62,6 @@ pub use graph::{Sdg, SdgEdge};
 pub use merge::merged_model;
 pub use rayon::{parse_worker_threads, set_worker_budget, worker_budget, MAX_WORKER_THREADS};
 pub use store::{SolveStore, StoreFlushStats, StoreLoadStats, STORE_HEADER};
-pub use subgraphs::{enumerate_connected_subgraphs, SubgraphEnumeration};
+pub use subgraphs::{
+    enumerate_connected_subgraphs, enumerate_connected_subgraphs_governed, SubgraphEnumeration,
+};

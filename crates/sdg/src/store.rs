@@ -59,6 +59,64 @@ pub const STORE_HEADER: &str = "soap-solve-store/1";
 /// File-name extension of segment files.
 const SEGMENT_EXT: &str = "soapstore";
 
+/// Suffix appended to a segment's file name when it is quarantined.
+const QUARANTINE_SUFFIX: &str = ".quarantined";
+
+/// Store I/O attempts per operation (1 initial + bounded retries).  Transient
+/// failures — a reader racing a writer's rename, NFS hiccups, injected test
+/// faults — heal within the budget; persistent ones surface after it.
+const STORE_IO_ATTEMPTS: u32 = 3;
+
+/// Run `op` up to [`STORE_IO_ATTEMPTS`] times with a tiny linear backoff
+/// between attempts.  `injected(attempt)` short-circuits the attempt with a
+/// synthetic transient error when the active fault plan says so, keeping the
+/// injection point *inside* the retry loop so the heal path is the one the
+/// production code actually takes.
+fn retry_io<T>(
+    segment: &str,
+    injected: impl Fn(u32) -> bool,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let mut last_err = None;
+    for attempt in 0..STORE_IO_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(u64::from(attempt)));
+        }
+        let result = if injected(attempt) {
+            Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient store fault (segment {segment}, attempt {attempt})"),
+            ))
+        } else {
+            op()
+        };
+        match result {
+            Ok(v) => return Ok(v),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+/// Corrupt the digest of the first record line — the fault plan's segment
+/// corruption, applied to the in-memory text *after* the read so the genuine
+/// integrity-check / quarantine path downstream does all the work.
+fn corrupt_first_record(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut corrupted = false;
+    for (i, line) in text.lines().enumerate() {
+        if i > 0 && !corrupted && line.len() > 16 {
+            out.push_str("faultfaultfaultt");
+            out.push_str(&line[16..]);
+            corrupted = true;
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// One persisted entry: the canonical key and the stored solve outcome.
 pub(crate) type StoreEntry = (CanonicalKey, Result<CanonicalSolution, AnalysisError>);
 
@@ -76,6 +134,11 @@ pub struct StoreLoadStats {
     /// Records skipped by the per-record integrity check or record parse
     /// (truncated tail of a crashed writer, bit rot, hand-edited files).
     pub records_skipped: usize,
+    /// Segments quarantined by this load: a segment with skipped records is
+    /// renamed to `<name>.quarantined` after its good records are merged, so
+    /// the corruption is reported once and then set aside for inspection
+    /// instead of re-parsed and re-warned on every later hydration.
+    pub quarantined: usize,
     /// Distinct keys after the last-writer-wins merge.
     pub entries: usize,
     /// Total size of all segment files in bytes.
@@ -155,6 +218,7 @@ impl SolveStore {
 
     /// Load every segment, folding records with the last-writer-wins merge.
     pub(crate) fn load(&self) -> io::Result<(Vec<StoreEntry>, StoreLoadStats)> {
+        let plan = crate::faults::active_plan();
         let mut stats = StoreLoadStats::default();
         let mut merged: HashMap<CanonicalKey, Result<CanonicalSolution, AnalysisError>> =
             HashMap::new();
@@ -163,13 +227,21 @@ impl SolveStore {
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            let text = match std::fs::read_to_string(&path) {
+            let injected = |attempt: u32| {
+                plan.as_deref()
+                    .is_some_and(|p| p.store_read_fails(&name, attempt))
+            };
+            let text = match retry_io(&name, injected, || std::fs::read_to_string(&path)) {
                 Ok(t) => t,
                 Err(e) => {
                     stats.segments_rejected += 1;
                     stats.notes.push(format!("segment {name}: unreadable: {e}"));
                     continue;
                 }
+            };
+            let text = match plan.as_deref() {
+                Some(p) if p.corrupts_segment(&name) => corrupt_first_record(&text),
+                _ => text,
             };
             stats.bytes += text.len() as u64;
             let mut lines = text.lines();
@@ -192,6 +264,7 @@ impl SolveStore {
             }
             stats.segments += 1;
             let mut skipped_here = 0usize;
+            let mut good_lines: Vec<String> = Vec::new();
             for line in lines {
                 if line.is_empty() {
                     continue;
@@ -200,15 +273,46 @@ impl SolveStore {
                     Some((key, sol)) => {
                         stats.records += 1;
                         merged.insert(key, sol);
+                        good_lines.push(line.to_string());
                     }
                     None => skipped_here += 1,
                 }
             }
             if skipped_here > 0 {
                 stats.records_skipped += skipped_here;
-                stats.notes.push(format!(
+                let mut note = format!(
                     "segment {name}: {skipped_here} corrupt/truncated record(s) skipped (integrity check or parse failure)"
-                ));
+                );
+                // Salvage the surviving records into a fresh segment, then
+                // quarantine the corrupt file — rename it out of the segment
+                // namespace so the corruption is diagnosed once (and surfaced
+                // by `cache stat`) instead of re-warned forever.  Quarantine
+                // only happens once the good records are durable again (or
+                // there were none), so it never costs store entries; a failed
+                // salvage or rename is only noted — both are hygiene, not a
+                // load precondition.
+                let salvaged = if good_lines.is_empty() {
+                    Ok(())
+                } else {
+                    self.write_segment(good_lines).map(|_| ())
+                };
+                match salvaged {
+                    Ok(()) => {
+                        let mut quarantined_name = name.clone();
+                        quarantined_name.push_str(QUARANTINE_SUFFIX);
+                        match std::fs::rename(&path, path.with_file_name(&quarantined_name)) {
+                            Ok(()) => {
+                                stats.quarantined += 1;
+                                note.push_str("; segment quarantined");
+                            }
+                            Err(e) => note.push_str(&format!("; quarantine rename failed: {e}")),
+                        }
+                    }
+                    Err(e) => {
+                        note.push_str(&format!("; salvage failed ({e}); segment left in place"))
+                    }
+                }
+                stats.notes.push(note);
             }
         }
         stats.entries = merged.len();
@@ -218,6 +322,24 @@ impl SolveStore {
     /// Load-time accounting without keeping the entries (for `cache stat`).
     pub fn stat(&self) -> io::Result<StoreLoadStats> {
         self.load().map(|(_, stats)| stats)
+    }
+
+    /// Segments quarantined by earlier loads (`*.soapstore.quarantined`),
+    /// in name order — surfaced by `soap-cli cache stat` and removed by
+    /// [`SolveStore::clear`].
+    pub fn quarantined_files(&self) -> io::Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                    n.starts_with("seg-")
+                        && n.ends_with(&format!(".{SEGMENT_EXT}{QUARANTINE_SUFFIX}"))
+                })
+            })
+            .collect();
+        files.sort();
+        Ok(files)
     }
 
     /// Persist entries as one new segment file.  Returns the segment path.
@@ -230,6 +352,16 @@ impl SolveStore {
         &self,
         entries: &[(&CanonicalKey, &Result<CanonicalSolution, AnalysisError>)],
     ) -> io::Result<PathBuf> {
+        let lines: Vec<String> = entries
+            .iter()
+            .map(|(key, sol)| encode_record(key, sol))
+            .collect();
+        self.write_segment(lines)
+    }
+
+    /// Write already-encoded record lines as one new uniquely named segment
+    /// (the shared tail of [`SolveStore::append`] and load-time salvage).
+    fn write_segment(&self, mut lines: Vec<String>) -> io::Result<PathBuf> {
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos())
@@ -246,10 +378,6 @@ impl SolveStore {
         // order never affects the merge result — keys within one segment are
         // distinct — it only keeps identical caches producing identical
         // segment bytes.
-        let mut lines: Vec<String> = entries
-            .iter()
-            .map(|(key, sol)| encode_record(key, sol))
-            .collect();
         lines.sort();
         let mut text = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>() + 32);
         text.push_str(STORE_HEADER);
@@ -258,20 +386,30 @@ impl SolveStore {
             text.push_str(line);
             text.push('\n');
         }
-        {
+        let plan = crate::faults::active_plan();
+        let injected = |attempt: u32| {
+            plan.as_deref()
+                .is_some_and(|p| p.store_write_fails(&name, attempt))
+        };
+        retry_io(&name, injected, || {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(text.as_bytes())?;
             f.sync_all()?;
-        }
-        std::fs::rename(&tmp, &path)?;
+            std::fs::rename(&tmp, &path)
+        })?;
         Ok(path)
     }
 
-    /// Delete all segment files (and stale temp files).  Returns how many
-    /// segments were removed.  The directory itself is kept.
+    /// Delete all segment files (plus stale temp files and quarantined
+    /// segments).  Returns how many segments were removed.  The directory
+    /// itself is kept.
     pub fn clear(&self) -> io::Result<usize> {
         let mut removed = 0usize;
         for path in self.segment_files()? {
+            std::fs::remove_file(&path)?;
+            removed += 1;
+        }
+        for path in self.quarantined_files()? {
             std::fs::remove_file(&path)?;
             removed += 1;
         }
@@ -524,6 +662,9 @@ fn error_to_value(e: &AnalysisError) -> Value {
         AnalysisError::NoInputs(m) => ("NoInputs", m),
         AnalysisError::NumericalFailure(m) => ("NumericalFailure", m),
         AnalysisError::Internal(m) => ("Internal", m),
+        // Kept total for codec symmetry, but never reached from `flush_store`:
+        // cancelled results carry the transient scope and are filtered out.
+        AnalysisError::Cancelled(m) => ("Cancelled", m),
     };
     Value::Object(vec![(tag.to_string(), Value::Str(msg.clone()))])
 }
@@ -541,6 +682,7 @@ fn error_from_value(v: &Value) -> Result<AnalysisError, DeError> {
         "NoInputs" => Ok(AnalysisError::NoInputs(msg)),
         "NumericalFailure" => Ok(AnalysisError::NumericalFailure(msg)),
         "Internal" => Ok(AnalysisError::Internal(msg)),
+        "Cancelled" => Ok(AnalysisError::Cancelled(msg)),
         other => Err(DeError::msg(format!("error: unknown variant '{other}'"))),
     }
 }

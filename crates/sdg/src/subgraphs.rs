@@ -32,6 +32,7 @@
 use crate::graph::Sdg;
 use rayon::prelude::*;
 use soap_bitset::BitSet;
+use soap_symbolic::Deadline;
 use std::collections::{BTreeSet, HashSet};
 
 /// Below this many frontier sets a level is expanded serially: the per-level
@@ -52,6 +53,11 @@ pub struct SubgraphEnumeration {
     /// dropped because of the count cap.  Landing exactly on the cap without
     /// dropping anything does *not* count as truncation.
     pub truncated: bool,
+    /// True iff the enumeration stopped early at a level boundary because a
+    /// deadline expired or a plan-driven level cap tripped.  The subsets
+    /// enumerated so far are complete and exactly the serial prefix; whole
+    /// levels are simply missing.
+    pub deadline_truncated: bool,
 }
 
 /// Enumerate connected subsets of the computed arrays of `sdg`, each of size
@@ -71,6 +77,22 @@ pub fn enumerate_connected_subgraphs(
     max_size: usize,
     max_count: usize,
 ) -> SubgraphEnumeration {
+    enumerate_connected_subgraphs_governed(sdg, max_size, max_count, None, None)
+}
+
+/// [`enumerate_connected_subgraphs`] under a budget: the deadline (and the
+/// fault plan's level cap) is checked once per breadth-first *level* — a
+/// deterministic commit point — so an expiry never splits a level.  Every
+/// level that starts, finishes; the enumerated family is always a serial
+/// prefix of the full enumeration, and `deadline_truncated` reports whether
+/// any level was abandoned.
+pub fn enumerate_connected_subgraphs_governed(
+    sdg: &Sdg,
+    max_size: usize,
+    max_count: usize,
+    deadline: Option<&Deadline>,
+    level_cap: Option<usize>,
+) -> SubgraphEnumeration {
     let n = sdg.computed.len();
     let adj = sdg.computed_adjacency();
     let mut by_name: Vec<usize> = (0..n).collect();
@@ -80,10 +102,18 @@ pub fn enumerate_connected_subgraphs(
     let mut out: Vec<BitSet> = singletons.clone();
     let mut frontier = singletons;
     let mut truncated = false;
+    let mut deadline_truncated = false;
 
     let mut candidates = BitSet::new(n);
-    for _size in 2..=max_size {
+    for size in 2..=max_size {
         if frontier.is_empty() || truncated {
+            break;
+        }
+        // Budget check at the level boundary: stopping here keeps the output
+        // an exact serial prefix (whole levels only), so a plan-driven level
+        // cap gives byte-identical degraded results for any thread count.
+        if level_cap.is_some_and(|cap| size >= cap) || deadline.is_some_and(|d| d.expired()) {
+            deadline_truncated = true;
             break;
         }
         // Proposal stage: per frontier set, every one-vertex extension in
@@ -167,6 +197,7 @@ pub fn enumerate_connected_subgraphs(
     SubgraphEnumeration {
         subgraphs,
         truncated,
+        deadline_truncated,
     }
 }
 
@@ -301,6 +332,35 @@ mod tests {
         let short = enumerate_connected_subgraphs(&sdg, 2, 8);
         assert_eq!(short.subgraphs.len(), 8);
         assert!(short.truncated, "one pair was genuinely dropped");
+    }
+
+    #[test]
+    fn governed_level_cap_keeps_a_serial_prefix() {
+        let sdg = chain(5);
+        let full = enumerate_connected_subgraphs(&sdg, 3, 10_000);
+        assert!(!full.deadline_truncated);
+        let capped = enumerate_connected_subgraphs_governed(&sdg, 3, 10_000, None, Some(2));
+        assert!(capped.deadline_truncated);
+        // cancel_at_level=2 keeps only the singletons — an exact serial prefix.
+        assert_eq!(capped.subgraphs, full.subgraphs[..5].to_vec());
+        let cap3 = enumerate_connected_subgraphs_governed(&sdg, 3, 10_000, None, Some(3));
+        assert!(cap3.deadline_truncated);
+        assert_eq!(cap3.subgraphs, full.subgraphs[..9].to_vec());
+    }
+
+    #[test]
+    fn governed_deadline_stops_at_a_level_boundary() {
+        let sdg = chain(5);
+        let expired = Deadline::never();
+        expired.cancel();
+        let got = enumerate_connected_subgraphs_governed(&sdg, 3, 10_000, Some(&expired), None);
+        assert!(got.deadline_truncated);
+        assert_eq!(got.subgraphs.len(), 5, "singletons always survive");
+        let live = Deadline::never();
+        let ungoverned = enumerate_connected_subgraphs(&sdg, 3, 10_000);
+        let governed = enumerate_connected_subgraphs_governed(&sdg, 3, 10_000, Some(&live), None);
+        assert!(!governed.deadline_truncated);
+        assert_eq!(governed.subgraphs, ungoverned.subgraphs);
     }
 
     #[test]

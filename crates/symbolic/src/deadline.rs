@@ -1,0 +1,140 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`Deadline`] is a cheap, cloneable handle (an `Arc` around an atomic
+//! flag plus an optional wall-clock expiry) that the analysis pipeline
+//! threads through its hot loops.  Work never gets interrupted mid-step:
+//! each governed loop polls [`Deadline::expired`] at its own deterministic
+//! commit points (enumeration level boundaries, per-subgraph closures, KKT
+//! iterations) and unwinds cleanly when the budget is gone.
+//!
+//! The wall-clock check latches: once a deadline has been observed expired
+//! it stays expired, so every subsequent poll is a single relaxed atomic
+//! load regardless of clock resolution.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A governed loop stopped because its [`Deadline`] expired.
+///
+/// Deliberately a unit struct: the *reaction* to expiry (degraded result,
+/// skipped subgraph, …) is decided by the caller that owns the deadline,
+/// not by the loop that noticed it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Expired;
+
+impl std::fmt::Display for Expired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline expired")
+    }
+}
+
+#[derive(Debug)]
+struct DeadlineInner {
+    cancelled: AtomicBool,
+    expires_at: Option<Instant>,
+}
+
+/// A shared cancellation token with an optional wall-clock budget.
+///
+/// Cloning is cheap (one `Arc` bump); all clones observe the same state, so
+/// a suite can hand one deadline to every worker analyzing a program and
+/// [`Deadline::cancel`] all of them at once.
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    inner: Arc<DeadlineInner>,
+}
+
+impl Deadline {
+    /// A deadline that never expires on its own (it can still be
+    /// [`Deadline::cancel`]led explicitly).
+    pub fn never() -> Self {
+        Deadline {
+            inner: Arc::new(DeadlineInner {
+                cancelled: AtomicBool::new(false),
+                expires_at: None,
+            }),
+        }
+    }
+
+    /// A deadline expiring `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            inner: Arc::new(DeadlineInner {
+                cancelled: AtomicBool::new(false),
+                expires_at: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Cancel immediately: every clone observes [`Deadline::expired`] from
+    /// this point on.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the budget is gone (explicit cancel or wall-clock expiry).
+    ///
+    /// Latches: after the first `true` the wall clock is never consulted
+    /// again, so polling in a tight loop costs one relaxed load.
+    pub fn expired(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.expires_at {
+            Some(t) if Instant::now() >= t => {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Time left before wall-clock expiry: `None` when unbounded, zero when
+    /// already expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Some(Duration::ZERO);
+        }
+        self.inner
+            .expires_at
+            .map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_does_not_expire() {
+        let d = Deadline::never();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let d = Deadline::never();
+        let clone = d.clone();
+        clone.cancel();
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately_and_latches() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        // Latched: still expired, and remaining is zero.
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_is_not_expired_yet() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod closed_form;
+pub mod deadline;
 pub mod expr;
 pub mod intern;
 pub mod lp;
@@ -34,6 +35,7 @@ pub mod posy;
 pub mod rational;
 
 pub use closed_form::ClosedForm;
+pub use deadline::{Deadline, Expired};
 pub use expr::Expr;
 pub use intern::Symbol;
 pub use lp::LinearProgram;

@@ -17,6 +17,7 @@
 //! in closed form.
 
 use crate::closed_form::ClosedForm;
+use crate::deadline::{Deadline, Expired};
 use crate::expr::Expr;
 use crate::posy::{CompiledPosynomial, MaxPosynomial, MaxScratch, TIE_REL_FLOOR};
 use crate::rational::Rational;
@@ -58,6 +59,12 @@ pub const POWER_LAW_PROBES: [f64; 3] = [1.0e7, 4.0e7, 1.6e8];
 /// (the rational/closed-form snapping tolerances sit at 3e-5): stepping on
 /// them would amplify gradient noise into radius-sized kicks off the optimum.
 const DEV_DEADBAND: f64 = 1e-7;
+
+/// Governed KKT loops poll their [`Deadline`] every `MASK + 1` iterations
+/// (a power of two so the test is one AND).  A single iteration is a few µs,
+/// so a 16-iteration poll granularity bounds the overshoot past an expired
+/// deadline to well under a millisecond per solve.
+const DEADLINE_POLL_MASK: usize = 0xF;
 
 /// Process-wide counters of the numeric solver, for perf reporting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -451,6 +458,21 @@ impl ConstrainedProduct {
         x: f64,
         warm: Option<&[f64]>,
     ) -> (ProductSolution, SolveInfo) {
+        self.solve_seeded_governed(x, warm, None)
+            .expect("ungoverned solve cannot expire")
+    }
+
+    /// [`Self::solve_seeded_instrumented`] under a [`Deadline`]: the KKT loop
+    /// polls the deadline every few iterations and returns [`Expired`] instead
+    /// of an iterate when the budget is gone.  An expired solve records
+    /// nothing into the process-wide histogram — it is not a solve, capped or
+    /// otherwise, just abandoned work.
+    pub fn solve_seeded_governed(
+        &self,
+        x: f64,
+        warm: Option<&[f64]>,
+        deadline: Option<&Deadline>,
+    ) -> Result<(ProductSolution, SolveInfo), Expired> {
         SOLVES.fetch_add(1, Ordering::Relaxed);
         let max_form = self
             .compiled
@@ -460,13 +482,13 @@ impl ConstrainedProduct {
             MAX_FORM_SOLVES.fetch_add(1, Ordering::Relaxed);
         }
         let run = |start: Option<&[f64]>| match &self.compiled {
-            Some(c) => self.solve_compiled(c, x, start),
-            None => self.solve_reference_impl(x, start),
+            Some(c) => self.solve_compiled(c, x, start, deadline),
+            None => self.solve_reference_impl(x, start, deadline),
         };
         if self.compiled.is_some() {
             COMPILED_SOLVES.fetch_add(1, Ordering::Relaxed);
         }
-        let (mut sol, mut iterations, mut capped) = run(warm);
+        let (mut sol, mut iterations, mut capped) = run(warm)?;
         if capped {
             // Continuation restart: a cold start that exhausted the budget
             // mid-travel usually converges in a few dozen iterations when
@@ -475,7 +497,7 @@ impl ConstrainedProduct {
             // counts as converged if the iterate actually returned is the
             // restart's converged one — falling back to the first leg's
             // better-but-capped iterate keeps the cap hit.
-            let (sol2, it2, capped2) = run(Some(&sol.extents));
+            let (sol2, it2, capped2) = run(Some(&sol.extents))?;
             iterations += it2;
             if sol2.chi >= sol.chi {
                 sol = sol2;
@@ -489,7 +511,7 @@ impl ConstrainedProduct {
             cap_hits: u32::from(capped),
             max_form,
         };
-        (sol, info)
+        Ok((sol, info))
     }
 
     /// The retained `Expr`-eval solver — finite-difference gradients and
@@ -503,12 +525,19 @@ impl ConstrainedProduct {
     /// that policy (evaluation, gradients, projection) is computed by
     /// entirely different machinery.
     pub fn solve_reference(&self, x: f64) -> ProductSolution {
-        let (sol, iterations, capped) = self.solve_reference_impl(x, None);
+        let (sol, iterations, capped) = self
+            .solve_reference_impl(x, None, None)
+            .expect("ungoverned solve cannot expire");
         record_solve(iterations, capped);
         sol
     }
 
-    fn solve_reference_impl(&self, x: f64, warm: Option<&[f64]>) -> (ProductSolution, u64, bool) {
+    fn solve_reference_impl(
+        &self,
+        x: f64,
+        warm: Option<&[f64]>,
+        deadline: Option<&Deadline>,
+    ) -> Result<(ProductSolution, u64, bool), Expired> {
         let n = self.variables.len();
         assert!(n > 0, "constrained product needs at least one variable");
         // Initial guess: the warm-start shape when given, otherwise equal
@@ -535,6 +564,9 @@ impl ConstrainedProduct {
         let mut prev_dev = vec![0.0f64; n];
         let mut best_improved_iter = 0usize;
         for iter in 0..KKT_ITERATION_CAP {
+            if iter & DEADLINE_POLL_MASK == 0 && deadline.is_some_and(|d| d.expired()) {
+                return Err(Expired);
+            }
             iters_done += 1;
             // Benefit/cost ratios in log space.
             let mut log_ratio = vec![0.0; n];
@@ -606,7 +638,7 @@ impl ConstrainedProduct {
             constraint_value: self.eval(&self.constraint, &extents),
             extents,
         };
-        (sol, iters_done, !converged)
+        Ok((sol, iters_done, !converged))
     }
 
     /// The compiled fast path: the same damped multiplicative KKT fixed point
@@ -630,7 +662,8 @@ impl ConstrainedProduct {
         c: &CompiledProblem,
         x: f64,
         warm: Option<&[f64]>,
-    ) -> (ProductSolution, u64, bool) {
+        deadline: Option<&Deadline>,
+    ) -> Result<(ProductSolution, u64, bool), Expired> {
         let n = self.variables.len();
         assert!(n > 0, "constrained product needs at least one variable");
         let mut extents: Vec<f64> = match warm {
@@ -679,6 +712,9 @@ impl ConstrainedProduct {
         c.constraint.mark_occurring_vars(&mut in_constraint);
         let debug = std::env::var("SOAP_DEBUG_KKT").is_ok();
         for iter in 0..KKT_ITERATION_CAP {
+            if iter & DEADLINE_POLL_MASK == 0 && deadline.is_some_and(|d| d.expired()) {
+                return Err(Expired);
+            }
             iters_done += 1;
             if max_form {
                 scratch.max.set_tie_window(tie_window);
@@ -807,7 +843,7 @@ impl ConstrainedProduct {
             constraint_value: c.constraint.eval(&extents, &mut scratch),
             extents,
         };
-        (sol, iters_done, !converged)
+        Ok((sol, iters_done, !converged))
     }
 
     /// Fit `χ(X) = c·X^σ` by solving at several large `X` values.
@@ -826,12 +862,23 @@ impl ConstrainedProduct {
     /// `X` optimum, which keeps all three in the same basin of the
     /// multi-extremal objective and removes the repeated travel phase.
     pub fn fit_power_law_instrumented(&self) -> (PowerLaw, SolveInfo, Vec<f64>) {
+        self.fit_power_law_governed(None)
+            .expect("ungoverned fit cannot expire")
+    }
+
+    /// [`Self::fit_power_law_instrumented`] under a [`Deadline`]: returns
+    /// [`Expired`] as soon as any probe solve runs out of budget (a partial
+    /// probe set cannot produce a trustworthy exponent fit).
+    pub fn fit_power_law_governed(
+        &self,
+        deadline: Option<&Deadline>,
+    ) -> Result<(PowerLaw, SolveInfo, Vec<f64>), Expired> {
         let mut info = SolveInfo::default();
         let xs = POWER_LAW_PROBES;
         let mut warm: Option<Vec<f64>> = None;
         let mut chis = Vec::with_capacity(xs.len());
         for &x in &xs {
-            let (sol, i) = self.solve_seeded_instrumented(x, warm.as_deref());
+            let (sol, i) = self.solve_seeded_governed(x, warm.as_deref(), deadline)?;
             info.absorb(i);
             chis.push(sol.chi);
             warm = Some(sol.extents);
@@ -847,11 +894,11 @@ impl ConstrainedProduct {
         let c2 = chis[1] / xs[1].powf(exponent.to_f64());
         let c3 = chis[2] / xs[2].powf(exponent.to_f64());
         let coeff = 2.0 * c3 - c2;
-        (
+        Ok((
             PowerLaw { coeff, exponent },
             info,
             warm.expect("three probes ran"),
-        )
+        ))
     }
 }
 
@@ -1184,6 +1231,30 @@ mod tests {
         assert!(after.solves > before.solves);
         assert!(after.compiled_solves > before.compiled_solves);
         assert!(after.kkt_iterations > before.kkt_iterations);
+    }
+
+    #[test]
+    fn governed_solve_honours_the_deadline() {
+        use crate::deadline::Deadline;
+        let p = mmm_problem();
+        // An already-cancelled deadline trips the very first poll.
+        let dead = Deadline::never();
+        dead.cancel();
+        assert!(matches!(
+            p.solve_seeded_governed(1.0e6, None, Some(&dead)),
+            Err(Expired)
+        ));
+        assert!(matches!(
+            p.fit_power_law_governed(Some(&dead)),
+            Err(Expired)
+        ));
+        // A live deadline changes nothing: byte-identical to the ungoverned
+        // solve (the poll is on the same iteration schedule either way).
+        let live = Deadline::never();
+        let (gov, _) = p.solve_seeded_governed(1.0e6, None, Some(&live)).unwrap();
+        let (plain, _) = p.solve_seeded_instrumented(1.0e6, None);
+        assert_eq!(gov.extents, plain.extents);
+        assert_eq!(gov.chi.to_bits(), plain.chi.to_bits());
     }
 
     #[test]
