@@ -1,0 +1,166 @@
+//! Load-test the `soap-serve` daemon: mixed registry + renamed-source
+//! traffic over keep-alive TCP, with client-side latency percentiles and
+//! server-side dedup accounting, plus pass/fail assertion flags for CI.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT]        # default: in-process server, port 0
+//!         [--duration-ms MS]        # timed window (default 2000)
+//!         [--connections N]         # client threads (default 8)
+//!         [--warmup N]              # untimed requests per connection (default 96)
+//!         [--cache-dir DIR]         # store for the in-process server
+//!         [--out FILE]              # write the report as JSON
+//!         [--shutdown]              # POST /shutdown to the server afterwards
+//!         [--min-rps R]             # fail below R requests/second
+//!         [--require-zero-5xx]      # fail on any 5xx response
+//!         [--require-dedup]         # fail unless dedup_ratio > 0
+//!         [--require-store-hits]    # fail unless the solve cache hit the disk store
+//! ```
+//!
+//! Every requirement violation is reported; the process exits nonzero if any
+//! failed, so one CI step both generates the latency artifact and enforces
+//! the serving SLOs.
+
+use soap_bench::load::{run_load, LoadConfig};
+use std::cmp::Ordering;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--duration-ms MS] [--connections N] [--warmup N]\n               \
+         [--cache-dir DIR] [--out FILE] [--shutdown] [--min-rps R]\n               \
+         [--require-zero-5xx] [--require-dedup] [--require-store-hits]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = LoadConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut shutdown = false;
+    let mut min_rps: Option<f64> = None;
+    let mut require_zero_5xx = false;
+    let mut require_dedup = false;
+    let mut require_store_hits = false;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--addr" => config.addr = Some(value(&mut i)),
+            "--duration-ms" => {
+                let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| usage());
+                config.duration = Duration::from_millis(ms);
+            }
+            "--connections" => {
+                config.connections = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--warmup" => {
+                config.warmup_requests = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--cache-dir" => config.cache_dir = Some(value(&mut i)),
+            "--out" => out_path = Some(value(&mut i)),
+            "--shutdown" => shutdown = true,
+            "--min-rps" => min_rps = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--require-zero-5xx" => require_zero_5xx = true,
+            "--require-dedup" => require_dedup = true,
+            "--require-store-hits" => require_store_hits = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let report = match run_load(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "loadgen: {} requests in {:.0} ms over {} connection(s) — {:.0} req/s",
+        report.requests, report.elapsed_ms, config.connections, report.throughput_rps
+    );
+    println!(
+        "  latency: p50 {:.3} ms   p99 {:.3} ms   max {:.3} ms",
+        report.p50_ms, report.p99_ms, report.max_ms
+    );
+    println!(
+        "  status:  2xx {}   4xx {} (429: {})   5xx {}",
+        report.status_2xx, report.status_4xx, report.status_429, report.status_5xx
+    );
+    println!(
+        "  server:  dedup ratio {:.3} ({} memo hits + {} coalesced over {} analyze requests, {} analyses), {} store hits",
+        report.dedup_ratio,
+        report.response_cache_hits,
+        report.coalesced,
+        report.analyze_requests,
+        report.analyses,
+        report.store_hits,
+    );
+
+    if let Some(path) = &out_path {
+        let text = serde_json::to_string_pretty(&report.to_value()).expect("report serializes");
+        if let Err(e) = std::fs::write(path, text + "\n") {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  wrote {path}");
+    }
+
+    if shutdown {
+        let Some(addr) = &config.addr else {
+            eprintln!(
+                "loadgen: --shutdown requires --addr (the in-process server already stopped)"
+            );
+            std::process::exit(1);
+        };
+        let stopped = httpd::Client::connect(addr.as_str())
+            .and_then(|mut c| c.request("POST", "/shutdown", None));
+        match stopped {
+            Ok(resp) if resp.status == 200 => println!("  server at {addr} shutting down"),
+            Ok(resp) => {
+                eprintln!("loadgen: POST /shutdown returned {}", resp.status);
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("loadgen: POST /shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    if let Some(min) = min_rps {
+        if report.throughput_rps < min {
+            failures.push(format!(
+                "throughput {:.0} req/s below required {min:.0}",
+                report.throughput_rps
+            ));
+        }
+    }
+    if require_zero_5xx && report.status_5xx > 0 {
+        failures.push(format!("{} 5xx response(s)", report.status_5xx));
+    }
+    if require_dedup
+        && !matches!(
+            report.dedup_ratio.partial_cmp(&0.0),
+            Some(Ordering::Greater)
+        )
+    {
+        failures.push(format!("dedup ratio {} is not > 0", report.dedup_ratio));
+    }
+    if require_store_hits && report.store_hits == 0 {
+        failures.push("no solve-cache store hits (server not warm-started?)".to_string());
+    }
+    if !failures.is_empty() {
+        eprintln!("loadgen FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("loadgen OK");
+}

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fixtures;
+pub mod load;
 pub mod validation;
 
 use serde::Serialize;

@@ -9,6 +9,7 @@
 //! soap-cli batch --all            # the whole built-in registry
 //! soap-cli batch --all --cache-dir .soap-cache   # …over a persistent store
 //! soap-cli cache stat .soap-cache # inspect a persistent store
+//! soap-cli serve --cache-dir .soap-cache   # analysis-as-a-service daemon
 //! soap-cli list                   # list the built-in kernels
 //! ```
 //!
@@ -46,6 +47,8 @@ fn usage() -> ! {
          soap-cli batch [--all] [--injective] [--out FILE] [--cache-dir DIR] [--threads N]\n             \
          [--timeout-ms MS] [--suite-timeout-ms MS] [<kernel-or-file>...]\n  \
          soap-cli cache <stat|list|clear> <dir>\n  \
+         soap-cli serve [--addr HOST:PORT] [--http-threads N] [--slots N] [--queue N]\n             \
+         [--timeout-ms MS] [--cache-dir DIR] [--threads N]\n  \
          soap-cli list\n\
          \n\
          --cache-dir DIR  layer the solve cache over the disk-persisted canonical-solution\n                  \
@@ -64,6 +67,20 @@ fn usage() -> ! {
          additionally caps the whole batch; each program gets the smaller of\n                  \
          its own budget and the suite's remaining time.\n\
          \n\
+         serve flags (daemon defaults come from the SOAP_SERVE_* environment; a flag\n\
+         overrides its variable):\n  \
+         --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 picks a free\n                   \
+         port, printed on startup)\n  \
+         --http-threads N  HTTP connection threads (default 8)\n  \
+         --slots N         concurrent analyses admitted (default 4); further requests\n                   \
+         queue up to --queue N (default 64), beyond which the daemon\n                   \
+         answers 429 with Retry-After instead of building backlog\n  \
+         --timeout-ms MS   per-request analysis budget; over-budget requests return a\n                   \
+         sound *degraded* partial bound with HTTP 200 (clients may\n                   \
+         override per request with ?timeout_ms=)\n  \
+         --cache-dir DIR   shared warm state: hydrate the canonical-solution store at\n                   \
+         startup, flush new solves on shutdown\n\
+         \n\
          environment:\n  \
          SOAP_THREADS       default worker-thread count (same validation and clamp as\n                     \
          --threads, which overrides it)\n  \
@@ -76,7 +93,11 @@ fn usage() -> ! {
          SOAP_FAULT_PLAN    deterministic fault-injection plan for chaos testing\n                     \
          (seed=..,store_read_transient=..,store_write_transient=..,\n                     \
          corrupt_every=..,panic_every=..,cancel_at_subgraph=..,\n                     \
-         cancel_at_level=..); off unless set and well-formed"
+         cancel_at_level=..); off unless set and well-formed\n  \
+         SOAP_SERVE_ADDR          daemon listen address (see --addr)\n  \
+         SOAP_SERVE_HTTP_THREADS  daemon HTTP connection threads (see --http-threads)\n  \
+         SOAP_SERVE_SLOTS         daemon concurrent analysis slots (see --slots)\n  \
+         SOAP_SERVE_QUEUE         daemon admission queue capacity (see --queue)"
     );
     std::process::exit(2);
 }
@@ -189,6 +210,7 @@ fn main() -> ExitCode {
         }
         Some("batch") => batch(&args[1..]),
         Some("cache") => cache_cmd(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("analyze") => {
             let mut lang = "python".to_string();
             let mut file = None;
@@ -257,6 +279,73 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `soap-cli serve`: run the analysis daemon until a client POSTs /shutdown
+/// (or the process is killed).  Defaults come from `ServeConfig::from_env()`
+/// (the SOAP_SERVE_* variables); flags override.  On shutdown the
+/// store-backed solve cache is flushed so the next replica starts warm.
+fn serve(args: &[String]) -> ExitCode {
+    let mut config = soap_serve::ServeConfig::from_env();
+    let mut i = 0;
+    while i < args.len() {
+        // Flags that take a value share one "next arg or usage" shape.
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--addr" => config.addr = value(&mut i),
+            "--http-threads" => {
+                config.http_threads = positive_or_usage("--http-threads", &value(&mut i))
+            }
+            "--slots" => config.analysis_slots = positive_or_usage("--slots", &value(&mut i)),
+            "--queue" => config.queue_capacity = positive_or_usage("--queue", &value(&mut i)),
+            "--timeout-ms" => {
+                config.timeout = Some(timeout_or_usage("--timeout-ms", &value(&mut i)));
+            }
+            "--cache-dir" => config.cache_dir = Some(value(&mut i)),
+            "--threads" => set_threads_or_usage(&value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let server = match soap_serve::RunningServer::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The bound address goes to stdout (scripts capture it — with port 0 the
+    // kernel picks the port); progress chatter stays on stderr.
+    println!("listening on http://{}", server.addr());
+    eprintln!("serve: POST /shutdown to stop; GET /stats for live counters");
+    server.wait_for_shutdown();
+    match server.stop() {
+        Ok(appended) => {
+            if appended > 0 {
+                eprintln!("serve: persisted {appended} new canonical solution(s) on shutdown");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: shutdown flush failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse a positive-integer serve flag; an explicit flag with an invalid
+/// value is a usage error (same contract as `--threads`).
+fn positive_or_usage(flag: &str, raw: &str) -> usize {
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} expects a positive integer, got '{raw}'");
+            usage();
+        }
     }
 }
 
@@ -393,19 +482,22 @@ fn batch(args: &[String]) -> ExitCode {
     for report in &batch.reports {
         let record = match &report.outcome {
             Ok(analysis) => {
+                // Per-program records carry only order- and time-invariant
+                // fields, so two batch runs over the same inputs produce
+                // byte-identical per-program lines regardless of thread
+                // count, scheduling, or wall clock.  Timing and the shared
+                // cache accounting (including the thread-order-dependent
+                // cross- vs intra-program hit split) live in the suite
+                // summary record alone.
                 let mut record = serde_json::json!({
                     "program": report.name,
                     "ok": true,
-                    "analysis_ms": report.analysis_ms,
                     "bound": format!("{}", analysis.bound),
                     "per_array": analysis.per_array.iter().map(|a| serde_json::json!({
                         "array": a.array,
                         "rho": format!("{}", a.rho),
                         "sigma": format!("{}", a.sigma),
                     })).collect::<Vec<_>>(),
-                    "cache_hits": analysis.solver.cache_hits,
-                    "cross_program_hits": analysis.solver.cross_program_hits,
-                    "store_hits": analysis.solver.store_hits,
                     "notes": analysis.notes,
                 });
                 // Degradation fields only when present: default-config output
@@ -428,7 +520,6 @@ fn batch(args: &[String]) -> ExitCode {
             Err(e) => serde_json::json!({
                 "program": report.name,
                 "ok": false,
-                "analysis_ms": report.analysis_ms,
                 "error": format!("{e}"),
             }),
         };

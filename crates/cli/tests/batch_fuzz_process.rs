@@ -1,0 +1,251 @@
+//! The PR 7 adversarial fuzz corpus driven through the `soap-cli batch`
+//! *process boundary*: each input is written to a real source file and fed
+//! to the spawned release of the binary (`CARGO_BIN_EXE_soap-cli`).  In-crate
+//! fuzz tests prove the parsers don't panic when called as a library; this
+//! suite proves the CLI turns those rejections into a clean nonzero exit —
+//! an error message on stderr, never an abort, never a panic backtrace.
+//!
+//! The generators mirror `crates/frontend/tests/adversarial_fuzz.rs` (same
+//! xorshift64* engine, same mutation set) with smaller case counts, because
+//! every case here costs a process spawn.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Deterministic xorshift64* generator — same engine as the frontend fuzz.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+}
+
+const LOOP_VARS: [&str; 4] = ["i", "j", "k", "t"];
+const PARAMS: [&str; 3] = ["N", "M", "P"];
+const SPLICE: [&str; 14] = [
+    "[", "]", "(", ")", "{", "}", ";", ":", "=", ",", "<", "*", "β", "∑",
+];
+
+fn gen_template(rng: &mut Rng, c_style: bool) -> String {
+    let depth = 1 + rng.below(3);
+    let vars: Vec<&str> = LOOP_VARS[..depth].to_vec();
+    let mut out = String::new();
+    for (level, v) in vars.iter().enumerate() {
+        let lo = rng.below(2);
+        let hi = PARAMS[rng.below(PARAMS.len())];
+        if c_style {
+            out.push_str(&"  ".repeat(level));
+            out.push_str(&format!("for ({v} = {lo}; {v} < {hi}; {v}++) {{\n"));
+        } else {
+            out.push_str(&"    ".repeat(level));
+            out.push_str(&format!("for {v} in range({lo}, {hi}):\n"));
+        }
+    }
+    let indent = if c_style {
+        "  ".repeat(depth)
+    } else {
+        "    ".repeat(depth)
+    };
+    let sub = |rng: &mut Rng, vars: &[&str]| -> String {
+        let v = vars[rng.below(vars.len())];
+        match rng.below(4) {
+            0 => format!("{v} + 1"),
+            1 => format!("{v} - 1"),
+            _ => v.to_string(),
+        }
+    };
+    let lhs_ix = sub(rng, &vars);
+    let rhs_ix = sub(rng, &vars);
+    let op = if rng.chance(50) { "+=" } else { "=" };
+    if c_style {
+        out.push_str(&format!(
+            "{indent}Out[{lhs_ix}] {op} In[{rhs_ix}] * W[{rhs_ix}];\n"
+        ));
+        for level in (0..depth).rev() {
+            out.push_str(&"  ".repeat(level));
+            out.push_str("}\n");
+        }
+    } else {
+        out.push_str(&format!(
+            "{indent}Out[{lhs_ix}] {op} In[{rhs_ix}] * W[{rhs_ix}]\n"
+        ));
+    }
+    out
+}
+
+fn mutate(rng: &mut Rng, src: &mut String) {
+    if src.is_empty() {
+        src.push_str(SPLICE[rng.below(SPLICE.len())]);
+        return;
+    }
+    match rng.below(5) {
+        0 => {
+            let mut cut = rng.below(src.len() + 1);
+            while !src.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            src.truncate(cut);
+        }
+        1 => {
+            let mut at = rng.below(src.len() + 1);
+            while !src.is_char_boundary(at) {
+                at -= 1;
+            }
+            src.insert_str(at, SPLICE[rng.below(SPLICE.len())]);
+        }
+        2 => {
+            let mut at = rng.below(src.len());
+            while !src.is_char_boundary(at) {
+                at -= 1;
+            }
+            src.remove(at);
+        }
+        3 => {
+            let swapped: String = src
+                .chars()
+                .map(|c| match c {
+                    '[' => ']',
+                    ']' => '[',
+                    '(' => ')',
+                    ')' => '(',
+                    '{' => '}',
+                    '}' => '{',
+                    other => other,
+                })
+                .collect();
+            *src = swapped;
+        }
+        _ => {
+            let lines: Vec<&str> = src.lines().collect();
+            if !lines.is_empty() {
+                let line = lines[rng.below(lines.len())].to_string();
+                src.push_str(&line);
+                src.push('\n');
+            }
+        }
+    }
+}
+
+fn gen_garbage(rng: &mut Rng) -> String {
+    let len = rng.below(200);
+    let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// A scratch directory unique to this test binary run.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soap-cli-fuzz-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Run `soap-cli batch <file>` on `src` written with `extension`, asserting
+/// the process ended with an orderly exit code — 0 (the input happened to be
+/// valid) or 1/2 (rejected) — and never a panic: no abort, no signal, no
+/// backtrace on stderr.  Returns the exit code.
+fn batch_survives(dir: &std::path::Path, case: usize, extension: &str, src: &str) -> i32 {
+    let path = dir.join(format!("case{case}.{extension}"));
+    std::fs::write(&path, src).expect("write case");
+    let output = Command::new(env!("CARGO_BIN_EXE_soap-cli"))
+        .arg("batch")
+        .arg(&path)
+        .output()
+        .expect("spawn soap-cli");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let code = output.status.code().unwrap_or_else(|| {
+        panic!("case {case}: killed by signal (panic abort?) on input:\n---8<---\n{src}\n--->8---")
+    });
+    assert!(
+        (0..=2).contains(&code),
+        "case {case}: exit code {code} (exit 101 is a Rust panic) on input:\n---8<---\n{src}\n--->8---\nstderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "case {case}: panic backtrace crossed the process boundary:\n{stderr}"
+    );
+    if code != 0 {
+        // A rejection must say why *somewhere*: parse errors land on stderr;
+        // analysis failures land as `"ok":false` records on stdout.
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            !stderr.trim().is_empty() || !stdout.trim().is_empty(),
+            "case {case}: nonzero exit with no explanation on either stream"
+        );
+    }
+    code
+}
+
+#[test]
+fn mutated_programs_fail_cleanly_at_the_process_boundary() {
+    let dir = scratch("mutated");
+    let mut rng = Rng(0x5eed_5afe_2026_0808);
+    for case in 0..30 {
+        let c_style = case % 2 == 0;
+        let mut src = gen_template(&mut rng, c_style);
+        let n_mutations = 1 + rng.below(4);
+        for _ in 0..n_mutations {
+            mutate(&mut rng, &mut src);
+        }
+        batch_survives(&dir, case, if c_style { "c" } else { "py" }, &src);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn raw_garbage_is_rejected_cleanly_at_the_process_boundary() {
+    let dir = scratch("garbage");
+    let mut rng = Rng(0x6a55_ba6e_2026_0808);
+    let mut rejected = 0;
+    for case in 0..20 {
+        let src = gen_garbage(&mut rng);
+        if batch_survives(&dir, case, "py", &src) != 0 {
+            rejected += 1;
+        }
+    }
+    // Character soup essentially never parses; if the binary starts calling
+    // it all valid, the exit-code contract has rotted.
+    assert!(rejected >= 18, "only {rejected}/20 garbage inputs rejected");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn historical_panic_corpus_exits_nonzero_without_panicking() {
+    // The PR 7 regression corpus: each input used to panic a parser before
+    // the hardening pass (inverted slices, mid-character str indexing).  The
+    // third case is *valid* after the hardening — `βA` is an ordinary
+    // (multi-byte) identifier — so only the genuinely malformed ones must
+    // exit nonzero.
+    let corpus: [(&str, &str, bool); 5] = [
+        ("c", "for ) ( { A[i] = B[i]; }", true),
+        ("c", "for (i = 0; i < N; i++) { A[i]]x[ = B[i]; }", true),
+        ("c", "for (i = 0; i < N; i++) { βA[i] = B[i]; }", false),
+        ("py", "for i in range(N):\n    A[i]]x[ = B[i]\n", true),
+        ("py", "for i in range(N):\n    ∑[i] = B[i]\n", true),
+    ];
+    let dir = scratch("regression");
+    for (case, (extension, src, must_reject)) in corpus.iter().enumerate() {
+        let code = batch_survives(&dir, case, extension, src);
+        if *must_reject {
+            assert_ne!(
+                code, 0,
+                "case {case}: a known-invalid input was accepted:\n{src}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,109 @@
+//! Keep `docs/OPERATIONS.md` and the binary's usage text from drifting
+//! apart: every `SOAP_*` environment variable and every `--flag` the usage
+//! text mentions must be documented, and every `SOAP_*` variable the doc
+//! mentions must exist in the usage text.  The check runs the real release
+//! binary (`CARGO_BIN_EXE_soap-cli`) with no arguments, which must exit 2
+//! and print the usage to stderr.
+
+use std::collections::BTreeSet;
+use std::process::Command;
+
+fn usage_stderr() -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_soap-cli"))
+        .output()
+        .expect("spawn soap-cli");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "no-argument invocation must be a usage error (exit 2)"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        stderr.contains("usage:"),
+        "usage text missing from stderr:\n{stderr}"
+    );
+    stderr
+}
+
+fn operations_doc() -> String {
+    // CARGO_MANIFEST_DIR = crates/cli; the docs live at the workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/OPERATIONS.md");
+    std::fs::read_to_string(path).expect("docs/OPERATIONS.md exists")
+}
+
+/// All `SOAP_[A-Z_]*` tokens in `text`.
+fn env_vars(text: &str) -> BTreeSet<String> {
+    let mut vars = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(at) = text[i..].find("SOAP_") {
+        let start = i + at;
+        let mut end = start;
+        while end < bytes.len() && (bytes[end].is_ascii_uppercase() || bytes[end] == b'_') {
+            end += 1;
+        }
+        // `SOAP_SERVE_*` names a family, not a variable — skip globs.
+        if end >= bytes.len() || bytes[end] != b'*' {
+            vars.insert(text[start..end].trim_end_matches('_').to_string());
+        }
+        i = end;
+    }
+    vars
+}
+
+/// All `--flag-name` tokens in `text`.
+fn flags(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(at) = text[i..].find("--") {
+        let start = i + at;
+        let mut end = start + 2;
+        while end < bytes.len() && (bytes[end].is_ascii_lowercase() || bytes[end] == b'-') {
+            end += 1;
+        }
+        if end > start + 2 {
+            out.insert(text[start..end].to_string());
+        }
+        i = end;
+    }
+    out
+}
+
+#[test]
+fn every_usage_env_var_is_documented_and_vice_versa() {
+    let usage = env_vars(&usage_stderr());
+    let doc = env_vars(&operations_doc());
+    assert!(
+        !usage.is_empty(),
+        "usage text mentions no SOAP_* variables — extraction broken?"
+    );
+    let undocumented: Vec<_> = usage.difference(&doc).collect();
+    assert!(
+        undocumented.is_empty(),
+        "environment variables in the usage text but not in docs/OPERATIONS.md: {undocumented:?}"
+    );
+    let phantom: Vec<_> = doc.difference(&usage).collect();
+    assert!(
+        phantom.is_empty(),
+        "environment variables in docs/OPERATIONS.md but not in the usage text \
+         (stale doc or forgotten usage entry): {phantom:?}"
+    );
+}
+
+#[test]
+fn every_usage_flag_is_documented() {
+    let usage = flags(&usage_stderr());
+    let doc = flags(&operations_doc());
+    assert!(
+        usage.contains("--cache-dir") && usage.contains("--addr"),
+        "flag extraction from usage text looks broken: {usage:?}"
+    );
+    // One-way on purpose: OPERATIONS.md also documents loadgen's flags,
+    // which soap-cli's usage text has no reason to mention.
+    let undocumented: Vec<_> = usage.difference(&doc).collect();
+    assert!(
+        undocumented.is_empty(),
+        "flags in the usage text but not in docs/OPERATIONS.md: {undocumented:?}"
+    );
+}

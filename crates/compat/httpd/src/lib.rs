@@ -1,0 +1,692 @@
+//! Offline stand-in for a minimal HTTP/1.1 server and client (the role
+//! `tiny_http`/`ureq` would play in an online build), written on plain
+//! `std::net` so the workspace keeps building with no network access to a
+//! registry.
+//!
+//! ## Scope
+//!
+//! Exactly the subset the `soap-serve` daemon and the `soap-bench` load
+//! harness need, nothing more:
+//!
+//! * **Server** ([`Server::serve`]): a fixed pool of listener threads, each
+//!   accepting one connection at a time and serving **keep-alive** request
+//!   streams on it.  Requests are parsed into [`Request`] (method, path,
+//!   query, headers, `Content-Length` body) and answered by a shared
+//!   `Fn(&Request) -> Response` handler.  [`Server::stop`] unblocks the
+//!   accept loops and joins every thread; in-flight requests finish first.
+//! * **Client** ([`Client`]): a keep-alive connection that sends requests and
+//!   parses responses, reconnecting once transparently when the server closed
+//!   an idle connection.
+//!
+//! ## Deliberate non-features
+//!
+//! No TLS, no chunked transfer encoding (a request carrying
+//! `Transfer-Encoding` is rejected with `411 Length Required`), no HTTP/2,
+//! no routing — the handler sees every request.  Bodies are bounded by
+//! [`MAX_BODY_BYTES`] (oversized requests get `413`), header blocks by
+//! [`MAX_HEAD_BYTES`] (`431`), so a misbehaving peer cannot balloon server
+//! memory.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Largest request/response body accepted (8 MiB — an order of magnitude
+/// above the frontend's 1 MiB source limit, so the serving layer never
+/// truncates a body the analysis would have accepted).
+pub const MAX_BODY_BYTES: usize = 8 << 20;
+
+/// Largest request/response head (request line + headers) accepted.
+pub const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// How often a blocked connection read wakes up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// Decoded path component of the request target (no query string).
+    pub path: String,
+    /// Raw query string (text after `?`), if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Look up a header by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Look up a query parameter by key, percent-decoded (`%XX` and `+`).
+    pub fn query_param(&self, key: &str) -> Option<String> {
+        let query = self.query.as_deref()?;
+        for pair in query.split('&') {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            if percent_decode(k) == key {
+                return Some(percent_decode(v));
+            }
+        }
+        None
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// One HTTP response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are added by the
+    /// writer; do not set them here).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `application/json` response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status)
+            .with_header("content-type", "application/json")
+            .with_body(body)
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status)
+            .with_header("content-type", "text/plain; charset=utf-8")
+            .with_body(body)
+    }
+
+    /// Add a header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// Set the body (builder style).
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Response {
+        self.body = body.into();
+        self
+    }
+
+    /// Look up a header by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// The canonical reason phrase of a status code (the small set this
+    /// workspace emits; anything else renders as `Status`).
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+}
+
+/// The request handler a [`Server`] dispatches to: shared across listener
+/// threads, one call per request.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// A running HTTP server: a bound listener plus its pool of listener threads.
+///
+/// Dropping the server stops it (see [`Server::stop`]).
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// requests on `threads` listener threads, each handling one keep-alive
+    /// connection at a time.  Returns as soon as the listener is bound; the
+    /// threads run until [`Server::stop`].
+    pub fn serve(addr: &str, threads: usize, handler: Arc<Handler>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let threads = (1..=threads.max(1))
+            .map(|i| {
+                let listener = listener.try_clone()?;
+                let shutdown = Arc::clone(&shutdown);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("httpd-{i}"))
+                    .spawn(move || listen_loop(&listener, &shutdown, &handler))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Server {
+            local_addr,
+            shutdown,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The bound address (resolves the actual port of a `:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, let in-flight requests finish, and join every listener
+    /// thread.  Idempotent.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let threads: Vec<_> = std::mem::take(&mut *self.threads.lock().expect("not poisoned"));
+        // Accept loops block in `accept`; poke each one awake with a no-op
+        // connection so they observe the flag without an accept timeout.
+        for _ in 0..threads.len() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One listener thread: accept a connection, serve its request stream, loop.
+fn listen_loop(listener: &TcpListener, shutdown: &AtomicBool, handler: &Arc<Handler>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Keep-alive reads poll in POLL_INTERVAL slices so an idle connection
+        // cannot pin the thread past a shutdown.
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let _ = stream.set_nodelay(true);
+        let _ = serve_connection(stream, shutdown, handler);
+    }
+}
+
+/// Serve one keep-alive connection until the peer closes, an error, an
+/// explicit `Connection: close`, or a shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+    handler: &Arc<Handler>,
+) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let request = match read_message(&mut stream, &mut buf, shutdown, true) {
+            Ok(Some(Parsed::Request(r))) => r,
+            Ok(Some(Parsed::Response(_))) | Ok(None) => return Ok(()),
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return Ok(()),
+            Err(ReadError::Malformed(status)) => {
+                // A protocol-level error the handler never sees: answer with
+                // the status and close (the stream position is unknown).
+                let resp = Response::text(status, Response::reason(status));
+                write_response(&mut stream, &resp, true)?;
+                return Ok(());
+            }
+        };
+        let close = request.header("connection").map(str::to_ascii_lowercase)
+            == Some("close".to_string())
+            || shutdown.load(Ordering::SeqCst);
+        let response = handler(&request);
+        write_response(&mut stream, &response, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Serialize a response (status line, handler headers, framing headers,
+/// body).
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        Response::reason(response.status)
+    );
+    for (k, v) in &response.headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("content-length: {}\r\n", response.body.len()));
+    head.push_str(if close {
+        "connection: close\r\n\r\n"
+    } else {
+        "connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Why reading a message off a connection stopped.
+enum ReadError {
+    /// Peer closed cleanly between messages.
+    Closed,
+    /// Transport error.
+    Io(io::Error),
+    /// Parse/limit failure, with the status code to answer with.
+    Malformed(u16),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+/// A parsed inbound message: a request (server side) or response (client
+/// side) — the head grammar differs only in the first line.
+enum Parsed {
+    Request(Request),
+    Response(Response),
+}
+
+/// Read one HTTP message from `stream` into `parsed` form.  `buf` carries
+/// bytes already read past the previous message (pipelining leftovers).
+/// Returns `Ok(None)` only on a shutdown observed while idle between
+/// messages.
+fn read_message(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+    is_server: bool,
+) -> Result<Option<Parsed>, ReadError> {
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buf) {
+            if pos > MAX_HEAD_BYTES {
+                return Err(ReadError::Malformed(431));
+            }
+            break pos;
+        }
+        // No terminator within the limit: reject without waiting for one.
+        if buf.len() > MAX_HEAD_BYTES + 3 {
+            return Err(ReadError::Malformed(431));
+        }
+        if !fill(stream, buf, shutdown)? {
+            return if buf.is_empty() {
+                if shutdown.load(Ordering::SeqCst) {
+                    Ok(None)
+                } else {
+                    Err(ReadError::Closed)
+                }
+            } else {
+                Err(ReadError::Closed)
+            };
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| ReadError::Malformed(400))?;
+    let mut lines = head.split("\r\n");
+    let first = lines.next().ok_or(ReadError::Malformed(400))?.to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':').ok_or(ReadError::Malformed(400))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some() {
+        return Err(ReadError::Malformed(411));
+    }
+    let content_length: usize = match header("content-length") {
+        Some(v) => v.trim().parse().map_err(|_| ReadError::Malformed(400))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::Malformed(413));
+    }
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        if !fill(stream, buf, shutdown)? {
+            return Err(ReadError::Closed);
+        }
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    buf.drain(..body_start + content_length);
+
+    if is_server {
+        // Request line: METHOD SP target SP HTTP/1.x
+        let mut parts = first.split_ascii_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ReadError::Malformed(400));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ReadError::Malformed(400));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q.to_string())),
+            None => (target, None),
+        };
+        Ok(Some(Parsed::Request(Request {
+            method: method.to_ascii_uppercase(),
+            path: percent_decode(path),
+            query,
+            headers,
+            body,
+        })))
+    } else {
+        // Status line: HTTP/1.x SP code SP reason
+        let mut parts = first.split_ascii_whitespace();
+        let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+            return Err(ReadError::Malformed(400));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ReadError::Malformed(400));
+        }
+        let status: u16 = code.parse().map_err(|_| ReadError::Malformed(400))?;
+        Ok(Some(Parsed::Response(Response {
+            status,
+            headers,
+            body,
+        })))
+    }
+}
+
+/// The index of the `\r\n\r\n` terminating the message head, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Read more bytes into `buf`.  Returns `Ok(false)` on clean EOF; retries
+/// read timeouts (polling the shutdown flag) so an idle keep-alive connection
+/// neither spins nor outlives a stop.
+fn fill(stream: &mut TcpStream, buf: &mut Vec<u8>, shutdown: &AtomicBool) -> io::Result<bool> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(false),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                return Ok(true);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Decode `%XX` escapes and `+` (space) in a URL component; invalid escapes
+/// pass through verbatim.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A keep-alive HTTP client connection.
+///
+/// [`Client::request`] sends one request and reads the response.  When the
+/// server closed the idle connection since the last exchange, the client
+/// reconnects and retries once transparently — the pattern every ecosystem
+/// keep-alive client implements.
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+    never_shutdown: AtomicBool,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let mut client = Client {
+            addr,
+            stream: None,
+            buf: Vec::new(),
+            never_shutdown: AtomicBool::new(false),
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.buf.clear();
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// Send `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, None)
+    }
+
+    /// Send `POST path` with a body.
+    pub fn post(&mut self, path: &str, content_type: &str, body: &[u8]) -> io::Result<Response> {
+        self.request("POST", path, Some((content_type, body)))
+    }
+
+    /// Send one request and read the response, retrying once on a dead
+    /// keep-alive connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<(&str, &[u8])>,
+    ) -> io::Result<Response> {
+        match self.try_request(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.reconnect()?;
+                self.try_request(method, path, body)
+            }
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<(&str, &[u8])>,
+    ) -> io::Result<Response> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "not connected"))?;
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: {}\r\n", self.addr);
+        let body_bytes = match body {
+            Some((content_type, bytes)) => {
+                head.push_str(&format!("content-type: {content_type}\r\n"));
+                bytes
+            }
+            None => &[],
+        };
+        head.push_str(&format!("content-length: {}\r\n\r\n", body_bytes.len()));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body_bytes)?;
+        stream.flush()?;
+        match read_message(stream, &mut self.buf, &self.never_shutdown, false) {
+            Ok(Some(Parsed::Response(r))) => Ok(r),
+            Ok(Some(Parsed::Request(_))) | Ok(None) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected message",
+            )),
+            Err(ReadError::Closed) => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "connection closed mid-response",
+            )),
+            Err(ReadError::Io(e)) => Err(e),
+            Err(ReadError::Malformed(_)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed response",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> Server {
+        Server::serve(
+            "127.0.0.1:0",
+            2,
+            Arc::new(|req: &Request| {
+                let body = format!(
+                    "{} {} q={} body={}",
+                    req.method,
+                    req.path,
+                    req.query.as_deref().unwrap_or(""),
+                    req.body_utf8().unwrap_or("<binary>"),
+                );
+                Response::text(200, body)
+            }),
+        )
+        .expect("bind")
+    }
+
+    #[test]
+    fn keep_alive_roundtrips() {
+        let server = echo_server();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for i in 0..5 {
+            let resp = client
+                .post(&format!("/x/{i}?a=1&b=two"), "text/plain", b"payload")
+                .expect("request");
+            assert_eq!(resp.status, 200);
+            assert_eq!(
+                resp.body_utf8().unwrap(),
+                format!("POST /x/{i} q=a=1&b=two body=payload")
+            );
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn query_params_decode() {
+        let req = Request {
+            method: "GET".to_string(),
+            path: "/analyze".to_string(),
+            query: Some("kernel=atax&name=my%20prog+x".to_string()),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(req.query_param("kernel").as_deref(), Some("atax"));
+        assert_eq!(req.query_param("name").as_deref(), Some("my prog x"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn stop_unblocks_and_joins() {
+        let server = echo_server();
+        let addr = server.local_addr();
+        server.stop();
+        // A fresh connection after stop must fail to elicit a response.
+        assert!(Client::connect(addr).and_then(|mut c| c.get("/")).is_err());
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        stream.write_all(huge.as_bytes()).expect("write");
+        let mut text = String::new();
+        let _ = stream.read_to_string(&mut text);
+        assert!(text.starts_with("HTTP/1.1 431"), "{text}");
+        server.stop();
+    }
+}

@@ -365,28 +365,41 @@ impl CacheStats {
 impl serde::Serialize for CacheStats {
     /// The canonical JSON record of the cache accounting, shared by the CLI
     /// batch subcommand, the bench suite artifacts, and the perf snapshot
-    /// (one definition, so the emitters cannot drift apart).  Includes the
-    /// derived `intra_program_hits = hits - cross_program_hits` split.
+    /// (one definition, so the emitters cannot drift apart).
+    ///
+    /// Every top-level field is a pure function of program structure —
+    /// byte-identical for any thread count, shard count, or program order.
+    /// The one exception is quarantined under `order_dependent`: *which*
+    /// session first solves a shared structure (and therefore how `hits`
+    /// splits into cross- vs intra-program) depends on scheduling.  The
+    /// totals are invariant (`cross + intra = hits - store_hits`); only the
+    /// split moves.  Consumers diffing records for determinism drop that one
+    /// object instead of sed-stripping fields across the whole line.
     fn to_value(&self) -> serde::Value {
         serde::Value::Object(vec![
             ("hits".to_string(), self.hits.to_value()),
             ("misses".to_string(), self.misses.to_value()),
             ("uncacheable".to_string(), self.uncacheable.to_value()),
-            (
-                "cross_program_hits".to_string(),
-                self.cross_program_hits.to_value(),
-            ),
             ("store_hits".to_string(), self.store_hits.to_value()),
-            (
-                "intra_program_hits".to_string(),
-                self.hits
-                    .saturating_sub(self.cross_program_hits)
-                    .saturating_sub(self.store_hits)
-                    .to_value(),
-            ),
             ("max_hits".to_string(), self.max_hits.to_value()),
             ("max_misses".to_string(), self.max_misses.to_value()),
             ("kkt_cap_hits".to_string(), self.kkt_cap_hits.to_value()),
+            (
+                "order_dependent".to_string(),
+                serde::Value::Object(vec![
+                    (
+                        "cross_program_hits".to_string(),
+                        self.cross_program_hits.to_value(),
+                    ),
+                    (
+                        "intra_program_hits".to_string(),
+                        self.hits
+                            .saturating_sub(self.cross_program_hits)
+                            .saturating_sub(self.store_hits)
+                            .to_value(),
+                    ),
+                ]),
+            ),
         ])
     }
 }

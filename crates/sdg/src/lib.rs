@@ -39,6 +39,7 @@ pub mod cache;
 pub mod faults;
 pub mod graph;
 pub mod merge;
+pub mod service;
 pub mod store;
 pub mod subgraphs;
 
@@ -61,6 +62,7 @@ pub use cache::{
 pub use graph::{Sdg, SdgEdge};
 pub use merge::merged_model;
 pub use rayon::{parse_worker_threads, set_worker_budget, worker_budget, MAX_WORKER_THREADS};
+pub use service::{canonical_program_hash, Claim, InFlight, LeaderGuard};
 pub use store::{SolveStore, StoreFlushStats, StoreLoadStats, STORE_HEADER};
 pub use subgraphs::{
     enumerate_connected_subgraphs, enumerate_connected_subgraphs_governed, SubgraphEnumeration,

@@ -1,0 +1,255 @@
+//! End-to-end tests of the daemon over real TCP: coalescing, degraded-mode
+//! timeouts, protocol errors, shutdown — everything a client can observe.
+
+use soap_serve::{RunningServer, ServeConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+fn start(config: ServeConfig) -> RunningServer {
+    RunningServer::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..config
+    })
+    .expect("server starts")
+}
+
+fn get_json(client: &mut httpd::Client, path: &str) -> serde_json::Value {
+    let resp = client.get(path).expect("request");
+    assert_eq!(resp.status, 200, "{path}: {:?}", resp.body_utf8());
+    serde_json::from_str(resp.body_utf8().expect("utf8")).expect("json")
+}
+
+fn stat(v: &serde_json::Value, key: &str) -> i128 {
+    v.get(key)
+        .and_then(|x| x.as_i128())
+        .unwrap_or_else(|| panic!("stat {key} missing in {v:?}"))
+}
+
+/// A long program: a chain of K matmul-shaped updates, each feeding the
+/// next — enough SDG subgraphs that a 1 ms deadline always degrades it.
+fn long_chain_source(k: usize) -> String {
+    let mut src = String::new();
+    for s in 0..k {
+        let (a, b) = (format!("T{s}"), format!("T{}", s + 1));
+        src.push_str(&format!(
+            "for i{s} in range(0, N):\n    for j{s} in range(0, N):\n        for k{s} in range(0, N):\n            {b}[i{s}][j{s}] += {a}[i{s}][k{s}] * W{s}[k{s}][j{s}]\n"
+        ));
+    }
+    src
+}
+
+#[test]
+fn health_kernels_and_analyze_over_tcp() {
+    let server = start(ServeConfig::default());
+    let mut client = httpd::Client::connect(server.addr()).expect("connect");
+
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+
+    let kernels = get_json(&mut client, "/kernels");
+    let names = kernels.get("kernels").and_then(|k| k.as_array()).unwrap();
+    assert!(names.iter().any(|n| n.as_str() == Some("gemm")));
+
+    let resp = client.get("/analyze?kernel=atax").expect("analyze");
+    assert_eq!(resp.status, 200, "{:?}", resp.body_utf8());
+    let body = resp.body_utf8().unwrap();
+    assert!(body.starts_with("{\"program\":\"atax\","), "{body}");
+    assert!(body.contains("\"ok\":true"));
+
+    assert_eq!(server.stop().expect("clean stop"), 0);
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_to_one_analysis() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    // A fresh source no other test submits, so nothing is pre-cached.
+    let source = Arc::new(
+        "for i in range(0, N):\n    for j in range(0, N):\n        for k in range(0, N):\n            Zq[i][j] += Xq[i][k] * Yq[k][j]\n"
+            .to_string(),
+    );
+    const CLIENTS: usize = 8;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let ok = Arc::new(AtomicUsize::new(0));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let (barrier, ok, source) =
+                (Arc::clone(&barrier), Arc::clone(&ok), Arc::clone(&source));
+            std::thread::spawn(move || {
+                let mut client = httpd::Client::connect(addr).expect("connect");
+                barrier.wait();
+                let resp = client
+                    .post(
+                        &format!("/analyze?lang=python&name=dup{i}"),
+                        "text/plain",
+                        source.as_bytes(),
+                    )
+                    .expect("analyze");
+                assert_eq!(resp.status, 200, "{:?}", resp.body_utf8());
+                let body = resp.body_utf8().unwrap();
+                assert!(
+                    body.starts_with(&format!("{{\"program\":\"dup{i}\",")),
+                    "{body}"
+                );
+                ok.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    assert_eq!(ok.load(Ordering::Relaxed), CLIENTS);
+
+    let mut client = httpd::Client::connect(addr).expect("connect");
+    let stats = get_json(&mut client, "/stats");
+    assert_eq!(stat(&stats, "analyses"), 1, "exactly one analysis ran");
+    assert_eq!(
+        stat(&stats, "coalesced") + stat(&stats, "response_cache_hits"),
+        (CLIENTS - 1) as i128,
+        "every duplicate was deduplicated: {stats:?}"
+    );
+    assert_eq!(stat(&stats, "responses_5xx"), 0);
+    server.stop().expect("clean stop");
+}
+
+#[test]
+fn per_request_timeout_degrades_with_http_200_and_is_not_memoized() {
+    let server = start(ServeConfig::default());
+    let mut client = httpd::Client::connect(server.addr()).expect("connect");
+    let source = long_chain_source(40);
+
+    let resp = client
+        .post(
+            "/analyze?lang=python&name=chain&timeout_ms=1",
+            "text/plain",
+            source.as_bytes(),
+        )
+        .expect("analyze");
+    assert_eq!(
+        resp.status,
+        200,
+        "degraded is success: {:?}",
+        resp.body_utf8()
+    );
+    let body = resp.body_utf8().unwrap();
+    assert!(body.contains("\"degraded\":true"), "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+
+    // Degraded responses are budget-shaped, not structural: a repeat request
+    // must re-analyze, not replay the first request's truncation.
+    let resp2 = client
+        .post(
+            "/analyze?lang=python&name=chain&timeout_ms=1",
+            "text/plain",
+            source.as_bytes(),
+        )
+        .expect("analyze");
+    assert_eq!(resp2.status, 200);
+    let stats = get_json(&mut client, "/stats");
+    assert_eq!(stat(&stats, "analyses"), 2, "degraded result not memoized");
+    assert_eq!(stat(&stats, "degraded"), 2);
+    assert_eq!(stat(&stats, "responses_5xx"), 0);
+    server.stop().expect("clean stop");
+}
+
+#[test]
+fn malformed_requests_are_4xx_never_5xx() {
+    let server = start(ServeConfig::default());
+    let mut client = httpd::Client::connect(server.addr()).expect("connect");
+
+    let cases: Vec<(u16, httpd::Response)> = vec![
+        (
+            404,
+            client.get("/analyze?kernel=definitely-not-real").unwrap(),
+        ),
+        (400, client.get("/analyze").unwrap()),
+        (
+            400,
+            client
+                .post("/analyze?lang=python", "text/plain", b"")
+                .unwrap(),
+        ),
+        (
+            400,
+            client
+                .post("/analyze?lang=python", "text/plain", &[0xff, 0xfe, 0x01])
+                .unwrap(),
+        ),
+        (
+            400,
+            client
+                .post("/analyze?lang=python", "text/plain", b"while True: pass")
+                .unwrap(),
+        ),
+        (
+            400,
+            client
+                .post("/analyze?lang=cobol", "text/plain", b"x = 1")
+                .unwrap(),
+        ),
+        (405, client.post("/kernels", "text/plain", b"").unwrap()),
+        (404, client.get("/no-such-route").unwrap()),
+    ];
+    for (want, resp) in cases {
+        assert_eq!(resp.status, want, "{:?}", resp.body_utf8());
+    }
+
+    let stats = get_json(&mut client, "/stats");
+    assert_eq!(stat(&stats, "responses_5xx"), 0, "{stats:?}");
+    assert_eq!(stat(&stats, "responses_4xx"), 8);
+    server.stop().expect("clean stop");
+}
+
+#[test]
+fn shutdown_endpoint_unblocks_wait() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let trigger = std::thread::spawn(move || {
+        let mut client = httpd::Client::connect(addr).expect("connect");
+        let resp = client.request("POST", "/shutdown", None).expect("shutdown");
+        assert_eq!(resp.status, 200);
+    });
+    server.wait_for_shutdown();
+    trigger.join().expect("trigger thread");
+    server.stop().expect("clean stop");
+}
+
+#[test]
+fn store_directory_is_shared_warm_state_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("soap-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        cache_dir: Some(dir.display().to_string()),
+        ..ServeConfig::default()
+    };
+
+    // Cold replica: analyze, then flush at shutdown.
+    let server = start(config());
+    let mut client = httpd::Client::connect(server.addr()).expect("connect");
+    let cold = client.get("/analyze?kernel=bicg").expect("analyze");
+    assert_eq!(cold.status, 200);
+    let cold_body = cold.body_utf8().unwrap().to_string();
+    assert!(
+        server.stop().expect("flush on stop") > 0,
+        "solutions persisted"
+    );
+
+    // Warm replica sharing the same store: byte-identical answer, zero solves.
+    let server = start(config());
+    let mut client = httpd::Client::connect(server.addr()).expect("connect");
+    let warm = client.get("/analyze?kernel=bicg").expect("analyze");
+    assert_eq!(warm.body_utf8().unwrap(), cold_body);
+    let stats = get_json(&mut client, "/stats");
+    let cache = stats.get("solve_cache").expect("solve_cache");
+    assert!(
+        cache
+            .get("store_hits")
+            .and_then(|x| x.as_i128())
+            .unwrap_or(0)
+            > 0,
+        "warm replica answered from the store: {stats:?}"
+    );
+    assert_eq!(cache.get("misses").and_then(|x| x.as_i128()), Some(0));
+    server.stop().expect("clean stop");
+    let _ = std::fs::remove_dir_all(&dir);
+}
