@@ -14,6 +14,7 @@
 //!         [--require-zero-5xx]      # fail on any 5xx response
 //!         [--require-dedup]         # fail unless dedup_ratio > 0
 //!         [--require-store-hits]    # fail unless the solve cache hit the disk store
+//!         [--require-report-hits]   # fail unless whole analyses replayed from report records
 //! ```
 //!
 //! Every requirement violation is reported; the process exits nonzero if any
@@ -28,7 +29,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--duration-ms MS] [--connections N] [--warmup N]\n               \
          [--cache-dir DIR] [--out FILE] [--shutdown] [--min-rps R]\n               \
-         [--require-zero-5xx] [--require-dedup] [--require-store-hits]"
+         [--require-zero-5xx] [--require-dedup] [--require-store-hits]\n               \
+         [--require-report-hits]"
     );
     std::process::exit(2);
 }
@@ -42,6 +44,7 @@ fn main() {
     let mut require_zero_5xx = false;
     let mut require_dedup = false;
     let mut require_store_hits = false;
+    let mut require_report_hits = false;
     let mut i = 0;
     while i < args.len() {
         let value = |i: &mut usize| -> String {
@@ -67,6 +70,7 @@ fn main() {
             "--require-zero-5xx" => require_zero_5xx = true,
             "--require-dedup" => require_dedup = true,
             "--require-store-hits" => require_store_hits = true,
+            "--require-report-hits" => require_report_hits = true,
             _ => usage(),
         }
         i += 1;
@@ -92,14 +96,21 @@ fn main() {
         report.status_2xx, report.status_4xx, report.status_429, report.status_5xx
     );
     println!(
-        "  server:  dedup ratio {:.3} ({} memo hits + {} coalesced over {} analyze requests, {} analyses), {} store hits",
+        "  server:  dedup ratio {:.3} ({} memo hits + {} coalesced over {} analyze requests, {} analyses), {} store hits, {} report hits",
         report.dedup_ratio,
         report.response_cache_hits,
         report.coalesced,
         report.analyze_requests,
         report.analyses,
         report.store_hits,
+        report.report_hits,
     );
+    if report.status_429 > 0 {
+        println!(
+            "  backpressure: {} rejection(s), max Retry-After {} s",
+            report.status_429, report.retry_after_max_secs
+        );
+    }
 
     if let Some(path) = &out_path {
         let text = serde_json::to_string_pretty(&report.to_value()).expect("report serializes");
@@ -152,8 +163,13 @@ fn main() {
     {
         failures.push(format!("dedup ratio {} is not > 0", report.dedup_ratio));
     }
-    if require_store_hits && report.store_hits == 0 {
+    if require_store_hits && report.store_hits == 0 && report.report_hits == 0 {
         failures.push("no solve-cache store hits (server not warm-started?)".to_string());
+    }
+    if require_report_hits && report.report_hits == 0 {
+        failures.push(
+            "no finished-report replays (report records missing from the store?)".to_string(),
+        );
     }
     if !failures.is_empty() {
         eprintln!("loadgen FAILED:");

@@ -260,18 +260,51 @@ fn main() {
             analyze_suite_with(&jobs, &cache);
             cache.flush_store().expect("store flushes");
         }
-        let (warm_median, warm_min) = time_ms(reps, || {
-            let cache = SolveCache::with_store(&warm_dir).expect("store re-opens");
-            analyze_suite_with(&jobs, &cache);
-        });
+        // Both warm benches hydrate the store ONCE, outside the timed
+        // region: a long-lived warm process (the daemon, a batch server)
+        // pays startup hydration one time and then answers suite after
+        // suite, and it is that steady-state answer cost the two benches
+        // bracket — timing the open would measure segment-file parsing, the
+        // same for both paths, and drown the signal.
+        //
+        // `registry_warm` deliberately hydrates *solve-only*: it measures
+        // the canonical-solution replay path (run the full front half,
+        // answer every solve from the store).  The finished-report fast
+        // path is measured separately below as `registry_warm_report`
+        // (whole analyses replayed, no front half at all), so the ratio
+        // between the two is exactly what the report layer buys.
+        let (warm_median, warm_min) = {
+            let cache = SolveCache::with_store_solve_only(&warm_dir).expect("store re-opens");
+            time_ms(reps, || {
+                analyze_suite_with(&jobs, &cache);
+            })
+        };
         benches.push(record("suite/registry_warm", warm_median, warm_min));
-        // Accounting of one instrumented warm run: every cacheable structure
-        // must be answered from the store — zero misses — and the store's own
-        // load stats must be clean.
-        let cache = SolveCache::with_store(&warm_dir).expect("store re-opens");
+        let (report_median, report_min) = {
+            let cache = SolveCache::with_store(&warm_dir).expect("store re-opens");
+            time_ms(reps, || {
+                analyze_suite_with(&jobs, &cache);
+            })
+        };
+        benches.push(record(
+            "suite/registry_warm_report",
+            report_median,
+            report_min,
+        ));
+        // Accounting of one instrumented run per warm path: the solve-only
+        // run must answer every cacheable structure from the store — zero
+        // misses — and the report run must replay every program whole.
+        let cache = SolveCache::with_store_solve_only(&warm_dir).expect("store re-opens");
         let warm = analyze_suite_with(&jobs, &cache);
         let load = cache.store_load_stats().expect("store-backed").clone();
         let c = &warm.summary.cache;
+        let report_cache = SolveCache::with_store(&warm_dir).expect("store re-opens");
+        let report_run = analyze_suite_with(&jobs, &report_cache);
+        let reports_hydrated = report_cache
+            .report_load_stats()
+            .map(|r| r.entries)
+            .unwrap_or(0);
+        let rc = &report_run.summary.cache;
         println!(
             "suite/registry store: {} entries hydrated, warm run: {} store hits, {} misses, {} uncacheable, cold/warm {:.2}x",
             load.entries,
@@ -280,6 +313,13 @@ fn main() {
             c.uncacheable,
             cold_median / warm_median.max(1e-9),
         );
+        println!(
+            "suite/registry reports: {} reports hydrated, warm run: {} report hits, {} misses, warm/report {:.2}x",
+            reports_hydrated,
+            rc.report_hits,
+            rc.misses,
+            warm_median / report_median.max(1e-9),
+        );
         store_stats_record = json!({
             "entries_hydrated": load.entries,
             "segments": load.segments,
@@ -287,6 +327,9 @@ fn main() {
             "warm_store_hits": c.store_hits,
             "warm_misses": c.misses,
             "warm_uncacheable": c.uncacheable,
+            "reports_hydrated": reports_hydrated,
+            "warm_report_hits": rc.report_hits,
+            "warm_report_misses": rc.misses,
         });
         let _ = std::fs::remove_dir_all(&store_root);
     }
@@ -411,7 +454,8 @@ fn main() {
             "absolute numbers are machine-dependent; compare ratios across records taken on the same host",
             "thread_scaling/{t} runs the registry suite with the worker budget pinned to t; the family is flat on hosts with fewer cores than t, and output bytes are identical across budgets by construction",
             "suite_stats.phases and solver_stats[].phases decompose analyses into enumerate/merge/instantiate/solve; the last three are summed across workers and can exceed wall clock on multi-threaded runs",
-            "serve_stats measures the soap-serve daemon's dedup steady state over real TCP (loadgen's default mix); serve/latency_p50 and serve/latency_p99 record the same run's client-side percentiles as benches (median_ms = the percentile, not a median of repetitions)"
+            "serve_stats measures the soap-serve daemon's dedup steady state over real TCP (loadgen's default mix); serve/latency_p50 and serve/latency_p99 record the same run's client-side percentiles as benches (median_ms = the percentile, not a median of repetitions)",
+            "suite/registry_warm hydrates the populated store solve-only, once, outside the timed region (canonical solutions replayed, front half still runs); suite/registry_warm_report hydrates it once with the finished-report layer enabled, so whole analyses replay without enumeration, merging or solving — one-time startup hydration is excluded from both, and the ratio between the two is the report layer's steady-state win"
         ]),
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");

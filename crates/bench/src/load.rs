@@ -115,6 +115,14 @@ pub struct LoadReport {
     /// Cumulative solve-cache disk-store hits (nonzero when the server was
     /// started over a pre-populated `--cache-dir`).
     pub store_hits: u64,
+    /// Cumulative finished-report replays (nonzero when the server was
+    /// started over a `--cache-dir` holding report records: whole analyses
+    /// answered without running the pipeline at all).
+    pub report_hits: u64,
+    /// Largest `Retry-After` value observed on a 429, in seconds (0 when no
+    /// request was rejected).  Under saturation this grows with the queue
+    /// depth the server observed at rejection.
+    pub retry_after_max_secs: u64,
     /// The server's final `/stats` snapshot, verbatim.
     pub stats: Value,
 }
@@ -147,6 +155,11 @@ impl LoadReport {
             ),
             ("coalesced".to_string(), int(self.coalesced)),
             ("store_hits".to_string(), int(self.store_hits)),
+            ("report_hits".to_string(), int(self.report_hits)),
+            (
+                "retry_after_max_secs".to_string(),
+                int(self.retry_after_max_secs),
+            ),
         ])
     }
 }
@@ -159,6 +172,7 @@ struct WorkerTally {
     status_4xx: u64,
     status_429: u64,
     status_5xx: u64,
+    retry_after_max_secs: u64,
 }
 
 /// The POSTed-source corpus: `STRUCTURES` distinct matmul-shaped programs
@@ -183,13 +197,14 @@ fn mutated_sources() -> Vec<String> {
 }
 
 /// Issue worker `w`'s `seq`-th request: every third request is a registry
-/// kernel `GET`, the rest POST renamed sources.  Returns the HTTP status.
+/// kernel `GET`, the rest POST renamed sources.  Returns the HTTP status and
+/// the `Retry-After` advice (429 rejections only), in seconds.
 fn issue(
     client: &mut httpd::Client,
     sources: &[String],
     worker: usize,
     seq: usize,
-) -> std::io::Result<u16> {
+) -> std::io::Result<(u16, Option<u64>)> {
     let step = seq.wrapping_add(worker.wrapping_mul(7));
     let resp = if step.is_multiple_of(3) {
         let kernel = KERNEL_MIX[(step / 3) % KERNEL_MIX.len()];
@@ -204,7 +219,10 @@ fn issue(
             body.as_bytes(),
         )?
     };
-    Ok(resp.status)
+    let retry_after = resp
+        .header("retry-after")
+        .and_then(|h| h.parse::<u64>().ok());
+    Ok((resp.status, retry_after))
 }
 
 fn fetch_stats(addr: &str) -> Result<Value, String> {
@@ -281,7 +299,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
                 let mut seq = warmup;
                 while !stop.load(Ordering::Relaxed) {
                     let t = Instant::now();
-                    let status = issue(&mut client, &sources, worker, seq)
+                    let (status, retry_after) = issue(&mut client, &sources, worker, seq)
                         .map_err(|e| format!("worker {worker}: request failed: {e}"))?;
                     tally.latencies_us.push(t.elapsed().as_micros() as u64);
                     match status {
@@ -289,6 +307,9 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
                         429 => {
                             tally.status_429 += 1;
                             tally.status_4xx += 1;
+                            if let Some(secs) = retry_after {
+                                tally.retry_after_max_secs = tally.retry_after_max_secs.max(secs);
+                            }
                         }
                         400..=499 => tally.status_4xx += 1,
                         _ => tally.status_5xx += 1,
@@ -313,6 +334,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
         tally.status_4xx += t.status_4xx;
         tally.status_429 += t.status_429;
         tally.status_5xx += t.status_5xx;
+        tally.retry_after_max_secs = tally.retry_after_max_secs.max(t.retry_after_max_secs);
     }
     // Includes the tail until the last worker observed `stop`, so the
     // throughput denominator never undercounts the measured window.
@@ -351,6 +373,11 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
             .get("solve_cache")
             .map(|c| counter(c, "store_hits"))
             .unwrap_or(0),
+        report_hits: after
+            .get("solve_cache")
+            .map(|c| counter(c, "report_hits"))
+            .unwrap_or(0),
+        retry_after_max_secs: tally.retry_after_max_secs,
         stats: after,
     })
 }
@@ -369,6 +396,69 @@ mod tests {
                 "kernel {name} missing from the registry"
             );
         }
+    }
+
+    #[test]
+    fn saturated_server_scales_retry_after_with_queue_depth() {
+        // One slot, two queue seats: any rejection necessarily observes both
+        // seats taken (the gate only rejects at running + queued == 3), so
+        // every 429 must advertise base × (1 + 2) = 3 seconds — grown from
+        // the empty-queue base of 1.
+        let server = RunningServer::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            analysis_slots: 1,
+            queue_capacity: 2,
+            http_threads: 16,
+            ..ServeConfig::default()
+        })
+        .expect("server starts");
+        let addr = server.addr().to_string();
+        let observed = Arc::new(std::sync::Mutex::new(Vec::<u64>::new()));
+        let threads: Vec<_> = (0..8)
+            .map(|w| {
+                let addr = addr.clone();
+                let observed = Arc::clone(&observed);
+                std::thread::spawn(move || {
+                    let mut client =
+                        httpd::Client::connect(addr.as_str()).expect("worker connects");
+                    // Every request is a structurally fresh program (array
+                    // names embed worker and sequence), so nothing is memoized
+                    // or coalesced — each one needs the single analysis slot.
+                    for n in 0..40 {
+                        let src = format!(
+                            "for i in range(0, N):\n    for j in range(0, N):\n        C{w}x{n}[i][j] += A{w}x{n}[i][j] * B{w}x{n}[j][i]\n"
+                        );
+                        let resp = client
+                            .post(
+                                &format!("/analyze?lang=python&name=sat{w}_{n}"),
+                                "text/plain",
+                                src.as_bytes(),
+                            )
+                            .expect("post succeeds");
+                        if resp.status == 429 {
+                            let secs = resp
+                                .header("retry-after")
+                                .and_then(|h| h.parse::<u64>().ok())
+                                .expect("429 carries a numeric Retry-After");
+                            observed.lock().unwrap().push(secs);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker thread");
+        }
+        server.stop().expect("clean stop");
+        let observed = observed.lock().unwrap();
+        assert!(
+            !observed.is_empty(),
+            "8 workers of fresh programs against one slot must overflow the queue"
+        );
+        assert!(
+            observed.iter().all(|&secs| secs == 3),
+            "rejections at full queue advertise the scaled back-off: {observed:?}"
+        );
     }
 
     #[test]

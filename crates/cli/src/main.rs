@@ -48,7 +48,7 @@ fn usage() -> ! {
          [--timeout-ms MS] [--suite-timeout-ms MS] [<kernel-or-file>...]\n  \
          soap-cli cache <stat|list|clear> <dir>\n  \
          soap-cli serve [--addr HOST:PORT] [--http-threads N] [--slots N] [--queue N]\n             \
-         [--timeout-ms MS] [--cache-dir DIR] [--threads N]\n  \
+         [--timeout-ms MS] [--cache-dir DIR] [--memo-cap N] [--threads N]\n  \
          soap-cli list\n\
          \n\
          --cache-dir DIR  layer the solve cache over the disk-persisted canonical-solution\n                  \
@@ -79,7 +79,10 @@ fn usage() -> ! {
          sound *degraded* partial bound with HTTP 200 (clients may\n                   \
          override per request with ?timeout_ms=)\n  \
          --cache-dir DIR   shared warm state: hydrate the canonical-solution store at\n                   \
-         startup, flush new solves on shutdown\n\
+         startup, flush new solves on shutdown\n  \
+         --memo-cap N      memoized-response cache capacity (default 4096); inserting\n                   \
+         beyond it evicts the oldest entry so memory stays bounded under\n                   \
+         an unbounded stream of distinct programs\n\
          \n\
          environment:\n  \
          SOAP_THREADS       default worker-thread count (same validation and clamp as\n                     \
@@ -97,7 +100,8 @@ fn usage() -> ! {
          SOAP_SERVE_ADDR          daemon listen address (see --addr)\n  \
          SOAP_SERVE_HTTP_THREADS  daemon HTTP connection threads (see --http-threads)\n  \
          SOAP_SERVE_SLOTS         daemon concurrent analysis slots (see --slots)\n  \
-         SOAP_SERVE_QUEUE         daemon admission queue capacity (see --queue)"
+         SOAP_SERVE_QUEUE         daemon admission queue capacity (see --queue)\n  \
+         SOAP_SERVE_MEMO_CAP      daemon memoized-response cache capacity (see --memo-cap)"
     );
     std::process::exit(2);
 }
@@ -120,6 +124,17 @@ fn open_cache(cache_dir: Option<&str>) -> Result<SolveCache, ExitCode> {
                     load.entries, dir, load.segments, load.bytes
                 );
             }
+            if let Some(reports) = cache.report_load_stats() {
+                for note in &reports.notes {
+                    eprintln!("cache store: {note}");
+                }
+                if reports.entries > 0 {
+                    eprintln!(
+                        "cache store: hydrated {} finished report(s) from {}",
+                        reports.entries, dir
+                    );
+                }
+            }
             Ok(cache)
         }
         Err(e) => {
@@ -134,10 +149,11 @@ fn open_cache(cache_dir: Option<&str>) -> Result<SolveCache, ExitCode> {
 fn flush_cache(cache: &SolveCache) -> bool {
     match cache.flush_store() {
         Ok(flush) => {
-            if flush.appended > 0 {
+            if flush.appended > 0 || flush.reports_appended > 0 {
                 eprintln!(
-                    "cache store: persisted {} new canonical solution(s) to {}",
+                    "cache store: persisted {} new canonical solution(s) and {} finished report(s) to {}",
                     flush.appended,
+                    flush.reports_appended,
                     cache
                         .store_dir()
                         .map(|d| d.display().to_string())
@@ -306,6 +322,7 @@ fn serve(args: &[String]) -> ExitCode {
                 config.timeout = Some(timeout_or_usage("--timeout-ms", &value(&mut i)));
             }
             "--cache-dir" => config.cache_dir = Some(value(&mut i)),
+            "--memo-cap" => config.memo_cap = positive_or_usage("--memo-cap", &value(&mut i)),
             "--threads" => set_threads_or_usage(&value(&mut i)),
             _ => usage(),
         }
@@ -639,7 +656,7 @@ fn cache_cmd(args: &[String]) -> ExitCode {
         }
     };
     let outcome = match action.as_str() {
-        "stat" => store.stat().map(|stats| {
+        "stat" => store.stat().and_then(|stats| {
             // Quarantined segments from *earlier* loads still sit in the
             // directory (until `clear`); count them alongside this pass's.
             let quarantined_on_disk = store.quarantined_files().map(|f| f.len()).unwrap_or(0);
@@ -655,8 +672,28 @@ fn cache_cmd(args: &[String]) -> ExitCode {
             for note in &stats.notes {
                 println!("  note: {note}");
             }
+            // The finished-report family shares the directory but is a
+            // separate record type with its own segments and quarantine.
+            let reports = store.report_stat()?;
+            let report_quarantined = store
+                .report_quarantined_files()
+                .map(|f| f.len())
+                .unwrap_or(0);
+            println!("reports (format {})", soap_sdg::REPORT_HEADER);
+            println!("  segments          {}", reports.segments);
+            println!("  segments rejected {}", reports.segments_rejected);
+            println!("  records           {}", reports.records);
+            println!("  records skipped   {}", reports.records_skipped);
+            println!("  distinct entries  {}", reports.entries);
+            println!("  bytes             {}", reports.bytes);
+            println!("  quarantined       {report_quarantined}");
+            for note in &reports.notes {
+                println!("  note: {note}");
+            }
+            Ok(())
         }),
-        "list" => store.segment_files().map(|files| {
+        "list" => store.segment_files().and_then(|mut files| {
+            files.extend(store.report_files()?);
             for path in &files {
                 let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
                 // Records = non-empty lines minus the header line.
@@ -676,6 +713,7 @@ fn cache_cmd(args: &[String]) -> ExitCode {
             if files.is_empty() {
                 println!("store {dir}: no segments");
             }
+            Ok(())
         }),
         "clear" => store.clear().map(|removed| {
             println!("store {dir}: removed {removed} segment(s)");

@@ -440,7 +440,23 @@ mod tests {
         let warm = analyze_suite_with(&jobs, &cache);
         assert_eq!(warm.summary.cache.misses, 0, "{:?}", warm.summary.cache);
         assert_eq!(warm.summary.cache.uncacheable, 0);
-        assert!(warm.summary.cache.store_hits > 0);
+        // The warm run is answered from persisted *report* records — the
+        // whole front half is skipped, so there is no solve-cache traffic at
+        // all (both jobs are renamed twins sharing one structural key).
+        assert_eq!(
+            warm.summary.cache.report_hits, 2,
+            "{:?}",
+            warm.summary.cache
+        );
+        assert_eq!(warm.summary.cache.hits, 0);
+        // A solve-only reopen of the same store exercises the solve-record
+        // warm path instead: every model answered from the store, no report
+        // traffic.
+        let solve_only = SolveCache::with_store_solve_only(&dir).expect("store reopens");
+        let via_models = analyze_suite_with(&jobs, &solve_only);
+        assert_eq!(via_models.summary.cache.report_hits, 0);
+        assert_eq!(via_models.summary.cache.misses, 0);
+        assert!(via_models.summary.cache.store_hits > 0);
         // Byte-identical outputs, unsnapped floats included.
         for (c, w) in cold.reports.iter().zip(&warm.reports) {
             let (c, w) = (c.outcome.as_ref().unwrap(), w.outcome.as_ref().unwrap());

@@ -50,7 +50,7 @@
 //! the same order-invariance argument makes warm results byte-identical to
 //! cold ones.
 
-use crate::store::{SolveStore, StoreFlushStats, StoreLoadStats};
+use crate::store::{SolveStore, StoreFlushStats, StoreLoadStats, StoredReport};
 use soap_core::{
     solve_model_instrumented_governed, solve_model_precompiled_governed, AccessModel,
     AnalysisError, IntensityResult,
@@ -341,6 +341,12 @@ pub struct CacheStats {
     /// from `cross_program_hits` (a hit is classified as exactly one of
     /// intra-program, cross-program, or persistent-store).
     pub store_hits: u64,
+    /// Whole-program analyses answered from a persisted *report* record
+    /// (`SolveCache::lookup_report`) — the warm path that skips
+    /// enumeration, merging, instantiation, and solving entirely.  Counted
+    /// separately from the per-model counters above: a report hit produces
+    /// zero model traffic.
+    pub report_hits: u64,
 }
 
 impl CacheStats {
@@ -358,6 +364,7 @@ impl CacheStats {
                 .cross_program_hits
                 .saturating_sub(before.cross_program_hits),
             store_hits: self.store_hits.saturating_sub(before.store_hits),
+            report_hits: self.report_hits.saturating_sub(before.report_hits),
         }
     }
 }
@@ -381,6 +388,7 @@ impl serde::Serialize for CacheStats {
             ("misses".to_string(), self.misses.to_value()),
             ("uncacheable".to_string(), self.uncacheable.to_value()),
             ("store_hits".to_string(), self.store_hits.to_value()),
+            ("report_hits".to_string(), self.report_hits.to_value()),
             ("max_hits".to_string(), self.max_hits.to_value()),
             ("max_misses".to_string(), self.max_misses.to_value()),
             ("kkt_cap_hits".to_string(), self.kkt_cap_hits.to_value()),
@@ -423,6 +431,7 @@ struct CacheCounters {
     kkt_cap_hits: AtomicU64,
     cross_program_hits: AtomicU64,
     store_hits: AtomicU64,
+    report_hits: AtomicU64,
 }
 
 impl CacheCounters {
@@ -436,6 +445,7 @@ impl CacheCounters {
             kkt_cap_hits: self.kkt_cap_hits.load(Ordering::Relaxed),
             cross_program_hits: self.cross_program_hits.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
+            report_hits: self.report_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -506,6 +516,22 @@ struct StoreLayer {
     store: SolveStore,
     load_stats: StoreLoadStats,
     persisted: Mutex<std::collections::HashSet<CanonicalKey>>,
+    /// Whether this cache participates in the finished-report layer.
+    /// [`SolveCache::with_store_solve_only`] opts out: it neither hydrates
+    /// nor records nor flushes report records, so a measurement of the
+    /// solve-record warm path stays a measurement of the solve-record warm
+    /// path.
+    reports_enabled: bool,
+    /// Finished-program reports keyed by
+    /// [`structural_program_key`](crate::structural_program_key) — hydrated
+    /// at open, extended by [`SolveCache::record_report`].
+    reports: Mutex<HashMap<u64, Arc<StoredReport>>>,
+    /// Report load-time accounting (a separate record family with its own
+    /// segments, so its stats never mix into `load_stats`).
+    report_load_stats: StoreLoadStats,
+    /// Report keys already on disk, so a flush writes only what this process
+    /// newly analyzed.
+    persisted_reports: Mutex<std::collections::HashSet<u64>>,
 }
 
 /// The session scope recorded on cells hydrated from the disk store; hits on
@@ -649,10 +675,30 @@ impl SolveCache {
         SolveCache::with_store_and_shards(dir, cache_shards_from_env())
     }
 
+    /// [`with_store`](SolveCache::with_store) without the finished-report
+    /// layer: only solve records are hydrated, and
+    /// `record_report` / `lookup_report` are no-ops, so analyses
+    /// always run the full pipeline against the solve-record warm path.
+    /// This is the bench harness's tool for measuring the solve-record path
+    /// in isolation (`suite/registry_warm` vs `suite/registry_warm_report`).
+    pub fn with_store_solve_only(
+        dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<SolveCache> {
+        SolveCache::with_store_configured(dir, cache_shards_from_env(), false)
+    }
+
     /// [`with_store`](SolveCache::with_store) with an explicit shard count.
     pub fn with_store_and_shards(
         dir: impl Into<std::path::PathBuf>,
         n: usize,
+    ) -> std::io::Result<SolveCache> {
+        SolveCache::with_store_configured(dir, n, true)
+    }
+
+    fn with_store_configured(
+        dir: impl Into<std::path::PathBuf>,
+        n: usize,
+        reports_enabled: bool,
     ) -> std::io::Result<SolveCache> {
         let store = SolveStore::open(dir)?;
         let (entries, load_stats) = store.load()?;
@@ -669,12 +715,75 @@ impl SolveCache {
                 .expect("cache poisoned")
                 .insert(key, cell);
         }
+        let (reports, report_load_stats, persisted_reports) = if reports_enabled {
+            let (entries, stats) = store.load_reports()?;
+            let mut reports = HashMap::with_capacity(entries.len());
+            let mut persisted = std::collections::HashSet::with_capacity(entries.len());
+            for (key, report) in entries {
+                persisted.insert(key);
+                reports.insert(key, Arc::new(report));
+            }
+            (reports, stats, persisted)
+        } else {
+            Default::default()
+        };
         cache.store = Some(StoreLayer {
             store,
             load_stats,
             persisted: Mutex::new(persisted),
+            reports_enabled,
+            reports: Mutex::new(reports),
+            report_load_stats,
+            persisted_reports: Mutex::new(persisted_reports),
         });
         Ok(cache)
+    }
+
+    /// Look up the finished report persisted under a
+    /// [`structural_program_key`](crate::structural_program_key).  `None`
+    /// (and no counter traffic) for a store-less or solve-only cache.  A hit
+    /// is counted in [`CacheStats::report_hits`].
+    pub(crate) fn lookup_report(&self, key: u64) -> Option<Arc<StoredReport>> {
+        let layer = self.store.as_ref().filter(|l| l.reports_enabled)?;
+        let report = layer
+            .reports
+            .lock()
+            .expect("report state poisoned")
+            .get(&key)
+            .cloned()?;
+        self.counters.report_hits.fetch_add(1, Ordering::Relaxed);
+        Some(report)
+    }
+
+    /// Whether this cache participates in the finished-report layer (callers
+    /// gate the report clones on this, so store-less caches pay nothing).
+    pub(crate) fn reports_enabled(&self) -> bool {
+        self.store.as_ref().is_some_and(|l| l.reports_enabled)
+    }
+
+    /// Record a finished report for later processes (and later requests of
+    /// this one).  First writer wins — the analysis is a pure function of
+    /// the key, so concurrent recordings are identical.  A no-op for a
+    /// store-less or solve-only cache.
+    pub(crate) fn record_report(&self, key: u64, report: StoredReport) {
+        let Some(layer) = self.store.as_ref().filter(|l| l.reports_enabled) else {
+            return;
+        };
+        layer
+            .reports
+            .lock()
+            .expect("report state poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::new(report));
+    }
+
+    /// The report-record load accounting, when this cache hydrated the
+    /// report layer (`None` for store-less and solve-only caches).
+    pub fn report_load_stats(&self) -> Option<&StoreLoadStats> {
+        self.store
+            .as_ref()
+            .filter(|l| l.reports_enabled)
+            .map(|l| &l.report_load_stats)
     }
 
     /// The load-time accounting of the disk store (`None` for a store-less
@@ -720,22 +829,67 @@ impl SolveCache {
                 }
             }
         }
-        if fresh.is_empty() {
+        // Collect analyzed-here reports not yet on disk (empty for a
+        // solve-only cache).
+        let fresh_reports: Vec<(u64, Arc<StoredReport>)> = if layer.reports_enabled {
+            let persisted = layer
+                .persisted_reports
+                .lock()
+                .expect("report state poisoned");
+            layer
+                .reports
+                .lock()
+                .expect("report state poisoned")
+                .iter()
+                .filter(|(key, _)| !persisted.contains(key))
+                .map(|(key, report)| (*key, Arc::clone(report)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Nothing new in either family: write no segment file at all, so a
+        // drop after an explicit flush cannot litter shared store
+        // directories with empty segments.
+        if fresh.is_empty() && fresh_reports.is_empty() {
             return Ok(StoreFlushStats::default());
         }
-        let refs: Vec<(&CanonicalKey, &Result<CanonicalSolution, AnalysisError>)> = fresh
-            .iter()
-            .map(|(key, solution)| (key, solution))
-            .collect();
-        let segment = layer.store.append(&refs)?;
-        let mut persisted = layer.persisted.lock().expect("store state poisoned");
-        let appended = fresh.len();
-        for (key, _) in fresh {
-            persisted.insert(key);
-        }
+        let (appended, segment) = if fresh.is_empty() {
+            (0, None)
+        } else {
+            let refs: Vec<(&CanonicalKey, &Result<CanonicalSolution, AnalysisError>)> = fresh
+                .iter()
+                .map(|(key, solution)| (key, solution))
+                .collect();
+            let segment = layer.store.append(&refs)?;
+            drop(refs);
+            let appended = fresh.len();
+            let mut persisted = layer.persisted.lock().expect("store state poisoned");
+            for (key, _) in fresh {
+                persisted.insert(key);
+            }
+            (appended, Some(segment))
+        };
+        let reports_appended = if fresh_reports.is_empty() {
+            0
+        } else {
+            let refs: Vec<(u64, &StoredReport)> = fresh_reports
+                .iter()
+                .map(|(key, report)| (*key, report.as_ref()))
+                .collect();
+            layer.store.append_reports(&refs)?;
+            let mut persisted = layer
+                .persisted_reports
+                .lock()
+                .expect("report state poisoned");
+            for (key, _) in &fresh_reports {
+                persisted.insert(*key);
+            }
+            fresh_reports.len()
+        };
         Ok(StoreFlushStats {
             appended,
-            segment: Some(segment),
+            segment,
+            reports_appended,
         })
     }
 

@@ -62,8 +62,8 @@ pub use cache::{
 pub use graph::{Sdg, SdgEdge};
 pub use merge::merged_model;
 pub use rayon::{parse_worker_threads, set_worker_budget, worker_budget, MAX_WORKER_THREADS};
-pub use service::{canonical_program_hash, Claim, InFlight, LeaderGuard};
-pub use store::{SolveStore, StoreFlushStats, StoreLoadStats, STORE_HEADER};
+pub use service::{canonical_program_hash, structural_program_key, Claim, InFlight, LeaderGuard};
+pub use store::{SolveStore, StoreFlushStats, StoreLoadStats, REPORT_HEADER, STORE_HEADER};
 pub use subgraphs::{
     enumerate_connected_subgraphs, enumerate_connected_subgraphs_governed, SubgraphEnumeration,
 };

@@ -76,6 +76,25 @@ pub fn canonical_program_hash(program: &Program) -> u64 {
     h.finish()
 }
 
+/// The key under which a finished report is persisted: the structural
+/// program digest folded with every [`SdgOptions`](crate::SdgOptions) field
+/// that shapes the analysis result.
+///
+/// [`canonical_program_hash`] alone is not a sound report key — the same
+/// program analyzed under a different subgraph budget, injectivity
+/// assumption, or reference `S` produces a different `ProgramAnalysis`, so
+/// all four option fields feed the digest (`reference_s` as its raw f64 bit
+/// pattern, matching the store's float discipline).
+pub fn structural_program_key(program: &Program, opts: &crate::SdgOptions) -> u64 {
+    let mut h = Fnv::new();
+    h.write_i64(canonical_program_hash(program) as i64);
+    h.write_u8(opts.assume_injective as u8);
+    h.write_usize(opts.max_subgraph_size);
+    h.write_usize(opts.max_subgraphs);
+    h.write(&opts.reference_s.to_bits().to_le_bytes());
+    h.finish()
+}
+
 /// Hash one statement under the positional loop-variable renaming.
 fn hash_statement(h: &mut Fnv, st: &Statement) {
     // Positional rename: the i-th loop variable (outermost first) becomes
@@ -372,6 +391,42 @@ for a9 in range(0, M):
         let a = parse_python("first", ATAX_PY).unwrap();
         let b = parse_python("completely-different-name", ATAX_PY).unwrap();
         assert_eq!(canonical_program_hash(&a), canonical_program_hash(&b));
+    }
+
+    #[test]
+    fn structural_key_separates_option_profiles() {
+        let program = parse_python("a", ATAX_PY).unwrap();
+        let renamed = parse_python("b", ATAX_PY_RENAMED).unwrap();
+        let opts = crate::SdgOptions::default();
+        // Renaming-invariance carries over from the program hash…
+        assert_eq!(
+            structural_program_key(&program, &opts),
+            structural_program_key(&renamed, &opts)
+        );
+        // …but every option that shapes the result separates keys.
+        for tweaked in [
+            crate::SdgOptions {
+                assume_injective: !opts.assume_injective,
+                ..opts.clone()
+            },
+            crate::SdgOptions {
+                max_subgraph_size: opts.max_subgraph_size + 1,
+                ..opts.clone()
+            },
+            crate::SdgOptions {
+                max_subgraphs: opts.max_subgraphs - 1,
+                ..opts.clone()
+            },
+            crate::SdgOptions {
+                reference_s: opts.reference_s * 2.0,
+                ..opts.clone()
+            },
+        ] {
+            assert_ne!(
+                structural_program_key(&program, &opts),
+                structural_program_key(&program, &tweaked)
+            );
+        }
     }
 
     #[test]

@@ -41,23 +41,67 @@
 //! Records store the full solve outcome, *including failures*: a structure
 //! that failed to solve fails identically in every process, and persisting
 //! the failure is what lets a warm run report zero misses.
+//!
+//! ## Report records (`soap-report-store/1`)
+//!
+//! The same directory can additionally hold a second record family: finished
+//! [`ProgramAnalysis`](crate::ProgramAnalysis) **reports** keyed by a
+//! structural program hash
+//! ([`structural_program_key`](crate::structural_program_key)).  Report
+//! segments live in `rpt-*.soapstore` files with their own format header, so
+//! a store written before this family existed (only `seg-*` solve segments)
+//! loads unchanged, and an older reader's `seg-*` filter never sees them.
+//! Report records follow the identical discipline — FNV-1a checksum per
+//! line, versioned header, staged-rename writes, last-writer-wins merge,
+//! floats as raw bit patterns — and degraded reports are never stored, so a
+//! warm hit replays a complete cold analysis byte-for-byte while skipping
+//! enumeration, merge, instantiation *and* solving.
 
+use crate::analysis::{ArrayBound, SubgraphIntensity};
 use crate::cache::{
     CanonicalAtom, CanonicalDominator, CanonicalKey, CanonicalRow, CanonicalSolution,
 };
 use serde::{DeError, Deserialize, Serialize, Value};
-use soap_core::AnalysisError;
-use soap_symbolic::{Expr, Rational};
+use soap_core::{AnalysisError, IntensityResult};
+use soap_symbolic::{Expr, Polynomial, Rational};
 use std::collections::HashMap;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The format-version header every segment of the current format starts with.
+/// The format-version header every solve segment of the current format
+/// starts with.
 pub const STORE_HEADER: &str = "soap-solve-store/1";
+
+/// The format-version header every report segment starts with.
+pub const REPORT_HEADER: &str = "soap-report-store/1";
 
 /// File-name extension of segment files.
 const SEGMENT_EXT: &str = "soapstore";
+
+/// One record family within a store directory: its file-name prefix, its
+/// format-version header, and the header stem that identifies a *future*
+/// version of the same family (rejected with a version-mismatch note rather
+/// than a generic missing-header one).
+struct Family {
+    prefix: &'static str,
+    header: &'static str,
+    stem: &'static str,
+}
+
+/// The canonical-solution records (`seg-*`, the original store format).
+const SOLVE_FAMILY: Family = Family {
+    prefix: "seg-",
+    header: STORE_HEADER,
+    stem: "soap-solve-store/",
+};
+
+/// The program-report records (`rpt-*`).
+const REPORT_FAMILY: Family = Family {
+    prefix: "rpt-",
+    header: REPORT_HEADER,
+    stem: "soap-report-store/",
+};
 
 /// Suffix appended to a segment's file name when it is quarantined.
 const QUARANTINE_SUFFIX: &str = ".quarantined";
@@ -120,6 +164,27 @@ fn corrupt_first_record(text: &str) -> String {
 /// One persisted entry: the canonical key and the stored solve outcome.
 pub(crate) type StoreEntry = (CanonicalKey, Result<CanonicalSolution, AnalysisError>);
 
+/// The persisted portion of a finished, non-degraded
+/// [`ProgramAnalysis`](crate::ProgramAnalysis): everything that is a pure
+/// function of the structural program key.  The program *name*, phase
+/// timings, and solver accounting measure the run (and are respliced by the
+/// warm path); `degraded` is always `false` by construction — degraded
+/// reports are never recorded.
+#[derive(Clone, Debug)]
+pub(crate) struct StoredReport {
+    /// Per-array Theorem-1 contributions.
+    pub per_array: Vec<ArrayBound>,
+    /// Every solved subgraph's intensity.
+    pub subgraphs: Vec<SubgraphIntensity>,
+    /// The composed program bound.
+    pub bound: Expr,
+    /// Human-readable analysis notes, replayed verbatim.
+    pub notes: Vec<String>,
+}
+
+/// One persisted report entry: the structural program key and the report.
+pub(crate) type ReportEntry = (u64, StoredReport);
+
 /// Accounting of one store load (hydration at
 /// [`SolveCache::with_store`](crate::SolveCache::with_store) open, or a
 /// [`SolveStore::stat`] inspection pass).
@@ -151,10 +216,15 @@ pub struct StoreLoadStats {
 /// Accounting of one [`SolveCache::flush_store`](crate::SolveCache::flush_store).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StoreFlushStats {
-    /// Entries persisted by this flush (0 when everything was already stored).
+    /// Solve entries persisted by this flush (0 when everything was already
+    /// stored).
     pub appended: usize,
-    /// The segment file written, when `appended > 0`.
+    /// The solve segment file written, when `appended > 0`.
     pub segment: Option<PathBuf>,
+    /// Finished-program reports persisted by this flush (always 0 for a
+    /// solve-only cache, see
+    /// [`SolveCache::with_store_solve_only`](crate::SolveCache::with_store_solve_only)).
+    pub reports_appended: usize,
 }
 
 /// A canonical-solution store directory.  See the module docs for the format.
@@ -198,10 +268,10 @@ impl SolveStore {
         &self.dir
     }
 
-    /// All segment files of the store, in load order (sorted by file name —
+    /// All files of one record family, in load order (sorted by file name —
     /// names are timestamp-prefixed, so this is write order up to clock skew,
     /// which the last-writer-wins merge tolerates).
-    pub fn segment_files(&self) -> io::Result<Vec<PathBuf>> {
+    fn family_files(&self, prefix: &str) -> io::Result<Vec<PathBuf>> {
         let mut files: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
@@ -209,20 +279,37 @@ impl SolveStore {
                 p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXT)
                     && p.file_name()
                         .and_then(|n| n.to_str())
-                        .is_some_and(|n| n.starts_with("seg-"))
+                        .is_some_and(|n| n.starts_with(prefix))
             })
             .collect();
         files.sort();
         Ok(files)
     }
 
-    /// Load every segment, folding records with the last-writer-wins merge.
-    pub(crate) fn load(&self) -> io::Result<(Vec<StoreEntry>, StoreLoadStats)> {
+    /// All solve-record segment files of the store, in load order.
+    pub fn segment_files(&self) -> io::Result<Vec<PathBuf>> {
+        self.family_files(SOLVE_FAMILY.prefix)
+    }
+
+    /// All report-record segment files of the store, in load order.
+    pub fn report_files(&self) -> io::Result<Vec<PathBuf>> {
+        self.family_files(REPORT_FAMILY.prefix)
+    }
+
+    /// Load every segment of one family, decoding records with `decode` and
+    /// applying the retry / fault-injection / header-check / salvage +
+    /// quarantine discipline shared by both record families.  Decoded records
+    /// are returned in segment order (the caller merges last-writer-wins);
+    /// `stats.entries` is left for the caller to fill after its merge.
+    fn load_family<T>(
+        &self,
+        family: &Family,
+        decode: impl Fn(&str) -> Option<T>,
+    ) -> io::Result<(Vec<T>, StoreLoadStats)> {
         let plan = crate::faults::active_plan();
         let mut stats = StoreLoadStats::default();
-        let mut merged: HashMap<CanonicalKey, Result<CanonicalSolution, AnalysisError>> =
-            HashMap::new();
-        for path in self.segment_files()? {
+        let mut decoded: Vec<T> = Vec::new();
+        for path in self.family_files(family.prefix)? {
             let name = path
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
@@ -246,18 +333,20 @@ impl SolveStore {
             stats.bytes += text.len() as u64;
             let mut lines = text.lines();
             match lines.next() {
-                Some(STORE_HEADER) => {}
-                Some(other) if other.starts_with("soap-solve-store/") => {
+                Some(header) if header == family.header => {}
+                Some(other) if other.starts_with(family.stem) => {
                     stats.segments_rejected += 1;
                     stats.notes.push(format!(
-                        "segment {name}: format-version mismatch (found '{other}', expected '{STORE_HEADER}'); segment ignored"
+                        "segment {name}: format-version mismatch (found '{other}', expected '{}'); segment ignored",
+                        family.header
                     ));
                     continue;
                 }
                 _ => {
                     stats.segments_rejected += 1;
                     stats.notes.push(format!(
-                        "segment {name}: missing '{STORE_HEADER}' header; segment ignored"
+                        "segment {name}: missing '{}' header; segment ignored",
+                        family.header
                     ));
                     continue;
                 }
@@ -269,10 +358,10 @@ impl SolveStore {
                 if line.is_empty() {
                     continue;
                 }
-                match decode_record(line) {
-                    Some((key, sol)) => {
+                match decode(line) {
+                    Some(record) => {
                         stats.records += 1;
-                        merged.insert(key, sol);
+                        decoded.push(record);
                         good_lines.push(line.to_string());
                     }
                     None => skipped_here += 1,
@@ -294,7 +383,7 @@ impl SolveStore {
                 let salvaged = if good_lines.is_empty() {
                     Ok(())
                 } else {
-                    self.write_segment(good_lines).map(|_| ())
+                    self.write_segment(family, good_lines).map(|_| ())
                 };
                 match salvaged {
                     Ok(()) => {
@@ -315,25 +404,66 @@ impl SolveStore {
                 stats.notes.push(note);
             }
         }
+        Ok((decoded, stats))
+    }
+
+    /// Load every solve segment, folding records with the last-writer-wins
+    /// merge.
+    pub(crate) fn load(&self) -> io::Result<(Vec<StoreEntry>, StoreLoadStats)> {
+        let (records, mut stats) = self.load_family(&SOLVE_FAMILY, decode_record)?;
+        let mut merged: HashMap<CanonicalKey, Result<CanonicalSolution, AnalysisError>> =
+            HashMap::new();
+        for (key, sol) in records {
+            merged.insert(key, sol);
+        }
         stats.entries = merged.len();
         Ok((merged.into_iter().collect(), stats))
     }
 
-    /// Load-time accounting without keeping the entries (for `cache stat`).
+    /// Load every report segment, folding records with the last-writer-wins
+    /// merge.
+    pub(crate) fn load_reports(&self) -> io::Result<(Vec<ReportEntry>, StoreLoadStats)> {
+        let (records, mut stats) = self.load_family(&REPORT_FAMILY, decode_report_record)?;
+        let mut merged: HashMap<u64, StoredReport> = HashMap::new();
+        for (key, report) in records {
+            merged.insert(key, report);
+        }
+        stats.entries = merged.len();
+        Ok((merged.into_iter().collect(), stats))
+    }
+
+    /// Load-time accounting of the solve records without keeping the entries
+    /// (for `cache stat`).
     pub fn stat(&self) -> io::Result<StoreLoadStats> {
         self.load().map(|(_, stats)| stats)
     }
 
-    /// Segments quarantined by earlier loads (`*.soapstore.quarantined`),
-    /// in name order — surfaced by `soap-cli cache stat` and removed by
-    /// [`SolveStore::clear`].
+    /// Load-time accounting of the report records without keeping the
+    /// entries (for `cache stat`).
+    pub fn report_stat(&self) -> io::Result<StoreLoadStats> {
+        self.load_reports().map(|(_, stats)| stats)
+    }
+
+    /// Solve segments quarantined by earlier loads
+    /// (`seg-*.soapstore.quarantined`), in name order — surfaced by
+    /// `soap-cli cache stat` and removed by [`SolveStore::clear`].
     pub fn quarantined_files(&self) -> io::Result<Vec<PathBuf>> {
+        self.quarantined_family_files(SOLVE_FAMILY.prefix)
+    }
+
+    /// Report segments quarantined by earlier loads
+    /// (`rpt-*.soapstore.quarantined`), in name order.
+    pub fn report_quarantined_files(&self) -> io::Result<Vec<PathBuf>> {
+        self.quarantined_family_files(REPORT_FAMILY.prefix)
+    }
+
+    fn quarantined_family_files(&self, prefix: &str) -> io::Result<Vec<PathBuf>> {
         let mut files: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
             .filter(|p| {
                 p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
-                    n.starts_with("seg-")
+                    n.starts_with(prefix)
                         && n.ends_with(&format!(".{SEGMENT_EXT}{QUARANTINE_SUFFIX}"))
                 })
             })
@@ -356,18 +486,31 @@ impl SolveStore {
             .iter()
             .map(|(key, sol)| encode_record(key, sol))
             .collect();
-        self.write_segment(lines)
+        self.write_segment(&SOLVE_FAMILY, lines)
+    }
+
+    /// Persist finished-report records as one new `rpt-` segment file.
+    /// Returns the segment path.  Same staging + rename discipline as solve
+    /// segments.
+    pub(crate) fn append_reports(&self, entries: &[(u64, &StoredReport)]) -> io::Result<PathBuf> {
+        let lines: Vec<String> = entries
+            .iter()
+            .map(|(key, report)| encode_report_record(*key, report))
+            .collect();
+        self.write_segment(&REPORT_FAMILY, lines)
     }
 
     /// Write already-encoded record lines as one new uniquely named segment
-    /// (the shared tail of [`SolveStore::append`] and load-time salvage).
-    fn write_segment(&self, mut lines: Vec<String>) -> io::Result<PathBuf> {
+    /// of the given family (the shared tail of [`SolveStore::append`],
+    /// [`SolveStore::append_reports`], and load-time salvage).
+    fn write_segment(&self, family: &Family, mut lines: Vec<String>) -> io::Result<PathBuf> {
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos())
             .unwrap_or(0);
         let name = format!(
-            "seg-{nanos:020}-{}-{:04}.{SEGMENT_EXT}",
+            "{}{nanos:020}-{}-{:04}.{SEGMENT_EXT}",
+            family.prefix,
             std::process::id(),
             SEGMENT_SEQ.fetch_add(1, Ordering::Relaxed)
         );
@@ -380,7 +523,7 @@ impl SolveStore {
         // segment bytes.
         lines.sort();
         let mut text = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>() + 32);
-        text.push_str(STORE_HEADER);
+        text.push_str(family.header);
         text.push('\n');
         for line in &lines {
             text.push_str(line);
@@ -400,16 +543,18 @@ impl SolveStore {
         Ok(path)
     }
 
-    /// Delete all segment files (plus stale temp files and quarantined
-    /// segments).  Returns how many segments were removed.  The directory
-    /// itself is kept.
+    /// Delete all segment files of both record families (plus stale temp
+    /// files and quarantined segments).  Returns how many segments were
+    /// removed.  The directory itself is kept.
     pub fn clear(&self) -> io::Result<usize> {
         let mut removed = 0usize;
-        for path in self.segment_files()? {
-            std::fs::remove_file(&path)?;
-            removed += 1;
-        }
-        for path in self.quarantined_files()? {
+        for path in self
+            .segment_files()?
+            .into_iter()
+            .chain(self.report_files()?)
+            .chain(self.quarantined_files()?)
+            .chain(self.report_quarantined_files()?)
+        {
             std::fs::remove_file(&path)?;
             removed += 1;
         }
@@ -418,7 +563,7 @@ impl SolveStore {
             let is_tmp = p
                 .file_name()
                 .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with(".tmp-seg-"));
+                .is_some_and(|n| n.starts_with(".tmp-seg-") || n.starts_with(".tmp-rpt-"));
             if is_tmp {
                 std::fs::remove_file(&p)?;
             }
@@ -751,6 +896,246 @@ fn solution_from_value(v: &Value) -> Result<Result<CanonicalSolution, AnalysisEr
     }))
 }
 
+// --- report-record codec -----------------------------------------------------
+//
+// Same line format and float/rational conventions as solve records; the
+// payload is `{"key": <u64 structural program key>, "report": {...}}` with the
+// finished per-array Theorem-1 terms, the evaluated subgraphs, and the total
+// bound — everything a warm path needs to resplice a `ProgramAnalysis`
+// without touching the SDG pipeline.
+
+/// Encode a report-record line (without the trailing newline).
+pub(crate) fn encode_report_record(key: u64, report: &StoredReport) -> String {
+    let payload = Value::Object(vec![
+        ("key".to_string(), Value::Int(i128::from(key))),
+        ("report".to_string(), report_to_value(report)),
+    ]);
+    let json = serde_json::to_string(&payload).expect("report record serializes");
+    format!("{:016x} {json}", fnv1a64(json.as_bytes()))
+}
+
+/// Decode one report-record line; `None` on any integrity or shape failure.
+pub(crate) fn decode_report_record(line: &str) -> Option<ReportEntry> {
+    let (digest, json) = line.split_once(' ')?;
+    let expected = u64::from_str_radix(digest, 16).ok()?;
+    if digest.len() != 16 || fnv1a64(json.as_bytes()) != expected {
+        return None;
+    }
+    let payload: Value = serde_json::from_str(json).ok()?;
+    let key = payload
+        .get("key")?
+        .as_i128()
+        .and_then(|n| u64::try_from(n).ok())?;
+    let report = report_from_value(payload.get("report")?).ok()?;
+    Some((key, report))
+}
+
+/// An exact-coefficient polynomial as `[[ [[var, pow], ...], [num, den] ], ...]`.
+/// `Polynomial`'s terms are BTreeMap-ordered, so encoding is deterministic and
+/// the rebuilt value renders byte-identically.
+fn poly_to_value(p: &Polynomial) -> Value {
+    Value::Array(
+        p.terms()
+            .map(|(mono, coeff)| {
+                let vars = Value::Array(
+                    mono.0
+                        .iter()
+                        .map(|(v, e)| {
+                            Value::Array(vec![Value::Str(v.clone()), Value::Int(i128::from(*e))])
+                        })
+                        .collect(),
+                );
+                Value::Array(vec![vars, rational_to_value(*coeff)])
+            })
+            .collect(),
+    )
+}
+
+fn poly_from_value(v: &Value) -> Result<Polynomial, DeError> {
+    let mut acc = Polynomial::zero();
+    for term in v
+        .as_array()
+        .ok_or_else(|| DeError::msg("poly: expected array of terms"))?
+    {
+        let [vars, coeff] = term
+            .as_array()
+            .and_then(|a| <&[Value; 2]>::try_from(a).ok())
+            .ok_or_else(|| DeError::msg("poly: term shape"))?;
+        let mut mono = Polynomial::constant(rational_from_value(coeff)?);
+        for pair in vars
+            .as_array()
+            .ok_or_else(|| DeError::msg("poly: vars not an array"))?
+        {
+            let [name, pow] = pair
+                .as_array()
+                .and_then(|a| <&[Value; 2]>::try_from(a).ok())
+                .ok_or_else(|| DeError::msg("poly: var shape"))?;
+            let name = String::from_value(name)?;
+            let pow = pow
+                .as_i128()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| DeError::msg("poly: bad exponent"))?;
+            mono = mono.mul(&Polynomial::var(&name).pow(pow));
+        }
+        acc = acc.add(&mono);
+    }
+    Ok(acc)
+}
+
+fn intensity_to_value(r: &IntensityResult) -> Value {
+    Value::Object(vec![
+        ("name".to_string(), Value::Str(r.name.clone())),
+        ("sigma".to_string(), rational_to_value(r.sigma)),
+        ("chi".to_string(), f64_to_value(r.chi_coeff)),
+        ("rho".to_string(), r.rho.to_value()),
+        ("x0".to_string(), r.x0.to_value()),
+        (
+            "exps".to_string(),
+            Value::Array(
+                r.tile_exponents
+                    .iter()
+                    .map(|(v, e)| Value::Array(vec![Value::Str(v.clone()), rational_to_value(*e)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "coeffs".to_string(),
+            Value::Array(
+                r.tile_coeffs
+                    .iter()
+                    .map(|(v, c)| Value::Array(vec![Value::Str(v.clone()), f64_to_value(*c)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn intensity_from_value(v: &Value) -> Result<IntensityResult, DeError> {
+    let field = |name: &str| {
+        v.get(name)
+            .ok_or_else(|| DeError::msg(format!("intensity: missing '{name}'")))
+    };
+    let tile_exponents = field("exps")?
+        .as_array()
+        .ok_or_else(|| DeError::msg("intensity: 'exps' not an array"))?
+        .iter()
+        .map(|pair| {
+            let [name, e] = pair
+                .as_array()
+                .and_then(|a| <&[Value; 2]>::try_from(a).ok())
+                .ok_or_else(|| DeError::msg("intensity: exps pair shape"))?;
+            Ok((String::from_value(name)?, rational_from_value(e)?))
+        })
+        .collect::<Result<Vec<_>, DeError>>()?;
+    let tile_coeffs = field("coeffs")?
+        .as_array()
+        .ok_or_else(|| DeError::msg("intensity: 'coeffs' not an array"))?
+        .iter()
+        .map(|pair| {
+            let [name, c] = pair
+                .as_array()
+                .and_then(|a| <&[Value; 2]>::try_from(a).ok())
+                .ok_or_else(|| DeError::msg("intensity: coeffs pair shape"))?;
+            Ok((String::from_value(name)?, f64_from_value(c)?))
+        })
+        .collect::<Result<Vec<_>, DeError>>()?;
+    Ok(IntensityResult {
+        name: String::from_value(field("name")?)?,
+        sigma: rational_from_value(field("sigma")?)?,
+        chi_coeff: f64_from_value(field("chi")?)?,
+        rho: Expr::from_value(field("rho")?)?,
+        x0: Option::<Expr>::from_value(field("x0")?)?,
+        tile_exponents,
+        tile_coeffs,
+    })
+}
+
+fn array_bound_to_value(b: &ArrayBound) -> Value {
+    Value::Object(vec![
+        ("array".to_string(), Value::Str(b.array.clone())),
+        ("vertices".to_string(), poly_to_value(&b.vertex_count)),
+        ("rho".to_string(), b.rho.to_value()),
+        ("sigma".to_string(), rational_to_value(b.sigma)),
+        ("best".to_string(), b.best_subgraph.to_value()),
+        ("bound".to_string(), b.bound.to_value()),
+    ])
+}
+
+fn array_bound_from_value(v: &Value) -> Result<ArrayBound, DeError> {
+    let field = |name: &str| {
+        v.get(name)
+            .ok_or_else(|| DeError::msg(format!("array bound: missing '{name}'")))
+    };
+    Ok(ArrayBound {
+        array: String::from_value(field("array")?)?,
+        vertex_count: poly_from_value(field("vertices")?)?,
+        rho: Expr::from_value(field("rho")?)?,
+        sigma: rational_from_value(field("sigma")?)?,
+        best_subgraph: Vec::<String>::from_value(field("best")?)?,
+        bound: Expr::from_value(field("bound")?)?,
+    })
+}
+
+fn subgraph_to_value(s: &SubgraphIntensity) -> Value {
+    Value::Object(vec![
+        ("arrays".to_string(), s.arrays.to_value()),
+        ("intensity".to_string(), intensity_to_value(&s.intensity)),
+        ("rho_ref".to_string(), f64_to_value(s.rho_ref)),
+    ])
+}
+
+fn subgraph_from_value(v: &Value) -> Result<SubgraphIntensity, DeError> {
+    let field = |name: &str| {
+        v.get(name)
+            .ok_or_else(|| DeError::msg(format!("subgraph: missing '{name}'")))
+    };
+    Ok(SubgraphIntensity {
+        arrays: Vec::<String>::from_value(field("arrays")?)?,
+        intensity: intensity_from_value(field("intensity")?)?,
+        rho_ref: f64_from_value(field("rho_ref")?)?,
+    })
+}
+
+fn report_to_value(r: &StoredReport) -> Value {
+    Value::Object(vec![
+        (
+            "per_array".to_string(),
+            Value::Array(r.per_array.iter().map(array_bound_to_value).collect()),
+        ),
+        (
+            "subgraphs".to_string(),
+            Value::Array(r.subgraphs.iter().map(subgraph_to_value).collect()),
+        ),
+        ("bound".to_string(), r.bound.to_value()),
+        ("notes".to_string(), r.notes.to_value()),
+    ])
+}
+
+fn report_from_value(v: &Value) -> Result<StoredReport, DeError> {
+    let field = |name: &str| {
+        v.get(name)
+            .ok_or_else(|| DeError::msg(format!("report: missing '{name}'")))
+    };
+    let per_array = field("per_array")?
+        .as_array()
+        .ok_or_else(|| DeError::msg("report: 'per_array' not an array"))?
+        .iter()
+        .map(array_bound_from_value)
+        .collect::<Result<Vec<_>, DeError>>()?;
+    let subgraphs = field("subgraphs")?
+        .as_array()
+        .ok_or_else(|| DeError::msg("report: 'subgraphs' not an array"))?
+        .iter()
+        .map(subgraph_from_value)
+        .collect::<Result<Vec<_>, DeError>>()?;
+    Ok(StoredReport {
+        per_array,
+        subgraphs,
+        bound: Expr::from_value(field("bound")?)?,
+        notes: Vec::<String>::from_value(field("notes")?)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -849,6 +1234,108 @@ mod tests {
         assert!(decode_record(&garbage).is_none());
         assert!(decode_record("").is_none());
         assert!(decode_record("nonsense").is_none());
+    }
+
+    fn sample_report() -> StoredReport {
+        let s = sample_solution();
+        let intensity = IntensityResult {
+            name: "merged(A,B)".into(),
+            sigma: s.sigma,
+            chi_coeff: s.chi_coeff,
+            rho: s.rho.clone(),
+            x0: s.x0.clone(),
+            tile_exponents: vec![
+                ("i".into(), Rational::new(1, 2)),
+                ("j".into(), Rational::new(1, 3)),
+            ],
+            tile_coeffs: vec![("i".into(), 0.5), ("j".into(), f64::NAN)],
+        };
+        let vertex_count = Polynomial::var("n")
+            .mul(&Polynomial::var("m"))
+            .add(&Polynomial::constant(Rational::new(-3, 2)).mul(&Polynomial::var("n").pow(2)));
+        StoredReport {
+            per_array: vec![ArrayBound {
+                array: "C".into(),
+                vertex_count,
+                rho: s.rho.clone(),
+                sigma: s.sigma,
+                best_subgraph: vec!["A".into(), "B".into(), "C".into()],
+                bound: Expr::sym("n").pow(Rational::new(3, 1)).mul(Expr::sym("S")),
+            }],
+            subgraphs: vec![SubgraphIntensity {
+                arrays: vec!["A".into(), "B".into()],
+                intensity,
+                rho_ref: -0.0,
+            }],
+            bound: Expr::sym("n").pow(Rational::new(3, 1)),
+            notes: vec!["note one".into()],
+        }
+    }
+
+    #[test]
+    fn report_records_round_trip_bit_exactly() {
+        let report = sample_report();
+        let line = encode_report_record(0xdead_beef_cafe_f00d, &report);
+        let (key, back) = decode_report_record(&line).expect("decodes");
+        assert_eq!(key, 0xdead_beef_cafe_f00d);
+        assert_eq!(back.per_array.len(), 1);
+        let (a, b) = (&back.per_array[0], &report.per_array[0]);
+        assert_eq!(a.array, b.array);
+        // Display equality is the contract the golden-bounds file depends on.
+        assert_eq!(format!("{}", a.vertex_count), format!("{}", b.vertex_count));
+        assert_eq!(format!("{}", a.rho), format!("{}", b.rho));
+        assert_eq!(a.sigma, b.sigma);
+        assert_eq!(a.best_subgraph, b.best_subgraph);
+        assert_eq!(format!("{}", a.bound), format!("{}", b.bound));
+        let (sa, sb) = (&back.subgraphs[0], &report.subgraphs[0]);
+        assert_eq!(sa.arrays, sb.arrays);
+        assert_eq!(sa.rho_ref.to_bits(), sb.rho_ref.to_bits());
+        assert_eq!(
+            sa.intensity.chi_coeff.to_bits(),
+            sb.intensity.chi_coeff.to_bits()
+        );
+        assert_eq!(sa.intensity.tile_exponents, sb.intensity.tile_exponents);
+        for ((va, ca), (vb, cb)) in sa
+            .intensity
+            .tile_coeffs
+            .iter()
+            .zip(&sb.intensity.tile_coeffs)
+        {
+            assert_eq!(va, vb);
+            assert_eq!(ca.to_bits(), cb.to_bits());
+        }
+        assert_eq!(format!("{}", back.bound), format!("{}", report.bound));
+        assert_eq!(back.notes, report.notes);
+        // Corruption is rejected, never panicked.
+        for cut in [1, 17, line.len() / 2, line.len() - 1] {
+            assert!(decode_report_record(&line[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn report_segments_are_a_separate_family() {
+        let dir = std::env::temp_dir().join(format!("soap-store-family-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SolveStore::open(&dir).unwrap();
+        let key = sample_key(false);
+        let sol = Ok(sample_solution());
+        store.append(&[(&key, &sol)]).unwrap();
+        let report = sample_report();
+        store.append_reports(&[(7, &report)]).unwrap();
+        // Family listings never bleed into each other.
+        assert_eq!(store.segment_files().unwrap().len(), 1);
+        assert_eq!(store.report_files().unwrap().len(), 1);
+        let solve_stats = store.stat().unwrap();
+        assert_eq!((solve_stats.segments, solve_stats.entries), (1, 1));
+        let report_stats = store.report_stat().unwrap();
+        assert_eq!((report_stats.segments, report_stats.entries), (1, 1));
+        let (entries, _) = store.load_reports().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, 7);
+        // clear() removes both families.
+        assert_eq!(store.clear().unwrap(), 2);
+        assert!(store.report_files().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

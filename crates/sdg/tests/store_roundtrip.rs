@@ -124,8 +124,15 @@ fn truncated_record_is_skipped_with_a_counted_note() {
     let persisted = seed_store(&dir, &jobs_for(&["gemm", "mvt"]));
     assert!(persisted >= 2);
 
-    // Simulate a crashed writer: chop the final record mid-line.
+    // This test exercises the *solve-record* corruption path: remove the
+    // finished-report records so the warm run walks the pipeline instead of
+    // replaying whole reports.
     let store = SolveStore::open(&dir).unwrap();
+    for rpt in store.report_files().unwrap() {
+        std::fs::remove_file(rpt).unwrap();
+    }
+
+    // Simulate a crashed writer: chop the final record mid-line.
     let segment = store.segment_files().unwrap().pop().unwrap();
     let text = std::fs::read_to_string(&segment).unwrap();
     let cut = text.trim_end().len() - 40;
@@ -152,6 +159,119 @@ fn truncated_record_is_skipped_with_a_counted_note() {
     drop(cache);
     let healed = SolveCache::with_store(&dir).unwrap();
     assert_eq!(healed.store_load_stats().unwrap().entries, persisted);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every `.soapstore` file in the directory, either family.
+fn all_segment_files(dir: &Path) -> usize {
+    let store = SolveStore::open(dir).unwrap();
+    store.segment_files().unwrap().len() + store.report_files().unwrap().len()
+}
+
+#[test]
+fn full_registry_round_trips_from_report_records() {
+    let dir = temp_dir("reports");
+    let jobs = registry_jobs();
+
+    let cold_cache = SolveCache::with_store(&dir).expect("store opens");
+    let cold = analyze_suite_with(&jobs, &cold_cache);
+    assert_eq!(cold.summary.failures, 0);
+    assert_eq!(cold.summary.cache.report_hits, 0);
+    let flush = cold_cache.flush_store().expect("flush succeeds");
+    assert!(flush.reports_appended > 0);
+    drop(cold_cache);
+
+    // Fresh cache over the same directory — a simulated new process.  Every
+    // program is answered from its persisted report: no enumeration, no
+    // merging, no solving.
+    let warm_cache = SolveCache::with_store(&dir).expect("store reopens");
+    let report_load = warm_cache.report_load_stats().unwrap().clone();
+    assert_eq!(report_load.records_skipped, 0, "{:?}", report_load.notes);
+    assert_eq!(report_load.entries, flush.reports_appended);
+    let warm = analyze_suite_with(&jobs, &warm_cache);
+    assert_eq!(warm.summary.failures, 0);
+    assert_eq!(
+        warm.summary.cache.report_hits,
+        jobs.len() as u64,
+        "{:?}",
+        warm.summary.cache
+    );
+    // Zero model traffic: the front half never ran.
+    assert_eq!(warm.summary.cache.hits, 0, "{:?}", warm.summary.cache);
+    assert_eq!(warm.summary.cache.misses, 0);
+    assert_eq!(warm.summary.cache.uncacheable, 0);
+    assert_eq!(warm.summary.subgraphs_enumerated, 0);
+    let p = &warm.summary.phases;
+    assert_eq!(
+        (p.enumerate_ms, p.merge_ms, p.instantiate_ms, p.solve_ms),
+        (0.0, 0.0, 0.0, 0.0)
+    );
+
+    // The replayed analyses are byte-identical to the cold ones.
+    for (c, w) in cold.reports.iter().zip(&warm.reports) {
+        assert_eq!(c.name, w.name);
+        let (c, w) = (c.outcome.as_ref().unwrap(), w.outcome.as_ref().unwrap());
+        assert_eq!(w.solver.report_hits, 1);
+        assert!(!w.degraded);
+        assert_eq!(format!("{}", c.bound), format!("{}", w.bound), "{}", c.name);
+        assert_eq!(c.notes, w.notes);
+        assert_eq!(c.per_array.len(), w.per_array.len());
+        for (ac, aw) in c.per_array.iter().zip(&w.per_array) {
+            assert_eq!(ac.array, aw.array);
+            assert_eq!(
+                format!("{}", ac.vertex_count),
+                format!("{}", aw.vertex_count)
+            );
+            assert_eq!(format!("{}", ac.rho), format!("{}", aw.rho));
+            assert_eq!(ac.sigma, aw.sigma);
+            assert_eq!(ac.best_subgraph, aw.best_subgraph);
+            assert_eq!(format!("{}", ac.bound), format!("{}", aw.bound));
+        }
+        assert_eq!(c.subgraphs.len(), w.subgraphs.len());
+        for (sc, sw) in c.subgraphs.iter().zip(&w.subgraphs) {
+            assert_eq!(sc.arrays, sw.arrays);
+            assert_eq!(
+                sc.intensity.chi_coeff.to_bits(),
+                sw.intensity.chi_coeff.to_bits()
+            );
+            assert_eq!(sc.rho_ref.to_bits(), sw.rho_ref.to_bits(), "{}", c.name);
+        }
+    }
+
+    // Satellite: a drop after an explicit flush with nothing new must write
+    // no segment file in either family.
+    let files_before = all_segment_files(&dir);
+    let flush = warm_cache.flush_store().expect("no-op flush succeeds");
+    assert_eq!((flush.appended, flush.reports_appended), (0, 0));
+    assert!(flush.segment.is_none());
+    drop(warm_cache);
+    assert_eq!(all_segment_files(&dir), files_before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v1_solve_only_store_migrates_cleanly() {
+    // A store directory written before report records existed holds only
+    // `seg-` solve segments; it must open cleanly, report an empty report
+    // layer, and keep answering every model from the solve records.
+    let dir = temp_dir("migration");
+    let jobs = jobs_for(&["gemm", "mvt"]);
+    seed_store(&dir, &jobs);
+    let store = SolveStore::open(&dir).unwrap();
+    for rpt in store.report_files().unwrap() {
+        std::fs::remove_file(rpt).unwrap();
+    }
+
+    let cache = SolveCache::with_store(&dir).expect("v1 store opens");
+    let report_load = cache.report_load_stats().unwrap();
+    assert_eq!(report_load.segments, 0);
+    assert_eq!(report_load.entries, 0);
+    assert!(report_load.notes.is_empty(), "{:?}", report_load.notes);
+    let warm = analyze_suite_with(&jobs, &cache);
+    assert_eq!(warm.summary.failures, 0);
+    assert_eq!(warm.summary.cache.misses, 0, "{:?}", warm.summary.cache);
+    assert_eq!(warm.summary.cache.report_hits, 0);
+    assert!(warm.summary.cache.store_hits > 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

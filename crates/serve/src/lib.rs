@@ -52,7 +52,7 @@ use soap_sdg::{
     analyze_program_governed, canonical_program_hash, parse_timeout_ms, Claim, Deadline, InFlight,
     ProgramAnalysis, SdgOptions, SolveCache,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -87,8 +87,16 @@ pub struct ServeConfig {
     /// Canonical-solution store directory (`SOAP_CACHE_DIR` / `--cache-dir`):
     /// hydrated at startup, flushed on `/flush` and at shutdown.
     pub cache_dir: Option<String>,
-    /// Value of the `Retry-After` header on 429 responses, in seconds.
+    /// Base value of the `Retry-After` header on 429 responses, in seconds.
+    /// The advertised value scales with the queue depth observed at
+    /// rejection: `retry_after_secs × (1 + queued)`, capped at 600 — a
+    /// saturated queue tells clients to back off longer.
     pub retry_after_secs: u32,
+    /// Maximum entries in the memoized-response cache
+    /// (`SOAP_SERVE_MEMO_CAP` / `--memo-cap`, default 4096).  Inserting
+    /// beyond the cap evicts the oldest entry (FIFO), so a long-lived daemon
+    /// fed an unbounded stream of distinct programs holds bounded memory.
+    pub memo_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +109,7 @@ impl Default for ServeConfig {
             timeout: None,
             cache_dir: None,
             retry_after_secs: 1,
+            memo_cap: 4096,
         }
     }
 }
@@ -136,6 +145,9 @@ impl ServeConfig {
         c.cache_dir = std::env::var("SOAP_CACHE_DIR")
             .ok()
             .filter(|d| !d.is_empty());
+        if let Some(n) = env_usize("SOAP_SERVE_MEMO_CAP") {
+            c.memo_cap = n;
+        }
         c
     }
 }
@@ -174,15 +186,17 @@ impl Gate {
 
     /// Admit or reject.  Admitted callers may block (bounded by the queue
     /// capacity, counted against their own deadline); rejected callers return
-    /// immediately with `None` — the 429 path.
-    fn admit(&self) -> Option<GatePermit<'_>> {
+    /// immediately with `Err(queued)` — the 429 path — carrying the queue
+    /// depth observed at rejection so the response can scale its
+    /// `Retry-After` advice.
+    fn admit(&self) -> Result<GatePermit<'_>, usize> {
         let mut st = self.state.lock().expect("not poisoned");
         if st.running + st.queued >= self.slots + self.queue {
-            return None;
+            return Err(st.queued);
         }
         if st.running < self.slots {
             st.running += 1;
-            return Some(GatePermit { gate: self });
+            return Ok(GatePermit { gate: self });
         }
         st.queued += 1;
         while st.running >= self.slots {
@@ -190,7 +204,7 @@ impl Gate {
         }
         st.queued -= 1;
         st.running += 1;
-        Some(GatePermit { gate: self })
+        Ok(GatePermit { gate: self })
     }
 
     fn depth(&self) -> GateState {
@@ -230,6 +244,8 @@ struct Counters {
     response_cache_hits: AtomicU64,
     /// `/analyze` answered by waiting on an identical in-flight analysis.
     coalesced: AtomicU64,
+    /// Memoized responses evicted because the memo hit its capacity bound.
+    memo_evictions: AtomicU64,
     /// Requests rejected with 429 because the queue was full.
     rejected: AtomicU64,
     /// Responses by status class.
@@ -245,8 +261,66 @@ struct Counters {
 #[derive(Clone)]
 struct Outcome {
     status: u16,
-    retry_after: bool,
+    /// `Retry-After` seconds to advertise (429 rejections only).
+    retry_after: Option<u32>,
     tail: Arc<String>,
+}
+
+/// The memoized-response cache, bounded by `memo_cap`: a map plus FIFO
+/// insertion order.  Inserting a fresh key at capacity evicts the oldest
+/// entry, so memory stays bounded under an unbounded stream of distinct
+/// programs while steady-state workloads (a registry's worth of kernels, far
+/// below any sane cap) never evict at all.
+struct ResponseMemo {
+    state: Mutex<MemoState>,
+    cap: usize,
+}
+
+#[derive(Default)]
+struct MemoState {
+    map: HashMap<u64, Arc<String>>,
+    order: VecDeque<u64>,
+}
+
+impl ResponseMemo {
+    fn new(cap: usize) -> ResponseMemo {
+        ResponseMemo {
+            state: Mutex::new(MemoState::default()),
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<String>> {
+        self.state
+            .lock()
+            .expect("not poisoned")
+            .map
+            .get(&key)
+            .cloned()
+    }
+
+    /// Insert (or refresh) an entry; returns the number of entries evicted
+    /// to stay within the cap (0 or 1).
+    fn insert(&self, key: u64, tail: Arc<String>) -> u64 {
+        let mut st = self.state.lock().expect("not poisoned");
+        if st.map.insert(key, tail).is_some() {
+            return 0; // refreshed in place; order entry already present
+        }
+        st.order.push_back(key);
+        if st.map.len() <= self.cap {
+            return 0;
+        }
+        while let Some(oldest) = st.order.pop_front() {
+            if st.map.remove(&oldest).is_some() {
+                return 1;
+            }
+        }
+        0
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("not poisoned").map.len()
+    }
 }
 
 /// The request-handling core: every route, independent of the transport.
@@ -259,7 +333,7 @@ pub struct AnalysisService {
     /// constructs all 38 programs, far too much work to redo per request on
     /// the `?kernel=` hot path.
     kernels: Vec<soap_kernels::KernelEntry>,
-    responses: Mutex<HashMap<u64, Arc<String>>>,
+    responses: ResponseMemo,
     inflight: InFlight<Outcome>,
     gate: Gate,
     counters: Counters,
@@ -284,10 +358,10 @@ impl AnalysisService {
         };
         Ok(AnalysisService {
             gate: Gate::new(config.analysis_slots, config.queue_capacity),
+            responses: ResponseMemo::new(config.memo_cap),
             config,
             cache,
             kernels: soap_kernels::registry(),
-            responses: Mutex::new(HashMap::new()),
             inflight: InFlight::new(),
             counters: Counters::default(),
             shutdown: ShutdownSignal {
@@ -330,10 +404,16 @@ impl AnalysisService {
             ("POST", "/flush") => match self.cache.flush_store() {
                 Ok(flush) => json_response(
                     200,
-                    vec![(
-                        "flushed".into(),
-                        serde_json::Value::Int(flush.appended as i128),
-                    )],
+                    vec![
+                        (
+                            "flushed".into(),
+                            serde_json::Value::Int(flush.appended as i128),
+                        ),
+                        (
+                            "reports_flushed".into(),
+                            serde_json::Value::Int(flush.reports_appended as i128),
+                        ),
+                    ],
                 ),
                 Err(e) => error_response(500, &format!("store flush failed: {e}")),
             },
@@ -383,7 +463,7 @@ impl AnalysisService {
             self.counters
                 .response_cache_hits
                 .fetch_add(1, Ordering::Relaxed);
-            return spliced_response(200, &name, &tail, false);
+            return spliced_response(200, &name, &tail, None);
         }
 
         // Coalesce: one leader per key; followers share its outcome.  A
@@ -407,27 +487,35 @@ impl AnalysisService {
                     if let Some(tail) = self.memoized(key) {
                         guard.complete(Outcome {
                             status: 200,
-                            retry_after: false,
+                            retry_after: None,
                             tail: Arc::clone(&tail),
                         });
                         self.counters
                             .response_cache_hits
                             .fetch_add(1, Ordering::Relaxed);
-                        return spliced_response(200, &name, &tail, false);
+                        return spliced_response(200, &name, &tail, None);
                     }
                     // Deadline starts here: time spent waiting in the
                     // admission queue is time the caller is waiting, so it
                     // counts against the budget.
                     let deadline = timeout.map(Deadline::after);
-                    let Some(permit) = self.gate.admit() else {
-                        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                        let outcome = Outcome {
-                            status: 429,
-                            retry_after: true,
-                            tail: Arc::new(rejected_tail()),
-                        };
-                        guard.complete(outcome.clone());
-                        return spliced_response(429, &name, &outcome.tail, true);
+                    let permit = match self.gate.admit() {
+                        Ok(permit) => permit,
+                        Err(queued) => {
+                            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            let outcome = Outcome {
+                                status: 429,
+                                retry_after: Some(self.retry_after_hint(queued)),
+                                tail: Arc::new(rejected_tail()),
+                            };
+                            guard.complete(outcome.clone());
+                            return spliced_response(
+                                429,
+                                &name,
+                                &outcome.tail,
+                                outcome.retry_after,
+                            );
+                        }
                     };
                     let outcome = self.run_analysis(key, &program, injective, deadline.as_ref());
                     drop(permit);
@@ -442,6 +530,18 @@ impl AnalysisService {
             }
         }
         error_response(500, "analysis leader failed repeatedly")
+    }
+
+    /// `Retry-After` seconds for a 429: the configured base scaled by the
+    /// queue depth observed at rejection.  An empty queue (`slots` all busy,
+    /// nobody waiting) advertises the base; every waiter ahead of a retry
+    /// adds one more base interval, capped at ten minutes.
+    fn retry_after_hint(&self, queued: usize) -> u32 {
+        let multiplier = (1 + queued).min(u32::MAX as usize) as u32;
+        self.config
+            .retry_after_secs
+            .saturating_mul(multiplier)
+            .min(600)
     }
 
     /// Execute one governed analysis (the leader path) and render its
@@ -470,14 +570,16 @@ impl AnalysisService {
                     // future answer, so only complete analyses are cached.
                     self.counters.degraded.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    self.responses
-                        .lock()
-                        .expect("not poisoned")
-                        .insert(key, Arc::clone(&tail));
+                    let evicted = self.responses.insert(key, Arc::clone(&tail));
+                    if evicted > 0 {
+                        self.counters
+                            .memo_evictions
+                            .fetch_add(evicted, Ordering::Relaxed);
+                    }
                 }
                 Outcome {
                     status: 200,
-                    retry_after: false,
+                    retry_after: None,
                     tail,
                 }
             }
@@ -487,24 +589,20 @@ impl AnalysisService {
                     .fetch_add(1, Ordering::Relaxed);
                 Outcome {
                     status: 400,
-                    retry_after: false,
+                    retry_after: None,
                     tail: Arc::new(error_tail(&format!("analysis failed: {e}"))),
                 }
             }
             Err(_) => Outcome {
                 status: 500,
-                retry_after: false,
+                retry_after: None,
                 tail: Arc::new(error_tail("internal: analysis panicked")),
             },
         }
     }
 
     fn memoized(&self, key: u64) -> Option<Arc<String>> {
-        self.responses
-            .lock()
-            .expect("not poisoned")
-            .get(&key)
-            .cloned()
+        self.responses.get(key)
     }
 
     /// Resolve the request to `(program, assume_injective, display name)`.
@@ -593,6 +691,7 @@ impl AnalysisService {
                 int(load(&c.response_cache_hits)),
             ),
             ("coalesced".into(), int(load(&c.coalesced))),
+            ("memo_evictions".into(), int(load(&c.memo_evictions))),
             ("rejected".into(), int(load(&c.rejected))),
             ("responses_2xx".into(), int(load(&c.responses_2xx))),
             ("responses_4xx".into(), int(load(&c.responses_4xx))),
@@ -600,8 +699,9 @@ impl AnalysisService {
             ("dedup_ratio".into(), serde_json::Value::Float(dedup_ratio)),
             (
                 "response_cache_entries".into(),
-                int(self.responses.lock().expect("not poisoned").len() as u64),
+                int(self.responses.len() as u64),
             ),
+            ("response_cache_cap".into(), int(self.responses.cap as u64)),
             ("inflight".into(), int(self.inflight.len() as u64)),
             (
                 "queue".into(),
@@ -618,13 +718,15 @@ impl AnalysisService {
             ),
         ];
         if let Some(loaded) = self.cache.store_load_stats() {
-            fields.push((
-                "store".into(),
-                serde_json::Value::Object(vec![
-                    ("hydrated_entries".into(), int(loaded.entries as u64)),
-                    ("segments".into(), int(loaded.segments as u64)),
-                ]),
-            ));
+            let mut store_fields = vec![
+                ("hydrated_entries".into(), int(loaded.entries as u64)),
+                ("segments".into(), int(loaded.segments as u64)),
+            ];
+            if let Some(reports) = self.cache.report_load_stats() {
+                store_fields.push(("hydrated_reports".into(), int(reports.entries as u64)));
+                store_fields.push(("report_segments".into(), int(reports.segments as u64)));
+            }
+            fields.push(("store".into(), serde_json::Value::Object(store_fields)));
         }
         json_response(200, fields)
     }
@@ -740,15 +842,19 @@ fn rejected_tail() -> String {
 /// Splice the caller's program name into a stored tail:
 /// `{"program":<name>,` + tail.  One small allocation per response — this is
 /// what lets memoized/coalesced answers skip serialization entirely.
-fn spliced_response(status: u16, name: &str, tail: &str, retry_after: bool) -> httpd::Response {
+fn spliced_response(
+    status: u16,
+    name: &str,
+    tail: &str,
+    retry_after: Option<u32>,
+) -> httpd::Response {
     let escaped = serde_json::to_string(&serde_json::Value::Str(name.to_string()))
         .expect("string serializes");
     let body = format!("{{\"program\":{escaped},{}", tail);
     let resp = httpd::Response::json(status, body);
-    if retry_after {
-        resp.with_header("retry-after", "1")
-    } else {
-        resp
+    match retry_after {
+        Some(secs) => resp.with_header("retry-after", &secs.to_string()),
+        None => resp,
     }
 }
 
@@ -994,14 +1100,106 @@ mod tests {
         let p1 = gate.admit().expect("slot");
         let gate_ref: &'static Gate = Box::leak(Box::new(Gate::new(1, 1)));
         let q1 = gate_ref.admit().expect("slot");
-        let waiter = std::thread::spawn(move || gate_ref.admit().map(drop).is_some());
+        let waiter = std::thread::spawn(move || gate_ref.admit().map(drop).is_ok());
         // Give the waiter time to enter the queue, then the queue is full.
         std::thread::sleep(Duration::from_millis(50));
-        assert!(gate_ref.admit().is_none(), "queue slot already taken");
+        assert_eq!(gate_ref.admit().err(), Some(1), "queue slot already taken");
         drop(q1);
         assert!(waiter.join().unwrap(), "queued request runs after release");
         drop(p1);
-        assert!(gate.admit().is_some());
+        assert!(gate.admit().is_ok());
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth() {
+        let svc = Arc::new(
+            AnalysisService::new(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                analysis_slots: 1,
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            })
+            .expect("service"),
+        );
+        // Deterministic saturation: hold the only slot, then park two
+        // waiters in the queue so a rejection observes depth 2.
+        let permit = svc.gate.admit().expect("slot");
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&svc);
+                std::thread::spawn(move || drop(s.gate.admit()))
+            })
+            .collect();
+        while svc.gate.depth().queued < 2 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let r = svc.handle(&request("GET", "/analyze", Some("kernel=gemm"), b""));
+        assert_eq!(r.status, 429, "{:?}", r.body_utf8());
+        // Base 1s × (1 + 2 queued): a deeper queue advertises a longer
+        // back-off than the empty-queue "1".
+        assert_eq!(r.header("retry-after"), Some("3"));
+        drop(permit);
+        for w in waiters {
+            w.join().expect("waiter exits");
+        }
+    }
+
+    #[test]
+    fn memo_is_bounded_with_fifo_eviction() {
+        let svc = AnalysisService::new(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            memo_cap: 3,
+            ..ServeConfig::default()
+        })
+        .expect("service");
+        // Eight structurally distinct programs (the array name feeds the
+        // canonical hash) — more than twice the cap.
+        let programs: Vec<String> = (0..8)
+            .map(|i| format!("for i in range(0, N):\n    B{i}[i] = A{i}[i] + 1\n"))
+            .collect();
+        let mut bodies = Vec::new();
+        for (i, src) in programs.iter().enumerate() {
+            let r = svc.handle(&request(
+                "POST",
+                "/analyze",
+                Some(&format!("lang=python&name=p{i}")),
+                src.as_bytes(),
+            ));
+            assert_eq!(r.status, 200, "{:?}", r.body_utf8());
+            bodies.push(r.body_utf8().unwrap().to_string());
+        }
+        // The map never grew past the cap, and the overflow was counted.
+        assert_eq!(svc.responses.len(), 3);
+        assert_eq!(svc.counters.memo_evictions.load(Ordering::Relaxed), 5);
+        // Evicted programs still answer correctly — they just re-analyze.
+        let analyses_before = svc.counters.analyses.load(Ordering::Relaxed);
+        let r = svc.handle(&request(
+            "POST",
+            "/analyze",
+            Some("lang=python&name=p0"),
+            programs[0].as_bytes(),
+        ));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body_utf8().unwrap(), bodies[0]);
+        assert_eq!(
+            svc.counters.analyses.load(Ordering::Relaxed),
+            analyses_before + 1,
+            "p0 was evicted, so it re-analyzes"
+        );
+        // The freshest entries are still memoized.
+        let hits_before = svc.counters.response_cache_hits.load(Ordering::Relaxed);
+        let r = svc.handle(&request(
+            "POST",
+            "/analyze",
+            Some("lang=python&name=p7"),
+            programs[7].as_bytes(),
+        ));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body_utf8().unwrap(), bodies[7]);
+        assert_eq!(
+            svc.counters.response_cache_hits.load(Ordering::Relaxed),
+            hits_before + 1
+        );
     }
 
     #[test]

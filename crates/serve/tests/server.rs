@@ -234,7 +234,9 @@ fn store_directory_is_shared_warm_state_across_restarts() {
         "solutions persisted"
     );
 
-    // Warm replica sharing the same store: byte-identical answer, zero solves.
+    // Warm replica sharing the same store: byte-identical answer served
+    // straight from the persisted finished report — zero solves, zero
+    // front-half work.
     let server = start(config());
     let mut client = httpd::Client::connect(server.addr()).expect("connect");
     let warm = client.get("/analyze?kernel=bicg").expect("analyze");
@@ -243,13 +245,22 @@ fn store_directory_is_shared_warm_state_across_restarts() {
     let cache = stats.get("solve_cache").expect("solve_cache");
     assert!(
         cache
-            .get("store_hits")
+            .get("report_hits")
             .and_then(|x| x.as_i128())
             .unwrap_or(0)
             > 0,
-        "warm replica answered from the store: {stats:?}"
+        "warm replica answered from a persisted report: {stats:?}"
     );
     assert_eq!(cache.get("misses").and_then(|x| x.as_i128()), Some(0));
+    assert!(
+        stats
+            .get("store")
+            .and_then(|s| s.get("hydrated_reports"))
+            .and_then(|x| x.as_i128())
+            .unwrap_or(0)
+            > 0,
+        "report records hydrated at startup: {stats:?}"
+    );
     server.stop().expect("clean stop");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -30,11 +30,21 @@ fn warm_store_run_reproduces_the_committed_golden_bounds() {
         cache.flush_store().expect("flush succeeds");
     }
 
-    // Warm process: hydrate, re-analyze with zero solves.
+    // Warm process: hydrate, re-analyze with zero solves.  The whole suite
+    // is answered from persisted finished reports — the front half
+    // (enumerate / merge / instantiate) never runs, so the warm path is the
+    // report codec end to end.
     let cache = SolveCache::with_store(&dir).expect("store reopens");
     let warm = analyze_suite_with(&jobs, &cache);
     assert_eq!(warm.summary.cache.misses, 0, "{:?}", warm.summary.cache);
     assert_eq!(warm.summary.cache.uncacheable, 0);
+    assert_eq!(
+        warm.summary.cache.report_hits,
+        jobs.len() as u64,
+        "{:?}",
+        warm.summary.cache
+    );
+    assert_eq!(warm.summary.subgraphs_enumerated, 0);
 
     // Render the warm analyses in the exact format of the committed golden
     // file (see tests/registry_golden_bounds.rs, including its two header
