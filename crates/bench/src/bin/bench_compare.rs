@@ -23,6 +23,8 @@
 //! intra-snapshot relations (e.g. thread-scaling wins) on a freshly
 //! generated file with no committed counterpart.
 
+#![forbid(unsafe_code)]
+
 use serde_json::Value;
 
 fn median_ms(report: &Value, name: &str) -> Option<f64> {

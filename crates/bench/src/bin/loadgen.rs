@@ -21,6 +21,8 @@
 //! failed, so one CI step both generates the latency artifact and enforces
 //! the serving SLOs.
 
+#![forbid(unsafe_code)]
+
 use soap_bench::load::{run_load, LoadConfig};
 use std::cmp::Ordering;
 use std::time::Duration;
@@ -155,12 +157,7 @@ fn main() {
     if require_zero_5xx && report.status_5xx > 0 {
         failures.push(format!("{} 5xx response(s)", report.status_5xx));
     }
-    if require_dedup
-        && !matches!(
-            report.dedup_ratio.partial_cmp(&0.0),
-            Some(Ordering::Greater)
-        )
-    {
+    if require_dedup && soap_symbolic::nan_last(report.dedup_ratio, 0.0) != Ordering::Greater {
         failures.push(format!("dedup ratio {} is not > 0", report.dedup_ratio));
     }
     if require_store_hits && report.store_hits == 0 && report.report_hits == 0 {

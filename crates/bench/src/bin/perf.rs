@@ -11,6 +11,8 @@
 //! comparison that captures the before/after of the interning + bitset
 //! rewrite (the naive reference implements the seed's string-set algorithm).
 
+#![forbid(unsafe_code)]
+
 use serde_json::{json, Value};
 use soap_bench::fixtures::{chain_of_matmuls, dense_star, skewed_hub};
 use soap_bench::load::{run_load, LoadConfig};

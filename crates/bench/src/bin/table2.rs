@@ -11,6 +11,8 @@
 //! at the end — and written by `--suite-json` — shows how many structures
 //! were deduplicated *across* kernels.
 
+#![forbid(unsafe_code)]
+
 use soap_bench::{
     render_suite_summary, render_table, suite_summary_record, table2_suite, Table2Row,
 };

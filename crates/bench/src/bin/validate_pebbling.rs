@@ -6,6 +6,8 @@
 //! cargo run --release -p soap-bench --bin validate_pebbling
 //! ```
 
+#![forbid(unsafe_code)]
+
 use soap_bench::validation::{validate_kernel, ValidationCase};
 
 fn main() {

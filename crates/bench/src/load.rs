@@ -298,6 +298,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
                 let mut tally = WorkerTally::default();
                 let mut seq = warmup;
                 while !stop.load(Ordering::Relaxed) {
+                    // lint:allow(instant-now): the load harness measures wall-clock latency by design; reporting-only
                     let t = Instant::now();
                     let (status, retry_after) = issue(&mut client, &sources, worker, seq)
                         .map_err(|e| format!("worker {worker}: request failed: {e}"))?;
@@ -322,6 +323,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
         .collect();
 
     barrier.wait();
+    // lint:allow(instant-now): the load harness measures wall-clock latency by design; reporting-only
     let window = Instant::now();
     std::thread::sleep(config.duration);
     stop.store(true, Ordering::Relaxed);

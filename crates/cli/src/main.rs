@@ -28,6 +28,8 @@
 //! each distinct structure once ever.  `soap-cli cache <stat|list|clear> DIR`
 //! inspects or empties a store.
 
+#![forbid(unsafe_code)]
+
 use soap_baselines::sota_bound;
 use soap_frontend::{parse_c, parse_python};
 use soap_ir::Program;
@@ -101,7 +103,9 @@ fn usage() -> ! {
          SOAP_SERVE_HTTP_THREADS  daemon HTTP connection threads (see --http-threads)\n  \
          SOAP_SERVE_SLOTS         daemon concurrent analysis slots (see --slots)\n  \
          SOAP_SERVE_QUEUE         daemon admission queue capacity (see --queue)\n  \
-         SOAP_SERVE_MEMO_CAP      daemon memoized-response cache capacity (see --memo-cap)"
+         SOAP_SERVE_MEMO_CAP      daemon memoized-response cache capacity (see --memo-cap)\n  \
+         SOAP_DEBUG_KKT           print per-iteration KKT solver state to stderr (debug aid;\n                     \
+         output is unaffected)"
     );
     std::process::exit(2);
 }

@@ -147,6 +147,7 @@ impl Bencher {
     /// Time `routine`, collecting the configured number of samples.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         // Warm-up, which also yields a per-iteration estimate.
+        // lint:allow(instant-now): the benchmark harness measures wall-clock by design; reporting-only
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
         while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
@@ -158,6 +159,7 @@ impl Bencher {
         let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
         self.samples_ns.clear();
         for _ in 0..self.sample_size {
+            // lint:allow(instant-now): the benchmark harness measures wall-clock by design; reporting-only
             let t = Instant::now();
             for _ in 0..iters_per_sample {
                 black_box(routine());

@@ -219,6 +219,7 @@ impl Server {
     /// thread.  Idempotent.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // lint:allow(unwrap-expect): a poisoned thread-registry lock means a connection thread panicked; fail-stop is the policy
         let threads: Vec<_> = std::mem::take(&mut *self.threads.lock().expect("not poisoned"));
         // Accept loops block in `accept`; poke each one awake with a no-op
         // connection so they observe the flag without an accept timeout.

@@ -1,0 +1,83 @@
+//! # interleave
+//!
+//! An offline, dependency-free, loom-style **deterministic concurrency model
+//! checker** for the hand-rolled parallel core of this workspace (the
+//! `compat/rayon` worker pool, the sharded `SolveCache`, `InFlight`
+//! leader/follower coalescing, the serve `Gate`/`ResponseMemo`).
+//!
+//! ## What it does
+//!
+//! A *model* is a small closed concurrent program written against the shim
+//! primitives in [`sync`], [`atomic`] and [`thread`] (drop-in signatures for
+//! their `std::sync` counterparts).  [`Model::check`] runs the model over and
+//! over under a **controlled scheduler**: exactly one model thread executes
+//! at a time, and every visible operation (lock, unlock, condvar wait/notify,
+//! atomic access, spawn, join) is a *schedule point* where the scheduler
+//! chooses which thread runs next.  The sequence of choices IS the schedule,
+//! so every run is deterministic and replayable.
+//!
+//! Exploration is a **bounded depth-first search** over schedules (the same
+//! path-backtracking idea as loom): the first run takes choice 0 everywhere,
+//! then the last branch with an untried alternative is flipped, and so on,
+//! until the space is exhausted or a schedule cap is hit.  If the cap is hit
+//! first, a configurable number of **seeded pseudo-random schedules** follow
+//! so long tails still get probed.  Either way the number of schedules
+//! explored is bounded and reported.
+//!
+//! A model fails when a thread panics (assertion failures included), when no
+//! runnable thread remains while some are blocked (**deadlock** — this is how
+//! lost condvar wakeups surface), or when a run exceeds its step budget
+//! (livelock).  The failure report prints the exact schedule as a
+//! dot-separated choice string and a ready-to-paste
+//! `INTERLEAVE_REPLAY="model-name=0.1.2…"` incantation; replaying that string
+//! re-executes the failing interleaving deterministically — under a debugger,
+//! with added prints, whatever is needed.
+//!
+//! ## What it deliberately does not do
+//!
+//! * **Weak memory**: the shims are sequentially consistent.  The checker
+//!   explores *interleavings*, not relaxed-memory reorderings — the right
+//!   level for the invariants checked here (budget accounting, one-leader,
+//!   FIFO caps), which are all reasoned about at SC level in the real code.
+//! * **In-place instrumentation**: the real crates are not compiled against
+//!   the shims.  Invariants are *ported* into small closed models that
+//!   mirror the production locking protocols line for line; the model tests
+//!   live next to the crates they guard and each has a deliberately broken
+//!   "mutation twin" proving the checker would catch the real bug
+//!   (`docs/CORRECTNESS.md` has the catalogue).
+//!
+//! ## Rules for writing models
+//!
+//! * Construct every shim primitive **inside** the model closure (the closure
+//!   runs once per schedule; primitives register with the current run).
+//! * Don't `catch_unwind` inside a model — the checker aborts parked threads
+//!   by unwinding a private payload through them.
+//! * Every loop must cross a shim operation, or the step budget will call it
+//!   a livelock.
+//!
+//! ```
+//! use interleave::{atomic::AtomicUsize, thread, Model};
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! // Two racing fetch_adds always sum to 2 — exhaustively checked.
+//! let report = Model::new("doc-counter").check(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = thread::spawn(move || n2.fetch_add(1, Ordering::SeqCst));
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.exhaustive);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+mod model;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use model::{Failure, Model, Report};

@@ -1,0 +1,399 @@
+//! The explorer: bounded DFS over schedules, seeded-random fallback,
+//! replay-on-failure, and the stats surface CI uploads.
+
+use crate::sched::{
+    clear_ctx, panic_message, set_ctx, Aborted, Controller, Ctrl, Policy, Status, XorShift,
+};
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A found failing schedule.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (panic message, deadlock report, step budget).
+    pub message: String,
+    /// The decision string (`"0.1.2"`) that deterministically replays it.
+    pub schedule: String,
+}
+
+/// What one [`Model::check`] / [`Model::expect_failure`] exploration did.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Model name (the replay key).
+    pub name: String,
+    /// Schedules explored by the bounded DFS.
+    pub dfs_schedules: usize,
+    /// Seeded-random schedules run after the DFS cap (0 if DFS finished).
+    pub random_schedules: usize,
+    /// True when the DFS exhausted the whole schedule space.
+    pub exhaustive: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+}
+
+/// One run's outcome, private to the explorer.
+struct RunOutcome {
+    failure: Option<String>,
+    decisions: Vec<u8>,
+    options: Vec<u8>,
+}
+
+/// A named model plus exploration budgets.
+///
+/// Defaults are sized so a handful of models stay well under a minute in CI:
+/// 4096 DFS schedules, then 512 random schedules, 20 000 scheduler steps per
+/// run.  Raise per model when the state space warrants it.
+pub struct Model {
+    name: String,
+    max_dfs_schedules: usize,
+    max_random_schedules: usize,
+    max_steps: usize,
+    seed: u64,
+}
+
+impl Model {
+    /// A model with default budgets.  `name` keys replay
+    /// (`INTERLEAVE_REPLAY="name=0.1.2"`) and the stats file, so keep it
+    /// unique per test binary.
+    pub fn new(name: &str) -> Model {
+        Model {
+            name: name.to_string(),
+            max_dfs_schedules: 4096,
+            max_random_schedules: 512,
+            max_steps: 20_000,
+            seed: 0x5eed_1e1d_5eed_1e1d,
+        }
+    }
+
+    /// Cap the bounded DFS at `n` schedules.
+    pub fn max_dfs_schedules(mut self, n: usize) -> Model {
+        self.max_dfs_schedules = n;
+        self
+    }
+
+    /// Run `n` seeded-random schedules after a capped (non-exhaustive) DFS.
+    pub fn max_random_schedules(mut self, n: usize) -> Model {
+        self.max_random_schedules = n;
+        self
+    }
+
+    /// Seed for the random fallback (replay is decision-based, so the seed
+    /// only shapes *which* tail schedules get probed).
+    pub fn seed(mut self, seed: u64) -> Model {
+        self.seed = seed;
+        self
+    }
+
+    /// Explore and **panic on failure**, printing the failing schedule and
+    /// a ready-to-paste `INTERLEAVE_REPLAY` incantation.  This is the entry
+    /// point for checking the *correct* variant of an invariant.
+    pub fn check<F>(self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let report = self.explore(f);
+        if let Some(failure) = &report.failure {
+            panic!(
+                "interleave: model '{}' failed: {}\n  schedule: {} ({} decisions)\n  replay: INTERLEAVE_REPLAY=\"{}={}\" cargo test -- {}\n",
+                report.name,
+                failure.message,
+                failure.schedule,
+                failure.schedule.split('.').count(),
+                report.name,
+                failure.schedule,
+                report.name,
+            );
+        }
+        report
+    }
+
+    /// Explore and **panic if no failure is found** — the mutation-twin
+    /// entry point: a deliberately broken variant must be caught, otherwise
+    /// the checker's pass on the correct variant is vacuous.  The found
+    /// schedule is replayed once to prove the failure is deterministic.
+    pub fn expect_failure<F>(self, f: F) -> Failure
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let name = self.name.clone();
+        let max_steps = self.max_steps;
+        let f = Arc::new(f);
+        let report = self.explore_arc(Arc::clone(&f));
+        let Some(failure) = report.failure else {
+            panic!(
+                "interleave: model '{name}' was expected to fail (seeded mutation) but {} DFS + {} random schedules all passed{}",
+                report.dfs_schedules,
+                report.random_schedules,
+                if report.exhaustive { " (exhaustive)" } else { "" },
+            );
+        };
+        // Replay must reproduce the failure deterministically.
+        let forced = parse_schedule(&failure.schedule)
+            // lint:allow(unwrap-expect): schedule strings are produced by this module; a parse failure is a checker bug worth a loud panic
+            .expect("self-produced schedule strings always parse");
+        let replayed = run_once(forced, Policy::Leftmost, max_steps, Arc::clone(&f));
+        assert!(
+            replayed.failure.is_some(),
+            "interleave: model '{name}': schedule {} failed once but passed on replay — model is not deterministic given the schedule",
+            failure.schedule,
+        );
+        failure
+    }
+
+    /// Explore without panicking; inspect the [`Report`] yourself.
+    pub fn explore<F>(self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.explore_arc(Arc::new(f))
+    }
+
+    fn explore_arc<F>(self, f: Arc<F>) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut report = Report {
+            name: self.name.clone(),
+            dfs_schedules: 0,
+            random_schedules: 0,
+            exhaustive: false,
+            failure: None,
+        };
+
+        // Replay mode: run exactly the requested schedule, nothing else.
+        if let Some(forced) = replay_request(&self.name) {
+            let outcome = run_once(forced, Policy::Leftmost, self.max_steps, f);
+            report.dfs_schedules = 1;
+            report.failure = outcome.failure.map(|message| Failure {
+                message,
+                schedule: schedule_string(&outcome.decisions),
+            });
+            self.finish(report.clone());
+            return report;
+        }
+
+        // Phase 1: bounded DFS (loom-style path backtracking).
+        let mut prefix: Vec<u8> = Vec::new();
+        loop {
+            if report.dfs_schedules >= self.max_dfs_schedules {
+                break;
+            }
+            let outcome = run_once(
+                prefix.clone(),
+                Policy::Leftmost,
+                self.max_steps,
+                Arc::clone(&f),
+            );
+            report.dfs_schedules += 1;
+            if let Some(message) = outcome.failure {
+                report.failure = Some(Failure {
+                    message,
+                    schedule: schedule_string(&outcome.decisions),
+                });
+                self.finish(report.clone());
+                return report;
+            }
+            match next_prefix(&outcome.decisions, &outcome.options) {
+                Some(next) => prefix = next,
+                None => {
+                    report.exhaustive = true;
+                    self.finish(report.clone());
+                    return report;
+                }
+            }
+        }
+
+        // Phase 2: seeded-random fallback over the unexplored tail.
+        for i in 0..self.max_random_schedules {
+            let seed = self
+                .seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let outcome = run_once(
+                Vec::new(),
+                Policy::Random(XorShift(seed)),
+                self.max_steps,
+                Arc::clone(&f),
+            );
+            report.random_schedules += 1;
+            if let Some(message) = outcome.failure {
+                report.failure = Some(Failure {
+                    message,
+                    schedule: schedule_string(&outcome.decisions),
+                });
+                break;
+            }
+        }
+        self.finish(report.clone());
+        report
+    }
+
+    /// Emit the stats line CI collects (`INTERLEAVE_STATS_FILE`).
+    fn finish(&self, report: Report) {
+        let Ok(path) = std::env::var("INTERLEAVE_STATS_FILE") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let line = format!(
+            "{} dfs={} random={} exhaustive={} result={}\n",
+            report.name,
+            report.dfs_schedules,
+            report.random_schedules,
+            report.exhaustive,
+            if report.failure.is_some() {
+                "fail"
+            } else {
+                "pass"
+            },
+        );
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// `INTERLEAVE_REPLAY="model-name=0.1.2"` → the forced schedule for that
+/// model (other models explore normally).
+fn replay_request(name: &str) -> Option<Vec<u8>> {
+    let raw = std::env::var("INTERLEAVE_REPLAY").ok()?;
+    let (req_name, sched) = raw.split_once('=')?;
+    if req_name != name {
+        return None;
+    }
+    parse_schedule(sched)
+}
+
+fn parse_schedule(s: &str) -> Option<Vec<u8>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split('.').map(|tok| tok.parse::<u8>().ok()).collect()
+}
+
+fn schedule_string(decisions: &[u8]) -> String {
+    decisions
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// DFS backtracking: the deepest decision with an untried alternative is
+/// bumped; everything after it is released to leftmost descent.
+fn next_prefix(decisions: &[u8], options: &[u8]) -> Option<Vec<u8>> {
+    for i in (0..decisions.len()).rev() {
+        if decisions[i] + 1 < options[i] {
+            let mut prefix = decisions[..i].to_vec();
+            prefix.push(decisions[i] + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Execute the model once under the given schedule policy.
+fn run_once<F>(forced: Vec<u8>, policy: Policy, max_steps: usize, f: Arc<F>) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let ctrl = Arc::new(Controller::new(forced, policy));
+    // Register the root model thread (tid 0) before it exists so the
+    // scheduler's first pick has something to choose.
+    ctrl.register_thread();
+    let root_ctrl = Arc::clone(&ctrl);
+    let root = std::thread::spawn(move || {
+        set_ctx(Arc::clone(&root_ctrl), 0);
+        {
+            let st = root_ctrl.lock_st();
+            let st = root_ctrl.wait_for_turn(st, 0);
+            drop(st);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| f()));
+        let panic_msg = match outcome {
+            Ok(()) => None,
+            Err(payload) if payload.is::<Aborted>() => None,
+            Err(payload) => Some(panic_message(payload.as_ref())),
+        };
+        root_ctrl.thread_finished(0, panic_msg);
+        clear_ctx();
+    });
+
+    // The scheduler loop: wait for quiescence, pick the next runnable
+    // thread, repeat until everything finished or something went wrong.
+    let mut steps = 0usize;
+    let (failure, decisions, options) = loop {
+        let mut st = ctrl.lock_st();
+        while st.active.is_some() && !st.abort {
+            st = ctrl.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.failure.is_some() || st.abort {
+            st.abort = true;
+            ctrl.cv.notify_all();
+            break (st.failure.clone(), st.decisions.clone(), st.options.clone());
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|s| *s == Status::Finished) {
+                break (None, st.decisions.clone(), st.options.clone());
+            }
+            let blocked = describe_blocked(&st);
+            st.failure = Some(format!("deadlock: no runnable thread; {blocked}"));
+            st.abort = true;
+            ctrl.cv.notify_all();
+            break (st.failure.clone(), st.decisions.clone(), st.options.clone());
+        }
+        steps += 1;
+        if steps > max_steps {
+            st.failure = Some(format!(
+                "step budget exceeded ({max_steps} scheduler steps): livelock, or raise the budget"
+            ));
+            st.abort = true;
+            ctrl.cv.notify_all();
+            break (st.failure.clone(), st.decisions.clone(), st.options.clone());
+        }
+        let choice = st.decide(runnable.len());
+        st.active = Some(runnable[choice]);
+        ctrl.cv.notify_all();
+    };
+
+    // Teardown: every model thread either finished or unwinds via Aborted.
+    let handles = std::mem::take(&mut *ctrl.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let _ = root.join();
+    RunOutcome {
+        failure,
+        decisions,
+        options,
+    }
+}
+
+fn describe_blocked(st: &Ctrl) -> String {
+    let parts: Vec<String> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s != Status::Finished)
+        .map(|(t, s)| match s {
+            Status::BlockedLock(l) => format!("thread {t} blocked on lock {l}"),
+            Status::BlockedCv(c) => format!("thread {t} parked on condvar {c} (lost wakeup?)"),
+            Status::BlockedJoin(j) => format!("thread {t} joining thread {j}"),
+            Status::Runnable | Status::Finished => format!("thread {t} {s:?}"),
+        })
+        .collect();
+    parts.join(", ")
+}

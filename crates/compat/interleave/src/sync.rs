@@ -1,0 +1,108 @@
+//! Shimmed `Mutex` and `Condvar`: drop-in signatures for their `std::sync`
+//! counterparts, with every acquire/release/wait/notify a schedule point.
+
+use crate::sched::with_ctx;
+use std::ops::{Deref, DerefMut};
+
+/// A model-checked mutex.  Construct inside the model closure only.
+pub struct Mutex<T> {
+    id: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Register a new lock with the current model run.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: with_ctx(|ctrl, _| ctrl.register_lock()),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, parking while another model thread holds it.
+    /// Infallible (the model scheduler recovers poisoning), so call sites
+    /// port from `lock().expect(..)` unchanged via `lock()`.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        with_ctx(|ctrl, me| ctrl.lock_acquire(me, self.id));
+        MutexGuard {
+            lock: self,
+            // Uncontended by construction: the model scheduler serialized us.
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases (and yields) on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // lint:allow(unwrap-expect): the guard owns the value until drop; absence would be a shim invariant violation
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // lint:allow(unwrap-expect): the guard owns the value until drop; absence would be a shim invariant violation
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(real) = self.inner.take() {
+            drop(real);
+            with_ctx(|ctrl, me| ctrl.lock_release(me, self.lock.id));
+        }
+    }
+}
+
+/// A model-checked condition variable.
+///
+/// `notify_one` wakes a *scheduler-chosen* waiter, so every possible wake
+/// order is explored; a waiter that is never woken parks forever and
+/// surfaces as a deadlock failure — which is exactly how lost-wakeup bugs
+/// are detected.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// Register a new condvar with the current model run.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Condvar {
+        Condvar {
+            id: with_ctx(|ctrl, _| ctrl.register_cv()),
+        }
+    }
+
+    /// Release the guard's lock, park until notified, reacquire, return the
+    /// new guard.  Infallible, mirroring [`Mutex::lock`].
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        // Drop the real guard but NOT the model lock: cv_wait releases the
+        // model lock atomically with parking (no missed-notify window).
+        drop(guard.inner.take());
+        let lock_id = lock.id;
+        drop(guard); // inner is None, so this releases nothing
+        let cv_id = self.id;
+        with_ctx(|ctrl, me| ctrl.cv_wait(me, cv_id, lock_id));
+        // Woken: compete for the lock like a real condvar waiter.
+        lock.lock()
+    }
+
+    /// Wake one waiter (scheduler-chosen among the parked set).
+    pub fn notify_one(&self) {
+        with_ctx(|ctrl, me| ctrl.cv_notify_one(me, self.id));
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        with_ctx(|ctrl, me| ctrl.cv_notify_all(me, self.id));
+    }
+}

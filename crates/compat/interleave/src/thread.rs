@@ -1,0 +1,74 @@
+//! Shimmed threads: `spawn`/`join` with registration under the model
+//! scheduler.  Model threads are real OS threads, but only the one holding
+//! the scheduler baton executes at any moment.
+
+use crate::sched::{panic_message, set_ctx, with_ctx, Aborted};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Spawn a model thread.  A schedule point: the child may run before the
+/// parent continues.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (ctrl, me) = with_ctx(|ctrl, tid| (Arc::clone(ctrl), tid));
+    let tid = ctrl.register_thread();
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let child_slot = Arc::clone(&slot);
+    let child_ctrl = Arc::clone(&ctrl);
+    let os = std::thread::spawn(move || {
+        set_ctx(Arc::clone(&child_ctrl), tid);
+        // Park until first scheduled.
+        {
+            let st = child_ctrl.lock_st();
+            let st = child_ctrl.wait_for_turn(st, tid);
+            drop(st);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(f));
+        let panic_msg = match outcome {
+            Ok(value) => {
+                *child_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                None
+            }
+            Err(payload) if payload.is::<Aborted>() => None,
+            Err(payload) => Some(panic_message(payload.as_ref())),
+        };
+        child_ctrl.thread_finished(tid, panic_msg);
+    });
+    ctrl.os_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(os);
+    ctrl.step(me);
+    JoinHandle { tid, slot }
+}
+
+/// Yield the baton: a plain schedule point, like `std::thread::yield_now`.
+pub fn yield_now() {
+    with_ctx(|ctrl, me| ctrl.step(me));
+}
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Park until the thread finishes, then take its return value.
+    ///
+    /// Unlike `std`, this returns `T` directly: a panicking model thread
+    /// fails the whole run before any joiner resumes, so the error arm
+    /// would be unreachable.
+    pub fn join(self) -> T {
+        with_ctx(|ctrl, me| ctrl.join_wait(me, self.tid));
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            // lint:allow(unwrap-expect): a model thread that finished without storing a value already failed the run
+            .expect("joined thread finished without a value")
+    }
+}

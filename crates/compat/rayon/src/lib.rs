@@ -133,9 +133,17 @@ fn reserve_extra(want: usize) -> usize {
     granted
 }
 
-/// Return `n` extra workers to the pool, clamped so a concurrent
-/// [`set_worker_budget`] shrink can never leave more idle workers than the
-/// budget allows.
+/// Return `n` extra workers to the pool, clamped to the budget cap so
+/// releases cannot compound the idle count past any budget they observed.
+///
+/// The cap is read *before* the `fetch_update`, so a concurrent
+/// [`set_worker_budget`] shrink landing between the two can transiently
+/// leave `idle_extra = old_budget - 1`; the next reserve/release cycle
+/// re-clamps it (model-checked: see
+/// `tests/interleave_pool.rs::release_clamp_bounded_by_largest_observed_budget`
+/// and docs/CORRECTNESS.md).  Idle extras never exceed
+/// `max(budgets observed) - 1`, so the pool still cannot oversubscribe
+/// relative to any configured budget.
 fn release_extra(n: usize) {
     if n == 0 {
         return;

@@ -1,0 +1,297 @@
+//! Model-checked invariants of the worker-budget pool and the
+//! smallest-index panic discipline (see `src/lib.rs`: `reserve_extra`,
+//! `release_extra`, `run_self_scheduled`).
+//!
+//! Each invariant comes in two flavours: the faithful port of the production
+//! protocol, which must pass every explored schedule, and a deliberately
+//! broken **mutation twin** that reintroduces the bug class the protocol
+//! guards against — the checker must find a failing schedule for it, or the
+//! pass on the correct variant would be vacuous.
+
+use interleave::atomic::AtomicUsize;
+use interleave::{thread, Model};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The production pool protocol, ported shim-for-shim from
+/// `rayon::{reserve_extra, release_extra, set_worker_budget}`.
+struct PoolModel {
+    budget: AtomicUsize,
+    idle_extra: AtomicUsize,
+}
+
+impl PoolModel {
+    fn new(budget: usize) -> PoolModel {
+        PoolModel {
+            budget: AtomicUsize::new(budget),
+            idle_extra: AtomicUsize::new(budget - 1),
+        }
+    }
+
+    /// Faithful port: one atomic `fetch_update` claims the whole grant.
+    fn reserve_extra(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut granted = 0;
+        let _ = self
+            .idle_extra
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |avail| {
+                granted = avail.min(want);
+                Some(avail - granted)
+            });
+        granted
+    }
+
+    /// MUTATION: the pre-PR6 bug class — a load/store pair instead of one
+    /// atomic update, so two concurrent reservers can both see the same
+    /// `avail` and oversubscribe the pool.
+    fn reserve_extra_torn(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let avail = self.idle_extra.load(Ordering::Relaxed);
+        let granted = avail.min(want);
+        self.idle_extra.store(avail - granted, Ordering::Relaxed);
+        granted
+    }
+
+    /// Faithful port: return clamps to `budget - 1` so a concurrent budget
+    /// shrink can never leave more idle workers than the budget allows.
+    fn release_extra(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let cap = self.budget.load(Ordering::Relaxed).saturating_sub(1);
+        let _ = self
+            .idle_extra
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |avail| {
+                Some((avail + n).min(cap))
+            });
+    }
+
+    /// MUTATION: release without the budget clamp.
+    fn release_extra_unclamped(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let _ = self
+            .idle_extra
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |avail| {
+                Some(avail + n)
+            });
+    }
+
+    /// Faithful port of `set_worker_budget`.
+    fn set_budget(&self, n: usize) {
+        self.budget.swap(n, Ordering::Relaxed);
+        self.idle_extra.store(n - 1, Ordering::Relaxed);
+    }
+}
+
+/// Invariant: with budget B, the extras granted to concurrent reservers
+/// never total more than B−1 — the pool cannot oversubscribe — and every
+/// grant is returned at quiescence.
+#[test]
+fn reserve_never_oversubscribes() {
+    const BUDGET: usize = 3;
+    let report = Model::new("rayon-reserve-no-oversubscribe")
+        .max_dfs_schedules(200_000)
+        .check(|| {
+            let pool = Arc::new(PoolModel::new(BUDGET));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    thread::spawn(move || pool.reserve_extra(2))
+                })
+                .collect();
+            let grants: Vec<usize> = workers.into_iter().map(|w| w.join()).collect();
+            let total: usize = grants.iter().sum();
+            assert!(
+                total < BUDGET,
+                "oversubscribed: {total} extras granted with budget {BUDGET}"
+            );
+            assert_eq!(
+                pool.idle_extra.load(Ordering::SeqCst),
+                BUDGET - 1 - total,
+                "grants and idle extras must reconcile"
+            );
+            pool.release_extra(total);
+            // Quiescence: everything returned, nothing lost.
+            assert_eq!(pool.idle_extra.load(Ordering::SeqCst), BUDGET - 1);
+        });
+    assert!(
+        report.exhaustive,
+        "small model must be fully explored: {report:?}"
+    );
+}
+
+/// Mutation twin: the torn load/store reserve must be caught oversubscribing.
+#[test]
+fn torn_reserve_is_caught() {
+    const BUDGET: usize = 3;
+    let failure = Model::new("rayon-reserve-torn-MUTATION").expect_failure(|| {
+        let pool = Arc::new(PoolModel::new(BUDGET));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || pool.reserve_extra_torn(2))
+            })
+            .collect();
+        let grants: Vec<usize> = workers.into_iter().map(|w| w.join()).collect();
+        let total: usize = grants.iter().sum();
+        assert!(
+            total < BUDGET,
+            "oversubscribed: {total} extras granted with budget {BUDGET}"
+        );
+    });
+    assert!(failure.message.contains("oversubscribed"), "{failure:?}");
+}
+
+/// Invariant: a release racing a budget *shrink* is bounded by the largest
+/// budget either side observed — `idle_extra <= max(old, new) - 1` at
+/// quiescence, whichever side wins the race.
+///
+/// Note the invariant is deliberately NOT `idle <= new_budget - 1`: the
+/// checker found a real (benign, self-healing) race in the production
+/// protocol — `release_extra` reads its cap *before* the `fetch_update`, so
+/// a shrink landing between the two leaves `idle = old_budget - 1` until the
+/// next reserve/release cycle re-clamps it.  The stronger claim fails on
+/// schedule `0.0.0.0.0.0.0.1.1.1.0.0.0.0.0`; see docs/CORRECTNESS.md.
+#[test]
+fn release_clamp_bounded_by_largest_observed_budget() {
+    const OLD: usize = 3;
+    const NEW: usize = 2;
+    let report = Model::new("rayon-release-clamp")
+        .max_dfs_schedules(200_000)
+        .check(|| {
+            let pool = Arc::new(PoolModel::new(OLD));
+            let holder = {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    let got = pool.reserve_extra(2);
+                    pool.release_extra(got);
+                })
+            };
+            let shrinker = {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || pool.set_budget(NEW))
+            };
+            holder.join();
+            shrinker.join();
+            let idle = pool.idle_extra.load(Ordering::SeqCst);
+            let cap = OLD.max(NEW) - 1;
+            assert!(
+                idle <= cap,
+                "idle extras {idle} exceed every observed budget cap {cap}"
+            );
+        });
+    assert!(report.exhaustive, "{report:?}");
+}
+
+/// Mutation twin: the unclamped release must be caught compounding past even
+/// the largest observed budget (the shrink hands back `new - 1` idle extras,
+/// then the unclamped release adds its full grant on top).
+#[test]
+fn unclamped_release_is_caught() {
+    const OLD: usize = 3;
+    const NEW: usize = 2;
+    let failure = Model::new("rayon-release-unclamped-MUTATION").expect_failure(|| {
+        let pool = Arc::new(PoolModel::new(OLD));
+        let holder = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                let got = pool.reserve_extra(2);
+                pool.release_extra_unclamped(got);
+            })
+        };
+        let shrinker = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.set_budget(NEW))
+        };
+        holder.join();
+        shrinker.join();
+        let idle = pool.idle_extra.load(Ordering::SeqCst);
+        let cap = OLD.max(NEW) - 1;
+        assert!(
+            idle <= cap,
+            "idle extras {idle} exceed every observed budget cap {cap}"
+        );
+    });
+    assert!(
+        failure.message.contains("exceed every observed"),
+        "{failure:?}"
+    );
+}
+
+/// The panic-discipline model: workers self-schedule items off a shared
+/// atomic index, "panics" are recorded as poisoned outcomes, and the
+/// collector must surface the **smallest** poisoned index — the payload a
+/// sequential run would have hit first — regardless of which worker finished
+/// first (ported from `run_self_scheduled`'s slot collection).
+fn panic_discipline_model(pick_first_completed: bool) {
+    const ITEMS: usize = 2;
+    const POISONED: [bool; ITEMS] = [true, true]; // both items panic
+    let next = Arc::new(AtomicUsize::new(0));
+    // Completion-order sequence number per item — the order is
+    // schedule-dependent, which is exactly what the collector must not
+    // depend on.
+    let order_ctr = Arc::new(AtomicUsize::new(0));
+    let order: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..ITEMS).map(|_| AtomicUsize::new(usize::MAX)).collect());
+    let workers: Vec<_> = (0..ITEMS)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let order_ctr = Arc::clone(&order_ctr);
+            let order = Arc::clone(&order);
+            // One self-scheduled claim per worker: which item a worker gets
+            // and the completion order are both schedule-dependent.
+            thread::spawn(move || {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let seq = order_ctr.fetch_add(1, Ordering::SeqCst);
+                order[i].store(seq, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join();
+    }
+    let seqs: Vec<usize> = order.iter().map(|s| s.load(Ordering::SeqCst)).collect();
+    assert!(
+        seqs.iter().all(|&s| s != usize::MAX),
+        "every item ran exactly once"
+    );
+    let surfaced = if pick_first_completed {
+        // MUTATION: surface the first panic in completion order (the old
+        // pre-PR6 `join().expect(..)` shape): schedule-dependent.
+        (0..ITEMS).filter(|&i| POISONED[i]).min_by_key(|&i| seqs[i])
+    } else {
+        // Faithful port: the smallest poisoned index wins.
+        (0..ITEMS).find(|&i| POISONED[i])
+    };
+    assert_eq!(
+        surfaced,
+        Some(0),
+        "resumed panic must be the smallest poisoned index (sequential-equivalent)"
+    );
+}
+
+/// Invariant: the surfaced panic index is 1 on every schedule.
+#[test]
+fn panic_resumes_smallest_index() {
+    let report = Model::new("rayon-panic-smallest-index")
+        .max_dfs_schedules(200_000)
+        .check(|| panic_discipline_model(false));
+    assert!(report.exhaustive, "{report:?}");
+}
+
+/// Mutation twin: completion-order panic selection must be caught.
+#[test]
+fn completion_order_panic_is_caught() {
+    let failure = Model::new("rayon-panic-completion-order-MUTATION")
+        .expect_failure(|| panic_discipline_model(true));
+    assert!(
+        failure.message.contains("smallest poisoned index"),
+        "{failure:?}"
+    );
+}

@@ -231,6 +231,7 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let key = self.parse_string()?;
                     self.skip_ws();
+                    // lint:allow(unwrap-expect): this is the parser's own expect(byte) helper returning Result, not Option::expect
                     self.expect(b':')?;
                     self.skip_ws();
                     let val = self.parse_value()?;
@@ -260,6 +261,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, DeError> {
+        // lint:allow(unwrap-expect): this is the parser's own expect(byte) helper returning Result, not Option::expect
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -302,6 +304,7 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 code point.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| DeError::msg("invalid UTF-8"))?;
+                    // lint:allow(unwrap-expect): the peek above guarantees the remainder is non-empty
                     let c = rest.chars().next().expect("non-empty by peek");
                     out.push(c);
                     self.pos += c.len_utf8();

@@ -33,6 +33,7 @@ pub fn dimension_extent(component: &AccessComponent, dim: usize, assume_injectiv
                 Expr::product(exprs)
             } else {
                 let mut it = exprs;
+                // lint:allow(unwrap-expect): this branch only runs with two or more variables, checked just above
                 let first = it.next().expect("at least two variables");
                 it.fold(first, |a, b| a.max(b))
             }

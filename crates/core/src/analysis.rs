@@ -198,6 +198,7 @@ pub(crate) fn build_dominator(
             ));
             pure_products = false;
             let mut it = group_sizes.into_iter();
+            // lint:allow(unwrap-expect): grouping a non-empty input always yields at least one group
             let (first, set, _) = it.next().expect("at least one group");
             let combined = it.fold(first, |acc, (e, _, _)| acc.max(e));
             index_sets.push(set);

@@ -232,6 +232,7 @@ fn solve_model_inner(
     // with coefficient 1/2), while the two-point ratio cancels the constant
     // exactly and costs no extra solve.
     let x_probe = 1.0e8;
+    // lint:allow(unwrap-expect): POWER_LAW_PROBES is a non-empty const table
     let x_fit = *POWER_LAW_PROBES.last().expect("probes are non-empty");
     let (sol, probe_info) = problem
         .solve_seeded_governed(x_probe, Some(&fit_extents), deadline)

@@ -15,6 +15,7 @@
 //! (`ρ → 1`), and the number of per-element arrays read and written gives the
 //! paper's `22·numElem` leading term.
 
+// lint:allow-file(unwrap-expect): kernel definitions are static tables; an invalid program is an authoring bug caught by tier-1 tests, not a runtime condition
 use soap_ir::{Program, ProgramBuilder, StatementBuilder};
 
 /// A per-element statement `out[e] = f(inputs[e]...)` over `numElem` elements.

@@ -16,6 +16,7 @@
 //! Parameter names follow Polybench (`N`, `M`, `TSTEPS`, `NI`, `NJ`, …), with
 //! `TSTEPS` shortened to `T`.
 
+// lint:allow-file(unwrap-expect): kernel definitions are static tables; an invalid program is an authoring bug caught by tier-1 tests, not a runtime condition
 use soap_ir::{Program, ProgramBuilder};
 
 /// `gemm`: `C[i,j] += A[i,k]·B[k,j]` over `NI × NJ × NK`.

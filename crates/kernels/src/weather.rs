@@ -10,6 +10,7 @@
 //!   along the vertical dimension with first-order recurrences in `k`:
 //!   5 statements over `I × J × K`.
 
+// lint:allow-file(unwrap-expect): kernel definitions are static tables; an invalid program is an authoring bug caught by tier-1 tests, not a runtime condition
 use soap_ir::{Program, ProgramBuilder};
 
 /// Horizontal diffusion: `lap`, `flx`, `fly`, `out` over an `I × J × K` grid.

@@ -205,6 +205,7 @@ fn build_statement(
         }
         let out_index = st.output.components[0]
             .eval(&bindings)
+            // lint:allow(unwrap-expect): output subscripts were validated when the CDAG was built
             .expect("output subscripts evaluate under loop bindings");
         if st.is_update {
             // The previous version of the output element is also an operand.

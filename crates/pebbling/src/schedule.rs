@@ -160,6 +160,7 @@ fn make_room(
         for v in red.iter() {
             heap.push((next_use(v), v));
         }
+        // lint:allow(unwrap-expect): the loop guard ensures the red set is non-empty
         let (next, victim) = heap.pop().expect("red set is non-empty");
         let needed_later = next != usize::MAX;
         let is_output = outputs.contains(victim);

@@ -291,6 +291,7 @@ pub fn analyze_program_governed(
     }
     let plan = crate::faults::active_plan();
     let mut notes = Vec::new();
+    // lint:allow(instant-now): phase timings are perf metadata on the report; bound computation never depends on them
     let enumerate_start = Instant::now();
     let sdg = Sdg::from_program(program);
     let enumeration = enumerate_connected_subgraphs_governed(
@@ -355,10 +356,12 @@ pub fn analyze_program_governed(
                         "injected fault-plan panic (program {program_name}, subgraph {arrays:?})"
                     );
                 }
+                // lint:allow(instant-now): phase timings are perf metadata on the report; bound computation never depends on them
                 let merge_start = Instant::now();
                 let merged = merged_model(program, arrays, &core_opts);
                 merge_ns.fetch_add(crate::cache::elapsed_ns(merge_start), Ordering::Relaxed);
                 let model = merged.map_err(SubgraphFailure::Merge)?;
+                // lint:allow(instant-now): phase timings are perf metadata on the report; bound computation never depends on them
                 let solve_start = Instant::now();
                 let solved = session.solve(&model);
                 solve_call_ns.fetch_add(crate::cache::elapsed_ns(solve_start), Ordering::Relaxed);
@@ -493,6 +496,7 @@ pub fn analyze_program_governed(
         let best = candidates
             .iter()
             .max_by(|a, b| nan_last(a.rho_ref, b.rho_ref))
+            // lint:allow(unwrap-expect): candidate enumeration always yields at least the trivial subgraph
             .expect("non-empty candidates");
         let vertex_count = program.vertex_count_of(&array);
         let leading = vertex_count.leading_terms(&params).to_expr();

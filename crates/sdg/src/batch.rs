@@ -243,11 +243,13 @@ fn analyze_suite_inner(
 ) -> BatchAnalysis {
     let (report_names, duplicate_names) = disambiguated_names(jobs);
     let stats_before = cache.stats();
+    // lint:allow(instant-now): suite deadline bookkeeping: wall-clock anchors the governed time budget
     let suite_start = Instant::now();
     let work: Vec<(&SuiteProgram, &String)> = jobs.iter().zip(report_names.iter()).collect();
     let reports: Vec<ProgramReport> = work
         .par_iter()
         .map(|&(job, name)| {
+            // lint:allow(instant-now): per-program deadline bookkeeping: wall-clock anchors the governed time budget
             let start = Instant::now();
             let outcome = catch_outcome(|| analyze(job));
             ProgramReport {

@@ -712,6 +712,7 @@ impl SolveCache {
             persisted.insert(key.clone());
             cache.shards[shard]
                 .lock()
+                // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
                 .expect("cache poisoned")
                 .insert(key, cell);
         }
@@ -748,6 +749,7 @@ impl SolveCache {
         let report = layer
             .reports
             .lock()
+            // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
             .expect("report state poisoned")
             .get(&key)
             .cloned()?;
@@ -772,6 +774,7 @@ impl SolveCache {
         layer
             .reports
             .lock()
+            // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
             .expect("report state poisoned")
             .entry(key)
             .or_insert_with(|| Arc::new(report));
@@ -814,8 +817,10 @@ impl SolveCache {
         // harmless under last-writer-wins (the records are identical).
         let mut fresh: Vec<crate::store::StoreEntry> = Vec::new();
         {
+            // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
             let persisted = layer.persisted.lock().expect("store state poisoned");
             for shard in &self.shards {
+                // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
                 let map = shard.lock().expect("cache poisoned");
                 for (key, cell) in map.iter() {
                     if let Some((scope, solution)) = cell.get() {
@@ -835,10 +840,12 @@ impl SolveCache {
             let persisted = layer
                 .persisted_reports
                 .lock()
+                // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
                 .expect("report state poisoned");
             layer
                 .reports
                 .lock()
+                // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
                 .expect("report state poisoned")
                 .iter()
                 .filter(|(key, _)| !persisted.contains(key))
@@ -863,6 +870,7 @@ impl SolveCache {
             let segment = layer.store.append(&refs)?;
             drop(refs);
             let appended = fresh.len();
+            // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
             let mut persisted = layer.persisted.lock().expect("store state poisoned");
             for (key, _) in fresh {
                 persisted.insert(key);
@@ -880,6 +888,7 @@ impl SolveCache {
             let mut persisted = layer
                 .persisted_reports
                 .lock()
+                // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
                 .expect("report state poisoned");
             for (key, _) in &fresh_reports {
                 persisted.insert(*key);
@@ -966,6 +975,7 @@ impl SolveCache {
     ) -> Result<IntensityResult, AnalysisError> {
         let Some(canon) = canonicalize(model) else {
             self.bump(local, |c| &c.uncacheable, 1);
+            // lint:allow(instant-now): solve timing is perf metadata on the report; bound computation never depends on it
             let solve_start = std::time::Instant::now();
             let (solved, info) = solve_model_instrumented_governed(model, deadline);
             self.bump(local, |c| &c.solve_ns, elapsed_ns(solve_start));
@@ -993,6 +1003,7 @@ impl SolveCache {
             let cell = {
                 let mut map = self.shards[self.shard_of(&key)]
                     .lock()
+                    // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
                     .expect("cache poisoned");
                 if let Some(cell) = map.get(&key) {
                     Arc::clone(cell)
@@ -1008,6 +1019,7 @@ impl SolveCache {
             let mut panicked: Option<String> = None;
             let (solver_scope, cached) = cell.get_or_init(|| {
                 solved_here = true;
+                // lint:allow(instant-now): solve timing is perf metadata on the report; bound computation never depends on it
                 let solve_start = std::time::Instant::now();
                 let canonical_model = canonical_access_model(&key);
                 let (compiled_objective, compiled_dominator) = canonical_compiled_forms(&key);
@@ -1074,6 +1086,7 @@ impl SolveCache {
             {
                 let mut map = self.shards[self.shard_of(&key)]
                     .lock()
+                    // lint:allow(unwrap-expect): a poisoned stripe means a solver panicked; propagating keeps fail-stop semantics
                     .expect("cache poisoned");
                 if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &cell)) {
                     map.remove(&key);
@@ -1121,6 +1134,7 @@ fn canonical_access_model(key: &CanonicalKey) -> AccessModel {
                 .iter()
                 .map(|atom| {
                     let mut branches = atom.branches.iter().map(|b| rows_to_expr(b));
+                    // lint:allow(unwrap-expect): canonical atoms always carry at least one branch
                     let first = branches.next().expect("atom has at least one branch");
                     branches.fold(
                         first,

@@ -154,6 +154,7 @@ static OVERRIDE_GATE: Mutex<()> = Mutex::new(());
 /// The process-wide active fault plan: a test override when one is live,
 /// otherwise `SOAP_FAULT_PLAN` (read and parsed once per process).
 pub fn active_plan() -> Option<Arc<FaultPlan>> {
+    // lint:allow(unwrap-expect): override-lock holders only clone or assign; they cannot panic while holding it
     if let Some(overridden) = OVERRIDE.read().expect("fault override lock").as_ref() {
         return overridden.clone();
     }
@@ -175,6 +176,7 @@ pub struct PlanOverrideGuard {
 
 impl Drop for PlanOverrideGuard {
     fn drop(&mut self) {
+        // lint:allow(unwrap-expect): override-lock holders only clone or assign; they cannot panic while holding it
         *OVERRIDE.write().expect("fault override lock") = None;
     }
 }
@@ -188,6 +190,7 @@ pub fn override_plan(plan: Option<FaultPlan>) -> PlanOverrideGuard {
     let gate = OVERRIDE_GATE
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner());
+    // lint:allow(unwrap-expect): override-lock holders only clone or assign; they cannot panic while holding it
     *OVERRIDE.write().expect("fault override lock") = Some(plan.map(Arc::new));
     PlanOverrideGuard { _gate: gate }
 }

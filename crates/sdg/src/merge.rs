@@ -356,6 +356,7 @@ pub fn merged_model(
             .map(|(_, acc)| lemma3_size(acc, opts.assume_injective))
             .collect();
         if groups.len() == 1 {
+            // lint:allow(unwrap-expect): the grouping above produced exactly one group in this branch
             terms.push(sizes.into_iter().next().expect("one group"));
             continue;
         }
@@ -380,6 +381,7 @@ pub fn merged_model(
             terms.extend(sizes);
         } else {
             let mut it = sizes.into_iter();
+            // lint:allow(unwrap-expect): callers guarantee at least one size; checked by the callers' construction
             let first = it.next().expect("at least one size");
             terms.push(it.fold(first, |a, b| a.max(b)));
         }

@@ -257,6 +257,7 @@ impl<T: Clone> InFlight<T> {
     /// the shared value.
     pub fn claim(&self, key: u64) -> Claim<'_, T> {
         let slot = {
+            // lint:allow(unwrap-expect): a poisoned slot lock means a leader panicked; fail-stop propagates it to followers (protocol model-checked in tests/interleave_cache.rs)
             let mut slots = self.slots.lock().expect("not poisoned");
             if let Some(slot) = slots.get(&key) {
                 Arc::clone(slot)
@@ -277,8 +278,10 @@ impl<T: Clone> InFlight<T> {
                 });
             }
         };
+        // lint:allow(unwrap-expect): a poisoned slot lock means a leader panicked; fail-stop propagates it to followers (protocol model-checked in tests/interleave_cache.rs)
         let mut state = slot.state.lock().expect("not poisoned");
         while !state.done {
+            // lint:allow(unwrap-expect): a poisoned slot lock means a leader panicked; fail-stop propagates it to followers (protocol model-checked in tests/interleave_cache.rs)
             state = slot.cond.wait(state).expect("not poisoned");
         }
         Claim::Follower(state.value.clone())
@@ -286,6 +289,7 @@ impl<T: Clone> InFlight<T> {
 
     /// Number of keys currently executing (diagnostics).
     pub fn len(&self) -> usize {
+        // lint:allow(unwrap-expect): a poisoned slot lock means a leader panicked; fail-stop propagates it to followers (protocol model-checked in tests/interleave_cache.rs)
         self.slots.lock().expect("not poisoned").len()
     }
 
@@ -324,8 +328,10 @@ impl<T> LeaderGuard<'_, T> {
         self.inflight
             .slots
             .lock()
+            // lint:allow(unwrap-expect): a poisoned slot lock means a leader panicked; fail-stop propagates it to followers (protocol model-checked in tests/interleave_cache.rs)
             .expect("not poisoned")
             .remove(&self.key);
+        // lint:allow(unwrap-expect): a poisoned slot lock means a leader panicked; fail-stop propagates it to followers (protocol model-checked in tests/interleave_cache.rs)
         let mut state = self.slot.state.lock().expect("not poisoned");
         state.done = true;
         state.value = value;

@@ -139,6 +139,7 @@ fn retry_io<T>(
             Err(e) => last_err = Some(e),
         }
     }
+    // lint:allow(unwrap-expect): the retry loop always runs at least one attempt before reaching this line
     Err(last_err.expect("at least one attempt ran"))
 }
 
@@ -604,6 +605,7 @@ pub(crate) fn encode_record(
         ("key".to_string(), key_to_value(key)),
         ("sol".to_string(), solution_to_value(sol)),
     ]);
+    // lint:allow(unwrap-expect): record payloads are plain maps of strings and numbers; serialization cannot fail
     let json = serde_json::to_string(&payload).expect("record serializes");
     format!("{:016x} {json}", fnv1a64(json.as_bytes()))
 }
@@ -910,6 +912,7 @@ pub(crate) fn encode_report_record(key: u64, report: &StoredReport) -> String {
         ("key".to_string(), Value::Int(i128::from(key))),
         ("report".to_string(), report_to_value(report)),
     ]);
+    // lint:allow(unwrap-expect): record payloads are plain maps of strings and numbers; serialization cannot fail
     let json = serde_json::to_string(&payload).expect("report record serializes");
     format!("{:016x} {json}", fnv1a64(json.as_bytes()))
 }

@@ -1,0 +1,337 @@
+//! Model-checked invariants of the sharded `SolveCache` cell protocol and
+//! the `InFlight` leader/follower coalescing (see `src/cache.rs::solve_scoped`
+//! and `src/service.rs::InFlight`).
+//!
+//! Each invariant comes in two flavours: the faithful port of the production
+//! locking protocol, which must pass every explored schedule, and a
+//! deliberately broken **mutation twin** reintroducing the bug class the
+//! protocol guards against — the checker must find a failing schedule for it,
+//! or the pass on the correct variant would be vacuous.
+
+use interleave::atomic::AtomicUsize;
+use interleave::sync::{Condvar, Mutex};
+use interleave::{thread, Model};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// SolveCache cell protocol (cache.rs::solve_scoped)
+//
+// Production shape: shard lock → get-or-insert Arc<SolveCell> (a once-cell)
+// → whoever wins the cell's initialization race runs the ONE canonical solve;
+// every other requester of the same key blocks until it lands and reads the
+// same stored solution.  The map insert happens atomically under the shard
+// lock — that atomicity is exactly what the mutation twin removes.
+// ---------------------------------------------------------------------------
+
+/// A once-cell modelled with shim primitives: `OnceLock::get_or_init` blocks
+/// concurrent callers on an internal lock while the winner runs `init`, so
+/// the model holds a Mutex across the init — waiters pile up on the lock and
+/// read the landed value when they get in.
+struct Cell {
+    state: Mutex<CellState>,
+}
+
+struct CellState {
+    done: bool,
+    value: u64,
+}
+
+impl Cell {
+    fn new() -> Cell {
+        Cell {
+            state: Mutex::new(CellState {
+                done: false,
+                value: 0,
+            }),
+        }
+    }
+
+    /// Port of `OnceLock::get_or_init`: exactly one caller runs `init`;
+    /// everyone else blocks until the value lands.  Returns (value, solved_here).
+    fn get_or_init<F: FnOnce() -> u64>(&self, init: F) -> (u64, bool) {
+        let mut st = self.state.lock();
+        if st.done {
+            return (st.value, false);
+        }
+        let value = init();
+        st.done = true;
+        st.value = value;
+        (value, true)
+    }
+}
+
+struct CacheModel {
+    map: Mutex<HashMap<u32, Arc<Cell>>>,
+    solves: AtomicUsize,
+}
+
+impl CacheModel {
+    fn new() -> CacheModel {
+        CacheModel {
+            map: Mutex::new(HashMap::new()),
+            solves: AtomicUsize::new(0),
+        }
+    }
+
+    /// Faithful port: get-or-insert is atomic under the shard lock.
+    fn solve(&self, key: u32) -> (u64, bool) {
+        let cell = {
+            let mut map = self.map.lock();
+            if let Some(cell) = map.get(&key) {
+                Arc::clone(cell)
+            } else {
+                let cell = Arc::new(Cell::new());
+                map.insert(key, Arc::clone(&cell));
+                cell
+            }
+        };
+        cell.get_or_init(|| 100 + self.solves.fetch_add(1, Ordering::SeqCst) as u64)
+    }
+
+    /// MUTATION: check-then-insert with the shard lock released in between —
+    /// two concurrent requesters can both see the key absent, insert their
+    /// own cells, and run two "canonical" solves for one structure.
+    fn solve_torn(&self, key: u32) -> (u64, bool) {
+        let existing = { self.map.lock().get(&key).map(Arc::clone) };
+        let cell = match existing {
+            Some(cell) => cell,
+            None => {
+                let cell = Arc::new(Cell::new());
+                self.map.lock().insert(key, Arc::clone(&cell));
+                cell
+            }
+        };
+        cell.get_or_init(|| 100 + self.solves.fetch_add(1, Ordering::SeqCst) as u64)
+    }
+}
+
+fn cache_model(torn: bool) {
+    let cache = Arc::new(CacheModel::new());
+    // The root model thread is the second requester — fewer schedule points
+    // than spawning both, same two-requester race.
+    let spawned = {
+        let cache = Arc::clone(&cache);
+        thread::spawn(move || {
+            if torn {
+                cache.solve_torn(7)
+            } else {
+                cache.solve(7)
+            }
+        })
+    };
+    let here = if torn {
+        cache.solve_torn(7)
+    } else {
+        cache.solve(7)
+    };
+    let outcomes: Vec<(u64, bool)> = vec![here, spawned.join()];
+    // One canonical solve per key, no matter the schedule…
+    assert_eq!(
+        cache.solves.load(Ordering::SeqCst),
+        1,
+        "exactly one canonical solve per key"
+    );
+    // …and the accounting reconciles: one miss (the solver), the rest hits.
+    let misses = outcomes
+        .iter()
+        .filter(|(_, solved_here)| *solved_here)
+        .count();
+    assert_eq!(misses, 1, "hits + misses must reconcile to one miss");
+    // Every requester observes the one stored solution.
+    assert!(
+        outcomes.iter().all(|(v, _)| *v == 100),
+        "every requester must instantiate the same canonical solution: {outcomes:?}"
+    );
+}
+
+/// Invariant: concurrent requesters of one key produce exactly one solve,
+/// one miss, and identical values on every schedule.
+#[test]
+fn cache_cell_solves_once_per_key() {
+    let report = Model::new("sdg-cache-once-per-key")
+        .max_dfs_schedules(200_000)
+        .check(|| cache_model(false));
+    assert!(report.exhaustive, "{report:?}");
+}
+
+/// Mutation twin: the check-then-insert race must be caught double-solving.
+#[test]
+fn torn_cache_insert_is_caught() {
+    let failure = Model::new("sdg-cache-torn-insert-MUTATION").expect_failure(|| cache_model(true));
+    assert!(
+        failure.message.contains("one canonical solve") || failure.message.contains("reconcile"),
+        "{failure:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// InFlight leader/follower coalescing (service.rs)
+//
+// Production shape: slots map under a Mutex; first claimant of a key inserts
+// a Slot and leads, later claimants park on the slot's Condvar until `done`,
+// then share the leader's value.  The leader publishes by removing the map
+// entry, setting done+value, and notify_all.
+// ---------------------------------------------------------------------------
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cond: Condvar,
+}
+
+struct SlotState {
+    done: bool,
+    value: Option<u64>,
+}
+
+/// How the mutated variants break `publish`.
+#[derive(Clone, Copy, PartialEq)]
+enum Wake {
+    /// Faithful port: `notify_all`.
+    All,
+    /// MUTATION: `notify_one` — with two parked followers one sleeps forever.
+    One,
+    /// MUTATION: no notify at all — every parked follower sleeps forever.
+    None,
+}
+
+struct InFlightModel {
+    slots: Mutex<HashMap<u64, Arc<Slot>>>,
+    /// Executions currently running for the key (the coalescing guarantee:
+    /// never more than one at a time).
+    running: AtomicUsize,
+    wake: Wake,
+}
+
+enum Claimed {
+    Led(u64),
+    Followed(Option<u64>),
+}
+
+impl InFlightModel {
+    fn new(wake: Wake) -> InFlightModel {
+        InFlightModel {
+            slots: Mutex::new(HashMap::new()),
+            running: AtomicUsize::new(0),
+            wake,
+        }
+    }
+
+    /// Port of `InFlight::claim` + leader work + `LeaderGuard::complete`,
+    /// with the model's "analysis" being `100 + tid`.  `claim` decides
+    /// leader/follower under the map lock; the leader's work and publish run
+    /// after it is released, exactly like the production guard.
+    fn claim_and_run(&self, key: u64, tid: u64) -> Claimed {
+        // claim(): get-or-insert the slot atomically under the map lock.
+        let (slot, leads) = {
+            let mut slots = self.slots.lock();
+            if let Some(slot) = slots.get(&key) {
+                (Arc::clone(slot), false)
+            } else {
+                let slot = Arc::new(Slot {
+                    state: Mutex::new(SlotState {
+                        done: false,
+                        value: None,
+                    }),
+                    cond: Condvar::new(),
+                });
+                slots.insert(key, Arc::clone(&slot));
+                (slot, true)
+            }
+        };
+        if leads {
+            // Leader path: run the work, then publish.
+            let overlapping = self.running.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(
+                overlapping, 0,
+                "coalescing violated: two executions in flight for one key"
+            );
+            let value = 100 + tid;
+            self.running.fetch_sub(1, Ordering::SeqCst);
+            // publish(): remove the map entry, set done+value, wake.
+            self.slots.lock().remove(&key);
+            let mut state = slot.state.lock();
+            state.done = true;
+            state.value = Some(value);
+            match self.wake {
+                Wake::All => slot.cond.notify_all(),
+                Wake::One => slot.cond.notify_one(),
+                Wake::None => {}
+            }
+            return Claimed::Led(value);
+        }
+        let mut state = slot.state.lock();
+        while !state.done {
+            state = slot.cond.wait(state);
+        }
+        Claimed::Followed(state.value)
+    }
+}
+
+fn inflight_model(wake: Wake, claimants: u64) {
+    let inflight = Arc::new(InFlightModel::new(wake));
+    // The root model thread is claimant 0 — fewer schedule points than
+    // spawning every claimant, same races.
+    let threads: Vec<_> = (1..claimants)
+        .map(|tid| {
+            let inflight = Arc::clone(&inflight);
+            thread::spawn(move || inflight.claim_and_run(9, tid))
+        })
+        .collect();
+    let here = inflight.claim_and_run(9, 0);
+    let mut outcomes: Vec<Claimed> = vec![here];
+    outcomes.extend(threads.into_iter().map(|t| t.join()));
+    let led: Vec<u64> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Claimed::Led(v) => Some(*v),
+            Claimed::Followed(_) => None,
+        })
+        .collect();
+    assert!(!led.is_empty(), "someone must lead");
+    // Every follower saw the value of an actual leader — never a lost or
+    // invented result.  (A claimant arriving after the leader published
+    // legitimately leads a fresh execution, so leaders may exceed one; the
+    // `running` overlap assert above is what pins "one at a time".)
+    for outcome in &outcomes {
+        if let Claimed::Followed(v) = outcome {
+            let v = v.expect("leaders always publish in this model");
+            assert!(
+                led.contains(&v),
+                "follower saw {v}, which no leader published: leaders {led:?}"
+            );
+        }
+    }
+}
+
+/// Invariant: at most one execution in flight per key, followers always see
+/// a real leader's published value, and nobody is left parked (a lost wakeup
+/// would surface as a deadlock failure).
+#[test]
+fn inflight_coalesces_and_loses_no_wakeups() {
+    let report = Model::new("sdg-inflight-coalesce")
+        .max_dfs_schedules(200_000)
+        .check(|| inflight_model(Wake::All, 2));
+    assert!(report.exhaustive, "{report:?}");
+}
+
+/// Mutation twin: publishing without notifying must strand a parked follower
+/// — the checker reports it as a deadlock (lost wakeup).
+#[test]
+fn missing_notify_is_caught_as_lost_wakeup() {
+    let failure = Model::new("sdg-inflight-no-notify-MUTATION")
+        .expect_failure(|| inflight_model(Wake::None, 2));
+    assert!(
+        failure.message.contains("deadlock") && failure.message.contains("lost wakeup"),
+        "{failure:?}"
+    );
+}
+
+/// Mutation twin: `notify_one` with two parked followers leaves one asleep.
+#[test]
+fn notify_one_with_two_followers_is_caught() {
+    let failure = Model::new("sdg-inflight-notify-one-MUTATION")
+        .expect_failure(|| inflight_model(Wake::One, 3));
+    assert!(failure.message.contains("deadlock"), "{failure:?}");
+}

@@ -190,6 +190,7 @@ impl Gate {
     /// depth observed at rejection so the response can scale its
     /// `Retry-After` advice.
     fn admit(&self) -> Result<GatePermit<'_>, usize> {
+        // lint:allow(unwrap-expect): gate state is plain counters; a poisoned lock means a handler panicked and fail-stop is the policy (model-checked in tests/interleave_serve.rs)
         let mut st = self.state.lock().expect("not poisoned");
         if st.running + st.queued >= self.slots + self.queue {
             return Err(st.queued);
@@ -200,6 +201,7 @@ impl Gate {
         }
         st.queued += 1;
         while st.running >= self.slots {
+            // lint:allow(unwrap-expect): gate state is plain counters; a poisoned lock means a handler panicked and fail-stop is the policy (model-checked in tests/interleave_serve.rs)
             st = self.cond.wait(st).expect("not poisoned");
         }
         st.queued -= 1;
@@ -208,6 +210,7 @@ impl Gate {
     }
 
     fn depth(&self) -> GateState {
+        // lint:allow(unwrap-expect): gate state is plain counters; a poisoned lock means a handler panicked and fail-stop is the policy (model-checked in tests/interleave_serve.rs)
         *self.state.lock().expect("not poisoned")
     }
 }
@@ -219,6 +222,7 @@ struct GatePermit<'a> {
 
 impl Drop for GatePermit<'_> {
     fn drop(&mut self) {
+        // lint:allow(unwrap-expect): gate state is plain counters; a poisoned lock means a handler panicked and fail-stop is the policy (model-checked in tests/interleave_serve.rs)
         let mut st = self.gate.state.lock().expect("not poisoned");
         st.running -= 1;
         drop(st);
@@ -293,6 +297,7 @@ impl ResponseMemo {
     fn get(&self, key: u64) -> Option<Arc<String>> {
         self.state
             .lock()
+            // lint:allow(unwrap-expect): memo state is a plain map+queue; a poisoned lock means a handler panicked and fail-stop is the policy (model-checked in tests/interleave_serve.rs)
             .expect("not poisoned")
             .map
             .get(&key)
@@ -302,6 +307,7 @@ impl ResponseMemo {
     /// Insert (or refresh) an entry; returns the number of entries evicted
     /// to stay within the cap (0 or 1).
     fn insert(&self, key: u64, tail: Arc<String>) -> u64 {
+        // lint:allow(unwrap-expect): memo state is a plain map+queue; a poisoned lock means a handler panicked and fail-stop is the policy (model-checked in tests/interleave_serve.rs)
         let mut st = self.state.lock().expect("not poisoned");
         if st.map.insert(key, tail).is_some() {
             return 0; // refreshed in place; order entry already present
@@ -319,6 +325,7 @@ impl ResponseMemo {
     }
 
     fn len(&self) -> usize {
+        // lint:allow(unwrap-expect): memo state is a plain map+queue; a poisoned lock means a handler panicked and fail-stop is the policy (model-checked in tests/interleave_serve.rs)
         self.state.lock().expect("not poisoned").map.len()
     }
 }
@@ -733,19 +740,23 @@ impl AnalysisService {
 
     /// Signal graceful shutdown; [`RunningServer::wait_for_shutdown`] wakes.
     pub fn request_shutdown(&self) {
+        // lint:allow(unwrap-expect): shutdown flag holders only read or set a bool; they cannot panic while holding it
         *self.shutdown.requested.lock().expect("not poisoned") = true;
         self.shutdown.cond.notify_all();
     }
 
     /// True once a shutdown was requested.
     pub fn shutdown_requested(&self) -> bool {
+        // lint:allow(unwrap-expect): shutdown flag holders only read or set a bool; they cannot panic while holding it
         *self.shutdown.requested.lock().expect("not poisoned")
     }
 
     /// Block until a shutdown is requested.
     pub fn wait_for_shutdown(&self) {
+        // lint:allow(unwrap-expect): shutdown flag holders only read or set a bool; they cannot panic while holding it
         let mut requested = self.shutdown.requested.lock().expect("not poisoned");
         while !*requested {
+            // lint:allow(unwrap-expect): shutdown flag holders only read or set a bool; they cannot panic while holding it
             requested = self.shutdown.cond.wait(requested).expect("not poisoned");
         }
     }
@@ -772,6 +783,7 @@ fn int(v: u64) -> serde_json::Value {
 /// Serialize an object and strip the opening `{`: the stored "tail" of a
 /// response whose `program` field gets spliced in per request.
 fn object_tail(fields: Vec<(String, serde_json::Value)>) -> String {
+    // lint:allow(unwrap-expect): the JSON value is a finite map of strings and numbers; serialization cannot fail
     let s = serde_json::to_string(&serde_json::Value::Object(fields)).expect("serializable");
     s[1..].to_string()
 }
@@ -849,6 +861,7 @@ fn spliced_response(
     retry_after: Option<u32>,
 ) -> httpd::Response {
     let escaped = serde_json::to_string(&serde_json::Value::Str(name.to_string()))
+        // lint:allow(unwrap-expect): the JSON value is a finite map of strings and numbers; serialization cannot fail
         .expect("string serializes");
     let body = format!("{{\"program\":{escaped},{}", tail);
     let resp = httpd::Response::json(status, body);
@@ -860,6 +873,7 @@ fn spliced_response(
 
 fn json_response(status: u16, fields: Vec<(String, serde_json::Value)>) -> httpd::Response {
     let body =
+        // lint:allow(unwrap-expect): the JSON value is a finite map of strings and numbers; serialization cannot fail
         serde_json::to_string(&serde_json::Value::Object(fields)).expect("serializable") + "\n";
     httpd::Response::json(status, body)
 }

@@ -1,0 +1,363 @@
+//! Model-checked invariants of the serve admission `Gate` and the bounded
+//! `ResponseMemo` (see `src/lib.rs`) — including the regression models for
+//! the PR 9 FIFO eviction bound and the 429 accounting.
+//!
+//! Each invariant comes in two flavours: the faithful port of the production
+//! locking protocol, which must pass every explored schedule, and a
+//! deliberately broken **mutation twin** reintroducing the bug class the
+//! protocol guards against — the checker must find a failing schedule for it,
+//! or the pass on the correct variant would be vacuous.
+
+use interleave::atomic::AtomicUsize;
+use interleave::sync::{Condvar, Mutex};
+use interleave::{thread, Model};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Admission gate (lib.rs::Gate): at most `slots` running, at most `queue`
+// more waiting, everything beyond rejected immediately with the observed
+// queue depth (the 429 path).
+// ---------------------------------------------------------------------------
+
+/// How the mutated variants break the protocol.
+#[derive(Clone, Copy, PartialEq)]
+enum GateBug {
+    /// Faithful port.
+    None,
+    /// MUTATION: the permit release forgets `notify_one` — a queued waiter
+    /// sleeps forever.
+    NoNotify,
+    /// MUTATION: the full-check uses `>` instead of `>=` — one request too
+    /// many slips past the cap into the queue.
+    OffByOne,
+}
+
+struct GateModel {
+    state: Mutex<GateState>,
+    cond: Condvar,
+    slots: usize,
+    queue: usize,
+    bug: GateBug,
+    /// Analyses currently executing (the invariant mirror of `running`).
+    executing: AtomicUsize,
+}
+
+#[derive(Clone, Copy, Default)]
+struct GateState {
+    running: usize,
+    queued: usize,
+}
+
+impl GateModel {
+    fn new(slots: usize, queue: usize, bug: GateBug) -> GateModel {
+        GateModel {
+            state: Mutex::new(GateState::default()),
+            cond: Condvar::new(),
+            slots,
+            queue,
+            bug,
+            executing: AtomicUsize::new(0),
+        }
+    }
+
+    /// Port of `Gate::admit` + the analysis + `GatePermit::drop`.  Returns
+    /// true when admitted, false when rejected (the 429 path).
+    fn admit_and_run(&self) -> bool {
+        {
+            let mut st = self.state.lock();
+            let full = if self.bug == GateBug::OffByOne {
+                st.running + st.queued > self.slots + self.queue
+            } else {
+                st.running + st.queued >= self.slots + self.queue
+            };
+            if full {
+                return false;
+            }
+            if st.running < self.slots {
+                st.running += 1;
+            } else {
+                st.queued += 1;
+                assert!(
+                    st.queued <= self.queue,
+                    "queue depth {} exceeds queue capacity {}",
+                    st.queued,
+                    self.queue
+                );
+                while st.running >= self.slots {
+                    st = self.cond.wait(st);
+                }
+                st.queued -= 1;
+                st.running += 1;
+            }
+        }
+        // The admitted analysis runs outside the gate lock, holding a slot.
+        let concurrent = self.executing.fetch_add(1, Ordering::SeqCst);
+        assert!(
+            concurrent < self.slots,
+            "{} analyses executing with only {} slots",
+            concurrent + 1,
+            self.slots
+        );
+        self.executing.fetch_sub(1, Ordering::SeqCst);
+        // GatePermit::drop.
+        let mut st = self.state.lock();
+        st.running -= 1;
+        drop(st);
+        if self.bug != GateBug::NoNotify {
+            self.cond.notify_one();
+        }
+        true
+    }
+}
+
+/// Run `requesters` concurrent requests (the root model thread is requester
+/// 0) against a gate with the given caps, returning the per-request
+/// admitted/rejected outcomes after asserting the gate drained to zero.
+fn gate_model(bug: GateBug, slots: usize, queue: usize, requesters: usize) -> Vec<bool> {
+    let gate = Arc::new(GateModel::new(slots, queue, bug));
+    let threads: Vec<_> = (1..requesters)
+        .map(|_| {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || gate.admit_and_run())
+        })
+        .collect();
+    let here = gate.admit_and_run();
+    let mut outcomes = vec![here];
+    outcomes.extend(threads.into_iter().map(|t| t.join()));
+    // 429 accounting reconciles: every request either finished an analysis
+    // or was rejected, and the gate drains to zero.
+    let admitted = outcomes.iter().filter(|a| **a).count();
+    let rejected = outcomes.len() - admitted;
+    assert_eq!(
+        admitted + rejected,
+        requesters,
+        "every request accounted for"
+    );
+    let st = *gate.state.lock();
+    assert_eq!(
+        (st.running, st.queued),
+        (0, 0),
+        "gate must drain to zero at quiescence"
+    );
+    outcomes
+}
+
+/// Invariant (queue path): with slots=1 queue=1 and two requesters, both are
+/// always admitted — one may wait in the queue — the slot cap holds while
+/// they execute, and no waiter is left parked (a lost wakeup would surface
+/// as a deadlock failure).
+#[test]
+fn gate_queue_path_admits_and_loses_no_wakeups() {
+    let report = Model::new("serve-gate-queue")
+        .max_dfs_schedules(400_000)
+        .check(|| {
+            let outcomes = gate_model(GateBug::None, 1, 1, 2);
+            assert!(
+                outcomes.iter().all(|a| *a),
+                "two requests against slots+queue=2 must both be admitted"
+            );
+        });
+    assert!(report.exhaustive, "{report:?}");
+}
+
+/// Invariant (reject path): with slots=1 queue=0 and two requesters, at
+/// least one is admitted, rejections are immediate (never parked), and the
+/// accounting still reconciles.
+#[test]
+fn gate_reject_path_accounting_reconciles() {
+    let report = Model::new("serve-gate-reject")
+        .max_dfs_schedules(400_000)
+        .check(|| {
+            let outcomes = gate_model(GateBug::None, 1, 0, 2);
+            assert!(
+                outcomes.iter().any(|a| *a),
+                "at least one request must win the slot"
+            );
+        });
+    assert!(report.exhaustive, "{report:?}");
+}
+
+/// Mutation twin: a permit released without `notify_one` must strand a
+/// queued waiter — the checker reports it as a deadlock (lost wakeup).
+#[test]
+fn missing_notify_on_release_is_caught() {
+    let failure = Model::new("serve-gate-no-notify-MUTATION")
+        .expect_failure(|| drop(gate_model(GateBug::NoNotify, 1, 1, 2)));
+    assert!(failure.message.contains("deadlock"), "{failure:?}");
+}
+
+/// Mutation twin: the `>` full-check must be caught overfilling the queue
+/// (three requesters so a third can slip past the cap).
+#[test]
+fn admission_off_by_one_is_caught() {
+    let failure = Model::new("serve-gate-off-by-one-MUTATION")
+        .expect_failure(|| drop(gate_model(GateBug::OffByOne, 1, 1, 3)));
+    assert!(
+        failure.message.contains("exceeds queue capacity"),
+        "{failure:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Bounded response memo (lib.rs::ResponseMemo): map + FIFO insertion order,
+// fresh insert at capacity evicts the OLDEST entry — never the entry being
+// inserted, never below capacity (the PR 9 regression models).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum MemoBug {
+    /// Faithful port: FIFO (`pop_front`), evict only above cap.
+    None,
+    /// MUTATION: LIFO eviction (`pop_back`) — a fresh insert at capacity
+    /// evicts *itself*.
+    Lifo,
+    /// MUTATION: evict when `len == cap` already (`<` for `<=`) — the memo
+    /// silently holds one entry fewer than configured.
+    OffByOne,
+}
+
+struct MemoModel {
+    state: Mutex<MemoState>,
+    cap: usize,
+    bug: MemoBug,
+}
+
+#[derive(Default)]
+struct MemoState {
+    map: HashMap<u64, u64>,
+    order: VecDeque<u64>,
+    // Model instrumentation, kept inside the state so counting adds no
+    // schedule points: evictions, and inserts that created a fresh entry
+    // (refreshes excluded).  A key evicted and re-inserted counts twice, so
+    // survivors + evictions must equal fresh_inserts exactly.
+    evictions: usize,
+    fresh_inserts: usize,
+}
+
+impl MemoModel {
+    fn new(cap: usize, bug: MemoBug) -> MemoModel {
+        MemoModel {
+            state: Mutex::new(MemoState::default()),
+            cap,
+            bug,
+        }
+    }
+
+    /// Port of `ResponseMemo::insert`, with the production invariants
+    /// asserted under the same lock the production code holds throughout.
+    fn insert(&self, key: u64, value: u64) {
+        let mut st = self.state.lock();
+        if st.map.insert(key, value).is_some() {
+            return; // refreshed in place; order entry already present
+        }
+        st.fresh_inserts += 1;
+        st.order.push_back(key);
+        let keep = if self.bug == MemoBug::OffByOne {
+            st.map.len() < self.cap
+        } else {
+            st.map.len() <= self.cap
+        };
+        if !keep {
+            loop {
+                let oldest = if self.bug == MemoBug::Lifo {
+                    st.order.pop_back()
+                } else {
+                    st.order.pop_front()
+                };
+                let Some(oldest) = oldest else { break };
+                if st.map.remove(&oldest).is_some() {
+                    st.evictions += 1;
+                    break;
+                }
+            }
+        }
+        assert!(
+            st.map.contains_key(&key),
+            "insert evicted its own fresh entry (not FIFO)"
+        );
+        assert!(
+            st.map.len() <= self.cap,
+            "memo len {} exceeds cap {}",
+            st.map.len(),
+            self.cap
+        );
+        assert_eq!(
+            st.order.len(),
+            st.map.len(),
+            "insertion-order queue desynced from the map"
+        );
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.state.lock().map.get(&key).copied()
+    }
+}
+
+fn memo_model(bug: MemoBug) {
+    const CAP: usize = 2;
+    let memo = Arc::new(MemoModel::new(CAP, bug));
+    // Concurrent insert + refresh of the SAME hash (two identical programs
+    // racing past the memo miss) while the root also inserts two more
+    // distinct programs, forcing eviction at cap 2.  The spawned insert can
+    // land before the root's same-key insert (making the root's a refresh),
+    // between the root's inserts at any occupancy, or after key 1 was
+    // already evicted (a re-insert, counted fresh again).
+    let a = {
+        let memo = Arc::clone(&memo);
+        thread::spawn(move || memo.insert(1, 10))
+    };
+    memo.insert(1, 11);
+    memo.insert(2, 20);
+    memo.insert(3, 30);
+    // Lookup races the spawned insert: any answer is allowed (either racy
+    // value, or already evicted) — the per-insert asserts above are the real
+    // invariants; this pins that a racing lookup cannot see a torn value.
+    if let Some(v) = memo.get(1) {
+        assert!(v == 10 || v == 11, "lookup saw a torn value {v}");
+    }
+    a.join();
+    // Quiescence: at least 3 fresh inserts (4 if key 1 was evicted before
+    // the racing same-key insert landed) flowed through a cap-2 memo, so
+    // exactly CAP survive and evictions account for every other fresh insert.
+    let st = memo.state.lock();
+    assert_eq!(
+        st.map.len(),
+        CAP,
+        "cap-2 memo must retain exactly 2 of 3 keys"
+    );
+    assert_eq!(
+        st.map.len() + st.evictions,
+        st.fresh_inserts,
+        "evictions + survivors must cover every fresh insert"
+    );
+}
+
+/// Invariant: the memo never exceeds its cap, never evicts the entry being
+/// inserted, never desyncs map and order, and retains exactly `cap` entries
+/// after more-than-cap distinct inserts — on every schedule.
+#[test]
+fn memo_fifo_eviction_is_bounded_and_exact() {
+    let report = Model::new("serve-memo-fifo")
+        .max_dfs_schedules(400_000)
+        .check(|| memo_model(MemoBug::None));
+    assert!(report.exhaustive, "{report:?}");
+}
+
+/// Mutation twin: LIFO eviction must be caught self-evicting a fresh insert.
+#[test]
+fn lifo_eviction_is_caught() {
+    let failure =
+        Model::new("serve-memo-lifo-MUTATION").expect_failure(|| memo_model(MemoBug::Lifo));
+    assert!(failure.message.contains("own fresh entry"), "{failure:?}");
+}
+
+/// Mutation twin: evicting at `len == cap` must be caught shrinking the memo
+/// below its configured bound.
+#[test]
+fn eviction_off_by_one_is_caught() {
+    let failure = Model::new("serve-memo-off-by-one-MUTATION")
+        .expect_failure(|| memo_model(MemoBug::OffByOne));
+    assert!(failure.message.contains("exactly 2 of 3"), "{failure:?}");
+}

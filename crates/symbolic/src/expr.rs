@@ -172,6 +172,7 @@ impl Expr {
         items.sort();
         items.dedup();
         if items.len() == 1 {
+            // lint:allow(unwrap-expect): the length check above guarantees a last element
             items.pop().unwrap()
         } else {
             Expr::Max(items)
@@ -196,6 +197,7 @@ impl Expr {
         items.sort();
         items.dedup();
         if items.len() == 1 {
+            // lint:allow(unwrap-expect): the length check above guarantees a last element
             items.pop().unwrap()
         } else {
             Expr::Min(items)
@@ -321,11 +323,13 @@ impl Expr {
             Expr::Pow(base, e) => base.subs_symbol(sym, value).pow(*e),
             Expr::Max(items) => {
                 let mut it = items.iter().map(|i| i.subs_symbol(sym, value));
+                // lint:allow(unwrap-expect): Max nodes are constructed with two or more items
                 let first = it.next().expect("Max has at least two items");
                 it.fold(first, |a, b| a.max(b))
             }
             Expr::Min(items) => {
                 let mut it = items.iter().map(|i| i.subs_symbol(sym, value));
+                // lint:allow(unwrap-expect): Min nodes are constructed with two or more items
                 let first = it.next().expect("Min has at least two items");
                 it.fold(first, |a, b| a.min(b))
             }
@@ -403,11 +407,13 @@ impl Expr {
             Expr::Mul(items) => distribute(items.iter().map(|i| i.expand())),
             Expr::Max(items) => {
                 let mut it = items.iter().map(|i| i.expand());
+                // lint:allow(unwrap-expect): Max nodes are constructed with two or more items
                 let first = it.next().expect("Max has at least two items");
                 it.fold(first, |a, b| a.max(b))
             }
             Expr::Min(items) => {
                 let mut it = items.iter().map(|i| i.expand());
+                // lint:allow(unwrap-expect): Min nodes are constructed with two or more items
                 let first = it.next().expect("Min has at least two items");
                 it.fold(first, |a, b| a.min(b))
             }
@@ -586,6 +592,7 @@ fn simplify_add(items: Vec<Expr>) -> Expr {
     }
     match out.len() {
         0 => Expr::zero(),
+        // lint:allow(unwrap-expect): this match arm only fires when exactly one element remains
         1 => out.pop().unwrap(),
         _ => {
             out.sort();
@@ -601,6 +608,7 @@ fn push_collected_term(out: &mut Vec<Expr>, rest: Vec<Expr>, coeff: Rational) {
         return;
     }
     let body = if rest.len() == 1 {
+        // lint:allow(unwrap-expect): the branch above ensures a single factor remains
         rest.into_iter().next().expect("one factor")
     } else {
         Expr::Mul(rest)
@@ -663,6 +671,7 @@ fn simplify_mul(items: Vec<Expr>) -> Expr {
     out.extend(others);
     match out.len() {
         0 => Expr::one(),
+        // lint:allow(unwrap-expect): this match arm only fires when exactly one element remains
         1 => out.pop().unwrap(),
         _ => Expr::Mul(out),
     }

@@ -47,6 +47,7 @@ impl Symbol {
     /// Intern a name, returning its canonical handle.
     pub fn intern(name: &str) -> Symbol {
         {
+            // lint:allow(unwrap-expect): interner lock holders only intern strings; they cannot panic while holding it
             let r = interner().read().expect("interner lock poisoned");
             if let Some(&id) = r.ids.get(name) {
                 return Symbol {
@@ -55,6 +56,7 @@ impl Symbol {
                 };
             }
         }
+        // lint:allow(unwrap-expect): interner lock holders only intern strings; they cannot panic while holding it
         let mut w = interner().write().expect("interner lock poisoned");
         if let Some(&id) = w.ids.get(name) {
             return Symbol {
@@ -63,6 +65,7 @@ impl Symbol {
             };
         }
         let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        // lint:allow(unwrap-expect): u32 symbol-id overflow means four billion distinct names; a panic beats silent wraparound
         let id = u32::try_from(w.names.len()).expect("more than u32::MAX distinct symbols");
         w.names.push(leaked);
         w.ids.insert(leaked, id);

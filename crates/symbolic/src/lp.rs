@@ -170,6 +170,7 @@ pub fn access_exponent_lp(num_vars: usize, access_index_sets: &[Vec<usize>]) -> 
     }
     LinearProgram::new(objective, constraints, rhs)
         .solve()
+        // lint:allow(unwrap-expect): the exponent LP is constructed feasible and bounded; infeasibility is a construction bug
         .expect("exponent LP is feasible and bounded by construction")
 }
 

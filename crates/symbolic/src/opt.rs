@@ -459,6 +459,7 @@ impl ConstrainedProduct {
         warm: Option<&[f64]>,
     ) -> (ProductSolution, SolveInfo) {
         self.solve_seeded_governed(x, warm, None)
+            // lint:allow(unwrap-expect): Deadline::none() never expires; this solve is explicitly ungoverned
             .expect("ungoverned solve cannot expire")
     }
 
@@ -527,6 +528,7 @@ impl ConstrainedProduct {
     pub fn solve_reference(&self, x: f64) -> ProductSolution {
         let (sol, iterations, capped) = self
             .solve_reference_impl(x, None, None)
+            // lint:allow(unwrap-expect): Deadline::none() never expires; this solve is explicitly ungoverned
             .expect("ungoverned solve cannot expire");
         record_solve(iterations, capped);
         sol
@@ -863,6 +865,7 @@ impl ConstrainedProduct {
     /// multi-extremal objective and removes the repeated travel phase.
     pub fn fit_power_law_instrumented(&self) -> (PowerLaw, SolveInfo, Vec<f64>) {
         self.fit_power_law_governed(None)
+            // lint:allow(unwrap-expect): Deadline::none() never expires; this fit is explicitly ungoverned
             .expect("ungoverned fit cannot expire")
     }
 
@@ -897,6 +900,7 @@ impl ConstrainedProduct {
         Ok((
             PowerLaw { coeff, exponent },
             info,
+            // lint:allow(unwrap-expect): the probe loop above always runs and sets warm
             warm.expect("three probes ran"),
         ))
     }
